@@ -1,0 +1,225 @@
+// Benchmarks regenerating every table and figure of the paper, plus the
+// engine micro-benchmarks. Each paper benchmark runs a reduced-effort but
+// structurally complete version of the experiment (full sweeps with a
+// shorter horizon), so `go test -bench=.` both times the harness and
+// exercises every code path behind EXPERIMENTS.md.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/petri"
+	"repro/internal/sensornode"
+)
+
+// benchOptions returns reduced-effort sweep options sized for benchmarking.
+func benchOptions() experiments.Options {
+	opt := experiments.Default()
+	opt.Base.SimTime = 200
+	opt.Base.Warmup = 20
+	opt.Base.Replications = 2
+	return opt
+}
+
+func BenchmarkTable1Structure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1() == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	opt := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	opt := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	opt := benchOptions()
+	opt.PDTs = []float64{0, 0.5, 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	opt := benchOptions()
+	opt.PDTs = []float64{0, 0.5, 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkErlangAblation(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ErlangAblation(opt, []int{1, 8, 32}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPolicyAblation(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PolicyAblation(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkloadComparison(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.WorkloadComparison(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCTMCCrossCheck(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CTMCCrossCheck(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLifetime(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Lifetime(opt, []float64{1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Engine micro-benchmarks
+
+// BenchmarkPetriEngineCPU measures raw EDSPN execution speed on the
+// Figure-3 net: one simulated 1000 s day of the paper's workload.
+func BenchmarkPetriEngineCPU(b *testing.B) {
+	cfg := core.PaperConfig()
+	n := core.BuildCPUNet(cfg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := petri.Simulate(n, petri.SimOptions{Seed: uint64(i), Duration: 1000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulationEstimator measures the event-driven simulator via the
+// public estimator API.
+func BenchmarkSimulationEstimator(b *testing.B) {
+	cfg := core.PaperConfig()
+	cfg.SimTime = 1000
+	cfg.Warmup = 0
+	cfg.Replications = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		if _, err := (core.Simulation{}).Estimate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMarkovEstimator measures the closed-form evaluation (it should
+// be orders of magnitude faster than any simulation — the paper's stated
+// advantage of analytic models).
+func BenchmarkMarkovEstimator(b *testing.B) {
+	cfg := core.PaperConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := (core.Markov{}).Estimate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCTMCSolveExpNet measures exact reachability + stationary solve
+// of the exponentialized CPU net.
+func BenchmarkCTMCSolveExpNet(b *testing.B) {
+	cfg := core.PaperConfig()
+	cfg.PUD = 0.3
+	n := core.BuildCPUNetExp(cfg, 40)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := petri.SolveCTMC(n, petri.ReachOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransientCPU measures replicated transient analysis of the
+// Figure-3 net (experiment X-7).
+func BenchmarkTransientCPU(b *testing.B) {
+	cfg := core.PaperConfig()
+	n := core.BuildCPUNet(cfg)
+	for i := 0; i < b.N; i++ {
+		if _, err := petri.SimulateTransient(n, petri.TransientOptions{
+			Seed: uint64(i), Horizon: 10, Step: 1, Replications: 50,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClosedNet measures the closed-workload net (experiment X-8).
+func BenchmarkClosedNet(b *testing.B) {
+	cfg := core.PaperConfig()
+	n := core.BuildClosedCPUNet(cfg, 3, 1.0)
+	for i := 0; i < b.N; i++ {
+		if _, err := petri.Simulate(n, petri.SimOptions{Seed: uint64(i), Duration: 500}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetworkLifetime measures the X-9 topology analysis.
+func BenchmarkNetworkLifetime(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NetworkLifetime(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSensorNode measures the composite CPU+radio net.
+func BenchmarkSensorNode(b *testing.B) {
+	cfg := sensornode.DefaultConfig()
+	cfg.CPU.SimTime = 500
+	cfg.CPU.Warmup = 0
+	for i := 0; i < b.N; i++ {
+		cfg.CPU.Seed = uint64(i)
+		if _, err := sensornode.Estimate(cfg, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Command sweep runs a two-dimensional (PDT x PUD) parameter sweep of the
+// CPU energy model and emits one CSV row per grid point and estimator —
+// the raw data behind Figures 4/5 and Tables 4/5, suitable for external
+// plotting tools.
+//
+// Usage:
+//
+//	sweep -pdts 0:1:0.1 -puds 0.001,0.3,10 -methods sim,markov,petri > grid.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+)
+
+func main() {
+	var (
+		pdts    = flag.String("pdts", "0:1:0.1", "PDT values: comma list or lo:hi:step range")
+		puds    = flag.String("puds", "0.001,0.3,10", "PUD values: comma list or lo:hi:step range")
+		methods = flag.String("methods", "sim,markov,petri,erlang16", "comma list: sim, markov, petri, erlangK")
+		lambda  = flag.Float64("lambda", 1, "arrival rate (jobs/s)")
+		mu      = flag.Float64("mu", 10, "service rate (jobs/s)")
+		simTime = flag.Float64("simtime", 1000, "measured horizon (s)")
+		warmup  = flag.Float64("warmup", 100, "warmup (s)")
+		reps    = flag.Int("reps", 10, "replications for stochastic methods")
+		seed    = flag.Uint64("seed", 20080901, "master seed")
+	)
+	flag.Parse()
+
+	pdtVals, err := parseValues(*pdts)
+	if err != nil {
+		fatal(fmt.Errorf("-pdts: %w", err))
+	}
+	pudVals, err := parseValues(*puds)
+	if err != nil {
+		fatal(fmt.Errorf("-puds: %w", err))
+	}
+	ests, err := parseMethods(*methods)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("method,pdt,pud,standby,powerup,idle,active,energy_j,energy_ci_j,mean_jobs,mean_latency_s")
+	for _, pud := range pudVals {
+		for _, pdt := range pdtVals {
+			cfg := core.PaperConfig()
+			cfg.Lambda, cfg.Mu = *lambda, *mu
+			cfg.PDT, cfg.PUD = pdt, pud
+			cfg.SimTime, cfg.Warmup = *simTime, *warmup
+			cfg.Replications = *reps
+			cfg.Seed = *seed
+			if err := cfg.Validate(); err != nil {
+				fatal(err)
+			}
+			for _, est := range ests {
+				r, err := est.Estimate(cfg)
+				if err != nil {
+					fatal(fmt.Errorf("%s at PDT=%v PUD=%v: %w", est.Name(), pdt, pud, err))
+				}
+				fmt.Printf("%s,%g,%g,%.6f,%.6f,%.6f,%.6f,%.4f,%.4f,%.5f,%.5f\n",
+					r.Method, pdt, pud,
+					r.Fractions[energy.Standby], r.Fractions[energy.PowerUp],
+					r.Fractions[energy.Idle], r.Fractions[energy.Active],
+					r.EnergyJ, r.EnergyCIJ, r.MeanJobs, r.MeanLatency)
+			}
+		}
+	}
+}
+
+// parseValues accepts "a,b,c" or "lo:hi:step".
+func parseValues(spec string) ([]float64, error) {
+	if strings.Contains(spec, ":") {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("range must be lo:hi:step, got %q", spec)
+		}
+		lo, err1 := strconv.ParseFloat(parts[0], 64)
+		hi, err2 := strconv.ParseFloat(parts[1], 64)
+		step, err3 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil || step <= 0 || hi < lo {
+			return nil, fmt.Errorf("invalid range %q", spec)
+		}
+		var vals []float64
+		// A small epsilon keeps the endpoint included despite rounding.
+		for v := lo; v <= hi+step/1e9; v += step {
+			vals = append(vals, v)
+		}
+		return vals, nil
+	}
+	var vals []float64
+	for _, f := range strings.Split(spec, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid value %q", f)
+		}
+		vals = append(vals, v)
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("no values in %q", spec)
+	}
+	return vals, nil
+}
+
+func parseMethods(spec string) ([]core.Estimator, error) {
+	var ests []core.Estimator
+	for _, m := range strings.Split(spec, ",") {
+		m = strings.TrimSpace(strings.ToLower(m))
+		switch {
+		case m == "sim" || m == "simulation":
+			ests = append(ests, core.Simulation{})
+		case m == "markov":
+			ests = append(ests, core.Markov{})
+		case m == "petri" || m == "petrinet" || m == "pn":
+			ests = append(ests, core.PetriNet{})
+		case strings.HasPrefix(m, "erlang"):
+			k := 16
+			if rest := strings.TrimPrefix(m, "erlang"); rest != "" {
+				v, err := strconv.Atoi(rest)
+				if err != nil || v < 1 {
+					return nil, fmt.Errorf("invalid Erlang method %q (use erlangK, e.g. erlang16)", m)
+				}
+				k = v
+			}
+			ests = append(ests, core.ErlangMarkov{K: k})
+		default:
+			return nil, fmt.Errorf("unknown method %q", m)
+		}
+	}
+	if len(ests) == 0 {
+		return nil, fmt.Errorf("no methods given")
+	}
+	return ests, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,194 @@
+// Command wsnenergy regenerates every table and figure of the paper
+// "Energy Modeling of Processors in Wireless Sensor Networks based on Petri
+// Nets" (Shareef & Zhu, 2008), plus the extension experiments documented in
+// DESIGN.md.
+//
+// Usage:
+//
+//	wsnenergy -experiment all                 # everything, text format
+//	wsnenergy -experiment fig5 -format csv    # one artifact as CSV
+//	wsnenergy -experiment table4 -reps 30     # higher precision
+//
+// Experiments: table1 table2 table3 fig4 fig5 table4 table5
+// erlang policy workload ctmc lifetime all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which artifact to regenerate (table1..table5, fig4, fig5, erlang, policy, workload, ctmc, lifetime, all)")
+		format     = flag.String("format", "text", "output format: text, csv or md")
+		lambda     = flag.Float64("lambda", 1, "arrival rate (jobs/s)")
+		mu         = flag.Float64("mu", 10, "service rate (jobs/s); paper: mean service 0.1 s")
+		pdt        = flag.Float64("pdt", 0.5, "power down threshold (s) for non-sweep experiments")
+		pud        = flag.Float64("pud", 0.001, "power up delay (s) for Figure 4/5 sweeps")
+		simTime    = flag.Float64("simtime", 1000, "measured horizon (s), Table 2: 1000")
+		warmup     = flag.Float64("warmup", 100, "simulated warmup before measurement (s)")
+		reps       = flag.Int("reps", 10, "replications for stochastic estimators")
+		seed       = flag.Uint64("seed", 20080901, "master random seed")
+		chartW     = flag.Int("chartwidth", 72, "ASCII chart width for figures in text mode")
+		chartH     = flag.Int("chartheight", 20, "ASCII chart height")
+	)
+	flag.Parse()
+
+	cfg := core.PaperConfig()
+	cfg.Lambda = *lambda
+	cfg.Mu = *mu
+	cfg.PDT = *pdt
+	cfg.PUD = *pud
+	cfg.SimTime = *simTime
+	cfg.Warmup = *warmup
+	cfg.Replications = *reps
+	cfg.Seed = *seed
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	opt := experiments.Default()
+	opt.Base = cfg
+	opt.PUDs = []float64{*pud, 0.3, 10.0}
+	if *pud != 0.001 {
+		opt.PUDs = []float64{*pud}
+	}
+
+	names := strings.Split(*experiment, ",")
+	if *experiment == "all" {
+		names = []string{"table1", "table2", "table3", "fig4", "fig5", "table4", "table5",
+			"erlang", "policy", "workload", "ctmc", "lifetime", "convergence", "transient", "network"}
+	}
+	for i, name := range names {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := run(strings.TrimSpace(name), opt, *format, *chartW, *chartH); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func run(name string, opt experiments.Options, format string, chartW, chartH int) error {
+	switch name {
+	case "table1":
+		return emitTable(experiments.Table1(), format)
+	case "table2":
+		return emitTable(experiments.Table2(opt.Base), format)
+	case "table3":
+		return emitTable(experiments.Table3(opt.Base.Power), format)
+	case "fig4":
+		fig, err := experiments.Figure4(opt)
+		if err != nil {
+			return err
+		}
+		return emitFigure(fig, format, chartW, chartH)
+	case "fig5":
+		fig, err := experiments.Figure5(opt)
+		if err != nil {
+			return err
+		}
+		return emitFigure(fig, format, chartW, chartH)
+	case "table4":
+		t, err := experiments.Table4(opt)
+		if err != nil {
+			return err
+		}
+		return emitTable(t, format)
+	case "table5":
+		t, err := experiments.Table5(opt)
+		if err != nil {
+			return err
+		}
+		return emitTable(t, format)
+	case "erlang":
+		t, err := experiments.ErlangAblation(opt, nil)
+		if err != nil {
+			return err
+		}
+		return emitTable(t, format)
+	case "policy":
+		t, err := experiments.PolicyAblation(opt)
+		if err != nil {
+			return err
+		}
+		return emitTable(t, format)
+	case "workload":
+		t, err := experiments.WorkloadComparison(opt)
+		if err != nil {
+			return err
+		}
+		return emitTable(t, format)
+	case "ctmc":
+		t, err := experiments.CTMCCrossCheck(opt)
+		if err != nil {
+			return err
+		}
+		return emitTable(t, format)
+	case "lifetime":
+		t, err := experiments.Lifetime(opt, nil)
+		if err != nil {
+			return err
+		}
+		return emitTable(t, format)
+	case "convergence":
+		t, err := experiments.Convergence(opt, nil)
+		if err != nil {
+			return err
+		}
+		return emitTable(t, format)
+	case "transient":
+		fig, err := experiments.Transient(opt, 0, 0, 0)
+		if err != nil {
+			return err
+		}
+		return emitFigure(fig, format, chartW, chartH)
+	case "network":
+		t, err := experiments.NetworkLifetime(opt)
+		if err != nil {
+			return err
+		}
+		return emitTable(t, format)
+	default:
+		return fmt.Errorf("unknown experiment %q (try -experiment all)", name)
+	}
+}
+
+func emitTable(t *report.Table, format string) error {
+	switch format {
+	case "text":
+		fmt.Print(t.ASCII())
+	case "csv":
+		fmt.Print(t.CSV())
+	case "md":
+		fmt.Print(t.Markdown())
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	return nil
+}
+
+func emitFigure(f *report.Figure, format string, w, h int) error {
+	switch format {
+	case "text":
+		fmt.Print(f.ASCIIChart(w, h))
+	case "csv":
+		fmt.Print(f.CSV())
+	case "md":
+		fmt.Printf("**%s**\n\n```\n%s```\n\nCSV:\n\n```\n%s```\n", f.Title, f.ASCIIChart(w, h), f.CSV())
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wsnenergy:", err)
+	os.Exit(1)
+}

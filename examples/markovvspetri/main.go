@@ -1,0 +1,52 @@
+// markovvspetri reproduces the paper's headline finding interactively: as
+// the constant Power Up Delay grows, the closed-form Markov approximation
+// drifts away from the simulated truth while the Petri net stays on it —
+// and the Erlang phase-type extension repairs the Markov chain.
+//
+//	go run ./examples/markovvspetri
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/report"
+)
+
+func main() {
+	cfg := core.PaperConfig()
+	cfg.SimTime = 2000
+	cfg.Replications = 8
+
+	t := report.NewTable(
+		"Total |Δ| vs simulation across the four state probabilities (percentage points)",
+		"Power Up Delay (s)", "Markov (eq. 11-24)", "Petri net", "ErlangMarkov K=32")
+	for _, pud := range []float64{0.001, 0.1, 0.3, 1, 3, 10} {
+		c := cfg
+		c.PUD = pud
+		sim, err := core.Simulation{}.Estimate(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row := []string{fmt.Sprintf("%g", pud)}
+		for _, est := range []core.Estimator{core.Markov{}, core.PetriNet{}, core.ErlangMarkov{K: 32}} {
+			r, err := est.Estimate(c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			d := 0.0
+			for _, s := range energy.States {
+				d += math.Abs(r.Fractions[s]-sim.Fractions[s]) * 100
+			}
+			row = append(row, report.F(d, 2))
+		}
+		t.AddRow(row...)
+	}
+	fmt.Print(t.ASCII())
+	fmt.Println("\nReading: the supplementary-variable Markov model is exact for PUD -> 0")
+	fmt.Println("but its constant-delay approximation collapses by PUD = 10 s, while the")
+	fmt.Println("Petri net and the Erlang phase expansion keep tracking the simulator.")
+}

@@ -1,0 +1,68 @@
+// network analyzes multi-hop sensor-network lifetime: nodes near the sink
+// relay everyone else's packets and set the network's lifetime — the
+// funneling effect that makes per-node energy models (this paper's topic)
+// matter at network scale.
+//
+//	go run ./examples/network
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/energy"
+	"repro/internal/network"
+	"repro/internal/report"
+)
+
+func main() {
+	cfg := network.DefaultConfig(6) // 6-node line, node 0 is the sink
+	res, err := network.Analyze(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.NewTable("6-node line, 0.5 samples/s per node (node 0 = sink)",
+		"Node", "Relays for", "CPU load (/s)", "Tx (/s)", "Rx (/s)", "Total mW", "Lifetime (days)")
+	for _, nr := range res.Nodes {
+		t.AddRow(
+			fmt.Sprintf("%d", nr.ID),
+			fmt.Sprintf("%d", nr.Subtree),
+			report.F(nr.ProcessRate, 2),
+			report.F(nr.TxRate, 2),
+			report.F(nr.RxRate, 2),
+			report.F(nr.TotalMW, 2),
+			report.F(nr.LifetimeSeconds/86400, 1))
+	}
+	fmt.Print(t.ASCII())
+	fmt.Printf("\nNetwork lifetime (first node death): %.1f days — node %d dies first.\n",
+		res.LifetimeDays(), res.Bottleneck)
+
+	// With a PXA271 the CPU dominates and the sink (which processes every
+	// packet) is always the bottleneck. On a low-power MCU the radio
+	// dominates and topology starts to matter: the first relay of a line
+	// transmits everything, while a star has no relays at all.
+	fmt.Println("\nTopology comparison at equal population, low-power MCU (radio-dominated):")
+	t2 := report.NewTable("", "Topology", "Bottleneck", "Lifetime (days)")
+	for _, topo := range []struct {
+		name  string
+		nodes []network.Node
+	}{
+		{"line (8 nodes)", network.LineTopology(8, 0.5)},
+		{"star (8 nodes)", network.StarTopology(8, 0.5)},
+		{"binary tree depth 2 (7 nodes)", network.BinaryTreeTopology(2, 0.5)},
+	} {
+		c := network.DefaultConfig(0)
+		c.Nodes = topo.nodes
+		c.CPU.Power = energy.MSP430F1611
+		r, err := network.Analyze(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t2.AddRow(topo.name, fmt.Sprintf("node %d", r.Bottleneck), report.F(r.LifetimeDays(), 1))
+	}
+	fmt.Print(t2.ASCII())
+	fmt.Println("\nReading: under a CPU-dominated budget (PXA271) only total traffic matters;")
+	fmt.Println("once the radio dominates (MSP430-class MCU), relay-heavy topologies die at")
+	fmt.Println("the funnel. The per-node model underneath is the paper's Petri-net CPU model.")
+}

@@ -1,0 +1,136 @@
+// Integration tests across the whole stack: the public facade, the
+// estimator agreement structure the paper reports, and end-to-end
+// serialization of the Figure-3 net.
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"repro"
+	"repro/internal/energy"
+	"repro/internal/petri"
+)
+
+func TestFacadePaperConfig(t *testing.T) {
+	cfg := repro.PaperConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if repro.PXA271.Name != "PXA271" {
+		t.Fatal("facade power table wrong")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := repro.PaperConfig()
+	cfg.SimTime = 500
+	cfg.Warmup = 50
+	cfg.Replications = 3
+	ests, err := repro.CompareAll(cfg, repro.Methods())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 3 {
+		t.Fatalf("estimates = %d, want 3", len(ests))
+	}
+	for _, e := range ests {
+		if err := e.Fractions.Validate(1e-6); err != nil {
+			t.Errorf("%s: %v", e.Method, err)
+		}
+		if e.EnergyJ < 17*0.5 || e.EnergyJ > 193*0.5 {
+			t.Errorf("%s: energy %v J outside physical bounds for 500 s", e.Method, e.EnergyJ)
+		}
+	}
+}
+
+// TestPaperShapeEndToEnd is the one-test summary of the reproduction: runs
+// the three methods at small and large PUD and asserts the paper's
+// qualitative conclusions.
+func TestPaperShapeEndToEnd(t *testing.T) {
+	small := repro.PaperConfig()
+	small.SimTime = 2000
+	small.Replications = 5
+	small.PUD = 0.001
+
+	large := small
+	large.PUD = 10
+
+	diff := func(a, b *repro.Estimate) float64 {
+		d := 0.0
+		for s := energy.State(0); s < energy.NumStates; s++ {
+			d += math.Abs(a.Fractions[s] - b.Fractions[s])
+		}
+		return d
+	}
+
+	for name, cfg := range map[string]repro.Config{"small": small, "large": large} {
+		ests, err := repro.CompareAll(cfg, repro.Methods())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, mkv, pn := ests[0], ests[1], ests[2]
+		switch name {
+		case "small":
+			// Conclusion 1 (Table 4 row 1): all three agree at small D.
+			if d := diff(sim, mkv); d > 0.05 {
+				t.Errorf("small D: Sim-Markov = %v", d)
+			}
+			if d := diff(sim, pn); d > 0.05 {
+				t.Errorf("small D: Sim-PN = %v", d)
+			}
+		case "large":
+			// Conclusion 2 (Table 4 row 3): Markov collapses, PN holds.
+			if dm, dp := diff(sim, mkv), diff(sim, pn); dm < 5*dp {
+				t.Errorf("large D: Sim-Markov (%v) should dwarf Sim-PN (%v)", dm, dp)
+			}
+		}
+	}
+}
+
+// TestFigure3NetThroughTheFacade exercises the exported net builder with
+// the generic engine and validates the queueing identity throughput(SR) =
+// lambda.
+func TestFigure3NetThroughTheFacade(t *testing.T) {
+	cfg := repro.PaperConfig()
+	n := repro.BuildCPUNet(cfg)
+	res, err := petri.Simulate(n, petri.SimOptions{Seed: 9, Warmup: 100, Duration: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srID, ok := n.TransitionByName("SR")
+	if !ok {
+		t.Fatal("SR missing")
+	}
+	if math.Abs(res.Throughput[srID]-cfg.Lambda) > 0.05 {
+		t.Fatalf("service throughput = %v, want ~lambda = %v", res.Throughput[srID], cfg.Lambda)
+	}
+	arID, _ := n.TransitionByName("AR")
+	t1ID, _ := n.TransitionByName("T1")
+	if res.Firings[arID] != res.Firings[t1ID] {
+		t.Fatalf("every arrival must be admitted exactly once: AR=%d T1=%d",
+			res.Firings[arID], res.Firings[t1ID])
+	}
+}
+
+// TestEnergyMonotoneInPDTEndToEnd checks the Figure-5 trend through the
+// facade for all three methods.
+func TestEnergyMonotoneInPDTEndToEnd(t *testing.T) {
+	prev := map[string]float64{}
+	for _, pdt := range []float64{0, 0.5, 1.0} {
+		cfg := repro.PaperConfig()
+		cfg.PDT = pdt
+		cfg.SimTime = 2000
+		cfg.Replications = 5
+		ests, err := repro.CompareAll(cfg, repro.Methods())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ests {
+			if last, ok := prev[e.Method]; ok && e.EnergyJ <= last {
+				t.Errorf("%s: energy not increasing at PDT=%v: %v <= %v", e.Method, pdt, e.EnergyJ, last)
+			}
+			prev[e.Method] = e.EnergyJ
+		}
+	}
+}

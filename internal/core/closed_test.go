@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/dist"
+	"repro/internal/energy"
+	"repro/internal/petri"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func TestClosedNetValidates(t *testing.T) {
+	n := BuildClosedCPUNet(PaperConfig(), 3, 1.0)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedNetRejectsBadArgs(t *testing.T) {
+	for _, f := range []func(){
+		func() { BuildClosedCPUNet(PaperConfig(), 0, 1) },
+		func() { BuildClosedCPUNet(PaperConfig(), 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad closed-net args accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestClosedNetPopulationInvariant: Thinking + CPU_Buffer + Active = N both
+// structurally and under random execution.
+func TestClosedNetPopulationInvariant(t *testing.T) {
+	const customers = 5
+	n := BuildClosedCPUNet(PaperConfig(), customers, 1.0)
+	invs, err := petri.PInvariants(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thinkID, _ := n.PlaceByName(PlaceThinking)
+	bufID, _ := n.PlaceByName(PlaceCPUBuffer)
+	actID, _ := n.PlaceByName(PlaceActive)
+	found := false
+	for _, y := range invs {
+		if y[thinkID] == 1 && y[bufID] == 1 && y[actID] == 1 {
+			if petri.InvariantValue(n.InitialMarking(), y) == customers {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("population invariant not found in %v", invs)
+	}
+	// Dynamic check.
+	m := n.InitialMarking()
+	r := xrand.New(17)
+	for step := 0; step < 3000; step++ {
+		var enabled []petri.TransitionID
+		for ti := range n.Transitions {
+			if n.Enabled(m, petri.TransitionID(ti)) {
+				enabled = append(enabled, petri.TransitionID(ti))
+			}
+		}
+		if len(enabled) == 0 {
+			t.Fatalf("closed net deadlocked at step %d", step)
+		}
+		n.Fire(m, enabled[r.Intn(len(enabled))])
+		if got := m[thinkID] + m[bufID] + m[actID]; got != customers {
+			t.Fatalf("population = %d at step %d, want %d", got, step, customers)
+		}
+	}
+}
+
+// TestClosedNetMatchesClosedSimulator: the closed Petri net and the
+// internal/cpu closed-workload simulator encode the same process; compare
+// their state fractions.
+func TestClosedNetMatchesClosedSimulator(t *testing.T) {
+	const (
+		customers = 3
+		thinkMean = 1.0
+	)
+	cfg := PaperConfig()
+	cfg.PDT = 0.5
+	cfg.PUD = 0.3
+
+	n := BuildClosedCPUNet(cfg, customers, thinkMean)
+	pn, err := petri.SimulateReplications(n, petri.SimOptions{
+		Seed: 31, Warmup: 100, Duration: 4000,
+	}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cpu.RunReplications(cpu.Config{
+		Closed:  &workload.Closed{Customers: customers, Think: dist.ExpMean(thinkMean)},
+		Service: dist.ExpMean(1 / cfg.Mu),
+		PDT:     cfg.PDT,
+		PUD:     cfg.PUD,
+		SimTime: 4000,
+		Warmup:  100,
+		Seed:    32,
+	}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := rep.MeanFractions()
+	for s, place := range statePlaces() {
+		id, _ := n.PlaceByName(place)
+		got := pn.PlaceAvg[id].Mean()
+		tol := 3*(pn.PlaceAvg[id].CI(0.95)+rep.FractionCI(s)) + 0.02
+		if math.Abs(got-f[s]) > tol {
+			t.Errorf("state %s: closed net %v vs closed simulator %v (tol %v)", s, got, f[s], tol)
+		}
+	}
+}
+
+// TestClosedNetSingleCustomerUtilization: with one customer, utilization is
+// E[S] / (E[S] + E[think] + wake-up effects); with negligible PUD and a
+// huge PDT it is exactly E[S]/(E[S]+think).
+func TestClosedNetSingleCustomerUtilization(t *testing.T) {
+	cfg := PaperConfig()
+	cfg.PDT = 50 // effectively never sleeps
+	cfg.PUD = 1e-9
+	n := BuildClosedCPUNet(cfg, 1, 0.9)
+	res, err := petri.Simulate(n, petri.SimOptions{Seed: 33, Warmup: 100, Duration: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.1 / (0.1 + 0.9)
+	if math.Abs(res.PlaceAvgByName(n, PlaceActive)-want) > 0.01 {
+		t.Fatalf("single-customer utilization = %v, want ~%v",
+			res.PlaceAvgByName(n, PlaceActive), want)
+	}
+	// One customer can never be queued behind itself: buffer average is
+	// tiny (only transient powerup queueing).
+	if res.PlaceAvgByName(n, PlaceCPUBuffer) > 0.01 {
+		t.Fatalf("buffer average = %v for one customer", res.PlaceAvgByName(n, PlaceCPUBuffer))
+	}
+}
+
+// TestClosedNetExactCTMC: exponentializing the closed net gives a finite
+// GSPN that SolveCTMC handles without any capacity annotations; the exact
+// solution matches simulation of the same net.
+func TestClosedNetExactCTMC(t *testing.T) {
+	cfg := PaperConfig()
+	cfg.PDT = 0.5
+	cfg.PUD = 0.3
+	const customers = 3
+	// Build the exponentialized closed variant by swapping the two
+	// deterministic transitions for exponentials of equal mean.
+	n := BuildClosedCPUNet(cfg, customers, 1.0)
+	pdtID, _ := n.TransitionByName(TransPDT)
+	putID, _ := n.TransitionByName(TransPUT)
+	n.Transitions[pdtID].Delay = dist.ExpMean(cfg.PDT)
+	n.Transitions[putID].Delay = dist.ExpMean(cfg.PUD)
+
+	exact, err := petri.SolveCTMC(n, petri.ReachOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := petri.Simulate(n, petri.SimOptions{Seed: 35, Warmup: 200, Duration: 40000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range n.Places {
+		if d := math.Abs(exact.PlaceAvg[p] - sim.PlaceAvg[p]); d > 0.03 {
+			t.Errorf("place %s: exact %v vs sim %v", n.Places[p].Name, exact.PlaceAvg[p], sim.PlaceAvg[p])
+		}
+	}
+	// The closed net is structurally bounded: exact analysis needs only a
+	// modest state space.
+	if len(exact.Markings) > 200 {
+		t.Fatalf("unexpectedly large closed-net state space: %d", len(exact.Markings))
+	}
+	_ = energy.States
+}

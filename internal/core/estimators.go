@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/dist"
+	"repro/internal/energy"
+	"repro/internal/markov"
+	"repro/internal/petri"
+	"repro/internal/workload"
+)
+
+// Simulation is the event-driven software simulator backend — the
+// reproduction of the paper's Matlab benchmark.
+type Simulation struct{}
+
+// Name implements Estimator.
+func (Simulation) Name() string { return "Simulation" }
+
+// Estimate implements Estimator by running replicated event simulations.
+func (Simulation) Estimate(cfg Config) (*Estimate, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	base := cpu.Config{
+		Arrivals: workload.NewPoisson(cfg.Lambda),
+		Service:  dist.ExpMean(1 / cfg.Mu),
+		PDT:      cfg.PDT,
+		PUD:      cfg.PUD,
+		SimTime:  cfg.SimTime,
+		Warmup:   cfg.Warmup,
+		Seed:     cfg.Seed,
+	}
+	rep, err := cpu.RunReplications(base, cfg.Replications)
+	if err != nil {
+		return nil, err
+	}
+	est := &Estimate{
+		Method:      "Simulation",
+		Fractions:   rep.MeanFractions(),
+		EnergyJ:     rep.EnergyJoules(cfg.Power, cfg.SimTime),
+		EnergyCIJ:   rep.EnergyJoulesCI(cfg.Power, cfg.SimTime),
+		MeanJobs:    rep.MeanJobs.Mean(),
+		MeanLatency: rep.MeanLatency.Mean(),
+	}
+	for _, s := range energy.States {
+		est.FractionsCI[s] = rep.FractionCI(s)
+	}
+	return est, nil
+}
+
+// Markov is the closed-form supplementary-variable backend (equations
+// 11–24).
+type Markov struct{}
+
+// Name implements Estimator.
+func (Markov) Name() string { return "Markov" }
+
+// Estimate implements Estimator by evaluating the paper's closed forms.
+// Energy follows equation 24 with N = lambda * SimTime jobs, the paper's
+// accounting for the Figure-5 horizon.
+func (Markov) Estimate(cfg Config) (*Estimate, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	m := markov.CPUModel{Lambda: cfg.Lambda, Mu: cfg.Mu, T: cfg.PDT, D: cfg.PUD}
+	n := int(cfg.Lambda * cfg.SimTime)
+	return &Estimate{
+		Method:      "Markov",
+		Fractions:   m.StateProbs(),
+		EnergyJ:     m.EnergyJoules(cfg.Power, n),
+		MeanJobs:    m.MeanJobs(),
+		MeanLatency: m.MeanLatency(),
+	}, nil
+}
+
+// PetriNet is the Figure-3 EDSPN backend, executed by the stochastic
+// Petri-net engine with race-enabling memory.
+type PetriNet struct{}
+
+// Name implements Estimator.
+func (PetriNet) Name() string { return "PetriNet" }
+
+// Estimate implements Estimator by simulating the net and reading the
+// steady-state percentages off the time-averaged token counts (paper §4.2),
+// then applying equation 25.
+func (PetriNet) Estimate(cfg Config) (*Estimate, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	n := BuildCPUNet(cfg)
+	rep, err := petri.SimulateReplications(n, petri.SimOptions{
+		Seed:     cfg.Seed + 0x5bf03635,
+		Warmup:   cfg.Warmup,
+		Duration: cfg.SimTime,
+	}, cfg.Replications)
+	if err != nil {
+		return nil, err
+	}
+	var f, ci energy.Fractions
+	for s, place := range statePlaces() {
+		id, ok := n.PlaceByName(place)
+		if !ok {
+			return nil, fmt.Errorf("core: net is missing place %q", place)
+		}
+		f[s] = rep.PlaceAvg[id].Mean()
+		ci[s] = rep.PlaceAvg[id].CI(0.95)
+	}
+	bufID, _ := n.PlaceByName(PlaceCPUBuffer)
+	actID, _ := n.PlaceByName(PlaceActive)
+	meanJobs := rep.PlaceAvg[bufID].Mean() + rep.PlaceAvg[actID].Mean()
+	energyCI := 0.0
+	for s := range ci {
+		energyCI += ci[s] * cfg.Power.MW[s]
+	}
+	return &Estimate{
+		Method:      "PetriNet",
+		Fractions:   f,
+		FractionsCI: ci,
+		EnergyJ:     cfg.Power.EnergyJoules(f, cfg.SimTime),
+		EnergyCIJ:   energyCI * cfg.SimTime / 1000,
+		MeanJobs:    meanJobs,
+		MeanLatency: meanJobs / cfg.Lambda,
+	}, nil
+}
+
+// statePlaces maps each power state to the Figure-3 place whose average
+// token count measures it.
+func statePlaces() map[energy.State]string {
+	return map[energy.State]string{
+		energy.Standby: PlaceStandBy,
+		energy.PowerUp: PlacePowerUp,
+		energy.Idle:    PlaceIdle,
+		energy.Active:  PlaceActive,
+	}
+}
+
+// ErlangMarkov is the phase-type extension (experiment X-1): an exact CTMC
+// whose Erlang-K stages approximate the deterministic delays, implementing
+// the "constant delays in Markov chains" method the paper's conclusion asks
+// for.
+type ErlangMarkov struct {
+	// K is the number of phases per deterministic delay (default 16).
+	K int
+}
+
+// Name implements Estimator.
+func (e ErlangMarkov) Name() string { return fmt.Sprintf("ErlangMarkov(K=%d)", e.k()) }
+
+func (e ErlangMarkov) k() int {
+	if e.K == 0 {
+		return 16
+	}
+	return e.K
+}
+
+// Estimate implements Estimator by solving the phase-expanded CTMC.
+func (e ErlangMarkov) Estimate(cfg Config) (*Estimate, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	res, err := markov.ErlangCPU{
+		Lambda: cfg.Lambda, Mu: cfg.Mu, T: cfg.PDT, D: cfg.PUD, K: e.k(),
+	}.Solve()
+	if err != nil {
+		return nil, err
+	}
+	return &Estimate{
+		Method:      e.Name(),
+		Fractions:   res.Fractions,
+		EnergyJ:     res.EnergyJoulesOver(cfg.Power, cfg.SimTime),
+		MeanJobs:    res.MeanJobs,
+		MeanLatency: res.MeanJobs / cfg.Lambda,
+	}, nil
+}

@@ -1,0 +1,41 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+)
+
+// ExampleCompareAll runs the paper's three methods on one configuration.
+func ExampleCompareAll() {
+	cfg := core.PaperConfig()
+	cfg.PDT = 0.5
+	cfg.PUD = 0.001
+	cfg.SimTime = 2000
+	cfg.Replications = 5
+
+	ests, err := core.CompareAll(cfg, core.Methods())
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range ests {
+		fmt.Printf("%-10s active %.2f\n", e.Method, e.Fractions[energy.Active])
+	}
+	// Output:
+	// Simulation active 0.10
+	// Markov     active 0.10
+	// PetriNet   active 0.10
+}
+
+// ExampleMarkov evaluates the closed form alone — microseconds instead of
+// a simulation run.
+func ExampleMarkov() {
+	cfg := core.PaperConfig()
+	est, err := core.Markov{}.Estimate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("mean latency %.4f s\n", est.MeanLatency)
+	// Output: mean latency 0.1112 s
+}

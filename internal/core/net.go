@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/petri"
+)
+
+// Place and transition names of the Figure-3 net, exported so callers can
+// query simulation results by the paper's names.
+const (
+	PlaceP0        = "P0"
+	PlaceP1        = "P1"
+	PlaceP6        = "P6"
+	PlaceCPUBuffer = "CPU_Buffer"
+	PlaceStandBy   = "Stand_By"
+	PlacePowerUp   = "Power_Up"
+	PlaceCPUOn     = "CPU_ON"
+	PlaceIdle      = "Idle"
+	PlaceActive    = "Active"
+
+	TransAR  = "AR"  // Arrival_Rate: exponential(lambda)
+	TransT1  = "T1"  // immediate, priority 4: admit job
+	TransT6  = "T6"  // immediate, priority 3: standby -> power up
+	TransT5  = "T5"  // immediate, priority 2: discard arrival notice when ON
+	TransT2  = "T2"  // immediate, priority 1: start service
+	TransSR  = "SR"  // Service_Rate: exponential(mu)
+	TransPDT = "PDT" // Power_Down_Threshold: deterministic(T)
+	TransPUT = "PUT" // Power_Up_Delay: deterministic(D)
+)
+
+// BuildCPUNet constructs the paper's Figure-3 EDSPN with Table-1 transition
+// parameters. Two completions of the paper's prose are applied (see
+// DESIGN.md §4): PUT deposits the Idle token and PDT consumes it, so that
+// the time-averaged token count of each state place equals the steady-state
+// fraction of time in that state.
+func BuildCPUNet(cfg Config) *petri.Net {
+	return buildCPUNet(cfg, dist.NewDeterministic(cfg.PDT), dist.NewDeterministic(cfg.PUD), 0)
+}
+
+// BuildCPUNetExp is the exponentialized variant used by the numerical
+// cross-check (experiment X-4): the two deterministic delays are replaced
+// by exponentials of the same mean and the open places are capped so the
+// reachability graph is finite. With these substitutions the net is a GSPN
+// solvable exactly via petri.SolveCTMC.
+func BuildCPUNetExp(cfg Config, queueCap int) *petri.Net {
+	var pdt, put dist.Distribution
+	if cfg.PDT > 0 {
+		pdt = dist.ExpMean(cfg.PDT)
+	} else {
+		pdt = dist.NewDeterministic(0)
+	}
+	if cfg.PUD > 0 {
+		put = dist.ExpMean(cfg.PUD)
+	} else {
+		put = dist.NewDeterministic(0)
+	}
+	return buildCPUNet(cfg, pdt, put, queueCap)
+}
+
+// PlaceThinking is the customer pool of the closed-workload net variant.
+const PlaceThinking = "Thinking"
+
+// TransThinkDone submits a closed-workload job after its think time.
+const TransThinkDone = "TD"
+
+// BuildClosedCPUNet builds the closed-workload variant of the CPU model
+// (paper §4.1: "a new task will not arrive until the current task has been
+// completed"). customers tokens circulate between a Thinking pool — an
+// infinite-server exponential transition, one think clock per customer —
+// and the CPU, whose power-management subnet (T6/T5/T2/SR/PDT/PUT) is
+// identical to Figure 3. The net carries the population invariant
+// M(Thinking) + M(CPU_Buffer) + M(Active) = customers.
+func BuildClosedCPUNet(cfg Config, customers int, thinkMean float64) *petri.Net {
+	if customers < 1 {
+		panic(fmt.Sprintf("core: closed workload needs >= 1 customers, got %d", customers))
+	}
+	if thinkMean <= 0 {
+		panic(fmt.Sprintf("core: think time must be positive, got %v", thinkMean))
+	}
+	n := petri.NewNet("cpu-closed")
+
+	thinking := n.AddPlaceInit(PlaceThinking, customers)
+	p6 := n.AddPlace(PlaceP6)
+	buffer := n.AddPlace(PlaceCPUBuffer)
+	standBy := n.AddPlaceInit(PlaceStandBy, 1)
+	powerUp := n.AddPlace(PlacePowerUp)
+	cpuOn := n.AddPlace(PlaceCPUOn)
+	idle := n.AddPlace(PlaceIdle)
+	active := n.AddPlace(PlaceActive)
+
+	// TD: each thinking customer independently finishes its think time
+	// and submits a job (notification + work item), so the transition is
+	// infinite-server.
+	td := n.AddTimed(TransThinkDone, dist.ExpMean(thinkMean))
+	n.Input(td, thinking, 1)
+	n.Output(td, p6, 1)
+	n.Output(td, buffer, 1)
+	n.SetInfiniteServer(td)
+
+	t6 := n.AddImmediate(TransT6, 3)
+	n.Input(t6, standBy, 1)
+	n.Input(t6, p6, 1)
+	n.Output(t6, powerUp, 1)
+	n.Output(t6, p6, 1)
+
+	t5 := n.AddImmediate(TransT5, 2)
+	n.Input(t5, p6, 1)
+	n.Input(t5, cpuOn, 1)
+	n.Output(t5, cpuOn, 1)
+
+	t2 := n.AddImmediate(TransT2, 1)
+	n.Input(t2, buffer, 1)
+	n.Input(t2, cpuOn, 1)
+	n.Input(t2, idle, 1)
+	n.Output(t2, active, 1)
+	n.Output(t2, cpuOn, 1)
+
+	// SR returns the completed customer to the thinking pool.
+	sr := n.AddTimed(TransSR, dist.NewExponential(cfg.Mu))
+	n.Input(sr, active, 1)
+	n.Output(sr, idle, 1)
+	n.Output(sr, thinking, 1)
+
+	pdt := n.AddTimed(TransPDT, dist.NewDeterministic(cfg.PDT))
+	n.Input(pdt, cpuOn, 1)
+	n.Input(pdt, idle, 1)
+	n.Output(pdt, standBy, 1)
+	n.Inhibitor(pdt, active, 1)
+	n.Inhibitor(pdt, buffer, 1)
+
+	put := n.AddTimed(TransPUT, dist.NewDeterministic(cfg.PUD))
+	n.Input(put, powerUp, 1)
+	n.Input(put, p6, 1)
+	n.Output(put, cpuOn, 1)
+	n.Output(put, idle, 1)
+
+	return n
+}
+
+func buildCPUNet(cfg Config, pdtDelay, putDelay dist.Distribution, queueCap int) *petri.Net {
+	n := petri.NewNet("cpu-figure3")
+
+	p0 := n.AddPlaceInit(PlaceP0, 1)
+	p1 := n.AddPlace(PlaceP1)
+	p6 := n.AddPlace(PlaceP6)
+	buffer := n.AddPlace(PlaceCPUBuffer)
+	standBy := n.AddPlaceInit(PlaceStandBy, 1)
+	powerUp := n.AddPlace(PlacePowerUp)
+	cpuOn := n.AddPlace(PlaceCPUOn)
+	idle := n.AddPlace(PlaceIdle)
+	active := n.AddPlace(PlaceActive)
+	if queueCap > 0 {
+		n.SetCapacity(buffer, queueCap)
+		n.SetCapacity(p6, queueCap+1)
+	}
+
+	// AR: open-workload generator. The token cycling through P0/P1 keeps
+	// exactly one pending arrival timer.
+	ar := n.AddTimed(TransAR, dist.NewExponential(cfg.Lambda))
+	n.Input(ar, p0, 1)
+	n.Output(ar, p1, 1)
+
+	// T1 (priority 4): admit the job — re-arm the generator, notify the
+	// power manager (P6) and enqueue the work item.
+	t1 := n.AddImmediate(TransT1, 4)
+	n.Input(t1, p1, 1)
+	n.Output(t1, p0, 1)
+	n.Output(t1, p6, 1)
+	n.Output(t1, buffer, 1)
+
+	// T6 (priority 3): a notification while in standby starts the wake-up;
+	// the notification token is kept for PUT.
+	t6 := n.AddImmediate(TransT6, 3)
+	n.Input(t6, standBy, 1)
+	n.Input(t6, p6, 1)
+	n.Output(t6, powerUp, 1)
+	n.Output(t6, p6, 1)
+
+	// T5 (priority 2): when the CPU is already on, arrival notifications
+	// are discarded so P6 cannot accumulate tokens unboundedly (paper
+	// step 7).
+	t5 := n.AddImmediate(TransT5, 2)
+	n.Input(t5, p6, 1)
+	n.Input(t5, cpuOn, 1)
+	n.Output(t5, cpuOn, 1)
+
+	// T2 (priority 1): an idle, powered-on CPU picks the next buffered job.
+	t2 := n.AddImmediate(TransT2, 1)
+	n.Input(t2, buffer, 1)
+	n.Input(t2, cpuOn, 1)
+	n.Input(t2, idle, 1)
+	n.Output(t2, active, 1)
+	n.Output(t2, cpuOn, 1)
+
+	// SR: service completion.
+	sr := n.AddTimed(TransSR, dist.NewExponential(cfg.Mu))
+	n.Input(sr, active, 1)
+	n.Output(sr, idle, 1)
+
+	// PDT: after a contiguous idle interval (no job active, buffer empty —
+	// the inhibitor arcs drawn as small circles in Figure 3) the CPU
+	// powers down. Race-enabling memory restarts this timer whenever a
+	// job arrives, exactly the threshold semantics of the paper.
+	pdt := n.AddTimed(TransPDT, pdtDelay)
+	n.Input(pdt, cpuOn, 1)
+	n.Input(pdt, idle, 1)
+	n.Output(pdt, standBy, 1)
+	n.Inhibitor(pdt, active, 1)
+	n.Inhibitor(pdt, buffer, 1)
+
+	// PUT: the constant wake-up delay, consuming the pending notification.
+	put := n.AddTimed(TransPUT, putDelay)
+	n.Input(put, powerUp, 1)
+	n.Input(put, p6, 1)
+	n.Output(put, cpuOn, 1)
+	n.Output(put, idle, 1)
+
+	return n
+}

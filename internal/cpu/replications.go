@@ -1,0 +1,127 @@
+package cpu
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/energy"
+	"repro/internal/stats"
+)
+
+// Replicated aggregates independent replications of a CPU simulation.
+type Replicated struct {
+	Replications int
+	// Fractions summarizes the per-replication time share of each state.
+	Fractions [energy.NumStates]stats.Summary
+	// MeanJobs, MeanLatency and PowerCycles summarize the corresponding
+	// per-replication results.
+	MeanJobs    stats.Summary
+	MeanLatency stats.Summary
+	PowerCycles stats.Summary
+}
+
+// MeanFractions returns the across-replication mean of each state share.
+func (r *Replicated) MeanFractions() energy.Fractions {
+	var f energy.Fractions
+	for i := range f {
+		f[i] = r.Fractions[i].Mean()
+	}
+	return f
+}
+
+// FractionCI returns the 95% half-width for the given state's share.
+func (r *Replicated) FractionCI(s energy.State) float64 {
+	return r.Fractions[s].CI(0.95)
+}
+
+// EnergyJoules applies equation 25 to the mean fractions.
+func (r *Replicated) EnergyJoules(p energy.PowerModel, seconds float64) float64 {
+	return p.EnergyJoules(r.MeanFractions(), seconds)
+}
+
+// EnergyJoulesCI propagates the per-state confidence half-widths through
+// the linear energy formula, giving a conservative half-width in Joules.
+func (r *Replicated) EnergyJoulesCI(p energy.PowerModel, seconds float64) float64 {
+	hw := 0.0
+	for i := range r.Fractions {
+		hw += r.Fractions[i].CI(0.95) * p.MW[i]
+	}
+	return hw * seconds / 1000
+}
+
+// RunReplications executes reps independent runs, deriving each stream from
+// (cfg.Seed, replication index). Runs execute in parallel across CPUs;
+// folding in index order keeps the aggregate bit-identical to a sequential
+// execution.
+//
+// Caution: open-workload Sources may be stateful (an MMPP's phase, a
+// trace's position) and are therefore consumed sequentially, shared across
+// replications in index order — exactly the pre-parallel behaviour. Closed
+// workloads carry only immutable distributions and run in parallel.
+func RunReplications(cfg Config, reps int) (*Replicated, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("cpu: replications must be >= 1, got %d", reps)
+	}
+	results := make([]*Result, reps)
+	errs := make([]error, reps)
+	runOne := func(rep int) {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(rep)*0x9e3779b97f4a7c15
+		results[rep], errs[rep] = Run(c)
+	}
+	if cfg.Arrivals != nil {
+		// The open-workload Source interface permits stateful
+		// implementations (MMPP phase, trace position), which cannot be
+		// shared across goroutines.
+		for rep := 0; rep < reps; rep++ {
+			runOne(rep)
+		}
+	} else {
+		parallelFor(reps, runOne)
+	}
+	out := &Replicated{Replications: reps}
+	for rep := 0; rep < reps; rep++ {
+		if errs[rep] != nil {
+			return nil, fmt.Errorf("cpu: replication %d: %w", rep, errs[rep])
+		}
+		res := results[rep]
+		for i := range res.Fractions {
+			out.Fractions[i].Add(res.Fractions[i])
+		}
+		out.MeanJobs.Add(res.MeanJobs)
+		out.MeanLatency.Add(res.MeanLatency)
+		out.PowerCycles.Add(float64(res.PowerCycles))
+	}
+	return out, nil
+}
+
+// parallelFor runs body(0..n-1) over min(n, GOMAXPROCS) workers.
+func parallelFor(n int, body func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				body(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,123 @@
+package cpu
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/energy"
+)
+
+// Segment is one maximal interval the CPU spent in a single power state.
+type Segment struct {
+	Start, End float64
+	State      energy.State
+}
+
+// Duration returns the segment length.
+func (s Segment) Duration() float64 { return s.End - s.Start }
+
+// Trace is a chronological state timeline of one simulation run.
+type Trace []Segment
+
+// TotalIn returns the summed duration spent in the given state.
+func (tr Trace) TotalIn(s energy.State) float64 {
+	total := 0.0
+	for _, seg := range tr {
+		if seg.State == s {
+			total += seg.Duration()
+		}
+	}
+	return total
+}
+
+// Validate checks the structural timeline invariants: segments are
+// contiguous, non-negative, and adjacent segments change state.
+func (tr Trace) Validate() error {
+	for i, seg := range tr {
+		if seg.End < seg.Start {
+			return fmt.Errorf("cpu: segment %d runs backwards: [%v, %v]", i, seg.Start, seg.End)
+		}
+		if i > 0 {
+			if seg.Start != tr[i-1].End {
+				return fmt.Errorf("cpu: gap between segments %d and %d: %v != %v", i-1, i, tr[i-1].End, seg.Start)
+			}
+			if seg.State == tr[i-1].State {
+				return fmt.Errorf("cpu: segments %d and %d share state %s", i-1, i, seg.State)
+			}
+		}
+	}
+	return nil
+}
+
+// Gantt renders the trace as a one-line ASCII Gantt chart with one
+// character per cell of the given duration: S=standby, P=powerup, I=idle,
+// A=active.
+func (tr Trace) Gantt(cell float64) string {
+	if len(tr) == 0 || cell <= 0 {
+		return ""
+	}
+	glyph := map[energy.State]byte{
+		energy.Standby: 'S',
+		energy.PowerUp: 'P',
+		energy.Idle:    'I',
+		energy.Active:  'A',
+	}
+	var b strings.Builder
+	end := tr[len(tr)-1].End
+	seg := 0
+	for t := tr[0].Start; t < end; t += cell {
+		for seg < len(tr)-1 && t >= tr[seg].End {
+			seg++
+		}
+		b.WriteByte(glyph[tr[seg].State])
+	}
+	return b.String()
+}
+
+// RunWithTrace executes one simulation like Run and additionally returns
+// the full state timeline over [0, Warmup+SimTime]. Tracing is intended
+// for debugging and visualization; statistics in Result are identical to
+// an untraced Run with the same configuration.
+func RunWithTrace(cfg Config) (*Result, Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	collector := &traceCollector{}
+	res, err := runInternal(cfg, collector)
+	if err != nil {
+		return nil, nil, err
+	}
+	collector.close(cfg.Warmup + cfg.SimTime)
+	return res, collector.trace, nil
+}
+
+// traceCollector accumulates state-change events into segments.
+type traceCollector struct {
+	trace Trace
+	open  bool
+	cur   Segment
+}
+
+func (c *traceCollector) onState(t float64, s energy.State) {
+	if c.open {
+		if s == c.cur.State {
+			return
+		}
+		c.cur.End = t
+		if c.cur.Duration() > 0 {
+			c.trace = append(c.trace, c.cur)
+		}
+	}
+	c.cur = Segment{Start: t, State: s}
+	c.open = true
+}
+
+func (c *traceCollector) close(t float64) {
+	if c.open {
+		c.cur.End = t
+		if c.cur.Duration() > 0 {
+			c.trace = append(c.trace, c.cur)
+		}
+		c.open = false
+	}
+}

@@ -1,0 +1,181 @@
+package cpu
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/energy"
+	"repro/internal/workload"
+)
+
+func TestRunWithTraceMatchesRun(t *testing.T) {
+	cfg := paperConfig(0.5, 0.3)
+	cfg.SimTime = 1000
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, trace, err := RunWithTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Fractions != traced.Fractions || plain.JobsServed != traced.JobsServed {
+		t.Fatal("tracing changed simulation results")
+	}
+	if err := trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestTraceCoversFullHorizon(t *testing.T) {
+	cfg := paperConfig(0.5, 0.3)
+	cfg.SimTime = 500
+	cfg.Warmup = 100
+	_, trace, err := RunWithTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace[0].Start != 0 {
+		t.Fatalf("trace starts at %v, want 0", trace[0].Start)
+	}
+	if end := trace[len(trace)-1].End; math.Abs(end-600) > 1e-9 {
+		t.Fatalf("trace ends at %v, want 600", end)
+	}
+	total := 0.0
+	for _, s := range energy.States {
+		total += trace.TotalIn(s)
+	}
+	if math.Abs(total-600) > 1e-9 {
+		t.Fatalf("segments sum to %v, want 600", total)
+	}
+}
+
+func TestTraceTotalsMatchFractions(t *testing.T) {
+	// With zero warmup, the measured fractions must equal the traced
+	// per-state totals divided by the horizon.
+	cfg := paperConfig(0.5, 0.3)
+	cfg.SimTime = 800
+	cfg.Warmup = 0
+	res, trace, err := RunWithTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range energy.States {
+		want := trace.TotalIn(s) / 800
+		if math.Abs(res.Fractions[s]-want) > 1e-9 {
+			t.Fatalf("state %s: fraction %v vs trace %v", s, res.Fractions[s], want)
+		}
+	}
+}
+
+func TestTraceStartsInStandby(t *testing.T) {
+	cfg := paperConfig(0.5, 0.3)
+	cfg.SimTime = 100
+	_, trace, err := RunWithTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace[0].State != energy.Standby {
+		t.Fatalf("first segment state = %s, want standby", trace[0].State)
+	}
+}
+
+func TestTraceStateOrderIsLegal(t *testing.T) {
+	// Legal transitions: standby->powerup, powerup->active (or idle),
+	// active->idle or active->standby (PDT=0), idle->active,
+	// idle->standby.
+	cfg := paperConfig(0.5, 0.3)
+	cfg.SimTime = 2000
+	_, trace, err := RunWithTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legal := map[energy.State][]energy.State{
+		energy.Standby: {energy.PowerUp},
+		energy.PowerUp: {energy.Active, energy.Idle},
+		energy.Active:  {energy.Idle, energy.Standby},
+		energy.Idle:    {energy.Active, energy.Standby},
+	}
+	for i := 1; i < len(trace); i++ {
+		from, to := trace[i-1].State, trace[i].State
+		ok := false
+		for _, allowed := range legal[from] {
+			if to == allowed {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("illegal transition %s -> %s at segment %d (t=%v)", from, to, i, trace[i].Start)
+		}
+	}
+}
+
+func TestTraceDeterministicScenario(t *testing.T) {
+	// One job at t=1, service exactly 0.5 s, PDT 0.25, PUD 0.125:
+	// standby [0,1), powerup [1,1.125), active [1.125,1.625),
+	// idle [1.625,1.875), standby [1.875, 3].
+	cfg := Config{
+		Arrivals: workload.NewTrace([]float64{1}),
+		Service:  dist.NewDeterministic(0.5),
+		PDT:      0.25,
+		PUD:      0.125,
+		SimTime:  3,
+		Seed:     1,
+	}
+	_, trace, err := RunWithTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Segment{
+		{0, 1, energy.Standby},
+		{1, 1.125, energy.PowerUp},
+		{1.125, 1.625, energy.Active},
+		{1.625, 1.875, energy.Idle},
+		{1.875, 3, energy.Standby},
+	}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %+v, want %d segments", trace, len(want))
+	}
+	for i, seg := range want {
+		got := trace[i]
+		if got.State != seg.State || math.Abs(got.Start-seg.Start) > 1e-9 || math.Abs(got.End-seg.End) > 1e-9 {
+			t.Fatalf("segment %d = %+v, want %+v", i, got, seg)
+		}
+	}
+}
+
+func TestGantt(t *testing.T) {
+	trace := Trace{
+		{0, 2, energy.Standby},
+		{2, 3, energy.PowerUp},
+		{3, 5, energy.Active},
+		{5, 6, energy.Idle},
+	}
+	g := trace.Gantt(1)
+	if g != "SSPAAI" {
+		t.Fatalf("Gantt = %q, want SSPAAI", g)
+	}
+	if trace.Gantt(0) != "" {
+		t.Fatal("zero cell should render empty")
+	}
+}
+
+func TestTraceValidateCatchesCorruption(t *testing.T) {
+	bad := Trace{{0, 1, energy.Standby}, {2, 3, energy.Idle}} // gap
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "gap") {
+		t.Fatalf("gap not detected: %v", err)
+	}
+	bad2 := Trace{{0, 1, energy.Standby}, {1, 2, energy.Standby}} // no change
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("repeated state not detected")
+	}
+	bad3 := Trace{{1, 0, energy.Standby}} // backwards
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("backwards segment not detected")
+	}
+}

@@ -1,0 +1,300 @@
+package des
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var order []float64
+	for _, tm := range []float64{5, 1, 3, 2, 4} {
+		tm := tm
+		s.Schedule(tm, 0, func() { order = append(order, tm) })
+	}
+	s.Run()
+	if !sort.Float64sAreSorted(order) {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if len(order) != 5 {
+		t.Fatalf("dispatched %d events, want 5", len(order))
+	}
+}
+
+func TestTieBreakByPriorityThenSeq(t *testing.T) {
+	s := New()
+	var order []string
+	s.Schedule(1, 2, func() { order = append(order, "low-late") })
+	s.Schedule(1, 1, func() { order = append(order, "high-a") })
+	s.Schedule(1, 1, func() { order = append(order, "high-b") })
+	s.Run()
+	want := []string{"high-a", "high-b", "low-late"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	s := New()
+	s.Schedule(2.5, 0, func() {
+		if s.Now() != 2.5 {
+			t.Errorf("clock = %v inside event, want 2.5", s.Now())
+		}
+	})
+	s.Run()
+	if s.Now() != 2.5 {
+		t.Fatalf("final clock = %v, want 2.5", s.Now())
+	}
+}
+
+func TestScheduleAfter(t *testing.T) {
+	s := New()
+	fired := false
+	s.Schedule(1, 0, func() {
+		s.ScheduleAfter(2, 0, func() {
+			fired = true
+			if s.Now() != 3 {
+				t.Errorf("relative event at %v, want 3", s.Now())
+			}
+		})
+	})
+	s.Run()
+	if !fired {
+		t.Fatal("relative event never fired")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	h := s.Schedule(1, 0, func() { fired = true })
+	if !s.Cancel(h) {
+		t.Fatal("cancel of pending event returned false")
+	}
+	if s.Cancel(h) {
+		t.Fatal("double cancel returned true")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	s := New()
+	h := s.Schedule(1, 0, func() {})
+	s.Run()
+	if s.Cancel(h) {
+		t.Fatal("cancel after fire returned true")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	s := New()
+	var order []int
+	var handles []Handle
+	for i := 0; i < 10; i++ {
+		i := i
+		handles = append(handles, s.Schedule(float64(i), 0, func() { order = append(order, i) }))
+	}
+	s.Cancel(handles[5])
+	s.Cancel(handles[0])
+	s.Run()
+	if len(order) != 8 {
+		t.Fatalf("fired %d events, want 8", len(order))
+	}
+	for _, v := range order {
+		if v == 5 || v == 0 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(5, 0, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	s.Schedule(1, 0, func() {})
+}
+
+func TestScheduleNaNPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NaN time did not panic")
+		}
+	}()
+	s.Schedule(math.NaN(), 0, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	s.ScheduleAfter(-1, 0, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(float64(i), 0, func() { count++ })
+	}
+	n := s.RunUntil(5.5)
+	if n != 5 || count != 5 {
+		t.Fatalf("RunUntil dispatched %d (count %d), want 5", n, count)
+	}
+	if s.Now() != 5.5 {
+		t.Fatalf("clock = %v, want horizon 5.5", s.Now())
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", s.Pending())
+	}
+	// Continue to the end.
+	s.RunUntil(100)
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if s.Now() != 100 {
+		t.Fatalf("clock = %v, want 100", s.Now())
+	}
+}
+
+func TestRunUntilExactBoundaryIncluded(t *testing.T) {
+	s := New()
+	fired := false
+	s.Schedule(5, 0, func() { fired = true })
+	s.RunUntil(5)
+	if !fired {
+		t.Fatal("event at horizon boundary not dispatched")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.Schedule(float64(i), 0, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 after Stop", count)
+	}
+	if s.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", s.Pending())
+	}
+}
+
+func TestPeekTime(t *testing.T) {
+	s := New()
+	if _, ok := s.PeekTime(); ok {
+		t.Fatal("PeekTime on empty queue returned ok")
+	}
+	s.Schedule(3, 0, func() {})
+	s.Schedule(1, 0, func() {})
+	if tm, ok := s.PeekTime(); !ok || tm != 1 {
+		t.Fatalf("PeekTime = %v/%v, want 1/true", tm, ok)
+	}
+}
+
+func TestEventSchedulingDuringDispatch(t *testing.T) {
+	// A classic M/M/1-style cascade: each event schedules the next.
+	s := New()
+	count := 0
+	var next func()
+	next = func() {
+		count++
+		if count < 100 {
+			s.ScheduleAfter(1, 0, next)
+		}
+	}
+	s.Schedule(0, 0, next)
+	s.Run()
+	if count != 100 {
+		t.Fatalf("cascade count = %d, want 100", count)
+	}
+	if s.Now() != 99 {
+		t.Fatalf("clock = %v, want 99", s.Now())
+	}
+}
+
+// Property-style stress test: random schedule/cancel interleavings always
+// dispatch in non-decreasing time order and never dispatch cancelled events.
+func TestRandomizedStress(t *testing.T) {
+	r := xrand.New(99)
+	for trial := 0; trial < 20; trial++ {
+		s := New()
+		cancelled := map[int]bool{}
+		fired := map[int]bool{}
+		lastTime := math.Inf(-1)
+		var handles []Handle
+		id := 0
+		for i := 0; i < 500; i++ {
+			myID := id
+			id++
+			h := s.Schedule(r.Float64()*100, r.Intn(3), func() {
+				if s.Now() < lastTime {
+					t.Errorf("time went backwards: %v < %v", s.Now(), lastTime)
+				}
+				lastTime = s.Now()
+				fired[myID] = true
+			})
+			handles = append(handles, h)
+			if r.Float64() < 0.3 && len(handles) > 0 {
+				victim := r.Intn(len(handles))
+				if s.Cancel(handles[victim]) {
+					cancelled[victim] = true
+				}
+			}
+		}
+		s.Run()
+		for idx := range cancelled {
+			if fired[idx] {
+				t.Fatalf("trial %d: cancelled event %d fired", trial, idx)
+			}
+		}
+		if len(fired)+len(cancelled) != 500 {
+			t.Fatalf("trial %d: fired %d + cancelled %d != 500", trial, len(fired), len(cancelled))
+		}
+	}
+}
+
+func BenchmarkScheduleDispatch(b *testing.B) {
+	s := New()
+	r := xrand.New(1)
+	// Keep a rolling queue of 1000 pending events.
+	for i := 0; i < 1000; i++ {
+		s.ScheduleAfter(r.Float64(), 0, func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScheduleAfter(r.Float64(), 0, func() {})
+		s.Step()
+	}
+}
+
+func BenchmarkScheduleCancel(b *testing.B) {
+	s := New()
+	for i := 0; i < b.N; i++ {
+		h := s.ScheduleAfter(1, 0, func() {})
+		s.Cancel(h)
+	}
+}

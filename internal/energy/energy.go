@@ -1,0 +1,177 @@
+// Package energy models the power and energy side of the paper: per-state
+// power draw of a sensor-node processor (Table 3), the energy integral of
+// equation 25, and battery lifetime estimation for the sensor-node
+// extension.
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// State enumerates the four processor power states of the paper's CPU
+// model. The order matches the presentation in Table 3.
+type State int
+
+const (
+	// Standby is the deep low-power mode entered after the Power Down
+	// Threshold expires.
+	Standby State = iota
+	// PowerUp is the fixed-duration wake-up transition (Power Up Delay).
+	PowerUp
+	// Idle is powered on with an empty job queue.
+	Idle
+	// Active is executing a job.
+	Active
+	// NumStates is the number of processor states.
+	NumStates
+)
+
+// States lists all processor states in canonical order.
+var States = [NumStates]State{Standby, PowerUp, Idle, Active}
+
+func (s State) String() string {
+	switch s {
+	case Standby:
+		return "standby"
+	case PowerUp:
+		return "powerup"
+	case Idle:
+		return "idle"
+	case Active:
+		return "active"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Fractions holds the long-run fraction of time spent in each state. A
+// valid value is non-negative and sums to 1.
+type Fractions [NumStates]float64
+
+// Sum returns the total of all fractions.
+func (f Fractions) Sum() float64 {
+	s := 0.0
+	for _, v := range f {
+		s += v
+	}
+	return s
+}
+
+// Validate checks that fractions are non-negative and sum to 1 within tol.
+func (f Fractions) Validate(tol float64) error {
+	for i, v := range f {
+		if v < -tol || math.IsNaN(v) {
+			return fmt.Errorf("energy: fraction of %s is %v", State(i), v)
+		}
+	}
+	if d := math.Abs(f.Sum() - 1); d > tol {
+		return fmt.Errorf("energy: fractions sum to %v (off by %v)", f.Sum(), d)
+	}
+	return nil
+}
+
+// PowerModel is a per-state power table in milliwatts.
+type PowerModel struct {
+	// Name identifies the processor.
+	Name string
+	// MW holds the power draw per state in milliwatts.
+	MW [NumStates]float64
+}
+
+// Milliwatts returns the power draw of a state.
+func (p PowerModel) Milliwatts(s State) float64 { return p.MW[s] }
+
+// AveragePowerMW returns the weighted average power in milliwatts for the
+// given state fractions (the parenthesised term of equation 25).
+func (p PowerModel) AveragePowerMW(f Fractions) float64 {
+	s := 0.0
+	for i, frac := range f {
+		s += frac * p.MW[i]
+	}
+	return s
+}
+
+// EnergyJoules evaluates equation 25: the total energy over a period of
+// `seconds` given steady-state fractions. Powers are milliwatts, so the
+// product is divided by 1000 to yield Joules.
+func (p PowerModel) EnergyJoules(f Fractions, seconds float64) float64 {
+	return p.AveragePowerMW(f) * seconds / 1000
+}
+
+// PXA271 is the Intel PXA271 power table used by the paper (Table 3,
+// sourced from Jung et al., EWSN 2007).
+var PXA271 = PowerModel{
+	Name: "PXA271",
+	MW: [NumStates]float64{
+		Standby: 17,
+		PowerUp: 192.442,
+		Idle:    88,
+		Active:  193,
+	},
+}
+
+// MSP430F1611 is an illustrative power table with the magnitudes of a
+// TI MSP430-class microcontroller (Telos-style node) for the example
+// programs; the values are representative datasheet magnitudes at 3 V,
+// not measurements from the paper.
+var MSP430F1611 = PowerModel{
+	Name: "MSP430F1611",
+	MW: [NumStates]float64{
+		Standby: 0.0153, // LPM3
+		PowerUp: 1.2,
+		Idle:    0.162, // LPM0
+		Active:  5.4,   // 8 MHz active
+	},
+}
+
+// ATmega128L is an illustrative power table with Mica2-class magnitudes,
+// again representative rather than measured.
+var ATmega128L = PowerModel{
+	Name: "ATmega128L",
+	MW: [NumStates]float64{
+		Standby: 0.075,
+		PowerUp: 20,
+		Idle:    9.6,
+		Active:  33,
+	},
+}
+
+// Models lists the built-in power models by name.
+var Models = map[string]PowerModel{
+	PXA271.Name:      PXA271,
+	MSP430F1611.Name: MSP430F1611,
+	ATmega128L.Name:  ATmega128L,
+}
+
+// ---------------------------------------------------------------------------
+// Battery and lifetime
+
+// Battery models an ideal energy reservoir, sufficient for the first-order
+// lifetime estimates of the sensor-node example (the paper's motivation:
+// "minimizing energy ... would go a long ways toward extending the lifetime
+// of the network").
+type Battery struct {
+	// CapacitymAh is the rated capacity in milliamp-hours.
+	CapacitymAh float64
+	// Volts is the nominal supply voltage.
+	Volts float64
+}
+
+// EnergyJoules returns the total stored energy.
+func (b Battery) EnergyJoules() float64 {
+	return b.CapacitymAh / 1000 * 3600 * b.Volts
+}
+
+// LifetimeSeconds returns how long the battery sustains a constant average
+// draw given in milliwatts. It returns +Inf for a non-positive draw.
+func (b Battery) LifetimeSeconds(avgMilliwatts float64) float64 {
+	if avgMilliwatts <= 0 {
+		return math.Inf(1)
+	}
+	return b.EnergyJoules() / (avgMilliwatts / 1000)
+}
+
+// AA2850 is a pair of AA cells (2850 mAh at 3.0 V), the supply of a typical
+// Mica-class sensor node.
+var AA2850 = Battery{CapacitymAh: 2850, Volts: 3.0}

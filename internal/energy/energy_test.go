@@ -1,0 +1,122 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStateString(t *testing.T) {
+	want := map[State]string{Standby: "standby", PowerUp: "powerup", Idle: "idle", Active: "active"}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("State(%d).String() = %q, want %q", s, s.String(), w)
+		}
+	}
+}
+
+func TestFractionsValidate(t *testing.T) {
+	good := Fractions{0.25, 0.25, 0.25, 0.25}
+	if err := good.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	bad := Fractions{0.5, 0.5, 0.5, 0}
+	if err := bad.Validate(1e-9); err == nil {
+		t.Fatal("sum 1.5 accepted")
+	}
+	neg := Fractions{-0.1, 0.4, 0.4, 0.3}
+	if err := neg.Validate(1e-9); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+}
+
+func TestPXA271Table3Values(t *testing.T) {
+	// The exact numbers from the paper's Table 3.
+	if PXA271.Milliwatts(Standby) != 17 {
+		t.Error("standby power wrong")
+	}
+	if PXA271.Milliwatts(Idle) != 88 {
+		t.Error("idle power wrong")
+	}
+	if PXA271.Milliwatts(PowerUp) != 192.442 {
+		t.Error("powerup power wrong")
+	}
+	if PXA271.Milliwatts(Active) != 193 {
+		t.Error("active power wrong")
+	}
+}
+
+func TestEnergyJoulesEquation25(t *testing.T) {
+	// All time in standby for 1000 s at 17 mW = 17 J.
+	f := Fractions{1, 0, 0, 0}
+	if got := PXA271.EnergyJoules(f, 1000); math.Abs(got-17) > 1e-12 {
+		t.Fatalf("standby-only energy = %v, want 17", got)
+	}
+	// An even split weighs each state's power by 1/4.
+	even := Fractions{0.25, 0.25, 0.25, 0.25}
+	want := (17 + 192.442 + 88 + 193) / 4.0
+	if got := PXA271.AveragePowerMW(even); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("average power = %v, want %v", got, want)
+	}
+}
+
+func TestEnergyMonotoneInIdleShare(t *testing.T) {
+	// Shifting time from standby to idle must increase energy (88 > 17),
+	// the mechanism behind the paper's Figure 5.
+	f := func(x uint8) bool {
+		s := float64(x) / 255
+		f1 := Fractions{Standby: 1 - s, Idle: s}
+		f2 := Fractions{Standby: 1 - s/2, Idle: s / 2}
+		return PXA271.EnergyJoules(f1, 1000) >= PXA271.EnergyJoules(f2, 1000)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelsRegistry(t *testing.T) {
+	for _, name := range []string{"PXA271", "MSP430F1611", "ATmega128L"} {
+		m, ok := Models[name]
+		if !ok {
+			t.Fatalf("model %q missing", name)
+		}
+		if m.Name != name {
+			t.Fatalf("model %q has name %q", name, m.Name)
+		}
+		// Sanity: active must dominate standby on every real processor.
+		if m.Milliwatts(Active) <= m.Milliwatts(Standby) {
+			t.Fatalf("%s: active %v <= standby %v", name, m.Milliwatts(Active), m.Milliwatts(Standby))
+		}
+	}
+}
+
+func TestBatteryEnergy(t *testing.T) {
+	b := Battery{CapacitymAh: 1000, Volts: 3}
+	// 1 Ah * 3600 s * 3 V = 10800 J.
+	if got := b.EnergyJoules(); math.Abs(got-10800) > 1e-9 {
+		t.Fatalf("battery energy = %v, want 10800", got)
+	}
+}
+
+func TestBatteryLifetime(t *testing.T) {
+	b := Battery{CapacitymAh: 1000, Volts: 3}
+	// 10800 J at 10 mW = 0.01 W lasts 1.08e6 s.
+	if got := b.LifetimeSeconds(10); math.Abs(got-1.08e6) > 1 {
+		t.Fatalf("lifetime = %v, want 1.08e6", got)
+	}
+	if !math.IsInf(b.LifetimeSeconds(0), 1) {
+		t.Fatal("zero draw should give infinite lifetime")
+	}
+}
+
+func TestLifetimeInverseInPower(t *testing.T) {
+	f := func(p uint16) bool {
+		mw := 1 + float64(p%1000)
+		l1 := AA2850.LifetimeSeconds(mw)
+		l2 := AA2850.LifetimeSeconds(2 * mw)
+		return math.Abs(l1/l2-2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,274 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5) plus the extension experiments catalogued in
+// DESIGN.md §5. Each runner returns a report.Table or report.Figure that
+// cmd/wsnenergy renders as text, CSV or Markdown.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/report"
+)
+
+// Options parameterizes the paper sweeps.
+type Options struct {
+	// Base is the shared model configuration (default core.PaperConfig).
+	Base core.Config
+	// PDTs is the Power Down Threshold sweep of Figures 4/5
+	// (default 0.0, 0.1, ..., 1.0 as in the figures' x axes).
+	PDTs []float64
+	// PUDs is the Power Up Delay set of Tables 4/5
+	// (default 0.001, 0.3, 10.0).
+	PUDs []float64
+	// Estimators are the compared methods (default core.Methods()).
+	Estimators []core.Estimator
+}
+
+// Default returns the paper's experiment options.
+func Default() Options {
+	return Options{
+		Base:       core.PaperConfig(),
+		PDTs:       []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+		PUDs:       []float64{0.001, 0.3, 10.0},
+		Estimators: core.Methods(),
+	}
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	d := Default()
+	if o.Base.Lambda == 0 {
+		o.Base = d.Base
+	}
+	if len(o.PDTs) == 0 {
+		o.PDTs = d.PDTs
+	}
+	if len(o.PUDs) == 0 {
+		o.PUDs = d.PUDs
+	}
+	if len(o.Estimators) == 0 {
+		o.Estimators = d.Estimators
+	}
+	return o
+}
+
+// sweepPoint holds every estimator's result at one PDT value.
+type sweepPoint struct {
+	PDT       float64
+	Estimates []*core.Estimate // parallel to the estimator list
+}
+
+// runSweep evaluates all estimators across the PDT sweep at a fixed PUD.
+func runSweep(opt Options, pud float64) ([]sweepPoint, error) {
+	points := make([]sweepPoint, 0, len(opt.PDTs))
+	for _, pdt := range opt.PDTs {
+		cfg := opt.Base
+		cfg.PDT = pdt
+		cfg.PUD = pud
+		ests, err := core.CompareAll(cfg, opt.Estimators)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sweep PDT=%v PUD=%v: %w", pdt, pud, err)
+		}
+		points = append(points, sweepPoint{PDT: pdt, Estimates: ests})
+	}
+	return points, nil
+}
+
+// sumAbsFractionDiff returns the summed absolute difference of the four
+// state fractions between two estimates, in percentage points.
+func sumAbsFractionDiff(a, b *core.Estimate) float64 {
+	d := 0.0
+	for _, s := range energy.States {
+		d += abs(a.Fractions[s]-b.Fractions[s]) * 100
+	}
+	return d
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// pairNames lists the method pairs of Tables 4 and 5 in paper order.
+var pairNames = [][2]int{{0, 1}, {0, 2}, {1, 2}} // Sim-Markov, Sim-PN, Markov-PN
+
+// pairLabel renders the column header for a method pair.
+func pairLabel(opt Options, pair [2]int) string {
+	short := func(name string) string {
+		switch name {
+		case "Simulation":
+			return "Sim"
+		case "PetriNet":
+			return "PN"
+		}
+		return name
+	}
+	return fmt.Sprintf("Avg %s-%s", short(opt.Estimators[pair[0]].Name()), short(opt.Estimators[pair[1]].Name()))
+}
+
+// requireThree validates that the option set carries the paper's three
+// estimators for the pairwise tables.
+func requireThree(opt Options) error {
+	if len(opt.Estimators) != 3 {
+		return fmt.Errorf("experiments: Tables 4/5 need exactly 3 estimators, got %d", len(opt.Estimators))
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Structural tables (Tables 1-3 are inputs, reproduced for completeness)
+
+// Table1 reproduces the Petri-net transition parameter table.
+func Table1() *report.Table {
+	t := report.NewTable("Table 1: CPU Jobs Petri Net Transition Parameters",
+		"Transition", "Firing Distribution", "Delay", "Priority")
+	t.AddRow(core.TransAR, "Exponential", "1/lambda (Arrivals)", "NA")
+	t.AddRow(core.TransT1, "Instantaneous", "-", "4")
+	t.AddRow(core.TransT2, "Instantaneous", "-", "1")
+	t.AddRow(core.TransSR, "Exponential", "1/mu (ServiceRate)", "NA")
+	t.AddRow(core.TransPDT, "Deterministic", "PDD", "NA")
+	t.AddRow(core.TransT5, "Instantaneous", "-", "2")
+	t.AddRow(core.TransT6, "Instantaneous", "-", "3")
+	t.AddRow(core.TransPUT, "Deterministic", "PUD", "NA")
+	return t
+}
+
+// Table2 reproduces the simulation parameter table for a configuration.
+func Table2(cfg core.Config) *report.Table {
+	t := report.NewTable("Table 2: Simulation Parameters", "Parameter", "Value")
+	t.AddRow("Total Simulated Time", fmt.Sprintf("%g sec", cfg.SimTime))
+	t.AddRow("Arrival Rate", fmt.Sprintf("%g per sec", cfg.Lambda))
+	t.AddRow("Service Rate", fmt.Sprintf("%g per sec (mean service %g sec)", cfg.Mu, 1/cfg.Mu))
+	return t
+}
+
+// Table3 reproduces the power-rate table for a power model.
+func Table3(p energy.PowerModel) *report.Table {
+	t := report.NewTable(fmt.Sprintf("Table 3: Power Rate Parameters for the %s CPU (mW)", p.Name),
+		"State", "Power Rate (mW)")
+	t.AddRow("Standby", report.F(p.MW[energy.Standby], 3))
+	t.AddRow("Idle", report.F(p.MW[energy.Idle], 3))
+	t.AddRow("Powering Up", report.F(p.MW[energy.PowerUp], 3))
+	t.AddRow("Active", report.F(p.MW[energy.Active], 3))
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: steady-state percentages vs Power Down Threshold
+
+// Figure4 regenerates the steady-state-percentage sweep at the first
+// configured PUD (the paper uses 0.001 s).
+func Figure4(opt Options) (*report.Figure, error) {
+	opt = opt.withDefaults()
+	pud := opt.PUDs[0]
+	points, err := runSweep(opt, pud)
+	if err != nil {
+		return nil, err
+	}
+	fig := &report.Figure{
+		Title:  fmt.Sprintf("Figure 4: Steady-state percentages vs Power Down Threshold (PUD=%g s)", pud),
+		XLabel: "Power Down Threshold (sec)",
+		YLabel: "Percentage of time (%)",
+	}
+	for ei, est := range opt.Estimators {
+		for _, s := range energy.States {
+			x := make([]float64, len(points))
+			y := make([]float64, len(points))
+			for i, pt := range points {
+				x[i] = pt.PDT
+				y[i] = pt.Estimates[ei].Fractions[s] * 100
+			}
+			fig.AddSeries(fmt.Sprintf("%s/%s", est.Name(), s), x, y)
+		}
+	}
+	return fig, nil
+}
+
+// Figure5 regenerates the energy sweep at the first configured PUD.
+func Figure5(opt Options) (*report.Figure, error) {
+	opt = opt.withDefaults()
+	pud := opt.PUDs[0]
+	points, err := runSweep(opt, pud)
+	if err != nil {
+		return nil, err
+	}
+	fig := &report.Figure{
+		Title:  fmt.Sprintf("Figure 5: Energy (J) vs Power Down Threshold (PUD=%g s, %g s horizon)", pud, opt.Base.SimTime),
+		XLabel: "Power Down Threshold (sec)",
+		YLabel: "Energy (Joules)",
+	}
+	for ei, est := range opt.Estimators {
+		x := make([]float64, len(points))
+		y := make([]float64, len(points))
+		for i, pt := range points {
+			x[i] = pt.PDT
+			y[i] = pt.Estimates[ei].EnergyJ
+		}
+		fig.AddSeries(est.Name(), x, y)
+	}
+	return fig, nil
+}
+
+// ---------------------------------------------------------------------------
+// Tables 4 and 5: pairwise deviations across the PUD set
+
+// Table4 regenerates the steady-state-percentage deviation table: for each
+// PUD, the mean over the PDT sweep of the summed absolute per-state
+// differences (percentage points) between each pair of methods.
+func Table4(opt Options) (*report.Table, error) {
+	opt = opt.withDefaults()
+	if err := requireThree(opt); err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Table 4: Δ Steady State Percentages (%) for Varying Power Up Delay",
+		"Power Up Delay (sec)",
+		pairLabel(opt, pairNames[0]), pairLabel(opt, pairNames[1]), pairLabel(opt, pairNames[2]))
+	for _, pud := range opt.PUDs {
+		points, err := runSweep(opt, pud)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%g", pud)}
+		for _, pair := range pairNames {
+			sum := 0.0
+			for _, pt := range points {
+				sum += sumAbsFractionDiff(pt.Estimates[pair[0]], pt.Estimates[pair[1]])
+			}
+			row = append(row, report.F(sum/float64(len(points)), 3))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Table5 regenerates the energy deviation table: mean over the PDT sweep of
+// the absolute energy difference (Joules) between each pair of methods.
+func Table5(opt Options) (*report.Table, error) {
+	opt = opt.withDefaults()
+	if err := requireThree(opt); err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Table 5: Δ Energy Consumption (Joules) for Varying Power Up Delay",
+		"Power Up Delay (sec)",
+		pairLabel(opt, pairNames[0]), pairLabel(opt, pairNames[1]), pairLabel(opt, pairNames[2]))
+	for _, pud := range opt.PUDs {
+		points, err := runSweep(opt, pud)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%g", pud)}
+		for _, pair := range pairNames {
+			sum := 0.0
+			for _, pt := range points {
+				sum += abs(pt.Estimates[pair[0]].EnergyJ - pt.Estimates[pair[1]].EnergyJ)
+			}
+			row = append(row, report.F(sum/float64(len(points)), 3))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

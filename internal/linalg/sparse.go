@@ -1,0 +1,221 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Coord is one non-zero entry of a sparse matrix in coordinate form.
+type Coord struct {
+	Row, Col int
+	Val      float64
+}
+
+// CSR is a compressed sparse row matrix, the storage used for large CTMC
+// generators built from Petri-net reachability graphs.
+type CSR struct {
+	RowsN, ColsN int
+	RowPtr       []int
+	ColIdx       []int
+	Val          []float64
+}
+
+// NewCSR builds a CSR matrix from coordinate entries. Duplicate (row, col)
+// entries are summed.
+func NewCSR(rows, cols int, entries []Coord) *CSR {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid CSR shape %dx%d", rows, cols))
+	}
+	es := append([]Coord(nil), entries...)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Row != es[j].Row {
+			return es[i].Row < es[j].Row
+		}
+		return es[i].Col < es[j].Col
+	})
+	// Merge duplicates.
+	merged := es[:0]
+	for _, e := range es {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			panic(fmt.Sprintf("linalg: CSR entry (%d,%d) out of %dx%d", e.Row, e.Col, rows, cols))
+		}
+		if n := len(merged); n > 0 && merged[n-1].Row == e.Row && merged[n-1].Col == e.Col {
+			merged[n-1].Val += e.Val
+		} else {
+			merged = append(merged, e)
+		}
+	}
+	m := &CSR{
+		RowsN:  rows,
+		ColsN:  cols,
+		RowPtr: make([]int, rows+1),
+		ColIdx: make([]int, len(merged)),
+		Val:    make([]float64, len(merged)),
+	}
+	for i, e := range merged {
+		m.RowPtr[e.Row+1]++
+		m.ColIdx[i] = e.Col
+		m.Val[i] = e.Val
+	}
+	for i := 0; i < rows; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// MulVec returns m * x.
+func (m *CSR) MulVec(x []float64) []float64 {
+	if len(x) != m.ColsN {
+		panic(fmt.Sprintf("linalg: CSR MulVec dimension mismatch: %d vs %d", m.ColsN, len(x)))
+	}
+	y := make([]float64, m.RowsN)
+	for i := 0; i < m.RowsN; i++ {
+		s := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k] * x[m.ColIdx[k]]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// VecMul returns x^T * m.
+func (m *CSR) VecMul(x []float64) []float64 {
+	if len(x) != m.RowsN {
+		panic(fmt.Sprintf("linalg: CSR VecMul dimension mismatch: %d vs %d", m.RowsN, len(x)))
+	}
+	y := make([]float64, m.ColsN)
+	for i := 0; i < m.RowsN; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			y[m.ColIdx[k]] += xi * m.Val[k]
+		}
+	}
+	return y
+}
+
+// ToDense expands the matrix; intended for tests and small systems.
+func (m *CSR) ToDense() *Dense {
+	d := NewDense(m.RowsN, m.ColsN)
+	for i := 0; i < m.RowsN; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			d.Add(i, m.ColIdx[k], m.Val[k])
+		}
+	}
+	return d
+}
+
+// GaussSeidelOptions configures the iterative stationary solver.
+type GaussSeidelOptions struct {
+	MaxIter int     // maximum sweeps (default 10000)
+	Tol     float64 // L1 change tolerance (default 1e-12)
+}
+
+// StationaryCTMC solves pi Q = 0, sum(pi) = 1 for an irreducible CTMC
+// generator Q given in CSR form (rows = source states, Q[i][j] = rate i->j,
+// diagonal = -sum of row). It uses the standard transformation to a DTMC via
+// uniformization followed by power iteration, which is robust for the
+// moderately sized generators produced by reachability analysis.
+func StationaryCTMC(q *CSR, opt GaussSeidelOptions) ([]float64, error) {
+	if q.RowsN != q.ColsN {
+		return nil, fmt.Errorf("linalg: generator must be square, got %dx%d", q.RowsN, q.ColsN)
+	}
+	n := q.RowsN
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 20000
+	}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-13
+	}
+	// Uniformization rate: a bit above the largest exit rate.
+	maxExit := 0.0
+	for i := 0; i < n; i++ {
+		for k := q.RowPtr[i]; k < q.RowPtr[i+1]; k++ {
+			if q.ColIdx[k] == i {
+				if r := -q.Val[k]; r > maxExit {
+					maxExit = r
+				}
+			}
+		}
+	}
+	if maxExit == 0 {
+		// No transitions at all: any distribution is stationary; return uniform.
+		pi := make([]float64, n)
+		for i := range pi {
+			pi[i] = 1 / float64(n)
+		}
+		return pi, nil
+	}
+	lambda := maxExit * 1.02
+	// P = I + Q/lambda. Power-iterate pi <- pi P.
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		next := q.VecMul(pi)
+		for i := range next {
+			next[i] = pi[i] + next[i]/lambda
+		}
+		// Normalize to fight drift.
+		sum := 0.0
+		for _, v := range next {
+			sum += v
+		}
+		if sum <= 0 || math.IsNaN(sum) {
+			return nil, fmt.Errorf("linalg: power iteration diverged at iteration %d", iter)
+		}
+		diff := 0.0
+		for i := range next {
+			next[i] /= sum
+			diff += math.Abs(next[i] - pi[i])
+		}
+		pi = next
+		if diff < opt.Tol {
+			return pi, nil
+		}
+	}
+	return pi, nil
+}
+
+// StationaryCTMCDirect solves pi Q = 0 with a dense LU factorization by
+// replacing one balance equation with the normalization constraint. Suitable
+// for generators up to a few thousand states.
+func StationaryCTMCDirect(q *CSR) ([]float64, error) {
+	if q.RowsN != q.ColsN {
+		return nil, fmt.Errorf("linalg: generator must be square, got %dx%d", q.RowsN, q.ColsN)
+	}
+	n := q.RowsN
+	// Build A = Q^T with the last row replaced by ones; b = e_n.
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for k := q.RowPtr[i]; k < q.RowPtr[i+1]; k++ {
+			a.Add(q.ColIdx[k], i, q.Val[k]) // transpose
+		}
+	}
+	for j := 0; j < n; j++ {
+		a.Set(n-1, j, 1)
+	}
+	b := make([]float64, n)
+	b[n-1] = 1
+	pi, err := Solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("linalg: direct stationary solve: %w", err)
+	}
+	// Clamp tiny negatives from roundoff and renormalize.
+	for i, v := range pi {
+		if v < 0 && v > -1e-9 {
+			pi[i] = 0
+		} else if v < 0 {
+			return nil, fmt.Errorf("linalg: stationary solution has negative probability %v at state %d", v, i)
+		}
+	}
+	return Normalize1(pi), nil
+}

@@ -1,0 +1,221 @@
+package markov
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCTMCTwoState(t *testing.T) {
+	c := NewCTMC()
+	c.AddRate("up", "down", 2)
+	c.AddRate("down", "up", 3)
+	pi, err := c.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, _ := c.Lookup("up")
+	down, _ := c.Lookup("down")
+	if math.Abs(pi[up]-0.6) > 1e-10 || math.Abs(pi[down]-0.4) > 1e-10 {
+		t.Fatalf("pi = %v, want [0.6 0.4] for up/down", pi)
+	}
+}
+
+func TestCTMCStateDedup(t *testing.T) {
+	c := NewCTMC()
+	a := c.State("a")
+	if c.State("a") != a {
+		t.Fatal("State not idempotent")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if c.Name(a) != "a" {
+		t.Fatal("Name wrong")
+	}
+}
+
+func TestCTMCRatesAccumulate(t *testing.T) {
+	c := NewCTMC()
+	c.AddRate("a", "b", 1)
+	c.AddRate("a", "b", 2)
+	c.AddRate("b", "a", 3)
+	pi, err := c.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.Lookup("a")
+	if math.Abs(pi[a]-0.5) > 1e-10 {
+		t.Fatalf("pi_a = %v, want 0.5 (rates 3 vs 3)", pi[a])
+	}
+}
+
+func TestCTMCSelfLoopIgnored(t *testing.T) {
+	c := NewCTMC()
+	c.AddRate("a", "a", 100)
+	c.AddRate("a", "b", 1)
+	c.AddRate("b", "a", 1)
+	pi, err := c.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-0.5) > 1e-10 {
+		t.Fatalf("self-loop affected distribution: %v", pi)
+	}
+}
+
+func TestCTMCInvalidRatePanics(t *testing.T) {
+	c := NewCTMC()
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rate %v accepted", bad)
+				}
+			}()
+			c.AddRate("a", "b", bad)
+		}()
+	}
+}
+
+func TestTransientConvergesToSteadyState(t *testing.T) {
+	c := NewCTMC()
+	c.AddRate("a", "b", 1)
+	c.AddRate("b", "a", 4)
+	pi0 := []float64{1, 0}
+	long, err := c.Transient(pi0, 100, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := c.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ss {
+		if math.Abs(long[i]-ss[i]) > 1e-9 {
+			t.Fatalf("transient at t=100 %v does not match steady state %v", long, ss)
+		}
+	}
+}
+
+func TestTransientMatchesClosedFormTwoState(t *testing.T) {
+	// For a two-state chain with rates a, b, starting in state 0:
+	// p0(t) = b/(a+b) + a/(a+b) e^{-(a+b)t}.
+	const a, b = 1.5, 0.5
+	c := NewCTMC()
+	c.AddRate("s0", "s1", a)
+	c.AddRate("s1", "s0", b)
+	for _, tt := range []float64{0, 0.1, 0.5, 1, 2, 5} {
+		pi, err := c.Transient([]float64{1, 0}, tt, 1e-13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := b/(a+b) + a/(a+b)*math.Exp(-(a+b)*tt)
+		if math.Abs(pi[0]-want) > 1e-9 {
+			t.Fatalf("p0(%v) = %v, want %v", tt, pi[0], want)
+		}
+	}
+}
+
+func TestTransientZeroTime(t *testing.T) {
+	c := NewCTMC()
+	c.AddRate("a", "b", 1)
+	pi, err := c.Transient([]float64{0.3, 0.7}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi[0] != 0.3 || pi[1] != 0.7 {
+		t.Fatalf("t=0 transient changed distribution: %v", pi)
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	c := NewCTMC()
+	c.AddRate("a", "b", 1)
+	if _, err := c.Transient([]float64{1}, 1, 0); err == nil {
+		t.Fatal("wrong-length pi0 accepted")
+	}
+	if _, err := c.Transient([]float64{1, 0}, -1, 0); err == nil {
+		t.Fatal("negative time accepted")
+	}
+}
+
+func TestTransientProbabilityConserved(t *testing.T) {
+	f := func(seed uint8) bool {
+		tt := float64(seed) / 16
+		c := NewCTMC()
+		c.AddRate("a", "b", 2)
+		c.AddRate("b", "c", 1)
+		c.AddRate("c", "a", 0.5)
+		pi, err := c.Transient([]float64{1, 0, 0}, tt, 1e-12)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, v := range pi {
+			if v < -1e-12 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBirthDeathMM1(t *testing.T) {
+	// Truncated M/M/1 with lambda=1, mu=2 over 20 states: pi_n ∝ 0.5^n.
+	n := 20
+	birth := make([]float64, n)
+	death := make([]float64, n)
+	for i := range birth {
+		birth[i], death[i] = 1, 2
+	}
+	pi, err := BirthDeath(birth, death)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		if math.Abs(pi[i]/pi[i-1]-0.5) > 1e-12 {
+			t.Fatalf("ratio pi[%d]/pi[%d] = %v, want 0.5", i, i-1, pi[i]/pi[i-1])
+		}
+	}
+}
+
+func TestBirthDeathMatchesCTMC(t *testing.T) {
+	birth := []float64{1, 2, 0.5}
+	death := []float64{3, 1, 2}
+	pi, err := BirthDeath(birth, death)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCTMC()
+	names := []string{"0", "1", "2", "3"}
+	for i := 0; i < 3; i++ {
+		c.AddRate(names[i], names[i+1], birth[i])
+		c.AddRate(names[i+1], names[i], death[i])
+	}
+	pi2, err := c.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pi {
+		if math.Abs(pi[i]-pi2[i]) > 1e-10 {
+			t.Fatalf("birth-death %v != CTMC %v", pi, pi2)
+		}
+	}
+}
+
+func TestBirthDeathValidation(t *testing.T) {
+	if _, err := BirthDeath([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := BirthDeath([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("zero death rate accepted")
+	}
+	if _, err := BirthDeath([]float64{-1}, []float64{1}); err == nil {
+		t.Fatal("negative birth rate accepted")
+	}
+}

@@ -1,0 +1,170 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/energy"
+)
+
+// ErlangCPU approximates the power-managed CPU as a true CTMC by replacing
+// each deterministic delay with an Erlang-K phase chain of the same mean:
+// the Power Down Threshold T becomes K exponential phases of rate K/T and
+// the Power Up Delay D becomes K phases of rate K/D. As K grows the Erlang
+// delay converges to the constant delay, so the chain converges to the
+// paper's DSPN — this implements the "effective method of modeling constant
+// delays in Markov chains" that the paper's conclusion calls for, and is
+// ablated in experiment X-1.
+type ErlangCPU struct {
+	// Lambda, Mu, T, D are the CPUModel parameters.
+	Lambda, Mu, T, D float64
+	// K is the number of Erlang phases per deterministic delay (>= 1).
+	K int
+	// QueueCap truncates the job queue; 0 selects an automatic cap large
+	// enough that the truncated tail mass is negligible at rho = Lambda/Mu.
+	QueueCap int
+}
+
+// ErlangCPUResult is the stationary solution of the phase-expanded chain.
+type ErlangCPUResult struct {
+	// Fractions are the aggregated state probabilities.
+	Fractions energy.Fractions
+	// MeanJobs is the expected number of jobs in the system.
+	MeanJobs float64
+	// States is the size of the expanded chain.
+	States int
+}
+
+// Solve builds and solves the phase-expanded CTMC.
+//
+// State encoding:
+//
+//	standby            — empty queue, powered down
+//	powerup(j, n)      — wake-up phase j in 1..K with n >= 1 jobs queued
+//	idle(j)            — powered on, empty queue, idle-timer phase j in 1..K
+//	active(n)          — serving with n >= 1 jobs in system
+func (e ErlangCPU) Solve() (*ErlangCPUResult, error) {
+	if e.Lambda <= 0 || e.Mu <= 0 {
+		return nil, fmt.Errorf("markov: rates must be positive (lambda=%v mu=%v)", e.Lambda, e.Mu)
+	}
+	rho := e.Lambda / e.Mu
+	if rho >= 1 {
+		return nil, fmt.Errorf("markov: unstable queue, rho = %v", rho)
+	}
+	if e.K < 1 {
+		return nil, fmt.Errorf("markov: K must be >= 1, got %d", e.K)
+	}
+	if e.T < 0 || e.D < 0 {
+		return nil, fmt.Errorf("markov: negative delay (T=%v D=%v)", e.T, e.D)
+	}
+	qcap := e.QueueCap
+	if qcap == 0 {
+		// Choose so that rho^qcap is far below estimation noise, plus room
+		// for the arrivals that pile up during the power-up delay.
+		qcap = 30 + int(3*e.Lambda*e.D)
+		for qcap < 4000 && math.Pow(rho, float64(qcap)) > 1e-12 {
+			qcap++
+		}
+	}
+
+	c := NewCTMC()
+	standby := "standby"
+	idle := func(j int) string { return fmt.Sprintf("idle/%d", j) }
+	up := func(j, n int) string { return fmt.Sprintf("up/%d/%d", j, n) }
+	active := func(n int) string { return fmt.Sprintf("act/%d", n) }
+
+	// Zero-valued delays collapse their phase chains entirely: D = 0 wakes
+	// straight into service, T = 0 powers down the moment the queue empties.
+	hasPowerUp := e.D > 0
+	hasIdle := e.T > 0
+
+	// Standby: an arrival starts the wake-up sequence (or service, with no
+	// power-up delay).
+	if hasPowerUp {
+		c.AddRate(standby, up(1, 1), e.Lambda)
+	} else {
+		c.AddRate(standby, active(1), e.Lambda)
+	}
+
+	// Power-up phases: arrivals queue; phases advance; the last phase
+	// turns the CPU on serving.
+	if hasPowerUp {
+		phD := float64(e.K) / e.D
+		for j := 1; j <= e.K; j++ {
+			for n := 1; n <= qcap; n++ {
+				if n < qcap {
+					c.AddRate(up(j, n), up(j, n+1), e.Lambda)
+				}
+				next := active(n)
+				if j < e.K {
+					next = up(j+1, n)
+				}
+				c.AddRate(up(j, n), next, phD)
+			}
+		}
+	}
+
+	// Active states: service completions and arrivals.
+	afterLastJob := standby
+	if hasIdle {
+		afterLastJob = idle(1)
+	}
+	for n := 1; n <= qcap; n++ {
+		if n < qcap {
+			c.AddRate(active(n), active(n+1), e.Lambda)
+		}
+		if n > 1 {
+			c.AddRate(active(n), active(n-1), e.Mu)
+		} else {
+			c.AddRate(active(1), afterLastJob, e.Mu)
+		}
+	}
+
+	// Idle phases: an arrival returns to service; the timer expiring in
+	// the last phase powers down.
+	if hasIdle {
+		phT := float64(e.K) / e.T
+		for j := 1; j <= e.K; j++ {
+			c.AddRate(idle(j), active(1), e.Lambda)
+			next := standby
+			if j < e.K {
+				next = idle(j + 1)
+			}
+			c.AddRate(idle(j), next, phT)
+		}
+	}
+
+	pi, err := c.SteadyState()
+	if err != nil {
+		return nil, fmt.Errorf("markov: Erlang CPU steady state (%d states): %w", c.Len(), err)
+	}
+
+	res := &ErlangCPUResult{States: c.Len()}
+	if i, ok := c.Lookup(standby); ok {
+		res.Fractions[energy.Standby] = pi[i]
+	}
+	for j := 1; j <= e.K; j++ {
+		if i, ok := c.Lookup(idle(j)); ok {
+			res.Fractions[energy.Idle] += pi[i]
+		}
+		for n := 1; n <= qcap; n++ {
+			if i, ok := c.Lookup(up(j, n)); ok {
+				res.Fractions[energy.PowerUp] += pi[i]
+				res.MeanJobs += float64(n) * pi[i]
+			}
+		}
+	}
+	for n := 1; n <= qcap; n++ {
+		if i, ok := c.Lookup(active(n)); ok {
+			res.Fractions[energy.Active] += pi[i]
+			res.MeanJobs += float64(n) * pi[i]
+		}
+	}
+	return res, nil
+}
+
+// EnergyJoulesOver returns the equation-25 energy of the solved fractions
+// over a fixed horizon.
+func (r *ErlangCPUResult) EnergyJoulesOver(p energy.PowerModel, seconds float64) float64 {
+	return p.EnergyJoules(r.Fractions, seconds)
+}

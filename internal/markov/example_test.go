@@ -1,0 +1,35 @@
+package markov_test
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/markov"
+)
+
+// ExampleCPUModel evaluates the paper's closed-form state probabilities at
+// the Table-2 operating point.
+func ExampleCPUModel() {
+	m := markov.CPUModel{Lambda: 1, Mu: 10, T: 0.5, D: 0.001}
+	p := m.StateProbs()
+	fmt.Printf("standby %.3f idle %.3f active %.3f\n",
+		p[energy.Standby], p[energy.Idle], p[energy.Active])
+	fmt.Printf("energy over 1000 jobs: %.1f J\n", m.EnergyJoules(energy.PXA271, 1000))
+	// Output:
+	// standby 0.546 idle 0.354 active 0.100
+	// energy over 1000 jobs: 59.8 J
+}
+
+// ExampleCTMC builds and solves a small chain by name.
+func ExampleCTMC() {
+	c := markov.NewCTMC()
+	c.AddRate("sunny", "rainy", 1)
+	c.AddRate("rainy", "sunny", 3)
+	pi, err := c.SteadyState()
+	if err != nil {
+		panic(err)
+	}
+	sunny, _ := c.Lookup("sunny")
+	fmt.Printf("P(sunny) = %.2f\n", pi[sunny])
+	// Output: P(sunny) = 0.75
+}

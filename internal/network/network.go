@@ -1,0 +1,260 @@
+// Package network lifts the single-node energy model to a multi-hop
+// wireless sensor network — the setting of the paper's motivating
+// applications (surveillance, habitat monitoring). Nodes form a routing
+// tree toward a sink; every node samples its sensor at a configurable rate
+// and forwards both its own and its descendants' packets, so nodes close to
+// the sink carry more traffic, burn more energy and die first. Network
+// lifetime is the time until the first node exhausts its battery, the usual
+// first-failure definition.
+//
+// Per-node energy is computed with the same machinery as the paper: the
+// CPU side via any core.Estimator (Markov closed form by default, Petri net
+// or simulation if requested) and the radio side from transmit/receive/
+// listen airtime.
+package network
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/sensornode"
+)
+
+// Node is one sensor in the tree.
+type Node struct {
+	// ID is a unique identifier.
+	ID int
+	// Parent is the ID of the next hop toward the sink; -1 for the sink
+	// itself.
+	Parent int
+	// SampleRate is the node's own sensing rate (jobs and packets per
+	// second).
+	SampleRate float64
+}
+
+// Config describes the network.
+type Config struct {
+	// Nodes lists every node; exactly one must have Parent == -1.
+	Nodes []Node
+	// CPU is the per-node processor configuration; Lambda is overridden
+	// per node by its total processing load.
+	CPU core.Config
+	// Estimator computes per-node CPU fractions (default core.Markov{}).
+	Estimator core.Estimator
+	// Radio is the radio power table.
+	Radio sensornode.RadioPower
+	// TxTime and RxTime are per-packet transmit and receive airtimes.
+	TxTime, RxTime float64
+	// ListenPeriod and ListenWindow configure duty-cycled idle listening.
+	ListenPeriod, ListenWindow float64
+	// Battery is each node's energy reservoir.
+	Battery energy.Battery
+}
+
+// DefaultConfig returns a line topology of n nodes rooted at node 0 with
+// Mica-class parameters.
+func DefaultConfig(n int) Config {
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{ID: i, Parent: i - 1, SampleRate: 0.5}
+	}
+	cpu := core.PaperConfig()
+	return Config{
+		Nodes:        nodes,
+		CPU:          cpu,
+		Radio:        sensornode.CC2420,
+		TxTime:       0.01,
+		RxTime:       0.01,
+		ListenPeriod: 1,
+		ListenWindow: 0.05,
+		Battery:      energy.AA2850,
+	}
+}
+
+// NodeReport is the per-node analysis result.
+type NodeReport struct {
+	ID int
+	// Subtree is the number of nodes (including itself) whose traffic the
+	// node carries.
+	Subtree int
+	// ProcessRate is the node's CPU load: own samples plus relayed
+	// packets per second.
+	ProcessRate float64
+	// TxRate and RxRate are packets transmitted and received per second.
+	TxRate, RxRate float64
+	// CPUAvgMW, RadioAvgMW and TotalMW are average power draws.
+	CPUAvgMW, RadioAvgMW, TotalMW float64
+	// LifetimeSeconds is the node's battery lifetime.
+	LifetimeSeconds float64
+}
+
+// Result is the network-level analysis.
+type Result struct {
+	Nodes []NodeReport
+	// LifetimeSeconds is the first-node-death network lifetime.
+	LifetimeSeconds float64
+	// Bottleneck is the ID of the first node to die.
+	Bottleneck int
+}
+
+// LifetimeDays converts the network lifetime to days.
+func (r *Result) LifetimeDays() float64 { return r.LifetimeSeconds / 86400 }
+
+// Analyze computes per-node load, power and lifetime, and the network
+// lifetime.
+func Analyze(cfg Config) (*Result, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("network: no nodes")
+	}
+	if cfg.Estimator == nil {
+		cfg.Estimator = core.Markov{}
+	}
+	if cfg.TxTime <= 0 || cfg.RxTime <= 0 {
+		return nil, fmt.Errorf("network: TxTime and RxTime must be positive")
+	}
+	if cfg.ListenPeriod <= 0 || cfg.ListenWindow < 0 {
+		return nil, fmt.Errorf("network: invalid listen duty cycle")
+	}
+	index := map[int]int{}
+	sink := -1
+	for i, nd := range cfg.Nodes {
+		if _, dup := index[nd.ID]; dup {
+			return nil, fmt.Errorf("network: duplicate node id %d", nd.ID)
+		}
+		index[nd.ID] = i
+		if nd.Parent == -1 {
+			if sink != -1 {
+				return nil, fmt.Errorf("network: multiple sinks (%d and %d)", cfg.Nodes[sink].ID, nd.ID)
+			}
+			sink = i
+		}
+		if nd.SampleRate < 0 {
+			return nil, fmt.Errorf("network: node %d has negative sample rate", nd.ID)
+		}
+	}
+	if sink == -1 {
+		return nil, fmt.Errorf("network: no sink (exactly one node needs Parent == -1)")
+	}
+
+	// Per-node forwarded traffic: walk each node's path to the sink and
+	// add its sample rate to every ancestor (and itself). Also validate
+	// reachability and detect cycles.
+	relayRate := make([]float64, len(cfg.Nodes)) // packets/s through node (own + descendants)
+	subtree := make([]int, len(cfg.Nodes))
+	for i, nd := range cfg.Nodes {
+		cur := i
+		for hops := 0; ; hops++ {
+			if hops > len(cfg.Nodes) {
+				return nil, fmt.Errorf("network: routing cycle involving node %d", nd.ID)
+			}
+			relayRate[cur] += nd.SampleRate
+			subtree[cur]++
+			p := cfg.Nodes[cur].Parent
+			if p == -1 {
+				break
+			}
+			pi, ok := index[p]
+			if !ok {
+				return nil, fmt.Errorf("network: node %d routes to unknown parent %d", cfg.Nodes[cur].ID, p)
+			}
+			cur = pi
+		}
+	}
+
+	res := &Result{LifetimeSeconds: math.Inf(1), Bottleneck: -1}
+	for i, nd := range cfg.Nodes {
+		// The node processes one CPU job per packet it handles (its own
+		// samples plus everything it relays).
+		load := relayRate[i]
+		cpuCfg := cfg.CPU
+		cpuCfg.Lambda = load
+		var cpuFrac energy.Fractions
+		switch {
+		case load == 0:
+			cpuFrac[energy.Standby] = 1
+		default:
+			if cpuCfg.Lambda >= cpuCfg.Mu {
+				return nil, fmt.Errorf("network: node %d overloaded: %v jobs/s at mu=%v", nd.ID, load, cpuCfg.Mu)
+			}
+			est, err := cfg.Estimator.Estimate(cpuCfg)
+			if err != nil {
+				return nil, fmt.Errorf("network: node %d: %w", nd.ID, err)
+			}
+			cpuFrac = est.Fractions
+		}
+		cpuMW := cfg.CPU.Power.AveragePowerMW(cpuFrac)
+
+		txRate := relayRate[i]                 // everything it handles goes up (sink: delivered)
+		rxRate := relayRate[i] - nd.SampleRate // received from children
+		if cfg.Nodes[i].Parent == -1 {
+			txRate = 0 // the sink delivers locally
+		}
+		txShare := txRate * cfg.TxTime
+		rxShare := rxRate * cfg.RxTime
+		listenShare := (1 - txShare - rxShare) * cfg.ListenWindow / (cfg.ListenPeriod + cfg.ListenWindow)
+		sleepShare := 1 - txShare - rxShare - listenShare
+		if sleepShare < 0 {
+			return nil, fmt.Errorf("network: node %d radio over-committed (tx %v + rx %v of airtime)", nd.ID, txShare, rxShare)
+		}
+		radioMW := txShare*cfg.Radio.TxMW + rxShare*cfg.Radio.ListenMW +
+			listenShare*cfg.Radio.ListenMW + sleepShare*cfg.Radio.SleepMW
+
+		total := cpuMW + radioMW
+		life := cfg.Battery.LifetimeSeconds(total)
+		res.Nodes = append(res.Nodes, NodeReport{
+			ID:              nd.ID,
+			Subtree:         subtree[i],
+			ProcessRate:     load,
+			TxRate:          txRate,
+			RxRate:          rxRate,
+			CPUAvgMW:        cpuMW,
+			RadioAvgMW:      radioMW,
+			TotalMW:         total,
+			LifetimeSeconds: life,
+		})
+		if life < res.LifetimeSeconds {
+			res.LifetimeSeconds = life
+			res.Bottleneck = nd.ID
+		}
+	}
+	sort.Slice(res.Nodes, func(i, j int) bool { return res.Nodes[i].ID < res.Nodes[j].ID })
+	return res, nil
+}
+
+// LineTopology returns n nodes in a chain: node 0 is the sink, node i
+// routes through node i-1.
+func LineTopology(n int, sampleRate float64) []Node {
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = Node{ID: i, Parent: i - 1, SampleRate: sampleRate}
+	}
+	return nodes
+}
+
+// StarTopology returns n nodes all routing directly to a sink (node 0).
+func StarTopology(n int, sampleRate float64) []Node {
+	nodes := make([]Node, n)
+	nodes[0] = Node{ID: 0, Parent: -1, SampleRate: sampleRate}
+	for i := 1; i < n; i++ {
+		nodes[i] = Node{ID: i, Parent: 0, SampleRate: sampleRate}
+	}
+	return nodes
+}
+
+// BinaryTreeTopology returns a complete binary tree of the given depth
+// (node 0 is the sink/root).
+func BinaryTreeTopology(depth int, sampleRate float64) []Node {
+	n := 1<<(depth+1) - 1
+	nodes := make([]Node, n)
+	for i := 0; i < n; i++ {
+		parent := (i - 1) / 2
+		if i == 0 {
+			parent = -1
+		}
+		nodes[i] = Node{ID: i, Parent: parent, SampleRate: sampleRate}
+	}
+	return nodes
+}

@@ -1,0 +1,211 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+)
+
+func TestAnalyzeLine(t *testing.T) {
+	cfg := DefaultConfig(4)
+	res, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 4 {
+		t.Fatalf("nodes = %d, want 4", len(res.Nodes))
+	}
+	// In a line, node 0 (sink) carries all 4 nodes' traffic, node 3 only
+	// its own.
+	if res.Nodes[0].Subtree != 4 || res.Nodes[3].Subtree != 1 {
+		t.Fatalf("subtrees = %v", res.Nodes)
+	}
+	if res.Nodes[0].ProcessRate != 2.0 { // 4 * 0.5
+		t.Fatalf("sink load = %v, want 2", res.Nodes[0].ProcessRate)
+	}
+	// With a PXA271 the CPU dwarfs the radio, so the most compute-loaded
+	// node — the sink, which processes every packet — dies first.
+	if res.Bottleneck != 0 {
+		t.Fatalf("bottleneck = %d, want the sink (0) under a CPU-dominated budget", res.Bottleneck)
+	}
+	if !(res.LifetimeSeconds > 0) || math.IsInf(res.LifetimeSeconds, 1) {
+		t.Fatalf("lifetime = %v", res.LifetimeSeconds)
+	}
+}
+
+func TestRadioDominatedBottleneckIsFirstRelay(t *testing.T) {
+	// With a negligible CPU the budget is pure radio airtime; the sink
+	// only receives while node 1 both receives and transmits, so node 1
+	// dies first — the classic funneling effect near the sink.
+	cfg := DefaultConfig(4)
+	cfg.CPU.Power = energy.PowerModel{Name: "negligible", MW: [energy.NumStates]float64{0.001, 0.001, 0.001, 0.001}}
+	res, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bottleneck != 1 {
+		t.Fatalf("bottleneck = %d, want first relay (1) under a radio-dominated budget", res.Bottleneck)
+	}
+}
+
+func TestLifetimeOrderingInLine(t *testing.T) {
+	res, err := Analyze(DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Among relay nodes (1..4), lifetime grows with distance from sink.
+	for i := 2; i < 5; i++ {
+		if res.Nodes[i].LifetimeSeconds < res.Nodes[i-1].LifetimeSeconds {
+			t.Fatalf("node %d outlives node %d: %v < %v", i-1, i,
+				res.Nodes[i].LifetimeSeconds, res.Nodes[i-1].LifetimeSeconds)
+		}
+	}
+}
+
+func TestStarTopologyBalanced(t *testing.T) {
+	cfg := DefaultConfig(0)
+	cfg.Nodes = StarTopology(6, 0.5)
+	res, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All leaves identical.
+	leafLife := res.Nodes[1].LifetimeSeconds
+	for _, nr := range res.Nodes[2:] {
+		if math.Abs(nr.LifetimeSeconds-leafLife) > 1e-6 {
+			t.Fatalf("leaf lifetimes differ: %v vs %v", nr.LifetimeSeconds, leafLife)
+		}
+	}
+	// Star lifetime is bottlenecked by a leaf (the sink doesn't transmit,
+	// but it processes 6x the load). Whichever — lifetime must be the min.
+	minLife := math.Inf(1)
+	for _, nr := range res.Nodes {
+		minLife = math.Min(minLife, nr.LifetimeSeconds)
+	}
+	if res.LifetimeSeconds != minLife {
+		t.Fatalf("network lifetime %v != min node lifetime %v", res.LifetimeSeconds, minLife)
+	}
+}
+
+func TestBinaryTreeSubtrees(t *testing.T) {
+	cfg := DefaultConfig(0)
+	cfg.Nodes = BinaryTreeTopology(2, 0.2) // 7 nodes
+	res, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 7 {
+		t.Fatalf("nodes = %d, want 7", len(res.Nodes))
+	}
+	if res.Nodes[0].Subtree != 7 {
+		t.Fatalf("root subtree = %d, want 7", res.Nodes[0].Subtree)
+	}
+	if res.Nodes[1].Subtree != 3 || res.Nodes[2].Subtree != 3 {
+		t.Fatalf("internal subtrees = %d/%d, want 3/3", res.Nodes[1].Subtree, res.Nodes[2].Subtree)
+	}
+	for i := 3; i < 7; i++ {
+		if res.Nodes[i].Subtree != 1 {
+			t.Fatalf("leaf %d subtree = %d", i, res.Nodes[i].Subtree)
+		}
+	}
+}
+
+func TestDeeperLineDiesFaster(t *testing.T) {
+	short, err := Analyze(DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Analyze(DefaultConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.LifetimeSeconds >= short.LifetimeSeconds {
+		t.Fatalf("10-hop line should die before 3-hop line: %v vs %v",
+			long.LifetimeSeconds, short.LifetimeSeconds)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	base := DefaultConfig(3)
+	cases := []func(*Config){
+		func(c *Config) { c.Nodes = nil },
+		func(c *Config) { c.Nodes[0].Parent = 0 },                     // no sink... actually cycle
+		func(c *Config) { c.Nodes = []Node{{ID: 0, Parent: 5}} },      // unknown parent, no sink
+		func(c *Config) { c.Nodes[1].ID = 0 },                         // duplicate id
+		func(c *Config) { c.Nodes[2].SampleRate = -1 },                // negative rate
+		func(c *Config) { c.TxTime = 0 },                              // bad airtime
+		func(c *Config) { c.ListenPeriod = 0 },                        // bad duty cycle
+		func(c *Config) { c.Nodes[1].Parent = -1 },                    // two sinks
+		func(c *Config) { c.Nodes[0].SampleRate = 20; c.CPU.Mu = 10 }, // overload: 20+... >= mu
+	}
+	for i, mutate := range cases {
+		cfg := DefaultConfig(3)
+		mutate(&cfg)
+		if _, err := Analyze(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	_ = base
+}
+
+func TestCycleDetected(t *testing.T) {
+	cfg := DefaultConfig(3)
+	// 1 -> 2 -> 1 cycle with 0 as sink.
+	cfg.Nodes = []Node{
+		{ID: 0, Parent: -1, SampleRate: 0.1},
+		{ID: 1, Parent: 2, SampleRate: 0.1},
+		{ID: 2, Parent: 1, SampleRate: 0.1},
+	}
+	if _, err := Analyze(cfg); err == nil {
+		t.Fatal("routing cycle accepted")
+	}
+}
+
+func TestPetriEstimatorWorksForNetwork(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.CPU.SimTime = 300
+	cfg.CPU.Warmup = 30
+	cfg.CPU.Replications = 2
+	cfg.Estimator = core.PetriNet{}
+	res, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check against the Markov-estimated analysis: same ordering.
+	cfg2 := DefaultConfig(3)
+	res2, err := Analyze(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bottleneck != res2.Bottleneck {
+		t.Fatalf("estimators disagree on bottleneck: %d vs %d", res.Bottleneck, res2.Bottleneck)
+	}
+	for i := range res.Nodes {
+		if math.Abs(res.Nodes[i].TotalMW-res2.Nodes[i].TotalMW)/res2.Nodes[i].TotalMW > 0.05 {
+			t.Fatalf("node %d power differs: %v vs %v", i, res.Nodes[i].TotalMW, res2.Nodes[i].TotalMW)
+		}
+	}
+}
+
+func TestZeroLoadNodeSleepsForever(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Nodes = []Node{
+		{ID: 0, Parent: -1, SampleRate: 0},
+		{ID: 1, Parent: 0, SampleRate: 0},
+	}
+	res, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only standby CPU + duty-cycled listening burn power.
+	for _, nr := range res.Nodes {
+		if nr.CPUAvgMW != 17 { // PXA271 standby
+			t.Fatalf("idle node CPU = %v mW, want 17 (pure standby)", nr.CPUAvgMW)
+		}
+		if nr.TxRate != 0 || nr.RxRate != 0 {
+			t.Fatal("idle network has traffic")
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package petri
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// BatchMeansOptions configures single-long-run steady-state estimation:
+// after a warmup, the run is divided into equal-length batches and each
+// place's time-averaged token count per batch forms the sample for a
+// Student-t interval. This is the estimator TimeNet uses for stationary
+// simulation, and an alternative to independent replications when the
+// model warms up slowly.
+type BatchMeansOptions struct {
+	// Seed drives all sampling.
+	Seed uint64
+	// Warmup is simulated but excluded.
+	Warmup float64
+	// BatchLength is the duration of one batch.
+	BatchLength float64
+	// Batches is the number of batches (>= 2 for a CI; default 30).
+	Batches int
+	// Memory selects the execution policy.
+	Memory MemoryPolicy
+	// MaxVanishingChain bounds zero-time firing chains.
+	MaxVanishingChain int
+}
+
+// BatchMeansResult reports the batch-means estimate per place.
+type BatchMeansResult struct {
+	// PlaceAvg[p] summarizes the batch means of place p's token count.
+	PlaceAvg []stats.Summary
+	// Batches is the number of completed batches.
+	Batches int
+	// Deadlocked reports that the net deadlocked during the run.
+	Deadlocked bool
+}
+
+// Mean returns the grand mean and 95% half-width for the named place.
+func (r *BatchMeansResult) Mean(n *Net, name string) (mean, ci float64) {
+	id, ok := n.PlaceByName(name)
+	if !ok {
+		panic(fmt.Sprintf("petri: no place named %q", name))
+	}
+	return r.PlaceAvg[id].Mean(), r.PlaceAvg[id].CI(0.95)
+}
+
+// SimulateBatchMeans runs one long simulation of Batches*BatchLength
+// measured time (after warmup) and returns per-place batch-means
+// statistics.
+func SimulateBatchMeans(n *Net, opt BatchMeansOptions) (*BatchMeansResult, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.BatchLength <= 0 {
+		return nil, fmt.Errorf("petri: BatchLength must be positive, got %v", opt.BatchLength)
+	}
+	if opt.Batches == 0 {
+		opt.Batches = 30
+	}
+	if opt.Batches < 2 {
+		return nil, fmt.Errorf("petri: need >= 2 batches for an interval, got %d", opt.Batches)
+	}
+	if opt.Warmup < 0 {
+		return nil, fmt.Errorf("petri: Warmup must be non-negative, got %v", opt.Warmup)
+	}
+	e, err := newEngine(n, SimOptions{
+		Seed:              opt.Seed,
+		Duration:          opt.Warmup + float64(opt.Batches)*opt.BatchLength,
+		Memory:            opt.Memory,
+		MaxVanishingChain: opt.MaxVanishingChain,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := e.resolveImmediates(); err != nil {
+		return nil, err
+	}
+	e.syncTimers()
+
+	res := &BatchMeansResult{PlaceAvg: make([]stats.Summary, len(n.Places))}
+	// integrals[p] accumulates the token-time integral within the current
+	// batch, updated incrementally between events.
+	integrals := make([]float64, len(n.Places))
+	lastT := 0.0
+	batchEnd := opt.Warmup + opt.BatchLength
+	measuringFrom := opt.Warmup
+
+	flushTo := func(t float64) {
+		// Integrate the constant marking over [max(lastT, warmup), t],
+		// splitting at batch boundaries.
+		for lastT < t {
+			segEnd := math.Min(t, batchEnd)
+			from := math.Max(lastT, measuringFrom)
+			if segEnd > from {
+				dt := segEnd - from
+				for p, tokens := range e.marking {
+					integrals[p] += float64(tokens) * dt
+				}
+			}
+			lastT = segEnd
+			if lastT >= batchEnd && res.Batches < opt.Batches {
+				for p := range integrals {
+					res.PlaceAvg[p].Add(integrals[p] / opt.BatchLength)
+					integrals[p] = 0
+				}
+				res.Batches++
+				batchEnd += opt.BatchLength
+			}
+		}
+	}
+
+	horizon := opt.Warmup + float64(opt.Batches)*opt.BatchLength
+	for res.Batches < opt.Batches {
+		t, id := e.nextTimed()
+		if id < 0 {
+			res.Deadlocked = true
+			flushTo(horizon)
+			break
+		}
+		if t > horizon {
+			flushTo(horizon)
+			break
+		}
+		flushTo(t)
+		e.advanceTo(t)
+		if err := e.fireTimed(TransitionID(id)); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

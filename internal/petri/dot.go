@@ -1,0 +1,59 @@
+package petri
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the net in Graphviz format: places as circles (labelled with
+// initial tokens), immediate transitions as thin bars, timed transitions as
+// boxes annotated with their delay distribution, and inhibitor arcs with
+// circle arrowheads.
+func DOT(n *Net) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", n.Name)
+	for i, p := range n.Places {
+		label := p.Name
+		if p.Initial > 0 {
+			label = fmt.Sprintf("%s\\n●×%d", p.Name, p.Initial)
+		}
+		fmt.Fprintf(&b, "  p%d [shape=circle, label=\"%s\"];\n", i, label)
+	}
+	for i, t := range n.Transitions {
+		switch t.Kind {
+		case Immediate:
+			fmt.Fprintf(&b, "  t%d [shape=box, style=filled, fillcolor=black, height=0.1, width=0.4, label=\"\", xlabel=\"%s (prio %d)\"];\n",
+				i, t.Name, t.Priority)
+		default:
+			fmt.Fprintf(&b, "  t%d [shape=box, label=\"%s\\n%s\"];\n", i, t.Name, t.Delay)
+		}
+	}
+	for ti := range n.Transitions {
+		t := &n.Transitions[ti]
+		for _, a := range t.Inputs {
+			fmt.Fprintf(&b, "  p%d -> t%d%s;\n", a.Place, ti, weightAttr(a.Weight, ""))
+		}
+		for _, a := range t.Outputs {
+			fmt.Fprintf(&b, "  t%d -> p%d%s;\n", ti, a.Place, weightAttr(a.Weight, ""))
+		}
+		for _, a := range t.Inhibitors {
+			fmt.Fprintf(&b, "  p%d -> t%d%s;\n", a.Place, ti, weightAttr(a.Weight, "arrowhead=odot"))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func weightAttr(w int, extra string) string {
+	var attrs []string
+	if w != 1 {
+		attrs = append(attrs, fmt.Sprintf("label=\"%d\"", w))
+	}
+	if extra != "" {
+		attrs = append(attrs, extra)
+	}
+	if len(attrs) == 0 {
+		return ""
+	}
+	return " [" + strings.Join(attrs, ", ") + "]"
+}

@@ -1,0 +1,232 @@
+package petri
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// negativeDist is a deliberately broken distribution used to verify the
+// engine's sampling contract.
+type negativeDist struct{}
+
+func (negativeDist) Sample(*xrand.Rand) float64 { return -1 }
+func (negativeDist) Mean() float64              { return -1 }
+func (negativeDist) Var() float64               { return 0 }
+func (negativeDist) String() string             { return "Negative" }
+
+func TestEngineRejectsNegativeDelaySamples(t *testing.T) {
+	n := NewNet("broken")
+	a := n.AddPlaceInit("A", 1)
+	tr := n.AddTimed("T", negativeDist{})
+	n.Input(tr, a, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay sample did not panic")
+		}
+	}()
+	_, _ = Simulate(n, SimOptions{Seed: 1, Duration: 10})
+}
+
+func TestZeroDelayDeterministicFiresImmediately(t *testing.T) {
+	n := NewNet("zero")
+	a := n.AddPlaceInit("A", 1)
+	b := n.AddPlace("B")
+	tr := n.AddDeterministic("T", 0)
+	n.Input(tr, a, 1)
+	n.Output(tr, b, 1)
+	res, err := Simulate(n, SimOptions{Seed: 1, Duration: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlaceAvg[a] != 0 || res.PlaceAvg[b] != 1 {
+		t.Fatalf("zero-delay transition left averages A=%v B=%v", res.PlaceAvg[a], res.PlaceAvg[b])
+	}
+}
+
+func TestSimultaneousDeterministicTieBreaksByIndex(t *testing.T) {
+	// Two Det(1) transitions compete for one token; the engine breaks the
+	// tie deterministically by transition index, so T1 always wins.
+	n := NewNet("tie")
+	a := n.AddPlaceInit("A", 1)
+	b := n.AddPlace("B")
+	c := n.AddPlace("C")
+	t1 := n.AddDeterministic("T1", 1)
+	n.Input(t1, a, 1)
+	n.Output(t1, b, 1)
+	t2 := n.AddDeterministic("T2", 1)
+	n.Input(t2, a, 1)
+	n.Output(t2, c, 1)
+	for seed := uint64(0); seed < 5; seed++ {
+		res, err := Simulate(n, SimOptions{Seed: seed, Duration: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FinalMarking[b] != 1 || res.FinalMarking[c] != 0 {
+			t.Fatalf("seed %d: tie broken nondeterministically: %v", seed, res.FinalMarking)
+		}
+	}
+}
+
+func TestGuardHonoredDuringSimulation(t *testing.T) {
+	// T moves tokens A -> B but its guard blocks until A has >= 3 tokens;
+	// the feeder adds one token per second, so T first fires after the
+	// third arrival and then drains while A stays >= 3.
+	n := NewNet("guarded")
+	a := n.AddPlace("A")
+	b := n.AddPlace("B")
+	feeder := n.AddDeterministic("Feed", 1)
+	n.Output(feeder, a, 1)
+	tr := n.AddImmediate("T", 1)
+	n.Input(tr, a, 1)
+	n.Output(tr, b, 1)
+	n.SetGuard(tr, func(m Marking) bool { return m[a] >= 3 })
+	res, err := Simulate(n, SimOptions{Seed: 1, Duration: 10.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feeds at t=1..10 (10 tokens). The guard lets T fire exactly when A
+	// reaches 3, dropping it to 2 again; so B collects feeds 3..10 = 8.
+	if res.FinalMarking[b] != 8 {
+		t.Fatalf("guarded flow: B = %d, want 8 (marking %v)", res.FinalMarking[b], res.FinalMarking)
+	}
+	if res.FinalMarking[a] != 2 {
+		t.Fatalf("A = %d, want 2", res.FinalMarking[a])
+	}
+}
+
+func TestEventExactlyAtWarmupBoundary(t *testing.T) {
+	// A deterministic firing at exactly t == warmup belongs to the
+	// measured window (the marking after it is what gets measured).
+	n := NewNet("boundary")
+	a := n.AddPlaceInit("A", 1)
+	b := n.AddPlace("B")
+	tr := n.AddDeterministic("T", 2)
+	n.Input(tr, a, 1)
+	n.Output(tr, b, 1)
+	res, err := Simulate(n, SimOptions{Seed: 1, Warmup: 2, Duration: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlaceAvg[b] != 1 {
+		t.Fatalf("B average = %v, want 1 (event at warmup boundary measured)", res.PlaceAvg[b])
+	}
+	trID, _ := n.TransitionByName("T")
+	if res.Firings[trID] != 1 {
+		t.Fatalf("boundary firing counted %d times, want 1", res.Firings[trID])
+	}
+}
+
+func TestArcMultiplicityBatchService(t *testing.T) {
+	// A transition consuming 3 tokens per firing models batch service:
+	// with arrivals every 1 s and batches of 3, throughput is 1/3 of the
+	// arrival rate.
+	n := NewNet("batch")
+	q := n.AddPlace("Q")
+	done := n.AddPlace("Done")
+	arr := n.AddDeterministic("Arr", 1)
+	n.Output(arr, q, 1)
+	batch := n.AddImmediate("Batch", 1)
+	n.Input(batch, q, 3)
+	n.Output(batch, done, 1)
+	res, err := Simulate(n, SimOptions{Seed: 1, Duration: 30.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchID, _ := n.TransitionByName("Batch")
+	arrID, _ := n.TransitionByName("Arr")
+	if res.Firings[arrID] != 30 {
+		t.Fatalf("arrivals = %d, want 30", res.Firings[arrID])
+	}
+	if res.Firings[batchID] != 10 {
+		t.Fatalf("batches = %d, want 10", res.Firings[batchID])
+	}
+}
+
+// TestRaceAgeExponentialStatisticallyEquivalent: for exponential delays the
+// memory policy must not matter (memorylessness); verify on the M/M/1 net.
+func TestRaceAgeExponentialStatisticallyEquivalent(t *testing.T) {
+	n1 := mm1Net(1, 5)
+	r1, err := Simulate(n1, SimOptions{Seed: 77, Warmup: 100, Duration: 20000, Memory: RaceEnable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2 := mm1Net(1, 5)
+	r2, err := Simulate(n2, SimOptions{Seed: 78, Warmup: 100, Duration: 20000, Memory: RaceAge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy1 := r1.PlaceAvgByName(n1, "ServerBusy")
+	busy2 := r2.PlaceAvgByName(n2, "ServerBusy")
+	if math.Abs(busy1-busy2) > 0.01 {
+		t.Fatalf("memory policy changed exponential statistics: %v vs %v", busy1, busy2)
+	}
+}
+
+// TestLargeMarkingStress pushes thousands of tokens through weighted arcs
+// to shake out integer handling in the hot path.
+func TestLargeMarkingStress(t *testing.T) {
+	n := NewNet("stress")
+	src := n.AddPlaceInit("Src", 100000)
+	dst := n.AddPlace("Dst")
+	tr := n.AddExponential("T", 1000)
+	n.Input(tr, src, 10)
+	n.Output(tr, dst, 10)
+	res, err := Simulate(n, SimOptions{Seed: 5, Duration: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalMarking[src]+res.FinalMarking[dst] != 100000 {
+		t.Fatalf("tokens lost: %v", res.FinalMarking)
+	}
+	trID, _ := n.TransitionByName("T")
+	if res.Firings[trID] == 0 {
+		t.Fatal("no firings under stress")
+	}
+}
+
+// TestManyTransitionsPerformanceSanity builds a 100-transition ring and
+// checks the engine still terminates promptly and conserves its token.
+func TestManyTransitionsRing(t *testing.T) {
+	n := NewNet("bigring")
+	const k = 100
+	places := make([]PlaceID, k)
+	for i := 0; i < k; i++ {
+		if i == 0 {
+			places[i] = n.AddPlaceInit("P0", 1)
+		} else {
+			places[i] = n.AddPlace("P" + string(rune('A'+i%26)) + itoa(i))
+		}
+	}
+	for i := 0; i < k; i++ {
+		tr := n.AddExponential("T"+itoa(i), 10)
+		n.Input(tr, places[i], 1)
+		n.Output(tr, places[(i+1)%k], 1)
+	}
+	res, err := Simulate(n, SimOptions{Seed: 9, Duration: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, avg := range res.PlaceAvg {
+		total += avg
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("ring token not conserved: total average %v", total)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,237 @@
+package petri
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IncidenceMatrix returns C with C[p][t] = W(t,p) - W(p,t): the net token
+// change of place p when transition t fires. Inhibitor arcs do not
+// contribute (they only constrain enabling).
+func IncidenceMatrix(n *Net) [][]int {
+	c := make([][]int, len(n.Places))
+	for p := range c {
+		c[p] = make([]int, len(n.Transitions))
+	}
+	for ti := range n.Transitions {
+		tr := &n.Transitions[ti]
+		for _, a := range tr.Inputs {
+			c[a.Place][ti] -= a.Weight
+		}
+		for _, a := range tr.Outputs {
+			c[a.Place][ti] += a.Weight
+		}
+	}
+	return c
+}
+
+// PInvariants returns the minimal-support non-negative integer P-semiflows
+// of the net: vectors y (indexed by place) with y^T C = 0. Every marking M
+// reachable from M0 then satisfies y.M = y.M0, which is the conservation
+// property verified by the engine's property tests.
+//
+// The computation is the classical Farkas algorithm; it returns an error if
+// the intermediate row set explodes beyond a safety bound.
+func PInvariants(n *Net) ([][]int, error) {
+	c := IncidenceMatrix(n)
+	return farkas(c, len(n.Places), len(n.Transitions))
+}
+
+// TInvariants returns the minimal-support non-negative integer T-semiflows:
+// vectors x (indexed by transition) with C x = 0. Firing every transition
+// x[t] times returns the net to its starting marking.
+func TInvariants(n *Net) ([][]int, error) {
+	c := IncidenceMatrix(n)
+	// Transpose: rows become transitions.
+	ct := make([][]int, len(n.Transitions))
+	for t := range ct {
+		ct[t] = make([]int, len(n.Places))
+		for p := range n.Places {
+			ct[t][p] = c[p][t]
+		}
+	}
+	return farkas(ct, len(n.Transitions), len(n.Places))
+}
+
+// farkas computes the minimal-support non-negative annullers of the rows of
+// an n×m matrix: vectors y >= 0 with y^T A = 0 (where A has n rows).
+func farkas(a [][]int, nRows, nCols int) ([][]int, error) {
+	const maxRows = 20000
+	// Working tableau rows: [A-part | identity-part].
+	type row struct {
+		a []int // length nCols, current residual
+		y []int // length nRows, the combination coefficients
+	}
+	rows := make([]row, nRows)
+	for i := 0; i < nRows; i++ {
+		r := row{a: append([]int(nil), a[i]...), y: make([]int, nRows)}
+		r.y[i] = 1
+		rows[i] = r
+	}
+	for col := 0; col < nCols; col++ {
+		var zero, pos, neg []row
+		for _, r := range rows {
+			switch {
+			case r.a[col] == 0:
+				zero = append(zero, r)
+			case r.a[col] > 0:
+				pos = append(pos, r)
+			default:
+				neg = append(neg, r)
+			}
+		}
+		if len(zero)+len(pos)*len(neg) > maxRows {
+			return nil, fmt.Errorf("petri: Farkas row explosion at column %d (%d rows)", col, len(zero)+len(pos)*len(neg))
+		}
+		next := zero
+		for _, rp := range pos {
+			for _, rn := range neg {
+				cp, cn := rp.a[col], -rn.a[col]
+				g := gcd(cp, cn)
+				fp, fn := cn/g, cp/g
+				nr := row{a: make([]int, nCols), y: make([]int, nRows)}
+				for j := 0; j < nCols; j++ {
+					nr.a[j] = fp*rp.a[j] + fn*rn.a[j]
+				}
+				for j := 0; j < nRows; j++ {
+					nr.y[j] = fp*rp.y[j] + fn*rn.y[j]
+				}
+				normalizeRow(nr.a, nr.y)
+				next = append(next, nr)
+			}
+		}
+		rows = next
+	}
+	// Collect the y-parts, dropping zero vectors and duplicates, then
+	// filter to minimal support.
+	var invs [][]int
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if isZeroVec(r.y) {
+			continue
+		}
+		k := fmt.Sprint(r.y)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		invs = append(invs, r.y)
+	}
+	invs = minimalSupport(invs)
+	sort.Slice(invs, func(i, j int) bool { return lexLess(invs[i], invs[j]) })
+	return invs, nil
+}
+
+// normalizeRow divides both row parts by the GCD of all entries.
+func normalizeRow(a, y []int) {
+	g := 0
+	for _, v := range a {
+		g = gcd(g, abs(v))
+	}
+	for _, v := range y {
+		g = gcd(g, abs(v))
+	}
+	if g > 1 {
+		for i := range a {
+			a[i] /= g
+		}
+		for i := range y {
+			y[i] /= g
+		}
+	}
+}
+
+// minimalSupport removes vectors whose support strictly contains the
+// support of another vector.
+func minimalSupport(invs [][]int) [][]int {
+	var keep [][]int
+	for i, v := range invs {
+		minimal := true
+		for j, w := range invs {
+			if i == j {
+				continue
+			}
+			if supportSubset(w, v) && !supportSubset(v, w) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			keep = append(keep, v)
+		}
+	}
+	return keep
+}
+
+// supportSubset reports whether supp(a) ⊆ supp(b).
+func supportSubset(a, b []int) bool {
+	for i := range a {
+		if a[i] != 0 && b[i] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func isZeroVec(v []int) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// InvariantValue returns the weighted token sum y.M of a marking under a
+// P-invariant. For a valid P-invariant this value is constant over every
+// reachable marking.
+func InvariantValue(m Marking, y []int) int {
+	if len(m) != len(y) {
+		panic(fmt.Sprintf("petri: invariant length %d does not match marking length %d", len(y), len(m)))
+	}
+	s := 0
+	for i := range m {
+		s += m[i] * y[i]
+	}
+	return s
+}
+
+// CoveredPlaces reports, per place, whether some P-invariant has a positive
+// coefficient there. Covered places are structurally bounded.
+func CoveredPlaces(n *Net, invs [][]int) []bool {
+	covered := make([]bool, len(n.Places))
+	for _, y := range invs {
+		for p, v := range y {
+			if v > 0 {
+				covered[p] = true
+			}
+		}
+	}
+	return covered
+}

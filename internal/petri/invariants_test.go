@@ -1,0 +1,270 @@
+package petri
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// ringNet builds a simple conservative ring A -> B -> A.
+func ringNet() *Net {
+	n := NewNet("ring")
+	a := n.AddPlaceInit("A", 1)
+	b := n.AddPlace("B")
+	ab := n.AddExponential("AB", 1)
+	n.Input(ab, a, 1)
+	n.Output(ab, b, 1)
+	ba := n.AddExponential("BA", 1)
+	n.Input(ba, b, 1)
+	n.Output(ba, a, 1)
+	return n
+}
+
+func TestIncidenceMatrix(t *testing.T) {
+	n := ringNet()
+	c := IncidenceMatrix(n)
+	// C[A] = [-1, +1], C[B] = [+1, -1].
+	if c[0][0] != -1 || c[0][1] != 1 || c[1][0] != 1 || c[1][1] != -1 {
+		t.Fatalf("incidence = %v", c)
+	}
+}
+
+func TestIncidenceMatrixWeights(t *testing.T) {
+	n := NewNet("w")
+	a := n.AddPlaceInit("A", 2)
+	b := n.AddPlace("B")
+	tr := n.AddImmediate("T", 1)
+	n.Input(tr, a, 2)
+	n.Output(tr, b, 1)
+	c := IncidenceMatrix(n)
+	if c[0][0] != -2 || c[1][0] != 1 {
+		t.Fatalf("incidence = %v", c)
+	}
+}
+
+func TestIncidenceIgnoresInhibitors(t *testing.T) {
+	n := NewNet("i")
+	a := n.AddPlace("A")
+	b := n.AddPlace("B")
+	tr := n.AddImmediate("T", 1)
+	n.Input(tr, a, 1)
+	n.Inhibitor(tr, b, 1)
+	c := IncidenceMatrix(n)
+	if c[1][0] != 0 {
+		t.Fatalf("inhibitor contributed to incidence: %v", c)
+	}
+}
+
+func TestPInvariantsRing(t *testing.T) {
+	n := ringNet()
+	invs, err := PInvariants(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(invs) != 1 {
+		t.Fatalf("invariants = %v, want exactly one", invs)
+	}
+	if invs[0][0] != 1 || invs[0][1] != 1 {
+		t.Fatalf("invariant = %v, want [1 1]", invs[0])
+	}
+}
+
+func TestPInvariantsWeighted(t *testing.T) {
+	// T consumes 2 from A, produces 1 in B => invariant [1, 2]:
+	// tokens(A) + 2*tokens(B) is conserved.
+	n := NewNet("w")
+	a := n.AddPlaceInit("A", 4)
+	b := n.AddPlace("B")
+	tr := n.AddImmediate("T", 1)
+	n.Input(tr, a, 2)
+	n.Output(tr, b, 1)
+	back := n.AddImmediate("U", 1)
+	n.Input(back, b, 1)
+	n.Output(back, a, 2)
+	invs, err := PInvariants(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(invs) != 1 || invs[0][0] != 1 || invs[0][1] != 2 {
+		t.Fatalf("invariants = %v, want [[1 2]]", invs)
+	}
+}
+
+func TestPInvariantsNoneForSource(t *testing.T) {
+	// A pure source/sink net conserves nothing.
+	n := NewNet("src")
+	q := n.AddPlace("Q")
+	arr := n.AddExponential("Arr", 1)
+	n.Output(arr, q, 1)
+	srv := n.AddExponential("Srv", 1)
+	n.Input(srv, q, 1)
+	invs, err := PInvariants(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(invs) != 0 {
+		t.Fatalf("unexpected invariants %v", invs)
+	}
+}
+
+func TestTInvariantsRing(t *testing.T) {
+	n := ringNet()
+	invs, err := TInvariants(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(invs) != 1 || invs[0][0] != 1 || invs[0][1] != 1 {
+		t.Fatalf("T-invariants = %v, want [[1 1]]", invs)
+	}
+}
+
+func TestTInvariantFiringReturnsMarking(t *testing.T) {
+	// Firing each transition per the T-invariant restores the marking.
+	n := ringNet()
+	invs, err := TInvariants(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := n.InitialMarking()
+	orig := m.Clone()
+	for ti, count := range invs[0] {
+		for k := 0; k < count; k++ {
+			if !n.Enabled(m, TransitionID(ti)) {
+				t.Skip("firing order matters; skip when not directly fireable")
+			}
+			n.Fire(m, TransitionID(ti))
+		}
+	}
+	if !m.Equal(orig) {
+		t.Fatalf("marking after T-invariant firing = %v, want %v", m, orig)
+	}
+}
+
+func TestInvariantValueConservedUnderRandomFiring(t *testing.T) {
+	// Property test: along any firing sequence of the ring net, the
+	// P-invariant token sum never changes.
+	n := ringNet()
+	invs, err := PInvariants(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(8)
+	m := n.InitialMarking()
+	want := InvariantValue(m, invs[0])
+	for step := 0; step < 1000; step++ {
+		var enabled []TransitionID
+		for ti := range n.Transitions {
+			if n.Enabled(m, TransitionID(ti)) {
+				enabled = append(enabled, TransitionID(ti))
+			}
+		}
+		if len(enabled) == 0 {
+			break
+		}
+		n.Fire(m, enabled[r.Intn(len(enabled))])
+		if got := InvariantValue(m, invs[0]); got != want {
+			t.Fatalf("invariant value changed: %d -> %d at step %d", want, got, step)
+		}
+	}
+}
+
+func TestInvariantValueLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	InvariantValue(Marking{1, 2}, []int{1})
+}
+
+func TestCoveredPlaces(t *testing.T) {
+	n := NewNet("c")
+	a := n.AddPlaceInit("A", 1)
+	b := n.AddPlace("B")
+	q := n.AddPlace("Q") // fed by a source, unbounded
+	ab := n.AddExponential("AB", 1)
+	n.Input(ab, a, 1)
+	n.Output(ab, b, 1)
+	n.Output(ab, q, 1)
+	ba := n.AddExponential("BA", 1)
+	n.Input(ba, b, 1)
+	n.Output(ba, a, 1)
+	invs, err := PInvariants(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := CoveredPlaces(n, invs)
+	if !cov[a] || !cov[b] {
+		t.Fatalf("ring places not covered: %v", cov)
+	}
+	if cov[q] {
+		t.Fatal("unbounded place reported covered")
+	}
+}
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{12, 18, 6}, {18, 12, 6}, {5, 0, 5}, {0, 5, 5}, {0, 0, 0},
+		{-12, 18, 6}, {7, 13, 1},
+	}
+	for _, c := range cases {
+		if got := gcd(c.a, c.b); got != c.want {
+			t.Errorf("gcd(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestFarkasFindsRingInvariantProperty: for random token-conserving rings
+// (every transition moves exactly one token to the next place), the Farkas
+// algorithm must always report the all-ones invariant.
+func TestFarkasFindsRingInvariantProperty(t *testing.T) {
+	r := xrand.New(55)
+	for trial := 0; trial < 50; trial++ {
+		k := 2 + r.Intn(8)
+		n := NewNet("ring")
+		places := make([]PlaceID, k)
+		for i := 0; i < k; i++ {
+			places[i] = n.AddPlaceInit(ringName("P", i), r.Intn(3))
+		}
+		for i := 0; i < k; i++ {
+			tr := n.AddExponential(ringName("T", i), 1+r.Float64())
+			n.Input(tr, places[i], 1)
+			n.Output(tr, places[(i+1)%k], 1)
+		}
+		invs, err := PInvariants(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, y := range invs {
+			allOnes := true
+			for _, v := range y {
+				if v != 1 {
+					allOnes = false
+					break
+				}
+			}
+			if allOnes {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("trial %d (k=%d): all-ones invariant not found in %v", trial, k, invs)
+		}
+	}
+}
+
+func ringName(prefix string, i int) string {
+	return prefix + string(rune('a'+i))
+}
+
+func TestMinimalSupportFiltering(t *testing.T) {
+	// [1 1 0] is minimal; [1 1 1] has strictly larger support and must be
+	// dropped if both appear.
+	invs := [][]int{{1, 1, 0}, {1, 1, 1}}
+	got := minimalSupport(invs)
+	if len(got) != 1 || got[0][2] != 0 {
+		t.Fatalf("minimalSupport = %v", got)
+	}
+}

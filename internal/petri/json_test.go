@@ -1,0 +1,164 @@
+package petri
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func buildRoundTripNet() *Net {
+	n := NewNet("roundtrip")
+	a := n.AddPlaceInit("A", 2)
+	b := n.AddPlace("B")
+	n.SetCapacity(b, 7)
+	c := n.AddPlace("C")
+	imm := n.AddImmediate("Imm", 3)
+	n.SetWeight(imm, 2.5)
+	n.Input(imm, a, 1)
+	n.Output(imm, b, 2)
+	exp := n.AddExponential("Exp", 1.5)
+	n.Input(exp, b, 1)
+	n.Output(exp, c, 1)
+	n.SetInfiniteServer(exp)
+	expC := n.AddExponential("ExpC", 2.5)
+	n.Input(expC, b, 1)
+	n.SetServers(expC, 3)
+	det := n.AddDeterministic("Det", 0.25)
+	n.Input(det, c, 1)
+	n.Output(det, a, 1)
+	uni := n.AddTimed("Uni", dist.NewUniform(1, 2))
+	n.Input(uni, a, 1)
+	n.Inhibitor(uni, b, 3)
+	erl := n.AddTimed("Erl", dist.NewErlang(4, 8))
+	n.Output(erl, a, 1)
+	n.Input(erl, c, 1)
+	return n
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	n := buildRoundTripNet()
+	data, err := MarshalJSON(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := UnmarshalJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.Name != n.Name {
+		t.Fatalf("name = %q, want %q", n2.Name, n.Name)
+	}
+	if len(n2.Places) != len(n.Places) || len(n2.Transitions) != len(n.Transitions) {
+		t.Fatal("structure size mismatch after round trip")
+	}
+	for i, p := range n.Places {
+		q := n2.Places[i]
+		if p.Name != q.Name || p.Initial != q.Initial || p.Capacity != q.Capacity {
+			t.Fatalf("place %d mismatch: %+v vs %+v", i, p, q)
+		}
+	}
+	for i := range n.Transitions {
+		p, q := &n.Transitions[i], &n2.Transitions[i]
+		if p.Name != q.Name || p.Kind != q.Kind || p.Priority != q.Priority {
+			t.Fatalf("transition %d mismatch: %+v vs %+v", i, p, q)
+		}
+		if p.Kind == Immediate && math.Abs(p.Weight-q.Weight) > 1e-12 {
+			t.Fatalf("weight mismatch: %v vs %v", p.Weight, q.Weight)
+		}
+		if p.Kind == Timed {
+			if p.Delay.String() != q.Delay.String() {
+				t.Fatalf("delay mismatch: %s vs %s", p.Delay, q.Delay)
+			}
+		}
+		if p.Servers != q.Servers {
+			t.Fatalf("%s: servers %d vs %d after round trip", p.Name, p.Servers, q.Servers)
+		}
+		if len(p.Inputs) != len(q.Inputs) || len(p.Outputs) != len(q.Outputs) || len(p.Inhibitors) != len(q.Inhibitors) {
+			t.Fatalf("arc counts mismatch on %s", p.Name)
+		}
+	}
+}
+
+func TestJSONRoundTripBehaviour(t *testing.T) {
+	// The round-tripped net must simulate identically (same seed).
+	n := mm1Net(1, 4)
+	data, err := MarshalJSON(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := UnmarshalJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Simulate(n, SimOptions{Seed: 9, Duration: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Simulate(n2, SimOptions{Seed: 9, Duration: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.PlaceAvg {
+		if r1.PlaceAvg[i] != r2.PlaceAvg[i] {
+			t.Fatalf("round-tripped net diverged: %v vs %v", r1.PlaceAvg, r2.PlaceAvg)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":         `{`,
+		"unknown kind":     `{"name":"x","places":[{"name":"A"}],"transitions":[{"name":"T","kind":"weird"}],"arcs":[]}`,
+		"exp without rate": `{"name":"x","places":[{"name":"A"}],"transitions":[{"name":"T","kind":"exponential"}],"arcs":[]}`,
+		"erlang without k": `{"name":"x","places":[{"name":"A"}],"transitions":[{"name":"T","kind":"erlang","mean":1}],"arcs":[]}`,
+		"uniform bad":      `{"name":"x","places":[{"name":"A"}],"transitions":[{"name":"T","kind":"uniform","low":2,"high":1}],"arcs":[]}`,
+		"arc to nothing":   `{"name":"x","places":[{"name":"A"}],"transitions":[{"name":"T","kind":"immediate"}],"arcs":[{"from":"A","to":"Z"}]}`,
+		"inhibitor from T": `{"name":"x","places":[{"name":"A"}],"transitions":[{"name":"T","kind":"immediate"}],"arcs":[{"from":"T","to":"A","kind":"inhibitor"}]}`,
+		"negative initial": `{"name":"x","places":[{"name":"A","initial":-1}],"transitions":[{"name":"T","kind":"immediate"}],"arcs":[]}`,
+	}
+	for name, raw := range cases {
+		if _, err := UnmarshalJSON([]byte(raw)); err == nil {
+			t.Errorf("%s: accepted invalid input", name)
+		}
+	}
+}
+
+func TestUnmarshalExponentialMean(t *testing.T) {
+	raw := `{"name":"x","places":[{"name":"A","initial":1}],
+	 "transitions":[{"name":"T","kind":"exponential","mean":0.5}],
+	 "arcs":[{"from":"A","to":"T"}]}`
+	n, err := UnmarshalJSON([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := n.Transitions[0]
+	e, ok := tr.Delay.(dist.Exponential)
+	if !ok || math.Abs(e.Rate-2) > 1e-12 {
+		t.Fatalf("mean 0.5 should give rate 2, got %v", tr.Delay)
+	}
+}
+
+func TestUnmarshalDefaultArcWeight(t *testing.T) {
+	raw := `{"name":"x","places":[{"name":"A","initial":1}],
+	 "transitions":[{"name":"T","kind":"immediate"}],
+	 "arcs":[{"from":"A","to":"T"}]}`
+	n, err := UnmarshalJSON([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Transitions[0].Inputs[0].Weight != 1 {
+		t.Fatal("default arc weight not 1")
+	}
+}
+
+func TestMarshalRejectsExoticDistribution(t *testing.T) {
+	n := NewNet("x")
+	a := n.AddPlaceInit("A", 1)
+	tr := n.AddTimed("T", dist.NewWeibull(2, 1))
+	n.Input(tr, a, 1)
+	if _, err := MarshalJSON(n); err == nil || !strings.Contains(err.Error(), "serialize") {
+		t.Fatalf("want serialization error, got %v", err)
+	}
+}

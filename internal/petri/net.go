@@ -1,0 +1,493 @@
+// Package petri implements Extended Deterministic and Stochastic Petri Nets
+// (EDSPNs) in the style of TimeNet: places, immediate transitions with
+// priorities and weights, timed transitions with arbitrary firing-delay
+// distributions (exponential, deterministic, Erlang, ...), inhibitor arcs,
+// guards and place capacities.
+//
+// The package provides three analysis engines:
+//
+//   - a discrete-event simulator with race-enabling memory semantics and
+//     time-averaged token statistics (sim.go), the method the paper uses to
+//     evaluate its CPU model;
+//   - structural analysis: incidence matrix and P/T-invariants via the
+//     Farkas algorithm (invariants.go);
+//   - exact numerical analysis of nets whose timed transitions are all
+//     exponential: reachability-graph construction with on-the-fly
+//     elimination of vanishing markings, yielding a CTMC whose stationary
+//     distribution gives exact token statistics (reach.go).
+//
+// Nets can be serialized to JSON (json.go) and exported to Graphviz DOT
+// (dot.go).
+package petri
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/dist"
+)
+
+// PlaceID identifies a place within its net.
+type PlaceID int
+
+// TransitionID identifies a transition within its net.
+type TransitionID int
+
+// Kind discriminates transition firing semantics.
+type Kind int
+
+const (
+	// Immediate transitions fire in zero time, before any timed
+	// transition, ordered by priority (higher first) and selected by
+	// weight among equal priorities.
+	Immediate Kind = iota
+	// Timed transitions fire after a delay sampled from a distribution.
+	Timed
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Immediate:
+		return "immediate"
+	case Timed:
+		return "timed"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Arc connects a place to a transition (input/inhibitor) or a transition to
+// a place (output) with an integer multiplicity.
+type Arc struct {
+	Place  PlaceID
+	Weight int
+}
+
+// Place is a token container.
+type Place struct {
+	Name    string
+	Initial int
+	// Capacity bounds the tokens the place can hold; 0 means unbounded.
+	// A transition whose firing would overflow a bounded output place is
+	// not enabled.
+	Capacity int
+}
+
+// Guard is an extra enabling predicate evaluated on the current marking.
+type Guard func(Marking) bool
+
+// Transition consumes tokens from input places and produces tokens in
+// output places when it fires.
+type Transition struct {
+	Name string
+	Kind Kind
+	// Delay is the firing-delay distribution for timed transitions.
+	Delay dist.Distribution
+	// Priority orders immediate transitions; higher fires first.
+	// The paper's Table 1 assigns T1=4, T6=3, T5=2, T2=1.
+	Priority int
+	// Weight resolves random choices among enabled immediate transitions
+	// of equal priority. Defaults to 1.
+	Weight float64
+	// Guard, when non-nil, must be true for the transition to be enabled.
+	Guard Guard
+	// Servers selects the firing semantics of an exponential timed
+	// transition: 0 (or 1) is single-server, k > 1 is k-server, and
+	// InfiniteServers scales the firing rate with the full enabling
+	// degree (TimeNet's infinite-server semantics, needed for closed
+	// workloads where each circulating customer carries its own clock).
+	// Non-exponential timed transitions must be single-server.
+	Servers int
+
+	Inputs     []Arc
+	Outputs    []Arc
+	Inhibitors []Arc
+}
+
+// InfiniteServers marks a transition as infinite-server: its exponential
+// rate is multiplied by the enabling degree.
+const InfiniteServers = -1
+
+// Net is an Extended Deterministic and Stochastic Petri Net.
+type Net struct {
+	Name        string
+	Places      []Place
+	Transitions []Transition
+}
+
+// NewNet creates an empty net with the given name.
+func NewNet(name string) *Net {
+	return &Net{Name: name}
+}
+
+// AddPlace adds a place with zero initial tokens and no capacity bound.
+func (n *Net) AddPlace(name string) PlaceID {
+	return n.AddPlaceInit(name, 0)
+}
+
+// AddPlaceInit adds a place with the given initial marking.
+func (n *Net) AddPlaceInit(name string, initial int) PlaceID {
+	if initial < 0 {
+		panic(fmt.Sprintf("petri: initial marking of %q must be >= 0, got %d", name, initial))
+	}
+	n.Places = append(n.Places, Place{Name: name, Initial: initial})
+	return PlaceID(len(n.Places) - 1)
+}
+
+// SetCapacity bounds the number of tokens place p can hold.
+func (n *Net) SetCapacity(p PlaceID, capacity int) {
+	if capacity < 1 {
+		panic(fmt.Sprintf("petri: capacity must be >= 1, got %d", capacity))
+	}
+	n.Places[p].Capacity = capacity
+}
+
+// AddImmediate adds an immediate transition with the given priority and
+// weight 1.
+func (n *Net) AddImmediate(name string, priority int) TransitionID {
+	n.Transitions = append(n.Transitions, Transition{
+		Name: name, Kind: Immediate, Priority: priority, Weight: 1,
+	})
+	return TransitionID(len(n.Transitions) - 1)
+}
+
+// AddTimed adds a timed transition with the given firing-delay distribution.
+func (n *Net) AddTimed(name string, d dist.Distribution) TransitionID {
+	if d == nil {
+		panic(fmt.Sprintf("petri: timed transition %q needs a delay distribution", name))
+	}
+	n.Transitions = append(n.Transitions, Transition{Name: name, Kind: Timed, Delay: d, Weight: 1})
+	return TransitionID(len(n.Transitions) - 1)
+}
+
+// AddExponential adds a timed transition with exponential delay of the given
+// rate. Exponential transitions are eligible for exact CTMC analysis.
+func (n *Net) AddExponential(name string, rate float64) TransitionID {
+	return n.AddTimed(name, dist.NewExponential(rate))
+}
+
+// AddDeterministic adds a timed transition with a constant delay.
+func (n *Net) AddDeterministic(name string, delay float64) TransitionID {
+	return n.AddTimed(name, dist.NewDeterministic(delay))
+}
+
+// SetWeight sets the conflict-resolution weight of an immediate transition.
+func (n *Net) SetWeight(t TransitionID, w float64) {
+	if w <= 0 {
+		panic(fmt.Sprintf("petri: weight must be positive, got %v", w))
+	}
+	n.Transitions[t].Weight = w
+}
+
+// SetGuard attaches a guard predicate to a transition.
+func (n *Net) SetGuard(t TransitionID, g Guard) { n.Transitions[t].Guard = g }
+
+// SetServers selects k-server semantics (k >= 1) for an exponential timed
+// transition: its rate is multiplied by min(k, enabling degree).
+func (n *Net) SetServers(t TransitionID, k int) {
+	if k < 1 {
+		panic(fmt.Sprintf("petri: server count must be >= 1, got %d", k))
+	}
+	n.Transitions[t].Servers = k
+}
+
+// SetInfiniteServer selects infinite-server semantics for an exponential
+// timed transition: its rate is multiplied by the full enabling degree.
+func (n *Net) SetInfiniteServer(t TransitionID) {
+	n.Transitions[t].Servers = InfiniteServers
+}
+
+// Input adds an arc from place p to transition t with multiplicity w.
+func (n *Net) Input(t TransitionID, p PlaceID, w int) {
+	n.checkArc(t, p, w)
+	n.Transitions[t].Inputs = append(n.Transitions[t].Inputs, Arc{Place: p, Weight: w})
+}
+
+// Output adds an arc from transition t to place p with multiplicity w.
+func (n *Net) Output(t TransitionID, p PlaceID, w int) {
+	n.checkArc(t, p, w)
+	n.Transitions[t].Outputs = append(n.Transitions[t].Outputs, Arc{Place: p, Weight: w})
+}
+
+// Inhibitor adds an inhibitor arc: transition t is enabled only while place
+// p holds fewer than w tokens (w=1 means "p must be empty", the small-circle
+// arcs of the paper's Figure 3).
+func (n *Net) Inhibitor(t TransitionID, p PlaceID, w int) {
+	n.checkArc(t, p, w)
+	n.Transitions[t].Inhibitors = append(n.Transitions[t].Inhibitors, Arc{Place: p, Weight: w})
+}
+
+func (n *Net) checkArc(t TransitionID, p PlaceID, w int) {
+	if int(t) < 0 || int(t) >= len(n.Transitions) {
+		panic(fmt.Sprintf("petri: transition id %d out of range", t))
+	}
+	if int(p) < 0 || int(p) >= len(n.Places) {
+		panic(fmt.Sprintf("petri: place id %d out of range", p))
+	}
+	if w < 1 {
+		panic(fmt.Sprintf("petri: arc weight must be >= 1, got %d", w))
+	}
+}
+
+// PlaceByName returns the id of the named place.
+func (n *Net) PlaceByName(name string) (PlaceID, bool) {
+	for i, p := range n.Places {
+		if p.Name == name {
+			return PlaceID(i), true
+		}
+	}
+	return -1, false
+}
+
+// TransitionByName returns the id of the named transition.
+func (n *Net) TransitionByName(name string) (TransitionID, bool) {
+	for i, t := range n.Transitions {
+		if t.Name == name {
+			return TransitionID(i), true
+		}
+	}
+	return -1, false
+}
+
+// InitialMarking returns a fresh marking with every place at its initial
+// token count.
+func (n *Net) InitialMarking() Marking {
+	m := make(Marking, len(n.Places))
+	for i, p := range n.Places {
+		m[i] = p.Initial
+	}
+	return m
+}
+
+// Validate checks structural consistency: unique non-empty names, timed
+// transitions with delay distributions, arcs in range, and positive weights.
+func (n *Net) Validate() error {
+	if len(n.Places) == 0 {
+		return fmt.Errorf("petri: net %q has no places", n.Name)
+	}
+	if len(n.Transitions) == 0 {
+		return fmt.Errorf("petri: net %q has no transitions", n.Name)
+	}
+	seen := make(map[string]bool, len(n.Places)+len(n.Transitions))
+	for _, p := range n.Places {
+		if p.Name == "" {
+			return fmt.Errorf("petri: empty place name")
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("petri: duplicate name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Initial < 0 {
+			return fmt.Errorf("petri: place %q has negative initial marking", p.Name)
+		}
+		if p.Capacity > 0 && p.Initial > p.Capacity {
+			return fmt.Errorf("petri: place %q initial marking %d exceeds capacity %d", p.Name, p.Initial, p.Capacity)
+		}
+	}
+	for _, t := range n.Transitions {
+		if t.Name == "" {
+			return fmt.Errorf("petri: empty transition name")
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("petri: duplicate name %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.Kind == Timed && t.Delay == nil {
+			return fmt.Errorf("petri: timed transition %q has no delay distribution", t.Name)
+		}
+		if t.Kind == Immediate && t.Weight <= 0 {
+			return fmt.Errorf("petri: immediate transition %q has non-positive weight", t.Name)
+		}
+		if t.Servers != 0 && t.Servers != 1 {
+			if t.Servers < InfiniteServers {
+				return fmt.Errorf("petri: transition %q has invalid server count %d", t.Name, t.Servers)
+			}
+			if t.Kind != Timed {
+				return fmt.Errorf("petri: immediate transition %q cannot have server semantics", t.Name)
+			}
+			if _, ok := t.Delay.(dist.Exponential); !ok {
+				return fmt.Errorf("petri: multi-server transition %q must be exponential (memoryless rate scaling), has %s", t.Name, t.Delay)
+			}
+		}
+		for _, arcs := range [][]Arc{t.Inputs, t.Outputs, t.Inhibitors} {
+			for _, a := range arcs {
+				if int(a.Place) < 0 || int(a.Place) >= len(n.Places) {
+					return fmt.Errorf("petri: transition %q has arc to out-of-range place %d", t.Name, a.Place)
+				}
+				if a.Weight < 1 {
+					return fmt.Errorf("petri: transition %q has arc with weight %d", t.Name, a.Weight)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Enabled reports whether transition t may fire in marking m: all input
+// places hold enough tokens, all inhibitor places hold strictly fewer than
+// the arc weight, bounded output places have room, and the guard (if any)
+// holds.
+func (n *Net) Enabled(m Marking, t TransitionID) bool {
+	tr := &n.Transitions[t]
+	for _, a := range tr.Inputs {
+		if m[a.Place] < a.Weight {
+			return false
+		}
+	}
+	for _, a := range tr.Inhibitors {
+		if m[a.Place] >= a.Weight {
+			return false
+		}
+	}
+	for _, a := range tr.Outputs {
+		p := &n.Places[a.Place]
+		if p.Capacity > 0 {
+			// Net effect on the place: outputs minus inputs consumed by
+			// this same firing.
+			consumed := 0
+			for _, in := range tr.Inputs {
+				if in.Place == a.Place {
+					consumed += in.Weight
+				}
+			}
+			if m[a.Place]-consumed+a.Weight > p.Capacity {
+				return false
+			}
+		}
+	}
+	if tr.Guard != nil && !tr.Guard(m) {
+		return false
+	}
+	return true
+}
+
+// EnablingDegree returns the number of concurrent enablings of transition t
+// in marking m: 0 when disabled, otherwise min over input arcs of
+// floor(M(p)/w), capped at the transition's server count. Single-server
+// transitions always report 1 when enabled; source transitions (no inputs)
+// report 1.
+func (n *Net) EnablingDegree(m Marking, t TransitionID) int {
+	if !n.Enabled(m, t) {
+		return 0
+	}
+	tr := &n.Transitions[t]
+	if tr.Servers == 0 || tr.Servers == 1 {
+		return 1
+	}
+	deg := -1
+	for _, a := range tr.Inputs {
+		d := m[a.Place] / a.Weight
+		if deg < 0 || d < deg {
+			deg = d
+		}
+	}
+	if deg < 0 {
+		deg = 1 // source transition
+	}
+	if tr.Servers > 1 && deg > tr.Servers {
+		deg = tr.Servers
+	}
+	return deg
+}
+
+// Fire updates marking m in place by firing transition t. It panics if the
+// transition is not enabled; callers must check Enabled first.
+func (n *Net) Fire(m Marking, t TransitionID) {
+	if !n.Enabled(m, t) {
+		panic(fmt.Sprintf("petri: firing disabled transition %q", n.Transitions[t].Name))
+	}
+	tr := &n.Transitions[t]
+	for _, a := range tr.Inputs {
+		m[a.Place] -= a.Weight
+	}
+	for _, a := range tr.Outputs {
+		m[a.Place] += a.Weight
+	}
+}
+
+// AnyImmediateEnabled reports whether any immediate transition is enabled.
+func (n *Net) AnyImmediateEnabled(m Marking) bool {
+	for i := range n.Transitions {
+		if n.Transitions[i].Kind == Immediate && n.Enabled(m, TransitionID(i)) {
+			return true
+		}
+	}
+	return false
+}
+
+// EnabledImmediatesAtTopPriority returns the enabled immediate transitions
+// having the highest priority among all enabled immediates.
+func (n *Net) EnabledImmediatesAtTopPriority(m Marking) []TransitionID {
+	best := 0
+	found := false
+	var ids []TransitionID
+	for i := range n.Transitions {
+		tr := &n.Transitions[i]
+		if tr.Kind != Immediate || !n.Enabled(m, TransitionID(i)) {
+			continue
+		}
+		switch {
+		case !found || tr.Priority > best:
+			best = tr.Priority
+			found = true
+			ids = ids[:0]
+			ids = append(ids, TransitionID(i))
+		case tr.Priority == best:
+			ids = append(ids, TransitionID(i))
+		}
+	}
+	return ids
+}
+
+// ---------------------------------------------------------------------------
+// Marking
+
+// Marking is a token count per place, indexed by PlaceID.
+type Marking []int
+
+// Clone returns a copy of the marking.
+func (m Marking) Clone() Marking {
+	c := make(Marking, len(m))
+	copy(c, m)
+	return c
+}
+
+// Equal reports whether two markings are identical.
+func (m Marking) Equal(o Marking) bool {
+	if len(m) != len(o) {
+		return false
+	}
+	for i := range m {
+		if m[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a compact string usable as a map key for reachability sets.
+func (m Marking) Key() string {
+	var sb strings.Builder
+	for i, v := range m {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(v))
+	}
+	return sb.String()
+}
+
+// Total returns the total number of tokens.
+func (m Marking) Total() int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// String renders the marking as "[1 0 2]".
+func (m Marking) String() string {
+	return fmt.Sprintf("%v", []int(m))
+}

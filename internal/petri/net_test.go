@@ -1,0 +1,328 @@
+package petri
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// twoPlaceNet builds A --T--> B with one initial token in A.
+func twoPlaceNet() (*Net, PlaceID, PlaceID, TransitionID) {
+	n := NewNet("two")
+	a := n.AddPlaceInit("A", 1)
+	b := n.AddPlace("B")
+	t := n.AddDeterministic("T", 1)
+	n.Input(t, a, 1)
+	n.Output(t, b, 1)
+	return n, a, b, t
+}
+
+func TestBuilderAndValidate(t *testing.T) {
+	n, _, _, _ := twoPlaceNet()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	t.Run("no places", func(t *testing.T) {
+		n := NewNet("x")
+		n.AddImmediate("T", 1)
+		if err := n.Validate(); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("no transitions", func(t *testing.T) {
+		n := NewNet("x")
+		n.AddPlace("A")
+		if err := n.Validate(); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("duplicate names", func(t *testing.T) {
+		n := NewNet("x")
+		n.AddPlace("A")
+		n.AddPlace("A")
+		n.AddImmediate("T", 1)
+		if err := n.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+			t.Fatalf("want duplicate error, got %v", err)
+		}
+	})
+	t.Run("place/transition name clash", func(t *testing.T) {
+		n := NewNet("x")
+		n.AddPlace("A")
+		n.AddImmediate("A", 1)
+		if err := n.Validate(); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("capacity below initial", func(t *testing.T) {
+		n := NewNet("x")
+		p := n.AddPlaceInit("A", 5)
+		n.SetCapacity(p, 2)
+		n.AddImmediate("T", 1)
+		if err := n.Validate(); err == nil {
+			t.Fatal("want error")
+		}
+	})
+}
+
+func TestAddPlaceNegativeInitialPanics(t *testing.T) {
+	n := NewNet("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative initial accepted")
+		}
+	}()
+	n.AddPlaceInit("A", -1)
+}
+
+func TestAddTimedNilDistPanics(t *testing.T) {
+	n := NewNet("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil distribution accepted")
+		}
+	}()
+	n.AddTimed("T", nil)
+}
+
+func TestArcValidation(t *testing.T) {
+	n := NewNet("x")
+	a := n.AddPlace("A")
+	tr := n.AddImmediate("T", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-weight arc accepted")
+		}
+	}()
+	n.Input(tr, a, 0)
+}
+
+func TestEnablingInputTokens(t *testing.T) {
+	n, a, _, tr := twoPlaceNet()
+	m := n.InitialMarking()
+	if !n.Enabled(m, tr) {
+		t.Fatal("transition should be enabled with 1 token")
+	}
+	m[a] = 0
+	if n.Enabled(m, tr) {
+		t.Fatal("transition enabled without tokens")
+	}
+}
+
+func TestEnablingMultiplicity(t *testing.T) {
+	n := NewNet("x")
+	a := n.AddPlaceInit("A", 1)
+	b := n.AddPlace("B")
+	tr := n.AddImmediate("T", 1)
+	n.Input(tr, a, 2)
+	n.Output(tr, b, 3)
+	m := n.InitialMarking()
+	if n.Enabled(m, tr) {
+		t.Fatal("enabled with 1 token but weight-2 input arc")
+	}
+	m[a] = 2
+	if !n.Enabled(m, tr) {
+		t.Fatal("not enabled with exactly enough tokens")
+	}
+	n.Fire(m, tr)
+	if m[a] != 0 || m[b] != 3 {
+		t.Fatalf("after fire marking = %v, want [0 3]", m)
+	}
+}
+
+func TestInhibitorArc(t *testing.T) {
+	n := NewNet("x")
+	a := n.AddPlaceInit("A", 1)
+	blocker := n.AddPlace("Blocker")
+	b := n.AddPlace("B")
+	tr := n.AddImmediate("T", 1)
+	n.Input(tr, a, 1)
+	n.Output(tr, b, 1)
+	n.Inhibitor(tr, blocker, 1)
+	m := n.InitialMarking()
+	if !n.Enabled(m, tr) {
+		t.Fatal("should be enabled with empty inhibitor place")
+	}
+	m[blocker] = 1
+	if n.Enabled(m, tr) {
+		t.Fatal("enabled despite inhibitor token")
+	}
+	// Weight-2 inhibitor blocks only at >= 2 tokens.
+	n2 := NewNet("y")
+	a2 := n2.AddPlaceInit("A", 1)
+	bl2 := n2.AddPlace("Blocker")
+	tr2 := n2.AddImmediate("T", 1)
+	n2.Input(tr2, a2, 1)
+	n2.Inhibitor(tr2, bl2, 2)
+	m2 := n2.InitialMarking()
+	m2[bl2] = 1
+	if !n2.Enabled(m2, tr2) {
+		t.Fatal("weight-2 inhibitor blocked at 1 token")
+	}
+	m2[bl2] = 2
+	if n2.Enabled(m2, tr2) {
+		t.Fatal("weight-2 inhibitor did not block at 2 tokens")
+	}
+}
+
+func TestCapacityBlocksFiring(t *testing.T) {
+	n := NewNet("x")
+	src := n.AddPlaceInit("Src", 10)
+	dst := n.AddPlace("Dst")
+	n.SetCapacity(dst, 2)
+	tr := n.AddImmediate("T", 1)
+	n.Input(tr, src, 1)
+	n.Output(tr, dst, 1)
+	m := n.InitialMarking()
+	for i := 0; i < 2; i++ {
+		if !n.Enabled(m, tr) {
+			t.Fatalf("should be enabled at dst=%d", m[dst])
+		}
+		n.Fire(m, tr)
+	}
+	if n.Enabled(m, tr) {
+		t.Fatal("enabled when output place is at capacity")
+	}
+}
+
+func TestCapacityAccountsForConsumedTokens(t *testing.T) {
+	// A transition that consumes from and produces into the same bounded
+	// place keeps the count constant, so it must stay enabled at capacity.
+	n := NewNet("x")
+	p := n.AddPlaceInit("P", 2)
+	n.SetCapacity(p, 2)
+	tr := n.AddTimed("T", dist.NewDeterministic(1))
+	n.Input(tr, p, 1)
+	n.Output(tr, p, 1)
+	m := n.InitialMarking()
+	if !n.Enabled(m, tr) {
+		t.Fatal("self-loop at capacity should be enabled")
+	}
+}
+
+func TestGuard(t *testing.T) {
+	n := NewNet("x")
+	a := n.AddPlaceInit("A", 5)
+	tr := n.AddImmediate("T", 1)
+	n.Input(tr, a, 1)
+	n.SetGuard(tr, func(m Marking) bool { return m[a] > 3 })
+	m := n.InitialMarking()
+	if !n.Enabled(m, tr) {
+		t.Fatal("guard should pass with 5 tokens")
+	}
+	m[a] = 3
+	if n.Enabled(m, tr) {
+		t.Fatal("guard should fail with 3 tokens")
+	}
+}
+
+func TestFireDisabledPanics(t *testing.T) {
+	n, a, _, tr := twoPlaceNet()
+	m := n.InitialMarking()
+	m[a] = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("firing disabled transition did not panic")
+		}
+	}()
+	n.Fire(m, tr)
+}
+
+func TestLookupByName(t *testing.T) {
+	n, a, _, tr := twoPlaceNet()
+	if id, ok := n.PlaceByName("A"); !ok || id != a {
+		t.Fatal("PlaceByName failed")
+	}
+	if id, ok := n.TransitionByName("T"); !ok || id != tr {
+		t.Fatal("TransitionByName failed")
+	}
+	if _, ok := n.PlaceByName("nope"); ok {
+		t.Fatal("found nonexistent place")
+	}
+	if _, ok := n.TransitionByName("nope"); ok {
+		t.Fatal("found nonexistent transition")
+	}
+}
+
+func TestMarkingOps(t *testing.T) {
+	m := Marking{1, 0, 2}
+	c := m.Clone()
+	c[0] = 9
+	if m[0] != 1 {
+		t.Fatal("Clone aliased")
+	}
+	if !m.Equal(Marking{1, 0, 2}) {
+		t.Fatal("Equal false negative")
+	}
+	if m.Equal(Marking{1, 0}) || m.Equal(Marking{1, 0, 3}) {
+		t.Fatal("Equal false positive")
+	}
+	if m.Key() != "1,0,2" {
+		t.Fatalf("Key = %q", m.Key())
+	}
+	if m.Total() != 3 {
+		t.Fatalf("Total = %d", m.Total())
+	}
+}
+
+func TestTopPriorityImmediates(t *testing.T) {
+	n := NewNet("x")
+	a := n.AddPlaceInit("A", 1)
+	lo := n.AddImmediate("Lo", 1)
+	hiA := n.AddImmediate("HiA", 5)
+	hiB := n.AddImmediate("HiB", 5)
+	for _, tr := range []TransitionID{lo, hiA, hiB} {
+		n.Input(tr, a, 1)
+	}
+	ids := n.EnabledImmediatesAtTopPriority(n.InitialMarking())
+	if len(ids) != 2 {
+		t.Fatalf("top-priority set = %v, want the two priority-5 transitions", ids)
+	}
+	for _, id := range ids {
+		if id == lo {
+			t.Fatal("low-priority transition in top set")
+		}
+	}
+}
+
+func TestInitialMarking(t *testing.T) {
+	n, a, b, _ := twoPlaceNet()
+	m := n.InitialMarking()
+	if m[a] != 1 || m[b] != 0 {
+		t.Fatalf("initial marking = %v", m)
+	}
+	// Fresh copy each time.
+	m[a] = 42
+	if n.InitialMarking()[a] != 1 {
+		t.Fatal("InitialMarking returned shared state")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	n, _, _, _ := twoPlaceNet()
+	d := DOT(n)
+	for _, want := range []string{"digraph", "A", "B", "Det(1)", "->"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestDOTInhibitor(t *testing.T) {
+	n := NewNet("x")
+	a := n.AddPlace("A")
+	tr := n.AddImmediate("T", 2)
+	n.Inhibitor(tr, a, 1)
+	if !strings.Contains(DOT(n), "odot") {
+		t.Fatal("DOT output missing inhibitor arrowhead")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Immediate.String() != "immediate" || Timed.String() != "timed" {
+		t.Fatal("Kind.String wrong")
+	}
+}

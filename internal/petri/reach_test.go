@@ -1,0 +1,307 @@
+package petri
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// mm1kNet builds an M/M/1/K queue: a source transition feeds a bounded
+// place, a server empties it.
+func mm1kNet(lambda, mu float64, k int) *Net {
+	n := NewNet("mm1k")
+	q := n.AddPlace("Queue")
+	n.SetCapacity(q, k)
+	arr := n.AddExponential("Arrive", lambda)
+	n.Output(arr, q, 1)
+	srv := n.AddExponential("Serve", mu)
+	n.Input(srv, q, 1)
+	return n
+}
+
+func TestSolveCTMCMM1K(t *testing.T) {
+	const (
+		lambda = 2.0
+		mu     = 3.0
+		k      = 8
+	)
+	n := mm1kNet(lambda, mu, k)
+	res, err := SolveCTMC(n, ReachOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Markings) != k+1 {
+		t.Fatalf("tangible markings = %d, want %d", len(res.Markings), k+1)
+	}
+	rho := lambda / mu
+	norm := 0.0
+	for i := 0; i <= k; i++ {
+		norm += math.Pow(rho, float64(i))
+	}
+	// Expected queue length from the closed form.
+	wantL := 0.0
+	for i := 0; i <= k; i++ {
+		wantL += float64(i) * math.Pow(rho, float64(i)) / norm
+	}
+	if math.Abs(res.PlaceAvgByName(n, "Queue")-wantL) > 1e-8 {
+		t.Fatalf("E[N] = %v, want %v", res.PlaceAvg[0], wantL)
+	}
+	// Server throughput mu * P(queue non-empty).
+	srvID, _ := n.TransitionByName("Serve")
+	wantX := mu * (1 - 1/norm)
+	if math.Abs(res.Throughput[srvID]-wantX) > 1e-8 {
+		t.Fatalf("service throughput = %v, want %v", res.Throughput[srvID], wantX)
+	}
+	// Flow balance: accepted arrivals equal services.
+	arrID, _ := n.TransitionByName("Arrive")
+	pBlock := math.Pow(rho, float64(k)) / norm
+	wantA := lambda * (1 - pBlock)
+	if math.Abs(res.Throughput[arrID]-wantA) > 1e-8 {
+		t.Fatalf("arrival throughput = %v, want %v", res.Throughput[arrID], wantA)
+	}
+}
+
+func TestSolveCTMCMatchesSimulation(t *testing.T) {
+	n := mm1kNet(1, 2, 5)
+	exact, err := SolveCTMC(n, ReachOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := Simulate(n, SimOptions{Seed: 11, Warmup: 200, Duration: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(exact.PlaceAvg[0] - sim.PlaceAvg[0]); d > 0.02 {
+		t.Fatalf("CTMC E[N]=%v vs simulated %v (diff %v)", exact.PlaceAvg[0], sim.PlaceAvg[0], d)
+	}
+	if d := math.Abs(exact.PlaceNonEmpty[0] - sim.PlaceNonEmpty[0]); d > 0.02 {
+		t.Fatalf("CTMC P(N>0)=%v vs simulated %v", exact.PlaceNonEmpty[0], sim.PlaceNonEmpty[0])
+	}
+}
+
+func TestSolveCTMCVanishingElimination(t *testing.T) {
+	// A --exp--> V (vanishing) --immediate--> B --exp--> A.
+	// The CTMC must contain only the two tangible markings.
+	n := NewNet("vanish")
+	a := n.AddPlaceInit("A", 1)
+	v := n.AddPlace("V")
+	b := n.AddPlace("B")
+	av := n.AddExponential("AV", 1)
+	n.Input(av, a, 1)
+	n.Output(av, v, 1)
+	imm := n.AddImmediate("Imm", 1)
+	n.Input(imm, v, 1)
+	n.Output(imm, b, 1)
+	ba := n.AddExponential("BA", 2)
+	n.Input(ba, b, 1)
+	n.Output(ba, a, 1)
+	res, err := SolveCTMC(n, ReachOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Markings) != 2 {
+		t.Fatalf("tangible markings = %d, want 2", len(res.Markings))
+	}
+	// pi solves rate balance of a 2-state chain with rates 1 and 2:
+	// pi_A = 2/3, pi_B = 1/3.
+	if math.Abs(res.PlaceAvgByName(n, "A")-2.0/3.0) > 1e-9 {
+		t.Fatalf("pi_A = %v, want 2/3", res.PlaceAvgByName(n, "A"))
+	}
+	// The vanishing place is never occupied at a tangible instant.
+	if res.PlaceAvgByName(n, "V") != 0 {
+		t.Fatalf("vanishing place average = %v, want 0", res.PlaceAvgByName(n, "V"))
+	}
+	// The immediate fires exactly as often as AV.
+	avID, _ := n.TransitionByName("AV")
+	immID, _ := n.TransitionByName("Imm")
+	if math.Abs(res.Throughput[avID]-res.Throughput[immID]) > 1e-9 {
+		t.Fatalf("immediate throughput %v != AV throughput %v", res.Throughput[immID], res.Throughput[avID])
+	}
+}
+
+func TestSolveCTMCWeightedBranch(t *testing.T) {
+	// A --exp(1)--> branch: T1 (w=1) -> B1 --exp(1)--> A
+	//                        T2 (w=3) -> B2 --exp(1)--> A
+	// Stationary: pi_A = 1/2, pi_B1 = 1/8, pi_B2 = 3/8.
+	n := NewNet("wbranch")
+	a := n.AddPlaceInit("A", 1)
+	c := n.AddPlace("C")
+	b1 := n.AddPlace("B1")
+	b2 := n.AddPlace("B2")
+	ac := n.AddExponential("AC", 1)
+	n.Input(ac, a, 1)
+	n.Output(ac, c, 1)
+	t1 := n.AddImmediate("T1", 1)
+	n.Input(t1, c, 1)
+	n.Output(t1, b1, 1)
+	t2 := n.AddImmediate("T2", 1)
+	n.SetWeight(t2, 3)
+	n.Input(t2, c, 1)
+	n.Output(t2, b2, 1)
+	r1 := n.AddExponential("R1", 1)
+	n.Input(r1, b1, 1)
+	n.Output(r1, a, 1)
+	r2 := n.AddExponential("R2", 1)
+	n.Input(r2, b2, 1)
+	n.Output(r2, a, 1)
+	res, err := SolveCTMC(n, ReachOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PlaceAvgByName(n, "A")-0.5) > 1e-9 {
+		t.Fatalf("pi_A = %v, want 0.5", res.PlaceAvgByName(n, "A"))
+	}
+	if math.Abs(res.PlaceAvgByName(n, "B1")-0.125) > 1e-9 {
+		t.Fatalf("pi_B1 = %v, want 0.125", res.PlaceAvgByName(n, "B1"))
+	}
+	if math.Abs(res.PlaceAvgByName(n, "B2")-0.375) > 1e-9 {
+		t.Fatalf("pi_B2 = %v, want 0.375", res.PlaceAvgByName(n, "B2"))
+	}
+	// Weighted immediate throughputs split 1:3.
+	t1ID, _ := n.TransitionByName("T1")
+	t2ID, _ := n.TransitionByName("T2")
+	if math.Abs(res.Throughput[t2ID]-3*res.Throughput[t1ID]) > 1e-9 {
+		t.Fatalf("branch throughputs %v, %v not in 1:3 ratio", res.Throughput[t1ID], res.Throughput[t2ID])
+	}
+}
+
+func TestSolveCTMCWeightedBranchMatchesSimulation(t *testing.T) {
+	n := NewNet("wbranch2")
+	a := n.AddPlaceInit("A", 1)
+	c := n.AddPlace("C")
+	b1 := n.AddPlace("B1")
+	b2 := n.AddPlace("B2")
+	ac := n.AddExponential("AC", 1)
+	n.Input(ac, a, 1)
+	n.Output(ac, c, 1)
+	t1 := n.AddImmediate("T1", 1)
+	n.Input(t1, c, 1)
+	n.Output(t1, b1, 1)
+	t2 := n.AddImmediate("T2", 1)
+	n.SetWeight(t2, 3)
+	n.Input(t2, c, 1)
+	n.Output(t2, b2, 1)
+	r1 := n.AddExponential("R1", 1)
+	n.Input(r1, b1, 1)
+	n.Output(r1, a, 1)
+	r2 := n.AddExponential("R2", 1)
+	n.Input(r2, b2, 1)
+	n.Output(r2, a, 1)
+	exact, err := SolveCTMC(n, ReachOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := Simulate(n, SimOptions{Seed: 21, Warmup: 100, Duration: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range n.Places {
+		if d := math.Abs(exact.PlaceAvg[p] - sim.PlaceAvg[p]); d > 0.02 {
+			t.Fatalf("place %s: CTMC %v vs sim %v", n.Places[p].Name, exact.PlaceAvg[p], sim.PlaceAvg[p])
+		}
+	}
+}
+
+func TestSolveCTMCRejectsDeterministic(t *testing.T) {
+	n := NewNet("dspn")
+	a := n.AddPlaceInit("A", 1)
+	b := n.AddPlace("B")
+	d := n.AddDeterministic("D", 1)
+	n.Input(d, a, 1)
+	n.Output(d, b, 1)
+	_, err := SolveCTMC(n, ReachOptions{})
+	if !errors.Is(err, ErrNotMarkovian) {
+		t.Fatalf("want ErrNotMarkovian, got %v", err)
+	}
+}
+
+func TestSolveCTMCUnboundedDetected(t *testing.T) {
+	// Pure source into an uncapped place: infinite state space.
+	n := NewNet("unbounded")
+	q := n.AddPlace("Q")
+	arr := n.AddExponential("Arr", 1)
+	n.Output(arr, q, 1)
+	_, err := SolveCTMC(n, ReachOptions{MaxMarkings: 50})
+	if err == nil {
+		t.Fatal("unbounded net solved without error")
+	}
+}
+
+func TestSolveCTMCVanishingCycleError(t *testing.T) {
+	// Timed firing leads into an immediate 2-cycle.
+	n := NewNet("immcycle")
+	a := n.AddPlaceInit("A", 1)
+	b := n.AddPlace("B")
+	c := n.AddPlace("C")
+	ab := n.AddExponential("AB", 1)
+	n.Input(ab, a, 1)
+	n.Output(ab, b, 1)
+	t1 := n.AddImmediate("T1", 1)
+	n.Input(t1, b, 1)
+	n.Output(t1, c, 1)
+	t2 := n.AddImmediate("T2", 1)
+	n.Input(t2, c, 1)
+	n.Output(t2, b, 1)
+	_, err := SolveCTMC(n, ReachOptions{})
+	if err == nil {
+		t.Fatal("vanishing cycle not detected")
+	}
+}
+
+func TestSolveCTMCPriorityRespectedInVanishing(t *testing.T) {
+	// Conflict between priorities 5 and 1: only the priority-5 branch is
+	// ever taken during elimination.
+	n := NewNet("prio")
+	a := n.AddPlaceInit("A", 1)
+	c := n.AddPlace("C")
+	hi := n.AddPlace("Hi")
+	lo := n.AddPlace("Lo")
+	ac := n.AddExponential("AC", 1)
+	n.Input(ac, a, 1)
+	n.Output(ac, c, 1)
+	thi := n.AddImmediate("THi", 5)
+	n.Input(thi, c, 1)
+	n.Output(thi, hi, 1)
+	tlo := n.AddImmediate("TLo", 1)
+	n.Input(tlo, c, 1)
+	n.Output(tlo, lo, 1)
+	back := n.AddExponential("Back", 1)
+	n.Input(back, hi, 1)
+	n.Output(back, a, 1)
+	res, err := SolveCTMC(n, ReachOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlaceAvgByName(n, "Lo") != 0 {
+		t.Fatalf("low-priority branch reached: pi = %v", res.PlaceAvgByName(n, "Lo"))
+	}
+	tloID, _ := n.TransitionByName("TLo")
+	if res.Throughput[tloID] != 0 {
+		t.Fatal("low-priority immediate has non-zero throughput")
+	}
+}
+
+func TestPiSumsToOne(t *testing.T) {
+	n := mm1kNet(1.3, 2.1, 12)
+	res, err := SolveCTMC(n, ReachOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range res.Pi {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-10 {
+		t.Fatalf("pi sums to %v", sum)
+	}
+}
+
+func BenchmarkSolveCTMCMM1K100(b *testing.B) {
+	n := mm1kNet(1, 2, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveCTMC(n, ReachOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package petri
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/queueing"
+)
+
+// mmInfNet builds an M/M/inf system: a Poisson source feeds a station whose
+// service transition has infinite-server semantics.
+func mmInfNet(lambda, mu float64, capN int) *Net {
+	n := NewNet("mminf")
+	q := n.AddPlace("InService")
+	if capN > 0 {
+		n.SetCapacity(q, capN)
+	}
+	arr := n.AddExponential("Arrive", lambda)
+	n.Output(arr, q, 1)
+	srv := n.AddExponential("Serve", mu)
+	n.Input(srv, q, 1)
+	n.SetInfiniteServer(srv)
+	return n
+}
+
+// mmcNet builds an M/M/c queue via k-server semantics.
+func mmcNet(lambda, mu float64, c, capN int) *Net {
+	n := NewNet("mmc")
+	q := n.AddPlace("System")
+	if capN > 0 {
+		n.SetCapacity(q, capN)
+	}
+	arr := n.AddExponential("Arrive", lambda)
+	n.Output(arr, q, 1)
+	srv := n.AddExponential("Serve", mu)
+	n.Input(srv, q, 1)
+	n.SetServers(srv, c)
+	return n
+}
+
+func TestEnablingDegree(t *testing.T) {
+	n := NewNet("deg")
+	p := n.AddPlaceInit("P", 5)
+	single := n.AddExponential("Single", 1)
+	n.Input(single, p, 1)
+	multi := n.AddExponential("Multi", 1)
+	n.Input(multi, p, 2)
+	n.SetInfiniteServer(multi)
+	capped := n.AddExponential("Capped", 1)
+	n.Input(capped, p, 1)
+	n.SetServers(capped, 3)
+	m := n.InitialMarking()
+	if d := n.EnablingDegree(m, single); d != 1 {
+		t.Fatalf("single-server degree = %d, want 1", d)
+	}
+	if d := n.EnablingDegree(m, multi); d != 2 { // floor(5/2)
+		t.Fatalf("infinite-server degree = %d, want 2", d)
+	}
+	if d := n.EnablingDegree(m, capped); d != 3 { // min(5, 3)
+		t.Fatalf("capped degree = %d, want 3", d)
+	}
+	m[p] = 0
+	if d := n.EnablingDegree(m, multi); d != 0 {
+		t.Fatalf("disabled degree = %d, want 0", d)
+	}
+}
+
+func TestEnablingDegreeSourceTransition(t *testing.T) {
+	n := NewNet("src")
+	q := n.AddPlace("Q")
+	arr := n.AddExponential("Arr", 1)
+	n.Output(arr, q, 1)
+	n.SetInfiniteServer(arr)
+	if d := n.EnablingDegree(n.InitialMarking(), arr); d != 1 {
+		t.Fatalf("source degree = %d, want 1", d)
+	}
+}
+
+func TestValidateRejectsNonExponentialMultiServer(t *testing.T) {
+	n := NewNet("bad")
+	p := n.AddPlaceInit("P", 1)
+	tr := n.AddTimed("T", dist.NewDeterministic(1))
+	n.Input(tr, p, 1)
+	n.SetInfiniteServer(tr)
+	if err := n.Validate(); err == nil {
+		t.Fatal("deterministic infinite-server accepted")
+	}
+}
+
+func TestValidateRejectsImmediateMultiServer(t *testing.T) {
+	n := NewNet("bad")
+	p := n.AddPlaceInit("P", 1)
+	tr := n.AddImmediate("T", 1)
+	n.Input(tr, p, 1)
+	n.Transitions[tr].Servers = 4
+	if err := n.Validate(); err == nil {
+		t.Fatal("immediate multi-server accepted")
+	}
+}
+
+func TestSetServersValidatesArg(t *testing.T) {
+	n := NewNet("x")
+	tr := n.AddExponential("T", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetServers(0) accepted")
+		}
+	}()
+	n.SetServers(tr, 0)
+}
+
+// TestMMInfSimulation: E[N] in M/M/inf is exactly lambda/mu.
+func TestMMInfSimulation(t *testing.T) {
+	const lambda, mu = 4.0, 1.0
+	n := mmInfNet(lambda, mu, 0)
+	res, err := Simulate(n, SimOptions{Seed: 3, Warmup: 100, Duration: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PlaceAvg[0]-lambda/mu) > 0.1 {
+		t.Fatalf("M/M/inf E[N] = %v, want %v", res.PlaceAvg[0], lambda/mu)
+	}
+	// Flow balance.
+	srvID, _ := n.TransitionByName("Serve")
+	if math.Abs(res.Throughput[srvID]-lambda) > 0.15 {
+		t.Fatalf("service throughput = %v, want ~%v", res.Throughput[srvID], lambda)
+	}
+}
+
+// TestMMInfCTMC: the exact solver agrees with the Poisson stationary law of
+// M/M/inf (truncated at a generous capacity).
+func TestMMInfCTMC(t *testing.T) {
+	const lambda, mu = 2.0, 1.0
+	n := mmInfNet(lambda, mu, 25)
+	res, err := SolveCTMC(n, ReachOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stationary distribution is Poisson(lambda/mu) (truncation error is
+	// negligible at cap 25 for mean 2).
+	if math.Abs(res.PlaceAvg[0]-2) > 1e-6 {
+		t.Fatalf("E[N] = %v, want 2", res.PlaceAvg[0])
+	}
+	// P(N=0) = e^{-2}.
+	if math.Abs((1-res.PlaceNonEmpty[0])-math.Exp(-2)) > 1e-6 {
+		t.Fatalf("P(empty) = %v, want %v", 1-res.PlaceNonEmpty[0], math.Exp(-2))
+	}
+}
+
+// TestMMcCTMCMatchesErlangC: the k-server net solved exactly agrees with
+// the M/M/c closed forms from internal/queueing.
+func TestMMcCTMCMatchesErlangC(t *testing.T) {
+	const (
+		lambda = 3.0
+		mu     = 2.0
+		c      = 2
+	)
+	ref := queueing.MMc{Lambda: lambda, Mu: mu, C: c}
+	if err := ref.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := mmcNet(lambda, mu, c, 80)
+	res, err := SolveCTMC(n, ReachOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PlaceAvg[0]-ref.MeanJobs()) > 1e-4 {
+		t.Fatalf("M/M/2 E[N] = %v, want %v", res.PlaceAvg[0], ref.MeanJobs())
+	}
+}
+
+// TestMMcSimulationMatchesErlangC: same comparison through the simulator.
+func TestMMcSimulationMatchesErlangC(t *testing.T) {
+	const (
+		lambda = 3.0
+		mu     = 2.0
+		c      = 2
+	)
+	ref := queueing.MMc{Lambda: lambda, Mu: mu, C: c}
+	n := mmcNet(lambda, mu, c, 0)
+	res, err := Simulate(n, SimOptions{Seed: 8, Warmup: 200, Duration: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PlaceAvg[0]-ref.MeanJobs())/ref.MeanJobs() > 0.05 {
+		t.Fatalf("M/M/2 simulated E[N] = %v, want ~%v", res.PlaceAvg[0], ref.MeanJobs())
+	}
+}
+
+// closedCycleNet models N customers cycling between thinking
+// (infinite-server) and a single-server station — the classic machine
+// repairman.
+func closedCycleNet(nCust int, thinkRate, serveRate float64) *Net {
+	n := NewNet("repairman")
+	think := n.AddPlaceInit("Thinking", nCust)
+	queue := n.AddPlace("AtStation")
+	submit := n.AddExponential("Submit", thinkRate)
+	n.Input(submit, think, 1)
+	n.Output(submit, queue, 1)
+	n.SetInfiniteServer(submit)
+	serve := n.AddExponential("Serve", serveRate)
+	n.Input(serve, queue, 1)
+	n.Output(serve, think, 1)
+	return n
+}
+
+// TestMachineRepairmanCTMC validates the closed network against the
+// classical machine-repairman birth-death solution.
+func TestMachineRepairmanCTMC(t *testing.T) {
+	const (
+		nCust     = 4
+		thinkRate = 0.5
+		serveRate = 2.0
+	)
+	n := closedCycleNet(nCust, thinkRate, serveRate)
+	res, err := SolveCTMC(n, ReachOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Markings) != nCust+1 {
+		t.Fatalf("states = %d, want %d", len(res.Markings), nCust+1)
+	}
+	// Birth-death on k = customers at the station: birth (N-k)*thinkRate,
+	// death serveRate.
+	pi := make([]float64, nCust+1)
+	pi[0] = 1
+	sum := 1.0
+	for k := 0; k < nCust; k++ {
+		pi[k+1] = pi[k] * float64(nCust-k) * thinkRate / serveRate
+		sum += pi[k+1]
+	}
+	wantEN := 0.0
+	for k := 0; k <= nCust; k++ {
+		pi[k] /= sum
+		wantEN += float64(k) * pi[k]
+	}
+	queueID, _ := n.PlaceByName("AtStation")
+	if math.Abs(res.PlaceAvg[queueID]-wantEN) > 1e-9 {
+		t.Fatalf("repairman E[N] = %v, want %v", res.PlaceAvg[queueID], wantEN)
+	}
+}
+
+// TestMachineRepairmanSimulation: the simulator reproduces the same closed
+// network within noise, and conserves the population invariant.
+func TestMachineRepairmanSimulation(t *testing.T) {
+	n := closedCycleNet(4, 0.5, 2.0)
+	exact, err := SolveCTMC(n, ReachOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := Simulate(n, SimOptions{Seed: 12, Warmup: 100, Duration: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range n.Places {
+		if d := math.Abs(exact.PlaceAvg[p] - sim.PlaceAvg[p]); d > 0.05 {
+			t.Fatalf("place %s: exact %v vs sim %v", n.Places[p].Name, exact.PlaceAvg[p], sim.PlaceAvg[p])
+		}
+	}
+	// Population conservation.
+	if math.Abs((sim.PlaceAvg[0]+sim.PlaceAvg[1])-4) > 1e-9 {
+		t.Fatalf("population not conserved: %v", sim.PlaceAvg)
+	}
+}
+
+func BenchmarkSimulateMMInf(b *testing.B) {
+	n := mmInfNet(4, 1, 0)
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(n, SimOptions{Seed: uint64(i), Duration: 1000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,479 @@
+package petri
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// MemoryPolicy selects how timed transitions treat their sampled firing
+// delay across marking changes (German's execution policies).
+type MemoryPolicy int
+
+const (
+	// RaceEnable resamples the delay whenever the transition becomes
+	// enabled after having been disabled; a transition that stays enabled
+	// across other firings keeps its scheduled time. This is the standard
+	// DSPN policy and the one the paper's CPU model requires (the Power
+	// Down Threshold timer restarts when a job arrives).
+	RaceEnable MemoryPolicy = iota
+	// RaceAge keeps the remaining delay across disabling: when the
+	// transition is re-enabled, the clock resumes where it stopped.
+	RaceAge
+)
+
+func (p MemoryPolicy) String() string {
+	switch p {
+	case RaceEnable:
+		return "race-enable"
+	case RaceAge:
+		return "race-age"
+	default:
+		return fmt.Sprintf("MemoryPolicy(%d)", int(p))
+	}
+}
+
+// SimOptions configures a simulation run.
+type SimOptions struct {
+	// Seed drives all sampling; identical seeds reproduce runs exactly.
+	Seed uint64
+	// Warmup is simulated but excluded from statistics.
+	Warmup float64
+	// Duration is the measured period after warmup. Required.
+	Duration float64
+	// Memory selects the execution policy (default RaceEnable).
+	Memory MemoryPolicy
+	// MaxVanishingChain bounds consecutive immediate firings between two
+	// tangible markings; exceeding it indicates an immediate-transition
+	// livelock. Default 1e5.
+	MaxVanishingChain int
+}
+
+// SimResult reports time-averaged statistics over the measured period.
+type SimResult struct {
+	// Time is the measured duration.
+	Time float64
+	// PlaceAvg is the time-averaged token count per place ("steady-state
+	// percentage" when the place holds at most one token).
+	PlaceAvg []float64
+	// PlaceNonEmpty is the fraction of measured time each place held at
+	// least one token.
+	PlaceNonEmpty []float64
+	// Firings counts firings per transition during the measured period.
+	Firings []uint64
+	// Throughput is firings per unit time.
+	Throughput []float64
+	// Deadlocked reports that the net reached a marking with no enabled
+	// transitions before the horizon; the final marking is then held for
+	// the remaining time (absorbing state).
+	Deadlocked bool
+	// FinalMarking is the marking at the end of the run.
+	FinalMarking Marking
+}
+
+// PlaceAvgByName returns the average token count of the named place.
+func (r *SimResult) PlaceAvgByName(n *Net, name string) float64 {
+	id, ok := n.PlaceByName(name)
+	if !ok {
+		panic(fmt.Sprintf("petri: no place named %q", name))
+	}
+	return r.PlaceAvg[id]
+}
+
+// Simulate executes the net once and returns time-averaged statistics.
+func Simulate(n *Net, opt SimOptions) (*SimResult, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Duration <= 0 {
+		return nil, fmt.Errorf("petri: SimOptions.Duration must be positive, got %v", opt.Duration)
+	}
+	if opt.Warmup < 0 {
+		return nil, fmt.Errorf("petri: SimOptions.Warmup must be non-negative, got %v", opt.Warmup)
+	}
+	if opt.MaxVanishingChain == 0 {
+		opt.MaxVanishingChain = 100000
+	}
+	e := &engine{
+		net:     n,
+		opt:     opt,
+		rng:     newEngineRand(opt.Seed),
+		marking: n.InitialMarking(),
+		fireAt:  make([]float64, len(n.Transitions)),
+		remain:  make([]float64, len(n.Transitions)),
+		degree:  make([]int, len(n.Transitions)),
+	}
+	for i := range e.fireAt {
+		e.fireAt[i] = math.Inf(1)
+		e.remain[i] = -1
+	}
+	return e.run()
+}
+
+// newEngineRand derives the engine's random stream from a seed; kept in one
+// place so every execution mode (steady-state, transient, batch means)
+// shares the seed-to-stream mapping.
+func newEngineRand(seed uint64) *xrand.Rand { return xrand.NewStream(seed, 0) }
+
+// engine is the single-run execution state.
+type engine struct {
+	net     *Net
+	opt     SimOptions
+	rng     *xrand.Rand
+	marking Marking
+	now     float64
+	// fireAt[t] is the absolute scheduled firing time of timed transition
+	// t, or +Inf when not scheduled (disabled).
+	fireAt []float64
+	// remain[t] stores the interrupted remaining delay under RaceAge;
+	// -1 means no stored age.
+	remain []float64
+	// degree[t] is the enabling degree the current schedule of a
+	// multi-server transition was sampled at; a change forces a
+	// (memoryless) resample.
+	degree []int
+
+	measuring bool
+	placeAcc  []stats.TimeWeighted
+	busyAcc   []stats.TimeWeighted
+	firings   []uint64
+}
+
+func (e *engine) run() (*SimResult, error) {
+	n := e.net
+	horizon := e.opt.Warmup + e.opt.Duration
+	e.placeAcc = make([]stats.TimeWeighted, len(n.Places))
+	e.busyAcc = make([]stats.TimeWeighted, len(n.Places))
+	e.firings = make([]uint64, len(n.Transitions))
+
+	// Resolve any immediates enabled in the initial marking, then start
+	// the timers.
+	if err := e.resolveImmediates(); err != nil {
+		return nil, err
+	}
+	e.syncTimers()
+	if e.opt.Warmup == 0 {
+		e.beginMeasurement()
+	}
+
+	deadlocked := false
+	for {
+		t, id := e.nextTimed()
+		if id < 0 {
+			deadlocked = true
+			break
+		}
+		if t > horizon {
+			break
+		}
+		// Crossing the warmup boundary starts measurement at exactly the
+		// warmup time with the pre-event marking.
+		if !e.measuring && t >= e.opt.Warmup {
+			e.now = e.opt.Warmup
+			e.beginMeasurement()
+		}
+		e.advanceTo(t)
+		if err := e.fireTimed(TransitionID(id)); err != nil {
+			return nil, err
+		}
+	}
+	if !e.measuring {
+		// Deadlock during warmup: measure the absorbing marking from the
+		// warmup boundary onward.
+		e.now = e.opt.Warmup
+		e.beginMeasurement()
+	}
+	e.advanceTo(horizon)
+
+	res := &SimResult{
+		Time:          e.opt.Duration,
+		PlaceAvg:      make([]float64, len(n.Places)),
+		PlaceNonEmpty: make([]float64, len(n.Places)),
+		Firings:       e.firings,
+		Throughput:    make([]float64, len(n.Transitions)),
+		Deadlocked:    deadlocked,
+		FinalMarking:  e.marking.Clone(),
+	}
+	for i := range n.Places {
+		res.PlaceAvg[i] = e.placeAcc[i].MeanAt(horizon)
+		res.PlaceNonEmpty[i] = e.busyAcc[i].MeanAt(horizon)
+	}
+	for i := range n.Transitions {
+		res.Throughput[i] = float64(e.firings[i]) / e.opt.Duration
+	}
+	return res, nil
+}
+
+func (e *engine) beginMeasurement() {
+	e.measuring = true
+	for i, v := range e.marking {
+		e.placeAcc[i].Start(e.now, float64(v))
+		e.busyAcc[i].Start(e.now, boolTo01(v > 0))
+	}
+	// Reset firing counters: only measured-period firings count.
+	for i := range e.firings {
+		e.firings[i] = 0
+	}
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// advanceTo moves the clock to t, integrating statistics.
+func (e *engine) advanceTo(t float64) {
+	if t < e.now {
+		panic(fmt.Sprintf("petri: clock moved backwards %v -> %v", e.now, t))
+	}
+	e.now = t
+}
+
+// recordMarking pushes the current marking into the accumulators at the
+// current time. Must be called after every tangible marking change.
+func (e *engine) recordMarking() {
+	if !e.measuring {
+		return
+	}
+	for i, v := range e.marking {
+		e.placeAcc[i].Set(e.now, float64(v))
+		e.busyAcc[i].Set(e.now, boolTo01(v > 0))
+	}
+}
+
+// nextTimed returns the earliest scheduled timed transition, breaking time
+// ties by transition index (deterministic). id is -1 when nothing is
+// scheduled.
+func (e *engine) nextTimed() (float64, int) {
+	best := math.Inf(1)
+	id := -1
+	for i, t := range e.fireAt {
+		if t < best {
+			best = t
+			id = i
+		}
+	}
+	return best, id
+}
+
+// fireTimed fires the scheduled timed transition, resolves the resulting
+// vanishing markings and re-synchronizes all timers.
+func (e *engine) fireTimed(t TransitionID) error {
+	e.fireAt[t] = math.Inf(1)
+	e.remain[t] = -1
+	if !e.net.Enabled(e.marking, t) {
+		return fmt.Errorf("petri: internal error: scheduled transition %q not enabled at fire time", e.net.Transitions[t].Name)
+	}
+	e.net.Fire(e.marking, t)
+	if e.measuring {
+		e.firings[t]++
+	}
+	if err := e.resolveImmediates(); err != nil {
+		return err
+	}
+	e.recordMarking()
+	e.syncTimers()
+	return nil
+}
+
+// resolveImmediates fires enabled immediate transitions (highest priority
+// first, weighted random choice within a priority level) until the marking
+// is tangible. The chain happens in zero simulated time.
+func (e *engine) resolveImmediates() error {
+	for steps := 0; ; steps++ {
+		ids := e.net.EnabledImmediatesAtTopPriority(e.marking)
+		if len(ids) == 0 {
+			return nil
+		}
+		if steps >= e.opt.MaxVanishingChain {
+			return fmt.Errorf("petri: immediate-transition livelock after %d zero-time firings (marking %v)", steps, e.marking)
+		}
+		var chosen TransitionID
+		if len(ids) == 1 {
+			chosen = ids[0]
+		} else {
+			total := 0.0
+			for _, id := range ids {
+				total += e.net.Transitions[id].Weight
+			}
+			u := e.rng.Float64() * total
+			chosen = ids[len(ids)-1]
+			for _, id := range ids {
+				u -= e.net.Transitions[id].Weight
+				if u < 0 {
+					chosen = id
+					break
+				}
+			}
+		}
+		e.net.Fire(e.marking, chosen)
+		if e.measuring {
+			e.firings[chosen]++
+		}
+	}
+}
+
+// syncTimers reconciles the scheduled timed transitions with the current
+// marking under the configured memory policy. Multi-server exponential
+// transitions resample whenever their enabling degree changes, which is
+// statistically exact by memorylessness.
+func (e *engine) syncTimers() {
+	for i := range e.net.Transitions {
+		tr := &e.net.Transitions[i]
+		if tr.Kind != Timed {
+			continue
+		}
+		multi := tr.Servers != 0 && tr.Servers != 1
+		deg := 1
+		var enabled bool
+		if multi {
+			deg = e.net.EnablingDegree(e.marking, TransitionID(i))
+			enabled = deg > 0
+		} else {
+			enabled = e.net.Enabled(e.marking, TransitionID(i))
+		}
+		scheduled := !math.IsInf(e.fireAt[i], 1)
+		switch {
+		case enabled && !scheduled:
+			e.fireAt[i] = e.now + e.sampleDelay(tr, deg, i)
+			e.degree[i] = deg
+		case enabled && scheduled && multi && deg != e.degree[i]:
+			e.fireAt[i] = e.now + e.sampleDelay(tr, deg, i)
+			e.degree[i] = deg
+		case !enabled && scheduled:
+			if e.opt.Memory == RaceAge && !multi {
+				e.remain[i] = e.fireAt[i] - e.now
+			}
+			e.fireAt[i] = math.Inf(1)
+		}
+	}
+}
+
+// sampleDelay draws the firing delay of transition tr at the given enabling
+// degree, honoring race-age resumption for single-server transitions.
+func (e *engine) sampleDelay(tr *Transition, deg int, idx int) float64 {
+	if e.opt.Memory == RaceAge && e.remain[idx] >= 0 && (tr.Servers == 0 || tr.Servers == 1) {
+		d := e.remain[idx]
+		e.remain[idx] = -1
+		return d
+	}
+	delay := tr.Delay.Sample(e.rng)
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("petri: transition %q sampled invalid delay %v", tr.Name, delay))
+	}
+	if deg > 1 {
+		// Exponential with rate scaled by the degree: dividing a rate-r
+		// sample by deg yields a rate-(r*deg) sample.
+		delay /= float64(deg)
+	}
+	return delay
+}
+
+// ---------------------------------------------------------------------------
+// Replications
+
+// ReplicatedResult aggregates independent replications of a simulation.
+type ReplicatedResult struct {
+	Replications int
+	// PlaceAvg[i] summarizes the per-replication time-averaged token
+	// count of place i.
+	PlaceAvg []stats.Summary
+	// PlaceNonEmpty[i] summarizes the per-replication fraction of time
+	// place i was non-empty.
+	PlaceNonEmpty []stats.Summary
+	// Throughput[i] summarizes per-replication firings per unit time.
+	Throughput []stats.Summary
+	// Deadlocks counts replications that deadlocked.
+	Deadlocks int
+}
+
+// MeanTokens returns the across-replication mean token count of the named
+// place with its 95% confidence half-width.
+func (r *ReplicatedResult) MeanTokens(n *Net, name string) (mean, ci float64) {
+	id, ok := n.PlaceByName(name)
+	if !ok {
+		panic(fmt.Sprintf("petri: no place named %q", name))
+	}
+	return r.PlaceAvg[id].Mean(), r.PlaceAvg[id].CI(0.95)
+}
+
+// SimulateReplications runs reps independent replications, deriving each
+// replication's random stream from (opt.Seed, replication index).
+// Replications execute in parallel across the available CPUs; because each
+// replication's seed depends only on its index and results are folded in
+// index order, the aggregate is bit-identical to a sequential run. The net
+// itself is never mutated by simulation, so sharing it between goroutines
+// is safe as long as any guard functions are pure.
+func SimulateReplications(n *Net, opt SimOptions, reps int) (*ReplicatedResult, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("petri: replications must be >= 1, got %d", reps)
+	}
+	results := make([]*SimResult, reps)
+	errs := make([]error, reps)
+	parallelFor(reps, func(rep int) {
+		o := opt
+		o.Seed = opt.Seed + uint64(rep)*0x9e3779b97f4a7c15
+		results[rep], errs[rep] = Simulate(n, o)
+	})
+	out := &ReplicatedResult{
+		Replications:  reps,
+		PlaceAvg:      make([]stats.Summary, len(n.Places)),
+		PlaceNonEmpty: make([]stats.Summary, len(n.Places)),
+		Throughput:    make([]stats.Summary, len(n.Transitions)),
+	}
+	for rep := 0; rep < reps; rep++ {
+		if errs[rep] != nil {
+			return nil, fmt.Errorf("petri: replication %d: %w", rep, errs[rep])
+		}
+		res := results[rep]
+		for i := range n.Places {
+			out.PlaceAvg[i].Add(res.PlaceAvg[i])
+			out.PlaceNonEmpty[i].Add(res.PlaceNonEmpty[i])
+		}
+		for i := range n.Transitions {
+			out.Throughput[i].Add(res.Throughput[i])
+		}
+		if res.Deadlocked {
+			out.Deadlocks++
+		}
+	}
+	return out, nil
+}
+
+// parallelFor runs body(0..n-1) across min(n, GOMAXPROCS) goroutines and
+// waits for completion. Iteration order is unspecified; callers must write
+// into index-addressed slots to stay deterministic.
+func parallelFor(n int, body func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				body(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

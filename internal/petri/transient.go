@@ -1,0 +1,197 @@
+package petri
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// TransientOptions configures transient (time-dependent) analysis by
+// replicated simulation: the expected token count of every place is
+// estimated on a regular time grid, TimeNet's "transient analysis" mode.
+type TransientOptions struct {
+	// Seed drives all sampling.
+	Seed uint64
+	// Horizon is the end of the observation window.
+	Horizon float64
+	// Step is the grid spacing; estimates are produced at 0, Step,
+	// 2*Step, ..., Horizon.
+	Step float64
+	// Replications is the number of independent runs (default 100).
+	Replications int
+	// Memory selects the execution policy (default RaceEnable).
+	Memory MemoryPolicy
+	// MaxVanishingChain bounds zero-time firing chains (default 1e5).
+	MaxVanishingChain int
+}
+
+// TransientResult holds per-grid-point expected token counts.
+type TransientResult struct {
+	// Times is the grid.
+	Times []float64
+	// PlaceMean[p][i] is the mean token count of place p at Times[i]
+	// across replications.
+	PlaceMean [][]float64
+	// PlaceCI[p][i] is the 95% half-width of PlaceMean[p][i].
+	PlaceCI [][]float64
+	// Replications echoes the run count.
+	Replications int
+}
+
+// MeanAt returns the estimated expected token count of the named place at
+// the grid point nearest to t.
+func (r *TransientResult) MeanAt(n *Net, name string, t float64) float64 {
+	id, ok := n.PlaceByName(name)
+	if !ok {
+		panic(fmt.Sprintf("petri: no place named %q", name))
+	}
+	best, bestDist := 0, math.Inf(1)
+	for i, gt := range r.Times {
+		if d := math.Abs(gt - t); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return r.PlaceMean[id][best]
+}
+
+// SimulateTransient estimates E[tokens(p, t)] on a regular grid by running
+// independent replications and sampling each trajectory at the grid
+// points. Unlike Simulate, which time-averages one long run, this captures
+// the transient approach to steady state from the initial marking.
+func SimulateTransient(n *Net, opt TransientOptions) (*TransientResult, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Horizon <= 0 {
+		return nil, fmt.Errorf("petri: TransientOptions.Horizon must be positive, got %v", opt.Horizon)
+	}
+	if opt.Step <= 0 || opt.Step > opt.Horizon {
+		return nil, fmt.Errorf("petri: TransientOptions.Step must be in (0, horizon], got %v", opt.Step)
+	}
+	if opt.Replications == 0 {
+		opt.Replications = 100
+	}
+	if opt.Replications < 1 {
+		return nil, fmt.Errorf("petri: replications must be >= 1, got %d", opt.Replications)
+	}
+	nGrid := int(opt.Horizon/opt.Step) + 1
+	acc := make([][]stats.Summary, len(n.Places))
+	for p := range acc {
+		acc[p] = make([]stats.Summary, nGrid)
+	}
+	// Sample trajectories in parallel, then fold them in index order so
+	// the estimate is independent of scheduling.
+	trajectories := make([][][]int, opt.Replications)
+	errs := make([]error, opt.Replications)
+	parallelFor(opt.Replications, func(rep int) {
+		trajectories[rep], errs[rep] = sampleTrajectory(n, SimOptions{
+			Seed:              opt.Seed + uint64(rep)*0x9e3779b97f4a7c15,
+			Duration:          opt.Horizon,
+			Memory:            opt.Memory,
+			MaxVanishingChain: opt.MaxVanishingChain,
+		}, opt.Step, nGrid)
+	})
+	for rep := 0; rep < opt.Replications; rep++ {
+		if errs[rep] != nil {
+			return nil, fmt.Errorf("petri: transient replication %d: %w", rep, errs[rep])
+		}
+		samples := trajectories[rep]
+		for p := range acc {
+			for i := 0; i < nGrid; i++ {
+				acc[p][i].Add(float64(samples[i][p]))
+			}
+		}
+	}
+	res := &TransientResult{
+		Times:        make([]float64, nGrid),
+		PlaceMean:    make([][]float64, len(n.Places)),
+		PlaceCI:      make([][]float64, len(n.Places)),
+		Replications: opt.Replications,
+	}
+	for i := 0; i < nGrid; i++ {
+		res.Times[i] = float64(i) * opt.Step
+	}
+	for p := range acc {
+		res.PlaceMean[p] = make([]float64, nGrid)
+		res.PlaceCI[p] = make([]float64, nGrid)
+		for i := 0; i < nGrid; i++ {
+			res.PlaceMean[p][i] = acc[p][i].Mean()
+			res.PlaceCI[p][i] = acc[p][i].CI(0.95)
+		}
+	}
+	return res, nil
+}
+
+// sampleTrajectory runs one replication, recording the marking at each grid
+// point with the right-continuous (cadlag) convention: a grid point that
+// coincides exactly with an event time records the post-event marking; at
+// t=0 the post-vanishing initial marking is used.
+func sampleTrajectory(n *Net, opt SimOptions, step float64, nGrid int) ([][]int, error) {
+	e, err := newEngine(n, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.resolveImmediates(); err != nil {
+		return nil, err
+	}
+	e.syncTimers()
+	samples := make([][]int, nGrid)
+	next := 0
+	record := func(upTo float64) {
+		for next < nGrid && float64(next)*step <= upTo {
+			samples[next] = e.marking.Clone()
+			next++
+		}
+	}
+	record(0)
+	for next < nGrid {
+		t, id := e.nextTimed()
+		if id < 0 {
+			break // deadlock: marking persists
+		}
+		// Grid points strictly before the event keep the current marking.
+		record(math.Nextafter(t, 0))
+		if next >= nGrid {
+			break
+		}
+		e.advanceTo(t)
+		if err := e.fireTimed(TransitionID(id)); err != nil {
+			return nil, err
+		}
+	}
+	// Fill any remaining points with the final (absorbing) marking.
+	for next < nGrid {
+		samples[next] = e.marking.Clone()
+		next++
+	}
+	return samples, nil
+}
+
+// newEngine builds a bare engine for trajectory sampling (no time-averaged
+// statistics).
+func newEngine(n *Net, opt SimOptions) (*engine, error) {
+	if opt.MaxVanishingChain == 0 {
+		opt.MaxVanishingChain = 100000
+	}
+	if opt.Duration <= 0 {
+		return nil, fmt.Errorf("petri: duration must be positive, got %v", opt.Duration)
+	}
+	e := &engine{
+		net:     n,
+		opt:     opt,
+		rng:     newEngineRand(opt.Seed),
+		marking: n.InitialMarking(),
+		fireAt:  make([]float64, len(n.Transitions)),
+		remain:  make([]float64, len(n.Transitions)),
+		degree:  make([]int, len(n.Transitions)),
+	}
+	e.placeAcc = make([]stats.TimeWeighted, len(n.Places))
+	e.busyAcc = make([]stats.TimeWeighted, len(n.Places))
+	e.firings = make([]uint64, len(n.Transitions))
+	for i := range e.fireAt {
+		e.fireAt[i] = math.Inf(1)
+		e.remain[i] = -1
+	}
+	return e, nil
+}

@@ -1,0 +1,242 @@
+package petri
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/markov"
+)
+
+func TestTransientTwoStateMatchesUniformization(t *testing.T) {
+	// Net: A <-> B with rates 1.5 and 0.5; the probability of a token in
+	// A at time t has the closed form of the two-state chain, which the
+	// markov package's uniformization reproduces exactly. The transient
+	// simulation must agree within its confidence intervals.
+	n := NewNet("two-state")
+	a := n.AddPlaceInit("A", 1)
+	b := n.AddPlace("B")
+	ab := n.AddExponential("AB", 1.5)
+	n.Input(ab, a, 1)
+	n.Output(ab, b, 1)
+	ba := n.AddExponential("BA", 0.5)
+	n.Input(ba, b, 1)
+	n.Output(ba, a, 1)
+
+	res, err := SimulateTransient(n, TransientOptions{
+		Seed: 5, Horizon: 3, Step: 0.5, Replications: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := markov.NewCTMC()
+	c.AddRate("A", "B", 1.5)
+	c.AddRate("B", "A", 0.5)
+	for i, tt := range res.Times {
+		pi, err := c.Transient([]float64{1, 0}, tt, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.PlaceMean[a][i]
+		tol := 3*res.PlaceCI[a][i] + 0.01
+		if math.Abs(got-pi[0]) > tol {
+			t.Errorf("t=%v: P(A) simulated %v vs exact %v (tol %v)", tt, got, pi[0], tol)
+		}
+	}
+	// t=0 must be exact.
+	if res.PlaceMean[a][0] != 1 || res.PlaceMean[b][0] != 0 {
+		t.Fatalf("t=0 distribution wrong: A=%v B=%v", res.PlaceMean[a][0], res.PlaceMean[b][0])
+	}
+}
+
+func TestTransientDeterministicStep(t *testing.T) {
+	// One token moves A -> B at exactly t=1 (deterministic): before 1 the
+	// mean of B is 0, from 1 on it is 1, across every replication.
+	n, a, b, _ := twoPlaceNet()
+	res, err := SimulateTransient(n, TransientOptions{
+		Seed: 1, Horizon: 2, Step: 0.25, Replications: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tt := range res.Times {
+		wantB := 0.0
+		if tt >= 1 {
+			wantB = 1
+		}
+		if res.PlaceMean[b][i] != wantB {
+			t.Errorf("t=%v: E[B] = %v, want %v", tt, res.PlaceMean[b][i], wantB)
+		}
+		if res.PlaceMean[a][i] != 1-wantB {
+			t.Errorf("t=%v: E[A] = %v, want %v", tt, res.PlaceMean[a][i], 1-wantB)
+		}
+		if res.PlaceCI[b][i] != 0 {
+			t.Errorf("deterministic trajectory has CI %v", res.PlaceCI[b][i])
+		}
+	}
+}
+
+func TestTransientConvergesToStationary(t *testing.T) {
+	n := mm1Net(1, 5)
+	res, err := SimulateTransient(n, TransientOptions{
+		Seed: 2, Horizon: 40, Step: 40, Replications: 3000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busyID, _ := n.PlaceByName("ServerBusy")
+	last := len(res.Times) - 1
+	if math.Abs(res.PlaceMean[busyID][last]-0.2) > 0.03 {
+		t.Fatalf("transient at t=40: utilization %v, want ~0.2", res.PlaceMean[busyID][last])
+	}
+}
+
+func TestTransientMeanAt(t *testing.T) {
+	n, _, _, _ := twoPlaceNet()
+	res, err := SimulateTransient(n, TransientOptions{Seed: 1, Horizon: 2, Step: 1, Replications: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.MeanAt(n, "B", 1.9); got != 1 {
+		t.Fatalf("MeanAt(B, 1.9) = %v, want 1 (nearest grid point 2)", got)
+	}
+	if got := res.MeanAt(n, "B", 0.2); got != 0 {
+		t.Fatalf("MeanAt(B, 0.2) = %v, want 0", got)
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	n, _, _, _ := twoPlaceNet()
+	cases := []TransientOptions{
+		{Horizon: 0, Step: 1},
+		{Horizon: 1, Step: 0},
+		{Horizon: 1, Step: 2},
+		{Horizon: 1, Step: 0.5, Replications: -1},
+	}
+	for i, opt := range cases {
+		if _, err := SimulateTransient(n, opt); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTransientDeadlockAbsorbs(t *testing.T) {
+	// After the single firing the net deadlocks; all later grid points
+	// must report the absorbing marking.
+	n, _, b, _ := twoPlaceNet()
+	res, err := SimulateTransient(n, TransientOptions{Seed: 3, Horizon: 10, Step: 5, Replications: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlaceMean[b][2] != 1 {
+		t.Fatalf("absorbing marking not held: %v", res.PlaceMean[b])
+	}
+}
+
+func TestBatchMeansMM1(t *testing.T) {
+	n := mm1Net(1, 5)
+	res, err := SimulateBatchMeans(n, BatchMeansOptions{
+		Seed: 4, Warmup: 100, BatchLength: 500, Batches: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batches != 40 {
+		t.Fatalf("batches = %d, want 40", res.Batches)
+	}
+	mean, ci := res.Mean(n, "ServerBusy")
+	if ci <= 0 {
+		t.Fatal("batch-means CI should be positive")
+	}
+	if math.Abs(mean-0.2) > 3*ci+0.01 {
+		t.Fatalf("utilization = %v ± %v, want ~0.2", mean, ci)
+	}
+}
+
+func TestBatchMeansMatchesReplications(t *testing.T) {
+	// Both steady-state estimators target the same quantity; their point
+	// estimates must agree within joint noise.
+	n := mm1Net(2, 5)
+	bm, err := SimulateBatchMeans(n, BatchMeansOptions{Seed: 5, Warmup: 100, BatchLength: 400, Batches: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := SimulateReplications(n, SimOptions{Seed: 6, Warmup: 100, Duration: 2000}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qID, _ := n.PlaceByName("Queue")
+	bmMean, bmCI := bm.PlaceAvg[qID].Mean(), bm.PlaceAvg[qID].CI(0.95)
+	repMean, repCI := rep.PlaceAvg[qID].Mean(), rep.PlaceAvg[qID].CI(0.95)
+	if math.Abs(bmMean-repMean) > 3*(bmCI+repCI)+0.02 {
+		t.Fatalf("batch means %v±%v vs replications %v±%v", bmMean, bmCI, repMean, repCI)
+	}
+}
+
+func TestBatchMeansDeterministicExact(t *testing.T) {
+	// The 1-on/3-off cycle gives every batch of length 4k the exact mean
+	// 0.25, so the CI collapses to ~0.
+	n := NewNet("cycle")
+	a := n.AddPlaceInit("A", 1)
+	b := n.AddPlace("B")
+	ab := n.AddDeterministic("AB", 1)
+	n.Input(ab, a, 1)
+	n.Output(ab, b, 1)
+	ba := n.AddDeterministic("BA", 3)
+	n.Input(ba, b, 1)
+	n.Output(ba, a, 1)
+	res, err := SimulateBatchMeans(n, BatchMeansOptions{Seed: 1, BatchLength: 4, Batches: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, ci := res.Mean(n, "A")
+	if math.Abs(mean-0.25) > 1e-9 || ci > 1e-9 {
+		t.Fatalf("deterministic batch means: %v ± %v, want exactly 0.25 ± 0", mean, ci)
+	}
+}
+
+func TestBatchMeansValidation(t *testing.T) {
+	n := mm1Net(1, 5)
+	cases := []BatchMeansOptions{
+		{BatchLength: 0},
+		{BatchLength: 1, Batches: 1},
+		{BatchLength: 1, Warmup: -1},
+	}
+	for i, opt := range cases {
+		if _, err := SimulateBatchMeans(n, opt); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestBatchMeansDeadlock(t *testing.T) {
+	n, _, b, _ := twoPlaceNet()
+	res, err := SimulateBatchMeans(n, BatchMeansOptions{Seed: 1, BatchLength: 2, Batches: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deadlocked {
+		t.Fatal("deadlock not reported")
+	}
+	// After t=1 the token sits in B forever: batch 1 mean is 0.5, batches
+	// 2..5 are 1.0.
+	if res.Batches != 5 {
+		t.Fatalf("batches = %d, want 5", res.Batches)
+	}
+	mean, _ := res.Mean(n, "B")
+	if math.Abs(mean-(0.5+1+1+1+1)/5) > 1e-9 {
+		t.Fatalf("B mean = %v, want 0.9", mean)
+	}
+	_ = b
+}
+
+func BenchmarkTransientMM1(b *testing.B) {
+	n := mm1Net(1, 5)
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateTransient(n, TransientOptions{
+			Seed: uint64(i), Horizon: 50, Step: 5, Replications: 20,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package queueing collects the closed-form queueing results used as
+// validation anchors for the simulators and Petri-net models: M/M/1,
+// M/M/1/K, M/M/c (Erlang C), M/G/1 (Pollaczek–Khinchine) and the M/M/1
+// queue with server setup time, which is the exponential-wakeup analogue of
+// the paper's CPU model.
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MM1 describes a stable M/M/1 queue.
+type MM1 struct {
+	Lambda, Mu float64
+}
+
+// Validate checks positivity and stability.
+func (q MM1) Validate() error {
+	if q.Lambda <= 0 || q.Mu <= 0 {
+		return fmt.Errorf("queueing: rates must be positive (lambda=%v, mu=%v)", q.Lambda, q.Mu)
+	}
+	if q.Lambda >= q.Mu {
+		return fmt.Errorf("queueing: unstable queue, rho = %v", q.Lambda/q.Mu)
+	}
+	return nil
+}
+
+// Rho returns the utilization lambda/mu.
+func (q MM1) Rho() float64 { return q.Lambda / q.Mu }
+
+// MeanJobs returns E[N] = rho/(1-rho).
+func (q MM1) MeanJobs() float64 {
+	r := q.Rho()
+	return r / (1 - r)
+}
+
+// MeanLatency returns E[T] = 1/(mu-lambda).
+func (q MM1) MeanLatency() float64 { return 1 / (q.Mu - q.Lambda) }
+
+// MeanWait returns the mean waiting time E[W] = rho/(mu-lambda).
+func (q MM1) MeanWait() float64 { return q.Rho() / (q.Mu - q.Lambda) }
+
+// ProbN returns P(N = n) = (1-rho) rho^n.
+func (q MM1) ProbN(n int) float64 {
+	r := q.Rho()
+	return (1 - r) * math.Pow(r, float64(n))
+}
+
+// ---------------------------------------------------------------------------
+
+// MM1K describes an M/M/1/K queue (blocking after K jobs in system).
+type MM1K struct {
+	Lambda, Mu float64
+	K          int
+}
+
+// Validate checks parameters.
+func (q MM1K) Validate() error {
+	if q.Lambda <= 0 || q.Mu <= 0 {
+		return fmt.Errorf("queueing: rates must be positive")
+	}
+	if q.K < 1 {
+		return fmt.Errorf("queueing: K must be >= 1, got %d", q.K)
+	}
+	return nil
+}
+
+// ProbN returns P(N = n) for 0 <= n <= K.
+func (q MM1K) ProbN(n int) float64 {
+	if n < 0 || n > q.K {
+		return 0
+	}
+	rho := q.Lambda / q.Mu
+	if math.Abs(rho-1) < 1e-12 {
+		return 1 / float64(q.K+1)
+	}
+	return (1 - rho) * math.Pow(rho, float64(n)) / (1 - math.Pow(rho, float64(q.K+1)))
+}
+
+// MeanJobs returns E[N].
+func (q MM1K) MeanJobs() float64 {
+	s := 0.0
+	for n := 1; n <= q.K; n++ {
+		s += float64(n) * q.ProbN(n)
+	}
+	return s
+}
+
+// BlockingProb returns P(N = K), the fraction of lost arrivals.
+func (q MM1K) BlockingProb() float64 { return q.ProbN(q.K) }
+
+// Throughput returns the accepted-arrival (= departure) rate.
+func (q MM1K) Throughput() float64 { return q.Lambda * (1 - q.BlockingProb()) }
+
+// ---------------------------------------------------------------------------
+
+// MMc describes an M/M/c queue.
+type MMc struct {
+	Lambda, Mu float64
+	C          int
+}
+
+// Validate checks positivity and stability.
+func (q MMc) Validate() error {
+	if q.Lambda <= 0 || q.Mu <= 0 || q.C < 1 {
+		return fmt.Errorf("queueing: invalid M/M/c parameters")
+	}
+	if q.Lambda >= float64(q.C)*q.Mu {
+		return fmt.Errorf("queueing: unstable M/M/c, rho = %v", q.Lambda/(float64(q.C)*q.Mu))
+	}
+	return nil
+}
+
+// ErlangC returns the probability an arrival waits (all servers busy).
+func (q MMc) ErlangC() float64 {
+	c := float64(q.C)
+	a := q.Lambda / q.Mu // offered load in Erlangs
+	rho := a / c
+	// Sum_{k<c} a^k/k! and the c-th term, computed iteratively.
+	sum := 0.0
+	term := 1.0 // a^0/0!
+	for k := 0; k < q.C; k++ {
+		sum += term
+		term *= a / float64(k+1)
+	}
+	// term is now a^c/c!.
+	pc := term / (1 - rho)
+	return pc / (sum + pc)
+}
+
+// MeanWait returns the mean waiting time in queue.
+func (q MMc) MeanWait() float64 {
+	c := float64(q.C)
+	return q.ErlangC() / (c*q.Mu - q.Lambda)
+}
+
+// MeanJobs returns E[N] including jobs in service.
+func (q MMc) MeanJobs() float64 {
+	return q.Lambda*q.MeanWait() + q.Lambda/q.Mu
+}
+
+// ---------------------------------------------------------------------------
+
+// MG1 describes an M/G/1 queue via the first two moments of service time.
+type MG1 struct {
+	Lambda float64
+	// ES and ES2 are E[S] and E[S^2] of the service distribution.
+	ES, ES2 float64
+}
+
+// Validate checks stability.
+func (q MG1) Validate() error {
+	if q.Lambda <= 0 || q.ES <= 0 || q.ES2 < q.ES*q.ES {
+		return fmt.Errorf("queueing: invalid M/G/1 parameters")
+	}
+	if q.Lambda*q.ES >= 1 {
+		return fmt.Errorf("queueing: unstable M/G/1, rho = %v", q.Lambda*q.ES)
+	}
+	return nil
+}
+
+// MeanWait returns the Pollaczek–Khinchine mean waiting time
+// lambda E[S^2] / (2 (1 - rho)).
+func (q MG1) MeanWait() float64 {
+	rho := q.Lambda * q.ES
+	return q.Lambda * q.ES2 / (2 * (1 - rho))
+}
+
+// MeanJobs returns E[N] by Little's law.
+func (q MG1) MeanJobs() float64 {
+	return q.Lambda * (q.MeanWait() + q.ES)
+}
+
+// ---------------------------------------------------------------------------
+
+// MM1Setup is an M/M/1 queue whose server turns off when idle and requires
+// an exponential setup time (rate Theta) when work arrives at an off
+// server. This is the exponential-wakeup analogue of the paper's CPU model
+// with T = 0, for which exact results are classical (Welch 1964; see also
+// Gandhi et al. on server farms with setup costs).
+type MM1Setup struct {
+	Lambda, Mu, Theta float64
+}
+
+// Validate checks positivity and stability.
+func (q MM1Setup) Validate() error {
+	if q.Lambda <= 0 || q.Mu <= 0 || q.Theta <= 0 {
+		return fmt.Errorf("queueing: rates must be positive")
+	}
+	if q.Lambda >= q.Mu {
+		return fmt.Errorf("queueing: unstable queue")
+	}
+	return nil
+}
+
+// MeanJobs returns E[N] = rho/(1-rho) + lambda/theta: the M/M/1 value plus
+// the extra backlog accumulated while the server sets up.
+func (q MM1Setup) MeanJobs() float64 {
+	rho := q.Lambda / q.Mu
+	return rho/(1-rho) + q.Lambda/q.Theta
+}
+
+// MeanLatency returns E[T] = E[N]/lambda (Little's law): 1/(mu-lambda) + 1/theta.
+func (q MM1Setup) MeanLatency() float64 { return q.MeanJobs() / q.Lambda }
+
+// SetupProb returns the stationary probability the server is in setup:
+// P(setup) = (1-rho) * (lambda/theta) / (1 + lambda/theta). Derived from
+// the decomposition of the off/setup/busy/idle cycle with immediate
+// power-down (T = 0): each idle period ends instantly, so the server is
+// either off (waiting for an arrival), in setup, or busy.
+func (q MM1Setup) SetupProb() float64 {
+	rho := q.Lambda / q.Mu
+	x := q.Lambda / q.Theta
+	return (1 - rho) * x / (1 + x)
+}
+
+// OffProb returns the stationary probability the server is off.
+func (q MM1Setup) OffProb() float64 {
+	rho := q.Lambda / q.Mu
+	x := q.Lambda / q.Theta
+	return (1 - rho) / (1 + x)
+}
+
+// BusyProb returns the utilization, which work conservation pins at rho.
+func (q MM1Setup) BusyProb() float64 { return q.Lambda / q.Mu }

@@ -1,0 +1,268 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/markov"
+)
+
+func TestMM1KnownValues(t *testing.T) {
+	q := MM1{Lambda: 1, Mu: 2} // rho = 0.5
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Rho() != 0.5 {
+		t.Fatal("rho wrong")
+	}
+	if q.MeanJobs() != 1 {
+		t.Fatalf("E[N] = %v, want 1", q.MeanJobs())
+	}
+	if q.MeanLatency() != 1 {
+		t.Fatalf("E[T] = %v, want 1", q.MeanLatency())
+	}
+	if q.MeanWait() != 0.5 {
+		t.Fatalf("E[W] = %v, want 0.5", q.MeanWait())
+	}
+	if math.Abs(q.ProbN(0)-0.5) > 1e-12 || math.Abs(q.ProbN(2)-0.125) > 1e-12 {
+		t.Fatal("ProbN wrong")
+	}
+}
+
+func TestMM1Validation(t *testing.T) {
+	if err := (MM1{Lambda: 2, Mu: 1}).Validate(); err == nil {
+		t.Fatal("unstable queue accepted")
+	}
+	if err := (MM1{Lambda: 0, Mu: 1}).Validate(); err == nil {
+		t.Fatal("zero lambda accepted")
+	}
+}
+
+func TestMM1LittleLawProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		lambda := 0.1 + float64(a%100)/25
+		mu := lambda + 0.1 + float64(b%100)/25
+		q := MM1{Lambda: lambda, Mu: mu}
+		return math.Abs(q.MeanJobs()-lambda*q.MeanLatency()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMM1ProbsSumToOne(t *testing.T) {
+	q := MM1{Lambda: 3, Mu: 4}
+	sum := 0.0
+	for n := 0; n < 500; n++ {
+		sum += q.ProbN(n)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestMM1KProbs(t *testing.T) {
+	q := MM1K{Lambda: 2, Mu: 3, K: 10}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for n := 0; n <= q.K; n++ {
+		sum += q.ProbN(n)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	if q.ProbN(-1) != 0 || q.ProbN(11) != 0 {
+		t.Fatal("out-of-range ProbN not zero")
+	}
+}
+
+func TestMM1KRhoEqualOne(t *testing.T) {
+	q := MM1K{Lambda: 1, Mu: 1, K: 4}
+	for n := 0; n <= 4; n++ {
+		if math.Abs(q.ProbN(n)-0.2) > 1e-12 {
+			t.Fatalf("rho=1 ProbN(%d) = %v, want uniform 0.2", n, q.ProbN(n))
+		}
+	}
+}
+
+func TestMM1KThroughputBalance(t *testing.T) {
+	q := MM1K{Lambda: 2, Mu: 3, K: 5}
+	// Accepted arrivals equal departures: mu * P(N > 0).
+	dep := q.Mu * (1 - q.ProbN(0))
+	if math.Abs(q.Throughput()-dep) > 1e-12 {
+		t.Fatalf("throughput %v != departures %v", q.Throughput(), dep)
+	}
+}
+
+func TestMM1KApproachesMM1(t *testing.T) {
+	unbounded := MM1{Lambda: 1, Mu: 2}
+	bounded := MM1K{Lambda: 1, Mu: 2, K: 60}
+	if math.Abs(bounded.MeanJobs()-unbounded.MeanJobs()) > 1e-9 {
+		t.Fatalf("M/M/1/60 E[N]=%v vs M/M/1 %v", bounded.MeanJobs(), unbounded.MeanJobs())
+	}
+}
+
+func TestMMcReducesToMM1(t *testing.T) {
+	c1 := MMc{Lambda: 1, Mu: 2, C: 1}
+	if err := c1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Erlang C with one server equals rho.
+	if math.Abs(c1.ErlangC()-0.5) > 1e-12 {
+		t.Fatalf("ErlangC = %v, want rho = 0.5", c1.ErlangC())
+	}
+	ref := MM1{Lambda: 1, Mu: 2}
+	if math.Abs(c1.MeanJobs()-ref.MeanJobs()) > 1e-12 {
+		t.Fatalf("M/M/1 via M/M/c: %v vs %v", c1.MeanJobs(), ref.MeanJobs())
+	}
+}
+
+func TestMMcKnownValue(t *testing.T) {
+	// Classic table value: c=2, a=1 (rho=0.5): ErlangC = 1/3.
+	q := MMc{Lambda: 2, Mu: 2, C: 2}
+	if math.Abs(q.ErlangC()-1.0/3.0) > 1e-12 {
+		t.Fatalf("ErlangC = %v, want 1/3", q.ErlangC())
+	}
+}
+
+func TestMMcMoreServersLessWait(t *testing.T) {
+	w2 := MMc{Lambda: 3, Mu: 2, C: 2}.MeanWait()
+	w4 := MMc{Lambda: 3, Mu: 2, C: 4}.MeanWait()
+	if w4 >= w2 {
+		t.Fatalf("wait did not drop with servers: %v >= %v", w4, w2)
+	}
+}
+
+func TestMG1ExponentialReducesToMM1(t *testing.T) {
+	// Exponential service: E[S]=1/mu, E[S^2]=2/mu^2.
+	const lambda, mu = 1.0, 2.0
+	g := MG1{Lambda: lambda, ES: 1 / mu, ES2: 2 / (mu * mu)}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ref := MM1{Lambda: lambda, Mu: mu}
+	if math.Abs(g.MeanWait()-ref.MeanWait()) > 1e-12 {
+		t.Fatalf("PK wait %v != M/M/1 wait %v", g.MeanWait(), ref.MeanWait())
+	}
+	if math.Abs(g.MeanJobs()-ref.MeanJobs()) > 1e-12 {
+		t.Fatalf("PK jobs %v != M/M/1 jobs %v", g.MeanJobs(), ref.MeanJobs())
+	}
+}
+
+func TestMG1DeterministicHalvesWait(t *testing.T) {
+	// M/D/1 waits half as long as M/M/1 at equal rho.
+	const lambda, mu = 1.0, 2.0
+	md1 := MG1{Lambda: lambda, ES: 1 / mu, ES2: 1 / (mu * mu)} // Var = 0
+	mm1 := MM1{Lambda: lambda, Mu: mu}
+	if math.Abs(md1.MeanWait()-mm1.MeanWait()/2) > 1e-12 {
+		t.Fatalf("M/D/1 wait = %v, want half of %v", md1.MeanWait(), mm1.MeanWait())
+	}
+}
+
+func TestMM1SetupAgainstCTMC(t *testing.T) {
+	// Numerically solve the setup queue as a CTMC (truncated) and compare
+	// every closed form.
+	const lambda, mu, theta = 1.0, 4.0, 2.0
+	q := MM1Setup{Lambda: lambda, Mu: mu, Theta: theta}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	const cap = 120
+	c := markov.NewCTMC()
+	off := "off"
+	setup := func(n int) string { return "s" + itoa(n) }
+	busy := func(n int) string { return "b" + itoa(n) }
+	c.AddRate(off, setup(1), lambda)
+	for n := 1; n <= cap; n++ {
+		if n < cap {
+			c.AddRate(setup(n), setup(n+1), lambda)
+			c.AddRate(busy(n), busy(n+1), lambda)
+		}
+		c.AddRate(setup(n), busy(n), theta)
+		if n > 1 {
+			c.AddRate(busy(n), busy(n-1), mu)
+		} else {
+			c.AddRate(busy(1), off, mu)
+		}
+	}
+	pi, err := c.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pOff, pSetup, pBusy, meanJobs float64
+	for i := 0; i < c.Len(); i++ {
+		name := c.Name(i)
+		switch name[0] {
+		case 'o':
+			pOff = pi[i]
+		case 's':
+			pSetup += pi[i]
+			meanJobs += float64(atoi(name[1:])) * pi[i]
+		case 'b':
+			pBusy += pi[i]
+			meanJobs += float64(atoi(name[1:])) * pi[i]
+		}
+	}
+	if math.Abs(pOff-q.OffProb()) > 1e-6 {
+		t.Fatalf("OffProb: closed form %v vs CTMC %v", q.OffProb(), pOff)
+	}
+	if math.Abs(pSetup-q.SetupProb()) > 1e-6 {
+		t.Fatalf("SetupProb: closed form %v vs CTMC %v", q.SetupProb(), pSetup)
+	}
+	if math.Abs(pBusy-q.BusyProb()) > 1e-6 {
+		t.Fatalf("BusyProb: closed form %v vs CTMC %v", q.BusyProb(), pBusy)
+	}
+	if math.Abs(meanJobs-q.MeanJobs()) > 1e-4 {
+		t.Fatalf("MeanJobs: closed form %v vs CTMC %v", q.MeanJobs(), meanJobs)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func atoi(s string) int {
+	n := 0
+	for _, ch := range s {
+		n = n*10 + int(ch-'0')
+	}
+	return n
+}
+
+func TestMM1SetupLittleLaw(t *testing.T) {
+	q := MM1Setup{Lambda: 1, Mu: 3, Theta: 0.5}
+	if math.Abs(q.MeanLatency()-q.MeanJobs()/q.Lambda) > 1e-15 {
+		t.Fatal("Little's law identity broken")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if err := (MM1K{Lambda: 1, Mu: 1, K: 0}).Validate(); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if err := (MMc{Lambda: 5, Mu: 1, C: 2}).Validate(); err == nil {
+		t.Fatal("unstable M/M/c accepted")
+	}
+	if err := (MG1{Lambda: 1, ES: 2, ES2: 8}).Validate(); err == nil {
+		t.Fatal("unstable M/G/1 accepted")
+	}
+	if err := (MG1{Lambda: 1, ES: 0.5, ES2: 0.1}).Validate(); err == nil {
+		t.Fatal("impossible second moment accepted")
+	}
+	if err := (MM1Setup{Lambda: 1, Mu: 2, Theta: 0}).Validate(); err == nil {
+		t.Fatal("zero theta accepted")
+	}
+}

@@ -1,0 +1,156 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableASCII(t *testing.T) {
+	tb := NewTable("Demo", "a", "long-column", "c")
+	tb.AddRow("1", "2", "3")
+	tb.AddRow("xx", "yy", "zz")
+	out := tb.ASCII()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "long-column") {
+		t.Fatalf("ASCII output missing pieces:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	// Header and row columns align.
+	if strings.Index(lines[1], "long-column") != strings.Index(lines[3], "2") {
+		t.Fatalf("columns not aligned:\n%s", out)
+	}
+}
+
+func TestTableRowMismatchPanics(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row accepted")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("1", "with,comma")
+	tb.AddRow("2", `with"quote`)
+	out := tb.CSV()
+	if !strings.Contains(out, `"with,comma"`) {
+		t.Fatalf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"with""quote"`) {
+		t.Fatalf("quote cell not escaped: %s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Fatalf("header wrong: %s", out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("MD", "x", "y")
+	tb.AddRow("1", "2")
+	out := tb.Markdown()
+	if !strings.Contains(out, "| x | y |") || !strings.Contains(out, "|---|---|") {
+		t.Fatalf("markdown shape wrong:\n%s", out)
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Fatal("F rounding wrong")
+	}
+	if F(math.NaN(), 2) != "NaN" || F(math.Inf(1), 1) != "Inf" {
+		t.Fatal("F special values wrong")
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	var f Figure
+	f.AddSeries("s1", []float64{0, 1}, []float64{10, 20})
+	f.AddSeries("s2", []float64{0, 1}, []float64{30, 40})
+	out := f.CSV()
+	want := "x,s1,s2\n0,10,30\n1,20,40\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestFigureCSVDisjointX(t *testing.T) {
+	var f Figure
+	f.AddSeries("a", []float64{0}, []float64{1})
+	f.AddSeries("b", []float64{1}, []float64{2})
+	out := f.CSV()
+	if !strings.Contains(out, "0,1,\n") || !strings.Contains(out, "1,,2\n") {
+		t.Fatalf("disjoint-x CSV wrong:\n%s", out)
+	}
+}
+
+func TestFigureSeriesValidation(t *testing.T) {
+	var f Figure
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched series accepted")
+		}
+	}()
+	f.AddSeries("bad", []float64{1, 2}, []float64{1})
+}
+
+func TestFigureSeriesCopiesData(t *testing.T) {
+	var f Figure
+	x := []float64{1}
+	f.AddSeries("s", x, []float64{2})
+	x[0] = 99
+	if f.Series[0].X[0] != 1 {
+		t.Fatal("series aliased caller slice")
+	}
+}
+
+func TestASCIIChart(t *testing.T) {
+	var f Figure
+	f.Title = "Chart"
+	f.XLabel = "time"
+	f.YLabel = "value"
+	f.AddSeries("up", []float64{0, 1, 2}, []float64{0, 1, 2})
+	f.AddSeries("down", []float64{0, 1, 2}, []float64{2, 1, 0})
+	out := f.ASCIIChart(40, 10)
+	for _, want := range []string{"Chart", "*", "o", "up", "down", "time", "value"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Rising series: '*' appears in both the bottom-left and top-right
+	// regions; spot-check the extremes map to opposite corners.
+	lines := strings.Split(out, "\n")
+	top := lines[1]
+	if !strings.Contains(top, "*") && !strings.Contains(top, "o") {
+		t.Fatalf("no marker on top row:\n%s", out)
+	}
+}
+
+func TestASCIIChartEmptyFigure(t *testing.T) {
+	var f Figure
+	if got := f.ASCIIChart(40, 10); !strings.Contains(got, "empty") {
+		t.Fatalf("empty figure rendered: %q", got)
+	}
+}
+
+func TestASCIIChartConstantSeries(t *testing.T) {
+	var f Figure
+	f.AddSeries("flat", []float64{0, 1}, []float64{5, 5})
+	out := f.ASCIIChart(30, 6)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series not drawn:\n%s", out)
+	}
+}
+
+func TestSortFloats(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	sortFloats(xs)
+	if xs[0] != 1 || xs[1] != 2 || xs[2] != 3 {
+		t.Fatalf("sortFloats = %v", xs)
+	}
+}

@@ -1,0 +1,209 @@
+// Package sensornode extends the paper's CPU model to a whole sensor node —
+// the object the paper's motivation section reasons about. A node couples
+// the Figure-3 CPU net with a duty-cycled radio: every completed CPU job
+// emits a packet that the radio transmits, and the radio periodically wakes
+// from sleep to listen for traffic. The composite model is a single Petri
+// net, demonstrating the compositionality the paper claims for Petri-net
+// modeling ("any changes to the model can be made easily").
+package sensornode
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/energy"
+	"repro/internal/petri"
+)
+
+// Radio place and transition names.
+const (
+	PlaceRadioSleep  = "Radio_Sleep"
+	PlaceRadioTx     = "Radio_Tx"
+	PlaceRadioListen = "Radio_Listen"
+	PlaceTxQueue     = "Tx_Queue"
+
+	TransTxStart    = "Tx_Start"
+	TransTxDone     = "Tx_Done"
+	TransListenBeat = "Listen_Beat"
+	TransListenDone = "Listen_Done"
+)
+
+// RadioPower is a per-state radio power table in milliwatts. The default
+// values are CC2420-class magnitudes at 3 V (illustrative, not from the
+// paper).
+type RadioPower struct {
+	SleepMW, TxMW, ListenMW float64
+}
+
+// CC2420 is a representative 802.15.4 radio power table.
+var CC2420 = RadioPower{SleepMW: 0.06, TxMW: 52.2, ListenMW: 56.4}
+
+// Config describes a sensor node.
+type Config struct {
+	// CPU is the paper's processor model configuration.
+	CPU core.Config
+	// TxTime is the radio transmit time per packet in seconds.
+	TxTime float64
+	// ListenPeriod and ListenWindow configure duty-cycled listening: the
+	// radio wakes ListenPeriod seconds after last falling asleep and
+	// listens for ListenWindow seconds.
+	ListenPeriod, ListenWindow float64
+	// Radio is the radio power table.
+	Radio RadioPower
+	// Battery supplies the node; used for lifetime estimation.
+	Battery energy.Battery
+}
+
+// DefaultConfig returns a Mica-class node running the paper's CPU workload.
+func DefaultConfig() Config {
+	return Config{
+		CPU:          core.PaperConfig(),
+		TxTime:       0.01,
+		ListenPeriod: 1.0,
+		ListenWindow: 0.05,
+		Radio:        CC2420,
+		Battery:      energy.AA2850,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.CPU.Validate(); err != nil {
+		return err
+	}
+	if c.TxTime <= 0 {
+		return fmt.Errorf("sensornode: TxTime must be positive, got %v", c.TxTime)
+	}
+	if c.ListenPeriod <= 0 || c.ListenWindow <= 0 {
+		return fmt.Errorf("sensornode: listen period/window must be positive, got %v/%v", c.ListenPeriod, c.ListenWindow)
+	}
+	if c.Radio.SleepMW < 0 || c.Radio.TxMW <= 0 || c.Radio.ListenMW <= 0 {
+		return fmt.Errorf("sensornode: invalid radio power table %+v", c.Radio)
+	}
+	if c.Battery.CapacitymAh <= 0 || c.Battery.Volts <= 0 {
+		return fmt.Errorf("sensornode: invalid battery %+v", c.Battery)
+	}
+	return nil
+}
+
+// BuildNodeNet composes the Figure-3 CPU net with the radio subnet:
+//
+//   - each SR firing (job completion) also deposits a packet in Tx_Queue;
+//   - Tx_Start (immediate) grabs the sleeping radio when a packet waits;
+//   - Tx_Done (deterministic TxTime) returns the radio to sleep;
+//   - Listen_Beat (deterministic ListenPeriod, race-enable) periodically
+//     moves the sleeping radio to Radio_Listen for ListenWindow seconds.
+//
+// The radio carries the P-invariant
+// M(Radio_Sleep) + M(Radio_Tx) + M(Radio_Listen) = 1.
+func BuildNodeNet(cfg Config) *petri.Net {
+	n := core.BuildCPUNet(cfg.CPU)
+	n.Name = "sensor-node"
+
+	sleep := n.AddPlaceInit(PlaceRadioSleep, 1)
+	tx := n.AddPlace(PlaceRadioTx)
+	listen := n.AddPlace(PlaceRadioListen)
+	txq := n.AddPlace(PlaceTxQueue)
+
+	// Couple the CPU to the radio: every service completion queues one
+	// packet.
+	sr, ok := n.TransitionByName(core.TransSR)
+	if !ok {
+		panic("sensornode: CPU net lost its SR transition")
+	}
+	n.Output(sr, txq, 1)
+
+	txStart := n.AddImmediate(TransTxStart, 5)
+	n.Input(txStart, txq, 1)
+	n.Input(txStart, sleep, 1)
+	n.Output(txStart, tx, 1)
+
+	txDone := n.AddTimed(TransTxDone, dist.NewDeterministic(cfg.TxTime))
+	n.Input(txDone, tx, 1)
+	n.Output(txDone, sleep, 1)
+
+	listenBeat := n.AddTimed(TransListenBeat, dist.NewDeterministic(cfg.ListenPeriod))
+	n.Input(listenBeat, sleep, 1)
+	n.Output(listenBeat, listen, 1)
+	// Pending packets postpone the listen window; transmission has
+	// priority over idle listening.
+	n.Inhibitor(listenBeat, txq, 1)
+
+	listenDone := n.AddTimed(TransListenDone, dist.NewDeterministic(cfg.ListenWindow))
+	n.Input(listenDone, listen, 1)
+	n.Output(listenDone, sleep, 1)
+
+	return n
+}
+
+// Result is the outcome of a node-level energy analysis.
+type Result struct {
+	// CPUFractions are the processor state shares.
+	CPUFractions energy.Fractions
+	// RadioSleep, RadioTx, RadioListen are the radio state shares.
+	RadioSleep, RadioTx, RadioListen float64
+	// CPUAvgMW, RadioAvgMW and TotalAvgMW are average power draws.
+	CPUAvgMW, RadioAvgMW, TotalAvgMW float64
+	// PacketsPerSecond is the radio transmit throughput.
+	PacketsPerSecond float64
+	// LifetimeSeconds is the battery lifetime at TotalAvgMW.
+	LifetimeSeconds float64
+}
+
+// LifetimeDays converts the lifetime to days.
+func (r *Result) LifetimeDays() float64 { return r.LifetimeSeconds / 86400 }
+
+// Estimate simulates the composite net and returns node-level power,
+// throughput and lifetime.
+func Estimate(cfg Config, reps int) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if reps < 1 {
+		reps = 5
+	}
+	n := BuildNodeNet(cfg)
+	rep, err := petri.SimulateReplications(n, petri.SimOptions{
+		Seed:     cfg.CPU.Seed,
+		Warmup:   cfg.CPU.Warmup,
+		Duration: cfg.CPU.SimTime,
+	}, reps)
+	if err != nil {
+		return nil, err
+	}
+	avg := func(name string) float64 {
+		id, ok := n.PlaceByName(name)
+		if !ok {
+			panic(fmt.Sprintf("sensornode: missing place %q", name))
+		}
+		return rep.PlaceAvg[id].Mean()
+	}
+	res := &Result{
+		RadioSleep:  avg(PlaceRadioSleep),
+		RadioTx:     avg(PlaceRadioTx),
+		RadioListen: avg(PlaceRadioListen),
+	}
+	res.CPUFractions[energy.Standby] = avg(core.PlaceStandBy)
+	res.CPUFractions[energy.PowerUp] = avg(core.PlacePowerUp)
+	res.CPUFractions[energy.Idle] = avg(core.PlaceIdle)
+	res.CPUFractions[energy.Active] = avg(core.PlaceActive)
+
+	res.CPUAvgMW = cfg.CPU.Power.AveragePowerMW(res.CPUFractions)
+	res.RadioAvgMW = res.RadioSleep*cfg.Radio.SleepMW +
+		res.RadioTx*cfg.Radio.TxMW +
+		res.RadioListen*cfg.Radio.ListenMW
+	res.TotalAvgMW = res.CPUAvgMW + res.RadioAvgMW
+
+	txDoneID, ok := n.TransitionByName(TransTxDone)
+	if !ok {
+		panic("sensornode: missing Tx_Done")
+	}
+	res.PacketsPerSecond = rep.Throughput[txDoneID].Mean()
+	res.LifetimeSeconds = cfg.Battery.LifetimeSeconds(res.TotalAvgMW)
+	if math.IsNaN(res.LifetimeSeconds) {
+		return nil, fmt.Errorf("sensornode: lifetime is NaN (total %v mW)", res.TotalAvgMW)
+	}
+	return res, nil
+}

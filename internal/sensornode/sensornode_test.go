@@ -1,0 +1,219 @@
+package sensornode
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/petri"
+	"repro/internal/xrand"
+)
+
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.CPU.SimTime = 2000
+	cfg.CPU.Warmup = 100
+	cfg.CPU.Replications = 4
+	return cfg
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.CPU.Lambda = 0 },
+		func(c *Config) { c.TxTime = 0 },
+		func(c *Config) { c.ListenPeriod = 0 },
+		func(c *Config) { c.ListenWindow = -1 },
+		func(c *Config) { c.Radio.TxMW = 0 },
+		func(c *Config) { c.Battery.CapacitymAh = 0 },
+	}
+	for i, mutate := range mutations {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestNodeNetStructure(t *testing.T) {
+	n := BuildNodeNet(DefaultConfig())
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 9 CPU places + 4 radio places.
+	if len(n.Places) != 13 {
+		t.Fatalf("places = %d, want 13", len(n.Places))
+	}
+	// 8 CPU transitions + 4 radio transitions.
+	if len(n.Transitions) != 12 {
+		t.Fatalf("transitions = %d, want 12", len(n.Transitions))
+	}
+}
+
+// TestRadioInvariant: the radio state places always hold exactly one token
+// among them, checked dynamically over random firings.
+func TestRadioInvariant(t *testing.T) {
+	n := BuildNodeNet(DefaultConfig())
+	sleepID, _ := n.PlaceByName(PlaceRadioSleep)
+	txID, _ := n.PlaceByName(PlaceRadioTx)
+	listenID, _ := n.PlaceByName(PlaceRadioListen)
+	m := n.InitialMarking()
+	r := xrand.New(4)
+	for step := 0; step < 3000; step++ {
+		var enabled []petri.TransitionID
+		for ti := range n.Transitions {
+			if n.Enabled(m, petri.TransitionID(ti)) {
+				enabled = append(enabled, petri.TransitionID(ti))
+			}
+		}
+		if len(enabled) == 0 {
+			t.Fatalf("node net deadlocked at step %d", step)
+		}
+		n.Fire(m, enabled[r.Intn(len(enabled))])
+		if got := m[sleepID] + m[txID] + m[listenID]; got != 1 {
+			t.Fatalf("radio invariant broke at step %d: %d tokens", step, got)
+		}
+	}
+}
+
+// TestRadioInvariantStructural: the radio conservation law is found by the
+// invariant computation, not only dynamically.
+func TestRadioInvariantStructural(t *testing.T) {
+	n := BuildNodeNet(DefaultConfig())
+	invs, err := petri.PInvariants(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sleepID, _ := n.PlaceByName(PlaceRadioSleep)
+	txID, _ := n.PlaceByName(PlaceRadioTx)
+	listenID, _ := n.PlaceByName(PlaceRadioListen)
+	for _, y := range invs {
+		if y[sleepID] == 1 && y[txID] == 1 && y[listenID] == 1 {
+			nonRadio := 0
+			for p, v := range y {
+				if v != 0 && p != int(sleepID) && p != int(txID) && p != int(listenID) {
+					nonRadio++
+				}
+			}
+			if nonRadio == 0 {
+				return // found the pure radio invariant
+			}
+		}
+	}
+	t.Fatalf("radio P-invariant not found in %v", invs)
+}
+
+func TestEstimate(t *testing.T) {
+	res, err := Estimate(quickConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Radio shares form a distribution.
+	if s := res.RadioSleep + res.RadioTx + res.RadioListen; math.Abs(s-1) > 1e-6 {
+		t.Fatalf("radio shares sum to %v", s)
+	}
+	if err := res.CPUFractions.Validate(1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// Every job becomes a packet: tx throughput == lambda.
+	if math.Abs(res.PacketsPerSecond-1) > 0.05 {
+		t.Fatalf("packet rate = %v, want ~1 (lambda)", res.PacketsPerSecond)
+	}
+	// Radio tx share = lambda * TxTime.
+	if math.Abs(res.RadioTx-0.01) > 0.005 {
+		t.Fatalf("radio tx share = %v, want ~0.01", res.RadioTx)
+	}
+	if res.TotalAvgMW <= 0 || res.LifetimeSeconds <= 0 {
+		t.Fatal("non-positive power or lifetime")
+	}
+	if res.TotalAvgMW < res.CPUAvgMW || res.TotalAvgMW < res.RadioAvgMW {
+		t.Fatal("total power less than a component")
+	}
+	if math.Abs(res.LifetimeDays()-res.LifetimeSeconds/86400) > 1e-9 {
+		t.Fatal("LifetimeDays inconsistent")
+	}
+}
+
+// TestLifetimeDropsWithLoad: more arrivals -> more active CPU and more
+// packets -> shorter life.
+func TestLifetimeDropsWithLoad(t *testing.T) {
+	light := quickConfig()
+	light.CPU.Lambda = 0.2
+	heavy := quickConfig()
+	heavy.CPU.Lambda = 4
+	lr, err := Estimate(light, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := Estimate(heavy, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.LifetimeSeconds >= lr.LifetimeSeconds {
+		t.Fatalf("lifetime did not drop with load: light %v vs heavy %v",
+			lr.LifetimeSeconds, hr.LifetimeSeconds)
+	}
+}
+
+// TestListenDutyCycleShare: with light traffic the listen share approaches
+// Window / (Period + Window).
+func TestListenDutyCycleShare(t *testing.T) {
+	cfg := quickConfig()
+	cfg.CPU.Lambda = 0.01 // nearly idle
+	cfg.CPU.Mu = 10
+	cfg.ListenPeriod = 1
+	cfg.ListenWindow = 0.25
+	res, err := Estimate(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.25 / 1.25
+	if math.Abs(res.RadioListen-want) > 0.02 {
+		t.Fatalf("listen share = %v, want ~%v", res.RadioListen, want)
+	}
+}
+
+func TestEstimateRejectsInvalid(t *testing.T) {
+	cfg := quickConfig()
+	cfg.TxTime = -1
+	if _, err := Estimate(cfg, 2); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestNodeEnergyDominatedByCPUForPXA271(t *testing.T) {
+	// With a PXA271 (tens of mW even in standby=17mW) and a mostly
+	// sleeping radio, CPU power dominates the budget at the paper's load.
+	res, err := Estimate(quickConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPUAvgMW <= res.RadioAvgMW {
+		t.Fatalf("expected CPU-dominated budget, got CPU %v mW vs radio %v mW",
+			res.CPUAvgMW, res.RadioAvgMW)
+	}
+	_ = energy.PXA271
+}
+
+func TestCPUSubnetUnaffectedByRadio(t *testing.T) {
+	// Attaching the radio must not change CPU-side behaviour: compare the
+	// CPU fractions of the composite net against the plain CPU net.
+	cfg := quickConfig()
+	nodeRes, err := Estimate(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuEst, err := core.PetriNet{}.Estimate(cfg.CPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range energy.States {
+		if d := math.Abs(nodeRes.CPUFractions[s] - cpuEst.Fractions[s]); d > 0.03 {
+			t.Fatalf("state %s: node %v vs cpu-only %v", s, nodeRes.CPUFractions[s], cpuEst.Fractions[s])
+		}
+	}
+}

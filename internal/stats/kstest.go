@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KolmogorovSmirnov returns the one-sample KS statistic
+// D = sup_x |F_n(x) - F(x)| for the given sample against a reference CDF.
+// The input sample is not modified.
+func KolmogorovSmirnov(sample []float64, cdf func(float64) float64) float64 {
+	if len(sample) == 0 {
+		panic("stats: KS test needs a non-empty sample")
+	}
+	xs := append([]float64(nil), sample...)
+	sort.Float64s(xs)
+	n := float64(len(xs))
+	d := 0.0
+	for i, x := range xs {
+		f := cdf(x)
+		if f < 0 || f > 1 || math.IsNaN(f) {
+			panic(fmt.Sprintf("stats: reference CDF returned %v at %v", f, x))
+		}
+		// Compare against the empirical CDF just below and at x.
+		lo := float64(i) / n
+		hi := float64(i+1) / n
+		if diff := math.Abs(f - lo); diff > d {
+			d = diff
+		}
+		if diff := math.Abs(f - hi); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSCriticalValue returns the approximate critical value of the one-sample
+// KS statistic at the given significance level (alpha in {0.10, 0.05,
+// 0.01, 0.001}) for sample size n, using the asymptotic formula
+// c(alpha)/sqrt(n). Valid for n >= 35; conservative below.
+func KSCriticalValue(alpha float64, n int) float64 {
+	if n < 1 {
+		panic(fmt.Sprintf("stats: KS critical value needs n >= 1, got %d", n))
+	}
+	var c float64
+	switch {
+	case alpha >= 0.10:
+		c = 1.224
+	case alpha >= 0.05:
+		c = 1.358
+	case alpha >= 0.01:
+		c = 1.628
+	default:
+		c = 1.949
+	}
+	return c / math.Sqrt(float64(n))
+}

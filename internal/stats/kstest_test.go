@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func uniformCDF(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	default:
+		return x
+	}
+}
+
+func TestKSUniformAccepts(t *testing.T) {
+	r := xrand.New(21)
+	const n = 5000
+	sample := make([]float64, n)
+	for i := range sample {
+		sample[i] = r.Float64()
+	}
+	d := KolmogorovSmirnov(sample, uniformCDF)
+	if crit := KSCriticalValue(0.01, n); d > crit {
+		t.Fatalf("uniform sample rejected: D = %v > %v", d, crit)
+	}
+}
+
+func TestKSDetectsWrongDistribution(t *testing.T) {
+	r := xrand.New(22)
+	const n = 5000
+	sample := make([]float64, n)
+	for i := range sample {
+		// Squared uniforms are Beta(1/2-ish), far from uniform.
+		u := r.Float64()
+		sample[i] = u * u
+	}
+	d := KolmogorovSmirnov(sample, uniformCDF)
+	if crit := KSCriticalValue(0.001, n); d <= crit {
+		t.Fatalf("non-uniform sample accepted: D = %v <= %v", d, crit)
+	}
+}
+
+func TestKSExactSmallSample(t *testing.T) {
+	// Sample {0.5} against U(0,1): empirical CDF jumps 0 -> 1 at 0.5, so
+	// D = 0.5 exactly.
+	if d := KolmogorovSmirnov([]float64{0.5}, uniformCDF); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("D = %v, want 0.5", d)
+	}
+}
+
+func TestKSPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty sample accepted")
+		}
+	}()
+	KolmogorovSmirnov(nil, uniformCDF)
+}
+
+func TestKSPanicsOnBadCDF(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid CDF accepted")
+		}
+	}()
+	KolmogorovSmirnov([]float64{1}, func(float64) float64 { return 2 })
+}
+
+func TestKSCriticalValueDecreasesWithN(t *testing.T) {
+	if KSCriticalValue(0.05, 100) <= KSCriticalValue(0.05, 10000) {
+		t.Fatal("critical value should shrink with n")
+	}
+	if KSCriticalValue(0.10, 100) >= KSCriticalValue(0.001, 100) {
+		t.Fatal("critical value should grow with confidence")
+	}
+}

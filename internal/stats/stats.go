@@ -1,0 +1,343 @@
+// Package stats provides the statistical estimators used to turn raw
+// simulation output into steady-state results with confidence intervals:
+// Welford accumulators for i.i.d. observations, time-weighted accumulators
+// for piecewise-constant processes (token counts, CPU states), batch means
+// for single-run steady-state analysis and replication summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates scalar observations with Welford's numerically stable
+// online algorithm. The zero value is ready to use.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// AddAll records every value in xs.
+func (s *Summary) AddAll(xs []float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+// N returns the number of observations recorded.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 if no observations).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance (0 for fewer than 2 observations).
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Var()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// Min returns the smallest observation (0 if none).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 if none).
+func (s *Summary) Max() float64 { return s.max }
+
+// CI returns the half-width of the confidence interval for the mean at the
+// given confidence level (e.g. 0.95), using the Student-t distribution with
+// n-1 degrees of freedom. Returns 0 for fewer than 2 observations.
+func (s *Summary) CI(level float64) float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return TQuantile(1-(1-level)/2, s.n-1) * s.StdErr()
+}
+
+// Merge folds the other summary into s (parallel-friendly pairwise merge,
+// Chan et al.). Min/max are combined exactly.
+func (s *Summary) Merge(o *Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	n := s.n + o.n
+	delta := o.mean - s.mean
+	mean := s.mean + delta*float64(o.n)/float64(n)
+	m2 := s.m2 + o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n, s.mean, s.m2 = n, mean, m2
+}
+
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g", s.n, s.Mean(), s.StdDev(), s.min, s.max)
+}
+
+// ---------------------------------------------------------------------------
+// Time-weighted accumulation
+
+// TimeWeighted integrates a piecewise-constant signal over time, yielding
+// the time-average value — the estimator behind "average number of tokens in
+// a place" and "fraction of time the CPU spends in a state".
+type TimeWeighted struct {
+	origin   float64
+	lastT    float64
+	lastV    float64
+	integral float64
+	started  bool
+	min, max float64
+}
+
+// Start initializes the signal at time t with value v. Calling Start again
+// resets the accumulator.
+func (w *TimeWeighted) Start(t, v float64) {
+	w.origin, w.lastT, w.lastV, w.integral, w.started = t, t, v, 0, true
+	w.min, w.max = v, v
+}
+
+// Set records that the signal changed to value v at time t. Time must be
+// non-decreasing; the value held since the previous event is integrated.
+func (w *TimeWeighted) Set(t, v float64) {
+	if !w.started {
+		w.Start(t, v)
+		return
+	}
+	if t < w.lastT {
+		panic(fmt.Sprintf("stats: time went backwards: %v < %v", t, w.lastT))
+	}
+	w.integral += w.lastV * (t - w.lastT)
+	w.lastT, w.lastV = t, v
+	if v < w.min {
+		w.min = v
+	}
+	if v > w.max {
+		w.max = v
+	}
+}
+
+// Advance integrates up to time t without changing the value.
+func (w *TimeWeighted) Advance(t float64) { w.Set(t, w.lastV) }
+
+// Integral returns the integral of the signal from Start to time t.
+func (w *TimeWeighted) Integral(t float64) float64 {
+	if !w.started || t <= w.lastT {
+		return w.integral
+	}
+	return w.integral + w.lastV*(t-w.lastT)
+}
+
+// MeanAt returns the time-average of the signal over [start, t].
+func (w *TimeWeighted) MeanAt(t float64) float64 {
+	if !w.started {
+		return 0
+	}
+	// The origin is the time passed to Start; reconstruct it from state:
+	// integral covers [start, lastT].
+	dur := t - w.startTime()
+	if dur <= 0 {
+		return w.lastV
+	}
+	return w.Integral(t) / dur
+}
+
+// startTime returns the timestamp passed to Start.
+func (w *TimeWeighted) startTime() float64 { return w.origin }
+
+// Value returns the current value of the signal.
+func (w *TimeWeighted) Value() float64 { return w.lastV }
+
+// Min returns the minimum value observed.
+func (w *TimeWeighted) Min() float64 { return w.min }
+
+// Max returns the maximum value observed.
+func (w *TimeWeighted) Max() float64 { return w.max }
+
+// ---------------------------------------------------------------------------
+// Batch means
+
+// BatchMeans estimates a steady-state mean from a single long run by
+// grouping consecutive observations into fixed-size batches; batch means are
+// approximately independent when batches are long relative to the process
+// autocorrelation time, so a Student-t interval over them is valid.
+type BatchMeans struct {
+	batchSize int
+	current   Summary
+	batches   Summary
+	means     []float64
+}
+
+// NewBatchMeans creates an estimator with the given batch size (>= 1).
+func NewBatchMeans(batchSize int) *BatchMeans {
+	if batchSize < 1 {
+		panic(fmt.Sprintf("stats: batch size must be >= 1, got %d", batchSize))
+	}
+	return &BatchMeans{batchSize: batchSize}
+}
+
+// Add records one observation, closing a batch when it fills.
+func (b *BatchMeans) Add(x float64) {
+	b.current.Add(x)
+	if b.current.N() == b.batchSize {
+		m := b.current.Mean()
+		b.batches.Add(m)
+		b.means = append(b.means, m)
+		b.current = Summary{}
+	}
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int { return b.batches.N() }
+
+// Mean returns the grand mean over completed batches.
+func (b *BatchMeans) Mean() float64 { return b.batches.Mean() }
+
+// CI returns the half-width of the confidence interval over batch means.
+func (b *BatchMeans) CI(level float64) float64 { return b.batches.CI(level) }
+
+// BatchMeanValues returns a copy of the completed batch means.
+func (b *BatchMeans) BatchMeanValues() []float64 {
+	return append([]float64(nil), b.means...)
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+// Histogram counts observations into equal-width bins over [Low, High);
+// out-of-range values go to the underflow/overflow counters.
+type Histogram struct {
+	Low, High float64
+	Counts    []int
+	Under     int
+	Over      int
+	total     int
+}
+
+// NewHistogram creates a histogram with the given number of bins over
+// [low, high).
+func NewHistogram(low, high float64, bins int) *Histogram {
+	if bins < 1 || high <= low {
+		panic(fmt.Sprintf("stats: invalid histogram spec [%v,%v) bins=%d", low, high, bins))
+	}
+	return &Histogram{Low: low, High: high, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Low:
+		h.Under++
+	case x >= h.High:
+		h.Over++
+	default:
+		i := int((x - h.Low) / (h.High - h.Low) * float64(len(h.Counts)))
+		if i == len(h.Counts) { // boundary rounding
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations recorded, including out-of-range.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the fraction of in-range observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// ---------------------------------------------------------------------------
+// Quantiles of collected data
+
+// Quantile returns the p-quantile (0 <= p <= 1) of xs using linear
+// interpolation between order statistics (type-7, the R default). The input
+// is not modified.
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: quantile of empty slice")
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: quantile p=%v out of [0,1]", p))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	h := p * float64(len(s)-1)
+	i := int(math.Floor(h))
+	if i >= len(s)-1 {
+		return s[len(s)-1]
+	}
+	frac := h - float64(i)
+	return s[i]*(1-frac) + s[i+1]*frac
+}
+
+// Autocorrelation returns the lag-k sample autocorrelation of xs.
+func Autocorrelation(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag < 0 || lag >= n {
+		panic(fmt.Sprintf("stats: invalid lag %d for %d observations", lag, n))
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - mean
+		den += d * d
+		if i+lag < n {
+			num += d * (xs[i+lag] - mean)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,414 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d, want 8", s.N())
+	}
+	if !almostEq(s.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v, want 5", s.Mean())
+	}
+	// Population variance 4, unbiased sample variance 32/7.
+	if !almostEq(s.Var(), 32.0/7.0, 1e-12) {
+		t.Fatalf("var = %v, want %v", s.Var(), 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.StdErr() != 0 || s.CI(0.95) != 0 {
+		t.Fatal("empty summary should report zeros")
+	}
+}
+
+func TestSummarySingleObservation(t *testing.T) {
+	var s Summary
+	s.Add(3)
+	if s.Var() != 0 || s.CI(0.95) != 0 {
+		t.Fatal("single observation should have zero variance and CI")
+	}
+}
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	r := xrand.New(1)
+	var whole, a, b Summary
+	for i := 0; i < 1000; i++ {
+		x := r.NormFloat64()*3 + 10
+		whole.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if !almostEq(a.Mean(), whole.Mean(), 1e-9) {
+		t.Fatalf("merged mean = %v, want %v", a.Mean(), whole.Mean())
+	}
+	if !almostEq(a.Var(), whole.Var(), 1e-9) {
+		t.Fatalf("merged var = %v, want %v", a.Var(), whole.Var())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatal("merged min/max mismatch")
+	}
+}
+
+func TestSummaryMergeEmptyCases(t *testing.T) {
+	var a, b Summary
+	a.Add(1)
+	a.Add(3)
+	saved := a
+	a.Merge(&b) // merging empty is a no-op
+	if a != saved {
+		t.Fatal("merge with empty changed summary")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.Mean() != 2 || b.N() != 2 {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+func TestSummaryCIShrinks(t *testing.T) {
+	r := xrand.New(2)
+	var small, large Summary
+	for i := 0; i < 10; i++ {
+		small.Add(r.NormFloat64())
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(r.NormFloat64())
+	}
+	if small.CI(0.95) <= large.CI(0.95) {
+		t.Fatalf("CI did not shrink with n: %v <= %v", small.CI(0.95), large.CI(0.95))
+	}
+}
+
+func TestSummaryCICoverage(t *testing.T) {
+	// 95% t-interval over normal data should cover the true mean ~95% of
+	// the time. With 400 trials, coverage in [0.90, 0.99] is acceptable.
+	const trials, n, mu = 400, 20, 5.0
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		r := xrand.NewStream(7, uint64(trial))
+		var s Summary
+		for i := 0; i < n; i++ {
+			s.Add(mu + 2*r.NormFloat64())
+		}
+		hw := s.CI(0.95)
+		if math.Abs(s.Mean()-mu) <= hw {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.90 || frac > 0.99 {
+		t.Fatalf("95%% CI coverage = %v, outside [0.90, 0.99]", frac)
+	}
+}
+
+func TestTimeWeightedConstant(t *testing.T) {
+	var w TimeWeighted
+	w.Start(0, 2)
+	w.Advance(10)
+	if !almostEq(w.MeanAt(10), 2, 1e-12) {
+		t.Fatalf("constant signal mean = %v, want 2", w.MeanAt(10))
+	}
+}
+
+func TestTimeWeightedStep(t *testing.T) {
+	var w TimeWeighted
+	w.Start(0, 0)
+	w.Set(4, 1) // value 0 on [0,4)
+	w.Set(6, 3) // value 1 on [4,6)
+	// value 3 on [6,10]
+	got := w.MeanAt(10)
+	want := (0.0*4 + 1.0*2 + 3.0*4) / 10
+	if !almostEq(got, want, 1e-12) {
+		t.Fatalf("step mean = %v, want %v", got, want)
+	}
+	if w.Min() != 0 || w.Max() != 3 {
+		t.Fatalf("min/max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestTimeWeightedNonZeroOrigin(t *testing.T) {
+	var w TimeWeighted
+	w.Start(100, 5)
+	w.Set(110, 0)
+	if !almostEq(w.MeanAt(120), 2.5, 1e-12) {
+		t.Fatalf("mean = %v, want 2.5", w.MeanAt(120))
+	}
+}
+
+func TestTimeWeightedBackwardsTimePanics(t *testing.T) {
+	var w TimeWeighted
+	w.Start(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards time did not panic")
+		}
+	}()
+	w.Set(4, 2)
+}
+
+func TestTimeWeightedIntegral(t *testing.T) {
+	var w TimeWeighted
+	w.Start(0, 1)
+	w.Set(2, 5)
+	if !almostEq(w.Integral(4), 1*2+5*2, 1e-12) {
+		t.Fatalf("integral = %v, want 12", w.Integral(4))
+	}
+	// Querying before lastT returns the integral up to lastT only.
+	if !almostEq(w.Integral(1), 2, 1e-12) {
+		t.Fatalf("early integral = %v, want 2", w.Integral(1))
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	b := NewBatchMeans(10)
+	r := xrand.New(3)
+	for i := 0; i < 1000; i++ {
+		b.Add(4 + r.NormFloat64())
+	}
+	if b.Batches() != 100 {
+		t.Fatalf("batches = %d, want 100", b.Batches())
+	}
+	if !almostEq(b.Mean(), 4, 0.15) {
+		t.Fatalf("batch-means mean = %v, want ~4", b.Mean())
+	}
+	if b.CI(0.95) <= 0 {
+		t.Fatal("batch-means CI should be positive")
+	}
+	if len(b.BatchMeanValues()) != 100 {
+		t.Fatal("BatchMeanValues length mismatch")
+	}
+}
+
+func TestBatchMeansPartialBatchIgnored(t *testing.T) {
+	b := NewBatchMeans(10)
+	for i := 0; i < 15; i++ {
+		b.Add(1)
+	}
+	if b.Batches() != 1 {
+		t.Fatalf("batches = %d, want 1 (partial batch not closed)", b.Batches())
+	}
+}
+
+func TestBatchMeansValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBatchMeans(0) did not panic")
+		}
+	}()
+	NewBatchMeans(0)
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, x := range []float64{-1, 0, 0.5, 5, 9.99, 10, 11} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under/over = %d/%d, want 1/2", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 { // 0 and 0.5
+		t.Fatalf("bin 0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[5] != 1 || h.Counts[9] != 1 {
+		t.Fatal("mid/last bin counts wrong")
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d, want 7", h.Total())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Fatalf("median = %v, want 3", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Fatalf("q1 = %v, want 5", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Fatalf("q0.25 = %v, want 2", got)
+	}
+	// Input not modified.
+	if xs[0] != 3 {
+		t.Fatal("Quantile modified its input")
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Quantile(xs, 0.5); !almostEq(got, 5, 1e-12) {
+		t.Fatalf("interpolated median = %v, want 5", got)
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// A strongly autocorrelated ramp has lag-1 autocorrelation near 1.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	if ac := Autocorrelation(xs, 1); ac < 0.9 {
+		t.Fatalf("ramp lag-1 autocorrelation = %v, want > 0.9", ac)
+	}
+	if ac := Autocorrelation(xs, 0); !almostEq(ac, 1, 1e-12) {
+		t.Fatalf("lag-0 autocorrelation = %v, want 1", ac)
+	}
+	// White noise should have small lag-1 autocorrelation.
+	r := xrand.New(4)
+	noise := make([]float64, 5000)
+	for i := range noise {
+		noise[i] = r.NormFloat64()
+	}
+	if ac := Autocorrelation(noise, 1); math.Abs(ac) > 0.05 {
+		t.Fatalf("noise lag-1 autocorrelation = %v, want ~0", ac)
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.95, 1.644854},
+		{0.995, 2.575829},
+		{0.025, -1.959964},
+		{0.0001, -3.719016},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); !almostEq(got, c.want, 1e-5) {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileSymmetry(t *testing.T) {
+	f := func(seed uint16) bool {
+		p := (float64(seed%9998) + 1) / 10000
+		return almostEq(NormalQuantile(p), -NormalQuantile(1-p), 1e-8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTQuantileKnownValues(t *testing.T) {
+	// Reference values from standard t tables.
+	cases := []struct {
+		p    float64
+		df   int
+		want float64
+		tol  float64
+	}{
+		{0.975, 1, 12.7062, 1e-3},
+		{0.975, 2, 4.30265, 1e-4},
+		{0.975, 3, 3.18245, 5e-3},
+		{0.975, 5, 2.57058, 2e-3},
+		{0.975, 10, 2.22814, 1e-3},
+		{0.975, 30, 2.04227, 1e-3},
+		{0.975, 100, 1.98397, 1e-3},
+		{0.95, 5, 2.01505, 2e-3},
+		{0.95, 20, 1.72472, 1e-3},
+		{0.995, 10, 3.16927, 5e-3},
+	}
+	for _, c := range cases {
+		if got := TQuantile(c.p, c.df); !almostEq(got, c.want, c.tol) {
+			t.Errorf("TQuantile(%v, %d) = %v, want %v", c.p, c.df, got, c.want)
+		}
+	}
+}
+
+func TestTQuantileApproachesNormal(t *testing.T) {
+	z := NormalQuantile(0.975)
+	tq := TQuantile(0.975, 10000)
+	if !almostEq(z, tq, 1e-3) {
+		t.Fatalf("t(df=10000) = %v should approach z = %v", tq, z)
+	}
+}
+
+func TestTQuantileMedianZero(t *testing.T) {
+	for _, df := range []int{1, 2, 3, 10, 50} {
+		if got := TQuantile(0.5, df); !almostEq(got, 0, 1e-9) {
+			t.Errorf("TQuantile(0.5, %d) = %v, want 0", df, got)
+		}
+	}
+}
+
+func TestTQuantilePanics(t *testing.T) {
+	for _, bad := range []struct {
+		p  float64
+		df int
+	}{{0.5, 0}, {0, 5}, {1, 5}, {-0.1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TQuantile(%v,%d) did not panic", bad.p, bad.df)
+				}
+			}()
+			TQuantile(bad.p, bad.df)
+		}()
+	}
+}
+
+// Property: Summary.Mean equals the arithmetic mean for arbitrary inputs.
+func TestSummaryMeanProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		var s Summary
+		s.AddAll(xs)
+		sum := 0.0
+		for _, x := range xs {
+			sum += x
+		}
+		return almostEq(s.Mean(), sum/float64(len(xs)), 1e-6*(1+math.Abs(sum)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSummaryAdd(b *testing.B) {
+	var s Summary
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i % 1000))
+	}
+}
+
+func BenchmarkTimeWeightedSet(b *testing.B) {
+	var w TimeWeighted
+	w.Start(0, 0)
+	for i := 0; i < b.N; i++ {
+		w.Set(float64(i), float64(i%5))
+	}
+}

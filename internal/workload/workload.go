@@ -1,0 +1,213 @@
+// Package workload provides job arrival processes for the CPU models. The
+// paper distinguishes open workloads (tasks arrive independently of the
+// system state, interrupt-driven) from closed workloads (a new task appears
+// only after the previous one completes); the paper's experiments use an
+// open Poisson workload, while the closed model is exercised by experiment
+// X-3.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/xrand"
+)
+
+// Source produces successive inter-arrival times for an open workload.
+// Implementations may be stateful (e.g. MMPP2 phase); create one Source per
+// simulation run.
+type Source interface {
+	// Next returns the time until the next arrival. A return of +Inf
+	// means no further arrivals.
+	Next(r *xrand.Rand) float64
+	// Rate returns the long-run average arrival rate (jobs per unit
+	// time), used for validation and reporting. Zero when unknown.
+	Rate() float64
+	String() string
+}
+
+// ---------------------------------------------------------------------------
+
+// Poisson is the open workload generator of the paper: exponential
+// inter-arrival times with the given rate.
+type Poisson struct {
+	Lambda float64
+}
+
+// NewPoisson returns a Poisson source with the given rate.
+func NewPoisson(rate float64) *Poisson {
+	if rate <= 0 || math.IsNaN(rate) {
+		panic(fmt.Sprintf("workload: Poisson rate must be positive, got %v", rate))
+	}
+	return &Poisson{Lambda: rate}
+}
+
+func (p *Poisson) Next(r *xrand.Rand) float64 { return r.ExpFloat64() / p.Lambda }
+func (p *Poisson) Rate() float64              { return p.Lambda }
+func (p *Poisson) String() string             { return fmt.Sprintf("Poisson(λ=%g)", p.Lambda) }
+
+// ---------------------------------------------------------------------------
+
+// Periodic emits arrivals every Period time units, optionally jittered by a
+// zero-or-positive offset distribution. Periodic workloads model the "tasks
+// that occur at set intervals" case the paper attributes to closed
+// generators (sensing duty cycles).
+type Periodic struct {
+	Period float64
+	Jitter dist.Distribution // optional; added to each gap
+}
+
+// NewPeriodic returns a source with constant spacing.
+func NewPeriodic(period float64) *Periodic {
+	if period <= 0 {
+		panic(fmt.Sprintf("workload: period must be positive, got %v", period))
+	}
+	return &Periodic{Period: period}
+}
+
+func (p *Periodic) Next(r *xrand.Rand) float64 {
+	gap := p.Period
+	if p.Jitter != nil {
+		gap += p.Jitter.Sample(r)
+	}
+	return gap
+}
+
+func (p *Periodic) Rate() float64 {
+	mean := p.Period
+	if p.Jitter != nil {
+		mean += p.Jitter.Mean()
+	}
+	return 1 / mean
+}
+
+func (p *Periodic) String() string { return fmt.Sprintf("Periodic(%g)", p.Period) }
+
+// ---------------------------------------------------------------------------
+
+// MMPP2 is a two-phase Markov-modulated Poisson process: the arrival rate
+// alternates between Rate0 and Rate1, with exponential phase holding times
+// of rates Switch01 and Switch10. MMPPs produce the bursty traffic typical
+// of event-driven sensing.
+type MMPP2 struct {
+	Rate0, Rate1       float64
+	Switch01, Switch10 float64
+
+	phase int
+}
+
+// NewMMPP2 returns a two-phase MMPP starting in phase 0.
+func NewMMPP2(rate0, rate1, switch01, switch10 float64) *MMPP2 {
+	if rate0 < 0 || rate1 < 0 || (rate0 == 0 && rate1 == 0) {
+		panic("workload: MMPP2 needs at least one positive arrival rate")
+	}
+	if switch01 <= 0 || switch10 <= 0 {
+		panic("workload: MMPP2 switch rates must be positive")
+	}
+	return &MMPP2{Rate0: rate0, Rate1: rate1, Switch01: switch01, Switch10: switch10}
+}
+
+// Next simulates the race between the next arrival and phase switches.
+func (m *MMPP2) Next(r *xrand.Rand) float64 {
+	elapsed := 0.0
+	for {
+		var arrRate, swRate float64
+		if m.phase == 0 {
+			arrRate, swRate = m.Rate0, m.Switch01
+		} else {
+			arrRate, swRate = m.Rate1, m.Switch10
+		}
+		total := arrRate + swRate
+		dt := r.ExpFloat64() / total
+		elapsed += dt
+		if r.Float64()*total < arrRate {
+			return elapsed
+		}
+		m.phase = 1 - m.phase
+	}
+}
+
+// Rate returns the phase-weighted average arrival rate: the stationary
+// phase probabilities are switch10 : switch01.
+func (m *MMPP2) Rate() float64 {
+	p0 := m.Switch10 / (m.Switch01 + m.Switch10)
+	return p0*m.Rate0 + (1-p0)*m.Rate1
+}
+
+func (m *MMPP2) String() string {
+	return fmt.Sprintf("MMPP2(%g/%g)", m.Rate0, m.Rate1)
+}
+
+// ---------------------------------------------------------------------------
+
+// Trace replays a recorded sequence of inter-arrival gaps and then reports
+// no further arrivals.
+type Trace struct {
+	gaps []float64
+	pos  int
+}
+
+// NewTrace copies the given inter-arrival gaps.
+func NewTrace(gaps []float64) *Trace {
+	for i, g := range gaps {
+		if g < 0 || math.IsNaN(g) {
+			panic(fmt.Sprintf("workload: trace gap %d is %v", i, g))
+		}
+	}
+	return &Trace{gaps: append([]float64(nil), gaps...)}
+}
+
+func (t *Trace) Next(*xrand.Rand) float64 {
+	if t.pos >= len(t.gaps) {
+		return math.Inf(1)
+	}
+	g := t.gaps[t.pos]
+	t.pos++
+	return g
+}
+
+// Rate returns the empirical rate over the recorded horizon.
+func (t *Trace) Rate() float64 {
+	if len(t.gaps) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, g := range t.gaps {
+		sum += g
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(len(t.gaps)) / sum
+}
+
+func (t *Trace) String() string { return fmt.Sprintf("Trace(n=%d)", len(t.gaps)) }
+
+// ---------------------------------------------------------------------------
+
+// Closed describes a closed workload: Customers jobs circulate; each
+// finished job re-submits after a think time. The paper: "a new task will
+// not arrive until the current task has been completed".
+type Closed struct {
+	// Customers is the population size (>= 1).
+	Customers int
+	// Think is the think-time distribution between completion and the
+	// next submission.
+	Think dist.Distribution
+}
+
+// Validate checks the configuration.
+func (c Closed) Validate() error {
+	if c.Customers < 1 {
+		return fmt.Errorf("workload: closed workload needs >= 1 customers, got %d", c.Customers)
+	}
+	if c.Think == nil {
+		return fmt.Errorf("workload: closed workload needs a think-time distribution")
+	}
+	return nil
+}
+
+func (c Closed) String() string {
+	return fmt.Sprintf("Closed(N=%d, think=%s)", c.Customers, c.Think)
+}

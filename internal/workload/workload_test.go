@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/xrand"
+)
+
+func empiricalRate(t *testing.T, s Source, n int) float64 {
+	t.Helper()
+	r := xrand.New(42)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		g := s.Next(r)
+		if g < 0 {
+			t.Fatalf("%s produced negative gap %v", s, g)
+		}
+		if math.IsInf(g, 1) {
+			return float64(i) / total
+		}
+		total += g
+	}
+	return float64(n) / total
+}
+
+func TestPoissonRate(t *testing.T) {
+	p := NewPoisson(2.5)
+	got := empiricalRate(t, p, 200000)
+	if math.Abs(got-2.5)/2.5 > 0.02 {
+		t.Fatalf("empirical rate = %v, want ~2.5", got)
+	}
+	if p.Rate() != 2.5 {
+		t.Fatal("declared rate wrong")
+	}
+}
+
+func TestPoissonValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPoisson(0) accepted")
+		}
+	}()
+	NewPoisson(0)
+}
+
+func TestPeriodicExact(t *testing.T) {
+	p := NewPeriodic(0.5)
+	r := xrand.New(1)
+	for i := 0; i < 10; i++ {
+		if p.Next(r) != 0.5 {
+			t.Fatal("periodic gap not constant")
+		}
+	}
+	if p.Rate() != 2 {
+		t.Fatalf("rate = %v, want 2", p.Rate())
+	}
+}
+
+func TestPeriodicWithJitter(t *testing.T) {
+	p := NewPeriodic(1)
+	p.Jitter = dist.NewUniform(0, 0.5)
+	got := empiricalRate(t, p, 100000)
+	want := 1 / 1.25
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("jittered rate = %v, want ~%v", got, want)
+	}
+}
+
+func TestPeriodicValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPeriodic(0) accepted")
+		}
+	}()
+	NewPeriodic(0)
+}
+
+func TestMMPP2Rate(t *testing.T) {
+	// Phase 0 rate 10, phase 1 rate 1, equal switch rates: average 5.5.
+	m := NewMMPP2(10, 1, 0.5, 0.5)
+	if math.Abs(m.Rate()-5.5) > 1e-12 {
+		t.Fatalf("declared rate = %v, want 5.5", m.Rate())
+	}
+	got := empiricalRate(t, m, 300000)
+	if math.Abs(got-5.5)/5.5 > 0.05 {
+		t.Fatalf("empirical rate = %v, want ~5.5", got)
+	}
+}
+
+func TestMMPP2Burstiness(t *testing.T) {
+	// An MMPP with very different phase rates has inter-arrival CV > 1
+	// (burstier than Poisson).
+	m := NewMMPP2(20, 0.2, 0.1, 0.1)
+	r := xrand.New(7)
+	var sum, sumSq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		g := m.Next(r)
+		sum += g
+		sumSq += g * g
+	}
+	mean := sum / n
+	cv2 := (sumSq/n - mean*mean) / (mean * mean)
+	if cv2 < 1.2 {
+		t.Fatalf("MMPP CV^2 = %v, want clearly > 1", cv2)
+	}
+}
+
+func TestMMPP2Validation(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewMMPP2(0, 0, 1, 1) },
+		func() { NewMMPP2(1, 1, 0, 1) },
+		func() { NewMMPP2(1, 1, 1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d accepted", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTraceReplaysAndEnds(t *testing.T) {
+	tr := NewTrace([]float64{1, 2, 3})
+	r := xrand.New(1)
+	for i, want := range []float64{1, 2, 3} {
+		if got := tr.Next(r); got != want {
+			t.Fatalf("gap %d = %v, want %v", i, got, want)
+		}
+	}
+	if !math.IsInf(tr.Next(r), 1) {
+		t.Fatal("exhausted trace did not return +Inf")
+	}
+	if math.Abs(tr.Rate()-0.5) > 1e-12 {
+		t.Fatalf("trace rate = %v, want 0.5", tr.Rate())
+	}
+}
+
+func TestTraceCopiesInput(t *testing.T) {
+	gaps := []float64{1, 1}
+	tr := NewTrace(gaps)
+	gaps[0] = 99
+	r := xrand.New(1)
+	if tr.Next(r) != 1 {
+		t.Fatal("trace aliased caller slice")
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative gap accepted")
+		}
+	}()
+	NewTrace([]float64{-1})
+}
+
+func TestClosedValidate(t *testing.T) {
+	good := Closed{Customers: 3, Think: dist.ExpMean(1)}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Closed{Customers: 0, Think: dist.ExpMean(1)}).Validate(); err == nil {
+		t.Fatal("zero customers accepted")
+	}
+	if err := (Closed{Customers: 1}).Validate(); err == nil {
+		t.Fatal("nil think accepted")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	srcs := []Source{NewPoisson(1), NewPeriodic(1), NewMMPP2(1, 2, 1, 1), NewTrace([]float64{1})}
+	for _, s := range srcs {
+		if s.String() == "" {
+			t.Fatalf("%T has empty String", s)
+		}
+	}
+	if (Closed{Customers: 1, Think: dist.ExpMean(1)}).String() == "" {
+		t.Fatal("Closed has empty String")
+	}
+}

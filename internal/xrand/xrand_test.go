@@ -1,0 +1,274 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs out of 100", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	v := r.Uint64()
+	w := r.Uint64()
+	if v == 0 && w == 0 {
+		t.Fatal("zero seed produced a degenerate stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64OpenRange(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64Open()
+		if f <= 0 || f >= 1 {
+			t.Fatalf("Float64Open out of (0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(9)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(10)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(11)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	// Chi-squared test with 9 degrees of freedom; 27.9 is the 99.9% quantile.
+	expected := float64(trials) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 27.9 {
+		t.Fatalf("chi-squared = %v, uniformity rejected", chi2)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(12)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	mean := sum / n
+	if math.Abs(mean-1.0) > 0.01 {
+		t.Fatalf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(14)
+	for _, n := range []int{0, 1, 2, 5, 50} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length = %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	a := NewStream(99, 0)
+	b := NewStream(99, 1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent streams collided %d times", same)
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	a := NewStream(5, 17)
+	b := NewStream(5, 17)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("identical streams diverged")
+		}
+	}
+}
+
+func TestStateRestore(t *testing.T) {
+	r := New(77)
+	r.Uint64()
+	s := r.State()
+	want := make([]uint64, 10)
+	for i := range want {
+		want[i] = r.Uint64()
+	}
+	r.Restore(s)
+	for i := range want {
+		if got := r.Uint64(); got != want[i] {
+			t.Fatalf("restored stream diverged at %d: got %d want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestJumpProducesDisjointBlocks(t *testing.T) {
+	a := New(3)
+	b := New(3)
+	b.Jump()
+	seen := make(map[uint64]bool, 2000)
+	for i := 0; i < 1000; i++ {
+		seen[a.Uint64()] = true
+	}
+	for i := 0; i < 1000; i++ {
+		if seen[b.Uint64()] {
+			t.Fatal("jumped stream overlapped the base stream within 1000 draws")
+		}
+	}
+}
+
+func TestMul64MatchesBigMultiplication(t *testing.T) {
+	f := func(x, y uint64) bool {
+		hi, lo := mul64(x, y)
+		// Verify via 32-bit schoolbook reconstruction.
+		x0, x1 := x&0xffffffff, x>>32
+		y0, y1 := y&0xffffffff, y>>32
+		w0 := x0 * y0
+		t1 := x1*y0 + w0>>32
+		w1 := t1&0xffffffff + x0*y1
+		wantHi := x1*y1 + t1>>32 + w1>>32
+		wantLo := x * y
+		return hi == wantHi && lo == wantLo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnNeverEscapesBoundProperty(t *testing.T) {
+	r := New(123)
+	f := func(n uint16) bool {
+		bound := int(n%1000) + 1
+		v := r.Intn(bound)
+		return v >= 0 && v < bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.Float64()
+	}
+	_ = sink
+}
+
+func BenchmarkExpFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.ExpFloat64()
+	}
+	_ = sink
+}

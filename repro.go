@@ -1,0 +1,73 @@
+// Package repro is the public facade of the reproduction of Shareef & Zhu,
+// "Energy Modeling of Processors in Wireless Sensor Networks based on Petri
+// Nets" (2008).
+//
+// The facade re-exports the core modeling API; the full machinery lives in
+// the internal packages:
+//
+//   - internal/petri    — the stochastic Petri-net engine (EDSPN),
+//   - internal/markov   — CTMCs and the supplementary-variable closed form,
+//   - internal/cpu      — the event-driven CPU simulator,
+//   - internal/energy   — power tables and energy accounting,
+//   - internal/experiments — regeneration of every paper table and figure.
+//
+// Quick start:
+//
+//	cfg := repro.PaperConfig()
+//	cfg.PDT, cfg.PUD = 0.5, 0.001
+//	results, err := repro.CompareAll(cfg, repro.Methods())
+//
+// See examples/ for runnable programs and cmd/wsnenergy for the experiment
+// harness.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/petri"
+)
+
+// Config parameterizes the CPU energy model shared by all estimators.
+type Config = core.Config
+
+// Estimate is the common result of every modeling method.
+type Estimate = core.Estimate
+
+// Estimator is a CPU energy modeling method.
+type Estimator = core.Estimator
+
+// The paper's three methods plus the phase-type extension.
+type (
+	// Simulation is the event-driven software simulator (ground truth).
+	Simulation = core.Simulation
+	// Markov is the closed-form supplementary-variable model.
+	Markov = core.Markov
+	// PetriNet is the Figure-3 EDSPN executed by the Petri-net engine.
+	PetriNet = core.PetriNet
+	// ErlangMarkov is the Erlang phase-type CTMC extension.
+	ErlangMarkov = core.ErlangMarkov
+)
+
+// PowerModel is a per-state power table in milliwatts.
+type PowerModel = energy.PowerModel
+
+// Fractions is the per-state share of time.
+type Fractions = energy.Fractions
+
+// PXA271 is the paper's Table-3 power table.
+var PXA271 = energy.PXA271
+
+// PaperConfig returns the paper's evaluation configuration (Tables 2-3).
+func PaperConfig() Config { return core.PaperConfig() }
+
+// Methods returns the paper's three estimators in presentation order.
+func Methods() []Estimator { return core.Methods() }
+
+// CompareAll runs every estimator on the same configuration.
+func CompareAll(cfg Config, ests []Estimator) ([]*Estimate, error) {
+	return core.CompareAll(cfg, ests)
+}
+
+// BuildCPUNet constructs the paper's Figure-3 Petri net for direct use with
+// the internal/petri engine.
+func BuildCPUNet(cfg Config) *petri.Net { return core.BuildCPUNet(cfg) }
