@@ -6,8 +6,11 @@
 package repro_test
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
+	"repro"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/petri"
@@ -117,6 +120,45 @@ func BenchmarkLifetime(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Runner batch benchmarks: the Figure-4 PDT sweep through RunBatch at
+// different worker counts, seeding the sequential-vs-parallel perf
+// trajectory.
+
+func benchmarkRunBatch(b *testing.B, parallelism int) {
+	cfg := repro.PaperConfig()
+	cfg.SimTime = 200
+	cfg.Warmup = 20
+	cfg.Replications = 2
+	runner, err := repro.New(
+		repro.WithConfig(cfg),
+		repro.WithSeed(1),
+		repro.WithParallelism(parallelism),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The Figure-4 x axis: PDT from 0 to 1 in 0.1 steps at PUD = 1 ms.
+	scenarios := make([]repro.Scenario, 11)
+	for i := range scenarios {
+		c := cfg
+		c.PDT = 0.1 * float64(i)
+		scenarios[i] = repro.Scenario{Config: c}
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.RunAll(ctx, scenarios); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunBatchSequential(b *testing.B) { benchmarkRunBatch(b, 1) }
+
+func BenchmarkRunBatchParallel(b *testing.B) { benchmarkRunBatch(b, runtime.GOMAXPROCS(0)) }
 
 // ---------------------------------------------------------------------------
 // Engine micro-benchmarks

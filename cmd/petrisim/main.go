@@ -17,7 +17,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
+	"repro"
 	"repro/internal/petri"
 	"repro/internal/report"
 )
@@ -46,12 +46,12 @@ func main() {
 	var n *petri.Net
 	switch {
 	case *paper:
-		cfg := core.PaperConfig()
+		cfg := repro.PaperConfig()
 		cfg.Lambda, cfg.Mu, cfg.PDT, cfg.PUD = *lambda, *mu, *pdt, *pud
 		if err := cfg.Validate(); err != nil {
 			fatal(err)
 		}
-		n = core.BuildCPUNet(cfg)
+		n = repro.BuildCPUNet(cfg)
 	case *netPath != "":
 		data, err := os.ReadFile(*netPath)
 		if err != nil {

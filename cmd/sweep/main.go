@@ -1,37 +1,47 @@
 // Command sweep runs a two-dimensional (PDT x PUD) parameter sweep of the
 // CPU energy model and emits one CSV row per grid point and estimator —
 // the raw data behind Figures 4/5 and Tables 4/5, suitable for external
-// plotting tools.
+// plotting tools. Grid points are evaluated concurrently by the facade's
+// Runner; Ctrl-C aborts the sweep between points.
 //
 // Usage:
 //
 //	sweep -pdts 0:1:0.1 -puds 0.001,0.3,10 -methods sim,markov,petri > grid.csv
+//
+// Methods are resolved through the estimator registry: sim, markov, petri,
+// erlangK (e.g. erlang16), plus anything registered by extensions.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
-	"repro/internal/core"
+	"repro"
 	"repro/internal/energy"
 )
 
 func main() {
 	var (
-		pdts    = flag.String("pdts", "0:1:0.1", "PDT values: comma list or lo:hi:step range")
-		puds    = flag.String("puds", "0.001,0.3,10", "PUD values: comma list or lo:hi:step range")
-		methods = flag.String("methods", "sim,markov,petri,erlang16", "comma list: sim, markov, petri, erlangK")
-		lambda  = flag.Float64("lambda", 1, "arrival rate (jobs/s)")
-		mu      = flag.Float64("mu", 10, "service rate (jobs/s)")
-		simTime = flag.Float64("simtime", 1000, "measured horizon (s)")
-		warmup  = flag.Float64("warmup", 100, "warmup (s)")
-		reps    = flag.Int("reps", 10, "replications for stochastic methods")
-		seed    = flag.Uint64("seed", 20080901, "master seed")
+		pdts     = flag.String("pdts", "0:1:0.1", "PDT values: comma list or lo:hi:step range")
+		puds     = flag.String("puds", "0.001,0.3,10", "PUD values: comma list or lo:hi:step range")
+		methods  = flag.String("methods", "sim,markov,petri,erlang16", "comma list of registered methods: sim, markov, petri, erlangK")
+		lambda   = flag.Float64("lambda", 1, "arrival rate (jobs/s)")
+		mu       = flag.Float64("mu", 10, "service rate (jobs/s)")
+		simTime  = flag.Float64("simtime", 1000, "measured horizon (s)")
+		warmup   = flag.Float64("warmup", 100, "warmup (s)")
+		reps     = flag.Int("reps", 10, "replications for stochastic methods")
+		seed     = flag.Uint64("seed", 20080901, "master seed")
+		parallel = flag.Int("parallel", 0, "worker pool size (0 = all CPUs)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	pdtVals, err := parseValues(*pdts)
 	if err != nil {
@@ -41,35 +51,83 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("-puds: %w", err))
 	}
-	ests, err := parseMethods(*methods)
+	var specs []string
+	for _, m := range strings.Split(*methods, ",") {
+		specs = append(specs, strings.TrimSpace(m))
+	}
+
+	base := repro.PaperConfig()
+	base.Lambda, base.Mu = *lambda, *mu
+	base.SimTime, base.Warmup = *simTime, *warmup
+	base.Replications = *reps
+	base.Seed = *seed
+
+	runner, err := repro.New(
+		repro.WithConfig(base), // base.Seed doubles as the master seed
+		repro.WithMethods(specs...),
+		repro.WithParallelism(*parallel), // 0 = all CPUs; negative errors
+	)
 	if err != nil {
 		fatal(err)
 	}
 
-	fmt.Println("method,pdt,pud,standby,powerup,idle,active,energy_j,energy_ci_j,mean_jobs,mean_latency_s")
+	// One scenario per (PUD, PDT) grid point, PUD-major like the old
+	// sequential loop so the CSV row order is unchanged.
+	var scenarios []repro.Scenario
 	for _, pud := range pudVals {
 		for _, pdt := range pdtVals {
-			cfg := core.PaperConfig()
-			cfg.Lambda, cfg.Mu = *lambda, *mu
+			cfg := base
 			cfg.PDT, cfg.PUD = pdt, pud
-			cfg.SimTime, cfg.Warmup = *simTime, *warmup
-			cfg.Replications = *reps
-			cfg.Seed = *seed
-			if err := cfg.Validate(); err != nil {
-				fatal(err)
-			}
-			for _, est := range ests {
-				r, err := est.Estimate(cfg)
-				if err != nil {
-					fatal(fmt.Errorf("%s at PDT=%v PUD=%v: %w", est.Name(), pdt, pud, err))
-				}
-				fmt.Printf("%s,%g,%g,%.6f,%.6f,%.6f,%.6f,%.4f,%.4f,%.5f,%.5f\n",
-					r.Method, pdt, pud,
-					r.Fractions[energy.Standby], r.Fractions[energy.PowerUp],
-					r.Fractions[energy.Idle], r.Fractions[energy.Active],
-					r.EnergyJ, r.EnergyCIJ, r.MeanJobs, r.MeanLatency)
-			}
+			scenarios = append(scenarios, repro.Scenario{
+				Name:   fmt.Sprintf("PDT=%g PUD=%g", pdt, pud),
+				Config: cfg,
+			})
 		}
+	}
+	ch, err := runner.RunBatch(ctx, scenarios)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Stream rows in grid order as soon as the next-in-order scenario
+	// completes, so an interrupted or failing sweep keeps every row
+	// already written instead of discarding the whole grid.
+	fmt.Println("method,pdt,pud,standby,powerup,idle,active,energy_j,energy_ci_j,mean_jobs,mean_latency_s")
+	pending := make(map[int]repro.Result)
+	next := 0
+	emit := func(res repro.Result) {
+		for _, r := range res.Estimates {
+			fmt.Printf("%s,%g,%g,%.6f,%.6f,%.6f,%.6f,%.4f,%.4f,%.5f,%.5f\n",
+				r.Method, res.Scenario.Config.PDT, res.Scenario.Config.PUD,
+				r.Fractions[energy.Standby], r.Fractions[energy.PowerUp],
+				r.Fractions[energy.Idle], r.Fractions[energy.Active],
+				r.EnergyJ, r.EnergyCIJ, r.MeanJobs, r.MeanLatency)
+		}
+	}
+	var firstErr error
+	for res := range ch {
+		if res.Err != nil {
+			if firstErr == nil {
+				firstErr = res.Err
+			}
+			continue
+		}
+		pending[res.Index] = res
+		for {
+			res, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			emit(res)
+			next++
+		}
+	}
+	if firstErr != nil {
+		fatal(firstErr)
+	}
+	if err := ctx.Err(); err != nil {
+		fatal(fmt.Errorf("sweep interrupted after %d of %d grid points: %w", next, len(scenarios), err))
 	}
 }
 
@@ -105,37 +163,6 @@ func parseValues(spec string) ([]float64, error) {
 		return nil, fmt.Errorf("no values in %q", spec)
 	}
 	return vals, nil
-}
-
-func parseMethods(spec string) ([]core.Estimator, error) {
-	var ests []core.Estimator
-	for _, m := range strings.Split(spec, ",") {
-		m = strings.TrimSpace(strings.ToLower(m))
-		switch {
-		case m == "sim" || m == "simulation":
-			ests = append(ests, core.Simulation{})
-		case m == "markov":
-			ests = append(ests, core.Markov{})
-		case m == "petri" || m == "petrinet" || m == "pn":
-			ests = append(ests, core.PetriNet{})
-		case strings.HasPrefix(m, "erlang"):
-			k := 16
-			if rest := strings.TrimPrefix(m, "erlang"); rest != "" {
-				v, err := strconv.Atoi(rest)
-				if err != nil || v < 1 {
-					return nil, fmt.Errorf("invalid Erlang method %q (use erlangK, e.g. erlang16)", m)
-				}
-				k = v
-			}
-			ests = append(ests, core.ErlangMarkov{K: k})
-		default:
-			return nil, fmt.Errorf("unknown method %q", m)
-		}
-	}
-	if len(ests) == 0 {
-		return nil, fmt.Errorf("no methods given")
-	}
-	return ests, nil
 }
 
 func fatal(err error) {

@@ -14,12 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
-	"repro/internal/core"
+	"repro"
 	"repro/internal/experiments"
 	"repro/internal/report"
 )
@@ -36,12 +38,17 @@ func main() {
 		warmup     = flag.Float64("warmup", 100, "simulated warmup before measurement (s)")
 		reps       = flag.Int("reps", 10, "replications for stochastic estimators")
 		seed       = flag.Uint64("seed", 20080901, "master random seed")
+		parallel   = flag.Int("parallel", 0, "sweep worker pool size (0 = all CPUs)")
 		chartW     = flag.Int("chartwidth", 72, "ASCII chart width for figures in text mode")
 		chartH     = flag.Int("chartheight", 20, "ASCII chart height")
 	)
 	flag.Parse()
 
-	cfg := core.PaperConfig()
+	// Ctrl-C aborts sweeps between points via the Runner's context.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := repro.PaperConfig()
 	cfg.Lambda = *lambda
 	cfg.Mu = *mu
 	cfg.PDT = *pdt
@@ -55,6 +62,7 @@ func main() {
 	}
 	opt := experiments.Default()
 	opt.Base = cfg
+	opt.Parallelism = *parallel
 	opt.PUDs = []float64{*pud, 0.3, 10.0}
 	if *pud != 0.001 {
 		opt.PUDs = []float64{*pud}
@@ -69,13 +77,13 @@ func main() {
 		if i > 0 {
 			fmt.Println()
 		}
-		if err := run(strings.TrimSpace(name), opt, *format, *chartW, *chartH); err != nil {
+		if err := run(ctx, strings.TrimSpace(name), opt, *format, *chartW, *chartH); err != nil {
 			fatal(err)
 		}
 	}
 }
 
-func run(name string, opt experiments.Options, format string, chartW, chartH int) error {
+func run(ctx context.Context, name string, opt experiments.Options, format string, chartW, chartH int) error {
 	switch name {
 	case "table1":
 		return emitTable(experiments.Table1(), format)
@@ -84,25 +92,25 @@ func run(name string, opt experiments.Options, format string, chartW, chartH int
 	case "table3":
 		return emitTable(experiments.Table3(opt.Base.Power), format)
 	case "fig4":
-		fig, err := experiments.Figure4(opt)
+		fig, err := experiments.Figure4Ctx(ctx, opt)
 		if err != nil {
 			return err
 		}
 		return emitFigure(fig, format, chartW, chartH)
 	case "fig5":
-		fig, err := experiments.Figure5(opt)
+		fig, err := experiments.Figure5Ctx(ctx, opt)
 		if err != nil {
 			return err
 		}
 		return emitFigure(fig, format, chartW, chartH)
 	case "table4":
-		t, err := experiments.Table4(opt)
+		t, err := experiments.Table4Ctx(ctx, opt)
 		if err != nil {
 			return err
 		}
 		return emitTable(t, format)
 	case "table5":
-		t, err := experiments.Table5(opt)
+		t, err := experiments.Table5Ctx(ctx, opt)
 		if err != nil {
 			return err
 		}

@@ -1,42 +1,57 @@
 // markovvspetri reproduces the paper's headline finding interactively: as
 // the constant Power Up Delay grows, the closed-form Markov approximation
 // drifts away from the simulated truth while the Petri net stays on it —
-// and the Erlang phase-type extension repairs the Markov chain.
+// and the Erlang phase-type extension repairs the Markov chain. The whole
+// PUD sweep runs concurrently through the Runner's worker pool.
 //
 //	go run ./examples/markovvspetri
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 
-	"repro/internal/core"
+	"repro"
 	"repro/internal/energy"
 	"repro/internal/report"
 )
 
 func main() {
-	cfg := core.PaperConfig()
+	cfg := repro.PaperConfig()
 	cfg.SimTime = 2000
 	cfg.Replications = 8
+
+	// Estimator 0 (the simulator) is the reference the others are
+	// measured against; "erlang32" comes from the registry.
+	runner, err := repro.New(
+		repro.WithConfig(cfg),
+		repro.WithMethods("sim", "markov", "petrinet", "erlang32"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	puds := []float64{0.001, 0.1, 0.3, 1, 3, 10}
+	scenarios := make([]repro.Scenario, len(puds))
+	for i, pud := range puds {
+		c := cfg
+		c.PUD = pud
+		scenarios[i] = repro.Scenario{Name: fmt.Sprintf("PUD=%g", pud), Config: c}
+	}
+	results, err := runner.RunAll(context.Background(), scenarios)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	t := report.NewTable(
 		"Total |Δ| vs simulation across the four state probabilities (percentage points)",
 		"Power Up Delay (s)", "Markov (eq. 11-24)", "Petri net", "ErlangMarkov K=32")
-	for _, pud := range []float64{0.001, 0.1, 0.3, 1, 3, 10} {
-		c := cfg
-		c.PUD = pud
-		sim, err := core.Simulation{}.Estimate(c)
-		if err != nil {
-			log.Fatal(err)
-		}
-		row := []string{fmt.Sprintf("%g", pud)}
-		for _, est := range []core.Estimator{core.Markov{}, core.PetriNet{}, core.ErlangMarkov{K: 32}} {
-			r, err := est.Estimate(c)
-			if err != nil {
-				log.Fatal(err)
-			}
+	for i, res := range results {
+		sim := res.Estimates[0]
+		row := []string{fmt.Sprintf("%g", puds[i])}
+		for _, r := range res.Estimates[1:] {
 			d := 0.0
 			for _, s := range energy.States {
 				d += math.Abs(r.Fractions[s]-sim.Fractions[s]) * 100

@@ -137,9 +137,15 @@ type Estimator interface {
 }
 
 // Methods returns the paper's three estimators in presentation order
-// (simulation first, as the benchmark).
+// (simulation first, as the benchmark), resolved through the registry.
 func Methods() []Estimator {
-	return []Estimator{Simulation{}, Markov{}, PetriNet{}}
+	ests, err := NewEstimators("simulation", "markov", "petrinet")
+	if err != nil {
+		// The three paper methods register in this package's init; a
+		// lookup failure is a programming error, not a runtime condition.
+		panic(err)
+	}
+	return ests
 }
 
 // CompareAll runs every estimator on the same configuration.

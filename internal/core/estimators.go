@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/cpu"
 	"repro/internal/dist"
@@ -10,6 +11,33 @@ import (
 	"repro/internal/petri"
 	"repro/internal/workload"
 )
+
+// The paper's three methods plus the phase-type extension self-register so
+// that Methods, NewEstimator and the facade's Runner find them by name.
+func init() {
+	simple := func(e Estimator) Factory {
+		return func(arg string) (Estimator, error) {
+			if arg != "" {
+				return nil, fmt.Errorf("method %s takes no argument, got %q", e.Name(), arg)
+			}
+			return e, nil
+		}
+	}
+	MustRegister("simulation", simple(Simulation{}), "sim")
+	MustRegister("markov", simple(Markov{}))
+	MustRegister("petrinet", simple(PetriNet{}), "petri", "pn")
+	MustRegister("erlang", func(arg string) (Estimator, error) {
+		k := 0 // ErlangMarkov defaults K to 16
+		if arg != "" {
+			v, err := strconv.Atoi(arg)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("invalid Erlang phase count %q (use erlangK, e.g. erlang16)", arg)
+			}
+			k = v
+		}
+		return ErlangMarkov{K: k}, nil
+	}, "erlangmarkov")
+}
 
 // Simulation is the event-driven software simulator backend — the
 // reproduction of the paper's Matlab benchmark.

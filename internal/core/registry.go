@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Factory builds an Estimator from an optional method-specific argument.
+// The argument is the suffix of a method spec after the registered name:
+// "erlang16" resolves the "erlang" factory with arg "16". Factories must
+// reject arguments they do not understand.
+type Factory func(arg string) (Estimator, error)
+
+// registry maps lowercased names and aliases to factories. Estimators
+// self-register from init functions; user code may add its own methods with
+// Register before building a Runner.
+var registry = struct {
+	sync.RWMutex
+	byName    map[string]Factory
+	canonical []string // canonical names in registration order
+}{byName: make(map[string]Factory)}
+
+// Register adds an estimator factory under a canonical name and optional
+// aliases. Names are case-insensitive. Registering a name or alias twice is
+// an error, so independent packages cannot silently shadow each other.
+func Register(name string, f Factory, aliases ...string) error {
+	if f == nil {
+		return fmt.Errorf("core: Register(%q) with nil factory", name)
+	}
+	keys := make([]string, 0, 1+len(aliases))
+	for _, k := range append([]string{name}, aliases...) {
+		keys = append(keys, strings.ToLower(strings.TrimSpace(k)))
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	for i, k := range keys {
+		if k == "" {
+			return fmt.Errorf("core: Register(%q) with empty name or alias", name)
+		}
+		if _, dup := registry.byName[k]; dup {
+			return fmt.Errorf("core: estimator %q already registered", k)
+		}
+		for _, prev := range keys[:i] {
+			if k == prev {
+				return fmt.Errorf("core: Register(%q) lists %q twice", name, k)
+			}
+		}
+	}
+	for _, k := range keys {
+		registry.byName[k] = f
+	}
+	registry.canonical = append(registry.canonical, name)
+	return nil
+}
+
+// MustRegister is Register for init-time use; it panics on error.
+func MustRegister(name string, f Factory, aliases ...string) {
+	if err := Register(name, f, aliases...); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the factory registered under the given name or alias.
+func Lookup(name string) (Factory, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	f, ok := registry.byName[strings.ToLower(strings.TrimSpace(name))]
+	return f, ok
+}
+
+// MethodNames returns the canonical names of all registered estimators in
+// sorted order.
+func MethodNames() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := append([]string(nil), registry.canonical...)
+	sort.Strings(out)
+	return out
+}
+
+// NewEstimator resolves a method spec of the form name[arg] — a registered
+// name or alias with an optional trailing argument, e.g. "markov", "sim",
+// or "erlang16" (the "erlang" factory with arg "16"). An exact registered
+// name always wins over the name+argument reading, so methods whose names
+// contain digits stay resolvable.
+func NewEstimator(spec string) (Estimator, error) {
+	s := strings.ToLower(strings.TrimSpace(spec))
+	name, arg := s, ""
+	f, ok := Lookup(name)
+	if !ok {
+		// Split at the first digit: the prefix names the method, the
+		// suffix parameterizes it.
+		if i := strings.IndexFunc(s, func(r rune) bool { return r >= '0' && r <= '9' }); i > 0 {
+			name, arg = s[:i], s[i:]
+			f, ok = Lookup(name)
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: unknown method %q (registered: %s)",
+			spec, strings.Join(MethodNames(), ", "))
+	}
+	est, err := f(arg)
+	if err != nil {
+		return nil, fmt.Errorf("core: method %q: %w", spec, err)
+	}
+	return est, nil
+}
+
+// NewEstimators resolves a list of method specs in order.
+func NewEstimators(specs ...string) ([]Estimator, error) {
+	out := make([]Estimator, 0, len(specs))
+	for _, s := range specs {
+		est, err := NewEstimator(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, est)
+	}
+	return out, nil
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/xrand"
+)
+
+// Scenario is one evaluation point of a batch: a named model configuration.
+// A zero-valued Config means "use the Runner's base configuration"; for a
+// variation on the base, copy Runner.BaseConfig and modify it:
+//
+//	c := runner.BaseConfig()
+//	c.PDT = 0.3
+//	s := Scenario{Name: "PDT=0.3", Config: c}
+type Scenario struct {
+	// Name labels the scenario in results and logs. Optional.
+	Name string
+	// Config is the full model configuration for this point. The zero
+	// value means the Runner's base configuration; a partially filled
+	// Config (no Lambda but other fields set) is rejected rather than
+	// guessed at.
+	Config Config
+}
+
+// Result is the outcome of one scenario. Estimates is parallel to the
+// Runner's estimator list; Err is non-nil if any estimator failed, in which
+// case Estimates is nil.
+type Result struct {
+	// Index is the scenario's position in the RunBatch input, so consumers
+	// can reorder the completion-ordered channel.
+	Index int
+	// Scenario echoes the input scenario.
+	Scenario Scenario
+	// Seed is the effective seed the scenario ran with, derived
+	// deterministically from the Runner's master seed and the scenario's
+	// configuration content.
+	Seed uint64
+	// Estimates holds one result per estimator, in estimator order.
+	Estimates []*Estimate
+	// Err reports the first estimator failure for this scenario.
+	Err error
+}
+
+// Runner evaluates batches of scenarios across a fixed estimator set with a
+// bounded worker pool. Construct it with NewRunner; a Runner is safe for
+// concurrent use and reusable across batches.
+type Runner struct {
+	base        Config
+	seed        uint64
+	parallelism int
+	estimators  []Estimator
+}
+
+// runnerSettings accumulates option values before the Runner is sealed.
+type runnerSettings struct {
+	base        Config
+	seed        uint64
+	seedSet     bool
+	parallelism int
+	estimators  []Estimator
+}
+
+// RunnerOption configures a Runner under construction.
+type RunnerOption func(*runnerSettings) error
+
+// WithConfig sets the base model configuration (default PaperConfig).
+func WithConfig(cfg Config) RunnerOption {
+	return func(s *runnerSettings) error {
+		s.base = cfg
+		return nil
+	}
+}
+
+// WithSeed sets the master seed from which every scenario's RNG seed is
+// derived (default: the base configuration's seed). Two Runners with equal
+// seeds produce bit-identical results for equal batches, at any parallelism.
+func WithSeed(seed uint64) RunnerOption {
+	return func(s *runnerSettings) error {
+		s.seed = seed
+		s.seedSet = true
+		return nil
+	}
+}
+
+// WithParallelism bounds the number of scenarios evaluated concurrently
+// (default runtime.GOMAXPROCS(0); 1 forces sequential execution).
+func WithParallelism(n int) RunnerOption {
+	return func(s *runnerSettings) error {
+		if n < 0 {
+			return fmt.Errorf("core: parallelism must be >= 0, got %d", n)
+		}
+		s.parallelism = n
+		return nil
+	}
+}
+
+// WithEstimators sets the estimator list (default Methods(), the paper's
+// three in presentation order).
+func WithEstimators(ests ...Estimator) RunnerOption {
+	return func(s *runnerSettings) error {
+		if len(ests) == 0 {
+			return fmt.Errorf("core: WithEstimators needs at least one estimator")
+		}
+		for i, e := range ests {
+			if e == nil {
+				return fmt.Errorf("core: estimator %d is nil", i)
+			}
+		}
+		s.estimators = append([]Estimator(nil), ests...)
+		return nil
+	}
+}
+
+// WithMethods resolves estimators by registered name through the registry,
+// e.g. WithMethods("sim", "markov", "erlang32").
+func WithMethods(specs ...string) RunnerOption {
+	return func(s *runnerSettings) error {
+		ests, err := NewEstimators(specs...)
+		if err != nil {
+			return err
+		}
+		s.estimators = ests
+		return nil
+	}
+}
+
+// NewRunner builds a Runner from functional options.
+func NewRunner(opts ...RunnerOption) (*Runner, error) {
+	s := runnerSettings{base: PaperConfig()}
+	for _, opt := range opts {
+		if err := opt(&s); err != nil {
+			return nil, err
+		}
+	}
+	if !s.seedSet {
+		s.seed = s.base.Seed
+	}
+	if s.parallelism == 0 {
+		s.parallelism = runtime.GOMAXPROCS(0)
+	}
+	if len(s.estimators) == 0 {
+		s.estimators = Methods()
+	}
+	if err := s.base.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{
+		base:        s.base,
+		seed:        s.seed,
+		parallelism: s.parallelism,
+		estimators:  s.estimators,
+	}, nil
+}
+
+// BaseConfig returns a copy of the Runner's base configuration — the
+// starting point for scenario variations.
+func (r *Runner) BaseConfig() Config { return r.base }
+
+// Estimators returns the Runner's estimator list.
+func (r *Runner) Estimators() []Estimator {
+	return append([]Estimator(nil), r.estimators...)
+}
+
+// Parallelism returns the configured worker count.
+func (r *Runner) Parallelism() int { return r.parallelism }
+
+// scenarioSeed derives the deterministic RNG seed of a scenario from the
+// master seed and the scenario's configuration content, diffused through
+// SplitMix64 (via xrand.NewStream). Seeding by content rather than batch
+// index means a grid point reproduces bit-for-bit when re-run alone or
+// inside a different grid, results never depend on worker scheduling, and
+// distinct points still draw statistically independent streams. By the
+// same token, scenarios with identical configurations produce identical
+// results; for independent replicates of one configuration, vary
+// Config.Seed per scenario — it participates in the hash.
+func (r *Runner) scenarioSeed(cfg Config) uint64 {
+	h := r.seed
+	mix := func(bits uint64) { h = xrand.NewStream(h, bits).Uint64() }
+	for _, v := range []float64{
+		cfg.Lambda, cfg.Mu, cfg.PDT, cfg.PUD, cfg.SimTime, cfg.Warmup,
+	} {
+		mix(math.Float64bits(v))
+	}
+	mix(uint64(cfg.Replications))
+	mix(cfg.Seed)
+	for _, mw := range cfg.Power.MW {
+		mix(math.Float64bits(mw))
+	}
+	return h
+}
+
+// effectiveConfig materializes a scenario's configuration against the base.
+func (r *Runner) effectiveConfig(s Scenario) (Config, error) {
+	cfg := s.Config
+	if cfg == (Config{}) {
+		cfg = r.base
+	} else if cfg.Lambda == 0 {
+		// A half-filled Config (some knobs set, no arrival rate) is
+		// ambiguous: refusing beats silently substituting base values.
+		return Config{}, fmt.Errorf("partial scenario config (Lambda unset); copy Runner.BaseConfig() and modify it")
+	}
+	cfg.Seed = r.scenarioSeed(cfg)
+	return cfg, nil
+}
+
+// runScenario evaluates every estimator on one scenario.
+func (r *Runner) runScenario(i int, s Scenario) Result {
+	res := Result{Index: i, Scenario: s}
+	cfg, err := r.effectiveConfig(s)
+	if err == nil {
+		err = cfg.Validate()
+	}
+	if err != nil {
+		res.Err = fmt.Errorf("core: scenario %d (%s): %w", i, s.Name, err)
+		return res
+	}
+	res.Seed = cfg.Seed
+	ests := make([]*Estimate, len(r.estimators))
+	for ei, e := range r.estimators {
+		est, err := e.Estimate(cfg)
+		if err != nil {
+			res.Err = fmt.Errorf("core: scenario %d (%s): estimator %s: %w", i, s.Name, e.Name(), err)
+			return res
+		}
+		ests[ei] = est
+	}
+	res.Estimates = ests
+	return res
+}
+
+// RunBatch fans the scenarios out over the worker pool and streams results
+// as they complete, in arbitrary order (Result.Index restores input order).
+// The returned channel is closed when all scenarios have finished or the
+// context is cancelled; after cancellation, unstarted scenarios are dropped
+// and never emitted. Cancellation is observed between scenarios — an
+// individual estimator run is not interrupted mid-flight.
+func (r *Runner) RunBatch(ctx context.Context, scenarios []Scenario) (<-chan Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make(chan Result)
+	jobs := make(chan int)
+	workers := r.parallelism
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				select {
+				case out <- r.runScenario(i, scenarios[i]):
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for i := range scenarios {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out, nil
+}
+
+// RunAll is RunBatch for consumers that want the whole batch: it blocks
+// until every scenario has finished, returns results ordered by scenario
+// index, and fails on context cancellation or the first scenario error —
+// in which case the remaining unstarted scenarios are abandoned rather
+// than run to completion.
+func (r *Runner) RunAll(ctx context.Context, scenarios []Scenario) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch, err := r.RunBatch(runCtx, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(scenarios))
+	seen := 0
+	var firstErr error
+	for res := range ch {
+		results[res.Index] = res
+		seen++
+		if res.Err != nil && firstErr == nil {
+			firstErr = res.Err
+			cancel() // drop the rest of the batch
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if seen != len(scenarios) {
+		return nil, fmt.Errorf("core: batch incomplete: %d of %d scenarios ran", seen, len(scenarios))
+	}
+	return results, nil
+}
+
+// Run evaluates a single scenario synchronously — the one-point convenience
+// form of RunBatch.
+func (r *Runner) Run(ctx context.Context, s Scenario) (Result, error) {
+	results, err := r.RunAll(ctx, []Scenario{s})
+	if err != nil {
+		return Result{}, err
+	}
+	return results[0], nil
+}

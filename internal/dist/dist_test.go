@@ -1,0 +1,140 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// sampleMoments draws n samples and returns their empirical mean and
+// variance.
+func sampleMoments(d Distribution, seed uint64, n int) (mean, variance float64) {
+	r := xrand.New(seed)
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := d.Sample(r)
+		sum += v
+		sumSq += v * v
+	}
+	mean = sum / float64(n)
+	variance = sumSq/float64(n) - mean*mean
+	return mean, variance
+}
+
+func TestMomentsAnalyticAndEmpirical(t *testing.T) {
+	cases := []struct {
+		name     string
+		d        Distribution
+		mean     float64
+		variance float64
+	}{
+		{"Exponential", NewExponential(4), 0.25, 0.0625},
+		{"ExpMean", ExpMean(0.1), 0.1, 0.01},
+		{"Deterministic", NewDeterministic(0.5), 0.5, 0},
+		{"Uniform", NewUniform(1, 3), 2, 4.0 / 12},
+		{"Erlang", NewErlang(4, 8), 0.5, 4.0 / 64},
+		{"ErlangMean", ErlangMean(3, 0.9), 0.9, 0.27}, // k/rate^2 = 3/(3/0.9)^2
+		{"WeibullExp", NewWeibull(1, 2), 2, 4},        // shape 1 == Exp(mean 2)
+		{"Weibull2", NewWeibull(2, 1), math.Sqrt(math.Pi) / 2, 1 - math.Pi/4},
+		{"HyperExp", NewHyperExponential([]float64{0.6, 0.4}, []float64{10, 1}),
+			0.6/10 + 0.4/1, 2*0.6/100 + 2*0.4/1 - (0.6/10+0.4/1)*(0.6/10+0.4/1)},
+	}
+	const n = 200000
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.d.Mean(); math.Abs(got-tc.mean) > 1e-12 {
+				t.Errorf("Mean() = %v, want %v", got, tc.mean)
+			}
+			if got := tc.d.Var(); math.Abs(got-tc.variance) > 1e-12 {
+				t.Errorf("Var() = %v, want %v", got, tc.variance)
+			}
+			em, ev := sampleMoments(tc.d, 99, n)
+			if math.Abs(em-tc.mean) > 0.02*tc.mean+4*math.Sqrt(tc.variance/n) {
+				t.Errorf("empirical mean = %v, want ~%v", em, tc.mean)
+			}
+			if tc.variance == 0 {
+				if ev > 1e-12 {
+					t.Errorf("empirical variance = %v, want 0", ev)
+				}
+			} else if math.Abs(ev-tc.variance)/tc.variance > 0.05 {
+				t.Errorf("empirical variance = %v, want ~%v", ev, tc.variance)
+			}
+		})
+	}
+}
+
+func TestSamplingReproducible(t *testing.T) {
+	dists := []Distribution{
+		NewExponential(2),
+		NewDeterministic(1),
+		NewUniform(0, 1),
+		NewErlang(3, 6),
+		NewWeibull(1.5, 2),
+		NewHyperExponential([]float64{0.5, 0.5}, []float64{4, 1}),
+	}
+	for _, d := range dists {
+		a, b := xrand.New(7), xrand.New(7)
+		other := xrand.New(8)
+		identical, differs := true, false
+		for i := 0; i < 100; i++ {
+			va, vb := d.Sample(a), d.Sample(b)
+			if va != vb {
+				identical = false
+			}
+			if va < 0 {
+				t.Fatalf("%s: negative sample %v", d, va)
+			}
+			if va != d.Sample(other) {
+				differs = true
+			}
+		}
+		if !identical {
+			t.Errorf("%s: same seed produced different streams", d)
+		}
+		if _, isDet := d.(Deterministic); !isDet && !differs {
+			t.Errorf("%s: different seeds produced identical streams", d)
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	cases := map[string]func(){
+		"exp zero rate":        func() { NewExponential(0) },
+		"exp negative rate":    func() { NewExponential(-1) },
+		"deterministic neg":    func() { NewDeterministic(-0.1) },
+		"uniform inverted":     func() { NewUniform(2, 1) },
+		"uniform negative":     func() { NewUniform(-1, 1) },
+		"erlang zero phases":   func() { NewErlang(0, 1) },
+		"erlang bad rate":      func() { NewErlang(2, 0) },
+		"weibull zero shape":   func() { NewWeibull(0, 1) },
+		"weibull zero scale":   func() { NewWeibull(1, 0) },
+		"hyperexp empty":       func() { NewHyperExponential(nil, nil) },
+		"hyperexp mismatch":    func() { NewHyperExponential([]float64{1}, []float64{1, 2}) },
+		"hyperexp bad sum":     func() { NewHyperExponential([]float64{0.5, 0.2}, []float64{1, 2}) },
+		"hyperexp zero rate":   func() { NewHyperExponential([]float64{0.5, 0.5}, []float64{1, 0}) },
+		"hyperexp negative pr": func() { NewHyperExponential([]float64{1.5, -0.5}, []float64{1, 2}) },
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: constructor accepted invalid input", name)
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestErlangMatchesSumOfExponentials(t *testing.T) {
+	// Erlang(k=1) must be distributed exactly like Exponential at the same
+	// rate; compare empirical CDF moments.
+	e1 := NewErlang(1, 5)
+	ex := NewExponential(5)
+	m1, v1 := sampleMoments(e1, 3, 100000)
+	m2, v2 := sampleMoments(ex, 3, 100000)
+	if math.Abs(m1-m2) > 0.01 || math.Abs(v1-v2) > 0.01 {
+		t.Fatalf("Erlang(1) moments (%v, %v) differ from Exponential (%v, %v)", m1, v1, m2, v2)
+	}
+}

@@ -1,10 +1,12 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (Section 5) plus the extension experiments catalogued in
 // DESIGN.md §5. Each runner returns a report.Table or report.Figure that
-// cmd/wsnenergy renders as text, CSV or Markdown.
+// cmd/wsnenergy renders as text, CSV or Markdown. Whole-sweep evaluation
+// (Figures 4/5, Tables 4/5) fans out over the core Runner's worker pool.
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -24,6 +26,8 @@ type Options struct {
 	PUDs []float64
 	// Estimators are the compared methods (default core.Methods()).
 	Estimators []core.Estimator
+	// Parallelism bounds the sweep worker pool (default: all CPUs).
+	Parallelism int
 }
 
 // Default returns the paper's experiment options.
@@ -60,18 +64,32 @@ type sweepPoint struct {
 	Estimates []*core.Estimate // parallel to the estimator list
 }
 
-// runSweep evaluates all estimators across the PDT sweep at a fixed PUD.
-func runSweep(opt Options, pud float64) ([]sweepPoint, error) {
-	points := make([]sweepPoint, 0, len(opt.PDTs))
-	for _, pdt := range opt.PDTs {
+// runSweepCtx evaluates all estimators across the PDT sweep at a fixed
+// PUD, fanning the sweep points out over the Runner's worker pool. Results
+// are deterministic for a given Options.Base.Seed at any parallelism.
+func runSweepCtx(ctx context.Context, opt Options, pud float64) ([]sweepPoint, error) {
+	r, err := core.NewRunner(
+		core.WithConfig(opt.Base),
+		core.WithEstimators(opt.Estimators...),
+		core.WithParallelism(opt.Parallelism), // 0 = all CPUs; negative errors
+	)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	scenarios := make([]core.Scenario, len(opt.PDTs))
+	for i, pdt := range opt.PDTs {
 		cfg := opt.Base
 		cfg.PDT = pdt
 		cfg.PUD = pud
-		ests, err := core.CompareAll(cfg, opt.Estimators)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: sweep PDT=%v PUD=%v: %w", pdt, pud, err)
-		}
-		points = append(points, sweepPoint{PDT: pdt, Estimates: ests})
+		scenarios[i] = core.Scenario{Name: fmt.Sprintf("PDT=%g PUD=%g", pdt, pud), Config: cfg}
+	}
+	results, err := r.RunAll(ctx, scenarios)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: sweep PUD=%v: %w", pud, err)
+	}
+	points := make([]sweepPoint, len(results))
+	for i, res := range results {
+		points[i] = sweepPoint{PDT: opt.PDTs[i], Estimates: res.Estimates}
 	}
 	return points, nil
 }
@@ -163,9 +181,15 @@ func Table3(p energy.PowerModel) *report.Table {
 // Figure4 regenerates the steady-state-percentage sweep at the first
 // configured PUD (the paper uses 0.001 s).
 func Figure4(opt Options) (*report.Figure, error) {
+	return Figure4Ctx(context.Background(), opt)
+}
+
+// Figure4Ctx is Figure4 with cancellation: a cancelled context aborts the
+// sweep between points.
+func Figure4Ctx(ctx context.Context, opt Options) (*report.Figure, error) {
 	opt = opt.withDefaults()
 	pud := opt.PUDs[0]
-	points, err := runSweep(opt, pud)
+	points, err := runSweepCtx(ctx, opt, pud)
 	if err != nil {
 		return nil, err
 	}
@@ -190,9 +214,14 @@ func Figure4(opt Options) (*report.Figure, error) {
 
 // Figure5 regenerates the energy sweep at the first configured PUD.
 func Figure5(opt Options) (*report.Figure, error) {
+	return Figure5Ctx(context.Background(), opt)
+}
+
+// Figure5Ctx is Figure5 with cancellation.
+func Figure5Ctx(ctx context.Context, opt Options) (*report.Figure, error) {
 	opt = opt.withDefaults()
 	pud := opt.PUDs[0]
-	points, err := runSweep(opt, pud)
+	points, err := runSweepCtx(ctx, opt, pud)
 	if err != nil {
 		return nil, err
 	}
@@ -220,6 +249,11 @@ func Figure5(opt Options) (*report.Figure, error) {
 // PUD, the mean over the PDT sweep of the summed absolute per-state
 // differences (percentage points) between each pair of methods.
 func Table4(opt Options) (*report.Table, error) {
+	return Table4Ctx(context.Background(), opt)
+}
+
+// Table4Ctx is Table4 with cancellation.
+func Table4Ctx(ctx context.Context, opt Options) (*report.Table, error) {
 	opt = opt.withDefaults()
 	if err := requireThree(opt); err != nil {
 		return nil, err
@@ -228,7 +262,7 @@ func Table4(opt Options) (*report.Table, error) {
 		"Power Up Delay (sec)",
 		pairLabel(opt, pairNames[0]), pairLabel(opt, pairNames[1]), pairLabel(opt, pairNames[2]))
 	for _, pud := range opt.PUDs {
-		points, err := runSweep(opt, pud)
+		points, err := runSweepCtx(ctx, opt, pud)
 		if err != nil {
 			return nil, err
 		}
@@ -248,6 +282,11 @@ func Table4(opt Options) (*report.Table, error) {
 // Table5 regenerates the energy deviation table: mean over the PDT sweep of
 // the absolute energy difference (Joules) between each pair of methods.
 func Table5(opt Options) (*report.Table, error) {
+	return Table5Ctx(context.Background(), opt)
+}
+
+// Table5Ctx is Table5 with cancellation.
+func Table5Ctx(ctx context.Context, opt Options) (*report.Table, error) {
 	opt = opt.withDefaults()
 	if err := requireThree(opt); err != nil {
 		return nil, err
@@ -256,7 +295,7 @@ func Table5(opt Options) (*report.Table, error) {
 		"Power Up Delay (sec)",
 		pairLabel(opt, pairNames[0]), pairLabel(opt, pairNames[1]), pairLabel(opt, pairNames[2]))
 	for _, pud := range opt.PUDs {
-		points, err := runSweep(opt, pud)
+		points, err := runSweepCtx(ctx, opt, pud)
 		if err != nil {
 			return nil, err
 		}

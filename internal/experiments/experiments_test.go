@@ -340,6 +340,34 @@ func TestNetworkLifetime(t *testing.T) {
 	}
 }
 
+// TestSweepDeterministicAcrossParallelism pins the Runner rewire's
+// contract: a sweep's numbers must not depend on the worker-pool size.
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	opt := quickOptions()
+	opt.Base.Replications = 2
+	opt.Parallelism = 1
+	seq, err := Figure5(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Parallelism = 4
+	par, err := Figure5(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Series) != len(par.Series) {
+		t.Fatalf("series count differs: %d vs %d", len(seq.Series), len(par.Series))
+	}
+	for si := range seq.Series {
+		for i := range seq.Series[si].Y {
+			if seq.Series[si].Y[i] != par.Series[si].Y[i] {
+				t.Fatalf("series %s point %d: sequential %v != parallel %v",
+					seq.Series[si].Name, i, seq.Series[si].Y[i], par.Series[si].Y[i])
+			}
+		}
+	}
+}
+
 func TestDefaultsFilled(t *testing.T) {
 	var opt Options
 	opt = opt.withDefaults()

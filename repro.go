@@ -1,23 +1,35 @@
-// Package repro is the public facade of the reproduction of Shareef & Zhu,
-// "Energy Modeling of Processors in Wireless Sensor Networks based on Petri
-// Nets" (2008).
+// Package repro reproduces Shareef & Zhu, "Energy Modeling of Processors in
+// Wireless Sensor Networks based on Petri Nets" (2008), and grows it into a
+// batch-oriented evaluation system for CPU energy models.
 //
-// The facade re-exports the core modeling API; the full machinery lives in
-// the internal packages:
+// The public surface is the Runner API: a Runner owns a base configuration,
+// a set of estimators resolved from a registry, and a worker pool; RunBatch
+// fans scenarios (sweep points) out concurrently with context cancellation
+// and deterministic per-scenario seeding:
+//
+//	r, err := repro.New(
+//		repro.WithConfig(cfg),
+//		repro.WithSeed(42),
+//		repro.WithParallelism(8),
+//		repro.WithMethods("sim", "markov", "petrinet"),
+//	)
+//	results, err := r.RunAll(ctx, scenarios) // or RunBatch for a stream
+//
+// Estimators are pluggable: Register adds a named factory, Methods returns
+// the paper's three methods, and MethodNames lists everything registered
+// (including the ErlangMarkov phase-type extension, spec "erlangK").
+//
+// The full machinery lives in the internal packages:
 //
 //   - internal/petri    — the stochastic Petri-net engine (EDSPN),
 //   - internal/markov   — CTMCs and the supplementary-variable closed form,
 //   - internal/cpu      — the event-driven CPU simulator,
+//   - internal/dist     — service and firing-delay distributions,
 //   - internal/energy   — power tables and energy accounting,
 //   - internal/experiments — regeneration of every paper table and figure.
 //
-// Quick start:
-//
-//	cfg := repro.PaperConfig()
-//	cfg.PDT, cfg.PUD = 0.5, 0.001
-//	results, err := repro.CompareAll(cfg, repro.Methods())
-//
-// See examples/ for runnable programs and cmd/wsnenergy for the experiment
+// See examples/ for runnable programs (examples/quickstart and
+// examples/batchsweep show the Runner) and cmd/wsnenergy for the experiment
 // harness.
 package repro
 
@@ -35,6 +47,10 @@ type Estimate = core.Estimate
 
 // Estimator is a CPU energy modeling method.
 type Estimator = core.Estimator
+
+// Factory builds an Estimator from an optional method-specific argument;
+// see Register.
+type Factory = core.Factory
 
 // The paper's three methods plus the phase-type extension.
 type (
@@ -60,10 +76,34 @@ var PXA271 = energy.PXA271
 // PaperConfig returns the paper's evaluation configuration (Tables 2-3).
 func PaperConfig() Config { return core.PaperConfig() }
 
-// Methods returns the paper's three estimators in presentation order.
+// Register adds an estimator factory to the registry under a canonical name
+// and optional aliases. Names are case-insensitive; registering a taken
+// name is an error. The paper's methods self-register as "simulation"
+// ("sim"), "markov", "petrinet" ("petri", "pn") and "erlang"
+// ("erlangmarkov").
+func Register(name string, factory Factory, aliases ...string) error {
+	return core.Register(name, factory, aliases...)
+}
+
+// Methods returns the paper's three estimators in presentation order
+// (simulation first, as the benchmark), resolved through the registry.
 func Methods() []Estimator { return core.Methods() }
 
-// CompareAll runs every estimator on the same configuration.
+// MethodNames returns the canonical names of every registered estimator.
+func MethodNames() []string { return core.MethodNames() }
+
+// NewEstimator resolves a method spec such as "markov", "sim" or "erlang16"
+// through the registry.
+func NewEstimator(spec string) (Estimator, error) { return core.NewEstimator(spec) }
+
+// NewEstimators resolves a list of method specs in order.
+func NewEstimators(specs ...string) ([]Estimator, error) { return core.NewEstimators(specs...) }
+
+// CompareAll runs every estimator on the same configuration, sequentially.
+//
+// Deprecated: build a Runner and use Runner.Run or Runner.RunBatch, which
+// add worker-pool parallelism, context cancellation and deterministic
+// per-scenario seeding. CompareAll remains for one-off comparisons.
 func CompareAll(cfg Config, ests []Estimator) ([]*Estimate, error) {
 	return core.CompareAll(cfg, ests)
 }

@@ -1,0 +1,52 @@
+package repro
+
+import (
+	"repro/internal/core"
+)
+
+// Scenario is one evaluation point of a batch: a named model configuration.
+// A zero-valued Config means "use the Runner's base configuration"; for a
+// variation on the base, copy Runner.BaseConfig and modify it:
+//
+//	c := runner.BaseConfig()
+//	c.PDT = 0.3
+//	s := repro.Scenario{Name: "PDT=0.3", Config: c}
+type Scenario = core.Scenario
+
+// Result is the outcome of one scenario: the scenario's index in the batch,
+// its effective seed, one Estimate per estimator, or an error.
+type Result = core.Result
+
+// Runner evaluates batches of scenarios across a fixed estimator set with a
+// bounded worker pool. Construct it with New; a Runner is safe for
+// concurrent use and reusable across batches. RunBatch streams results in
+// completion order with context cancellation; RunAll collects them in input
+// order.
+type Runner = core.Runner
+
+// Option configures a Runner under construction; see WithConfig, WithSeed,
+// WithParallelism, WithEstimators and WithMethods.
+type Option = core.RunnerOption
+
+// New builds a Runner from functional options.
+func New(opts ...Option) (*Runner, error) { return core.NewRunner(opts...) }
+
+// WithConfig sets the base model configuration (default PaperConfig).
+func WithConfig(cfg Config) Option { return core.WithConfig(cfg) }
+
+// WithSeed sets the master seed from which every scenario's RNG seed is
+// derived (default: the base configuration's seed). Two Runners with equal
+// seeds produce bit-identical results for equal batches, at any parallelism.
+func WithSeed(seed uint64) Option { return core.WithSeed(seed) }
+
+// WithParallelism bounds the number of scenarios evaluated concurrently
+// (default runtime.GOMAXPROCS(0); 1 forces sequential execution).
+func WithParallelism(n int) Option { return core.WithParallelism(n) }
+
+// WithEstimators sets the estimator list (default Methods(), the paper's
+// three in presentation order).
+func WithEstimators(ests ...Estimator) Option { return core.WithEstimators(ests...) }
+
+// WithMethods resolves estimators by registered name through the registry,
+// e.g. WithMethods("sim", "markov", "erlang32").
+func WithMethods(specs ...string) Option { return core.WithMethods(specs...) }

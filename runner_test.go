@@ -1,0 +1,331 @@
+// Tests of the public Runner API: the estimator registry, batch execution
+// with cancellation, and seed-stable determinism at any parallelism.
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// ---------------------------------------------------------------------------
+// Registry
+
+func TestRegistryResolvesPaperMethods(t *testing.T) {
+	for spec, want := range map[string]string{
+		"sim":        "Simulation",
+		"Simulation": "Simulation",
+		"markov":     "Markov",
+		"petri":      "PetriNet",
+		"pn":         "PetriNet",
+		"erlang":     "ErlangMarkov(K=16)",
+		"erlang8":    "ErlangMarkov(K=8)",
+	} {
+		est, err := repro.NewEstimator(spec)
+		if err != nil {
+			t.Fatalf("NewEstimator(%q): %v", spec, err)
+		}
+		if est.Name() != want {
+			t.Errorf("NewEstimator(%q).Name() = %q, want %q", spec, est.Name(), want)
+		}
+	}
+	names := repro.MethodNames()
+	if len(names) < 4 {
+		t.Fatalf("MethodNames() = %v, want at least the paper's three + erlang", names)
+	}
+}
+
+func TestRegistryRejectsUnknownAndBadSpecs(t *testing.T) {
+	for _, spec := range []string{"quantum", "", "erlang0", "erlangx", "sim3"} {
+		if _, err := repro.NewEstimator(spec); err == nil {
+			t.Errorf("NewEstimator(%q) unexpectedly succeeded", spec)
+		}
+	}
+	if _, err := repro.NewEstimator("quantum"); err == nil || !strings.Contains(err.Error(), "unknown method") {
+		t.Errorf("unknown-method error missing: %v", err)
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	factory := func(arg string) (repro.Estimator, error) { return repro.Markov{}, nil }
+	if err := repro.Register("runner-test-method", factory, "rtm"); err != nil {
+		t.Fatalf("first Register: %v", err)
+	}
+	if err := repro.Register("runner-test-method", factory); err == nil {
+		t.Fatal("duplicate canonical name accepted")
+	}
+	if err := repro.Register("runner-test-other", factory, "rtm"); err == nil {
+		t.Fatal("duplicate alias accepted")
+	}
+	if err := repro.Register("sim", factory); err == nil {
+		t.Fatal("shadowing a built-in alias accepted")
+	}
+	if err := repro.Register("nil-factory", nil); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+	if err := repro.Register("Same-Call", factory, "same-call"); err == nil {
+		t.Fatal("same-call name/alias collision accepted")
+	}
+	// The registered method is resolvable by name and alias.
+	if _, err := repro.NewEstimator("rtm"); err != nil {
+		t.Fatalf("alias lookup after Register: %v", err)
+	}
+	// A registered name containing digits resolves exactly, without being
+	// split into name+argument.
+	if err := repro.Register("method2", factory); err != nil {
+		t.Fatalf("digit-bearing name rejected: %v", err)
+	}
+	if _, err := repro.NewEstimator("method2"); err != nil {
+		t.Fatalf("digit-bearing name unresolvable: %v", err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Runner construction
+
+func TestNewValidatesOptions(t *testing.T) {
+	if _, err := repro.New(repro.WithParallelism(-1)); err == nil {
+		t.Error("negative parallelism accepted")
+	}
+	if _, err := repro.New(repro.WithEstimators()); err == nil {
+		t.Error("empty estimator list accepted")
+	}
+	if _, err := repro.New(repro.WithMethods("nope")); err == nil {
+		t.Error("unknown method spec accepted")
+	}
+	bad := repro.PaperConfig()
+	bad.Lambda = 50 // rho >= 1
+	if _, err := repro.New(repro.WithConfig(bad)); err == nil || !strings.Contains(err.Error(), "unstable") {
+		t.Errorf("unstable base config accepted: %v", err)
+	}
+}
+
+func TestScenarioInheritsBaseConfig(t *testing.T) {
+	cfg := repro.PaperConfig()
+	cfg.SimTime = 120
+	cfg.Warmup = 10
+	cfg.Replications = 2
+	runner, err := repro.New(repro.WithConfig(cfg), repro.WithMethods("markov"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A zero Config means "the base config, exactly".
+	res, err := runner.Run(context.Background(), repro.Scenario{Name: "inherited"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Estimates) != 1 || res.Estimates[0].Method != "Markov" {
+		t.Fatalf("unexpected estimates: %+v", res.Estimates)
+	}
+	if res.Seed == cfg.Seed {
+		t.Error("scenario seed was not derived from the master seed")
+	}
+	// Variations copy BaseConfig; PDT=0 must survive as a real value and
+	// not be silently replaced by the base PDT of 0.5 (always-sleep uses
+	// strictly less energy than the 0.5 s timeout).
+	c := runner.BaseConfig()
+	c.PDT = 0
+	zero, err := runner.Run(context.Background(), repro.Scenario{Name: "PDT=0", Config: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Estimates[0].EnergyJ >= res.Estimates[0].EnergyJ {
+		t.Fatalf("PDT=0 energy %v >= base PDT energy %v — zero knob was dropped",
+			zero.Estimates[0].EnergyJ, res.Estimates[0].EnergyJ)
+	}
+	// A partially filled Config is ambiguous and must be rejected loudly,
+	// not silently patched with base values.
+	var partial repro.Scenario
+	partial.Config.PDT = 0.25 // Lambda unset
+	if _, err := runner.Run(context.Background(), partial); err == nil ||
+		!strings.Contains(err.Error(), "partial scenario config") {
+		t.Fatalf("partial config not rejected: %v", err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Batch execution
+
+// slowEstimator blocks long enough for cancellation to land mid-batch and
+// counts how many estimates actually ran.
+type slowEstimator struct {
+	delay time.Duration
+	runs  *atomic.Int64
+}
+
+func (s slowEstimator) Name() string { return "Slow" }
+
+func (s slowEstimator) Estimate(cfg repro.Config) (*repro.Estimate, error) {
+	time.Sleep(s.delay)
+	s.runs.Add(1)
+	return &repro.Estimate{Method: "Slow", EnergyJ: float64(cfg.Seed % 1000)}, nil
+}
+
+func TestRunBatchCancellationMidSweep(t *testing.T) {
+	var runs atomic.Int64
+	runner, err := repro.New(
+		repro.WithParallelism(2),
+		repro.WithEstimators(slowEstimator{delay: 20 * time.Millisecond, runs: &runs}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 40
+	scenarios := make([]repro.Scenario, total)
+	for i := range scenarios {
+		scenarios[i] = repro.Scenario{Name: fmt.Sprintf("s%d", i)}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch, err := runner.RunBatch(ctx, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for res := range ch {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		got++
+		if got == 4 {
+			cancel()
+		}
+	}
+	// The channel must close promptly after cancellation with most of the
+	// batch never emitted (a couple of in-flight scenarios may still land).
+	if got >= total/2 {
+		t.Fatalf("cancellation ineffective: %d of %d results delivered", got, total)
+	}
+	if runs.Load() >= total {
+		t.Fatalf("all scenarios ran despite cancellation")
+	}
+
+	// RunAll surfaces the cancellation as an error.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	if _, err := runner.RunAll(ctx2, scenarios); err == nil {
+		t.Fatal("RunAll ignored context cancellation")
+	}
+}
+
+func TestRunBatchEmptyAndOrdering(t *testing.T) {
+	runner, err := repro.New(repro.WithMethods("markov"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	results, err := runner.RunAll(ctx, nil)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty batch: %v, %v", results, err)
+	}
+	scenarios := make([]repro.Scenario, 7)
+	for i := range scenarios {
+		c := runner.BaseConfig()
+		c.PDT = 0.1 * float64(i)
+		scenarios[i] = repro.Scenario{Config: c}
+	}
+	results, err = runner.RunAll(ctx, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Index != i {
+			t.Fatalf("RunAll order broken: results[%d].Index = %d", i, res.Index)
+		}
+	}
+}
+
+func TestRunBatchSurfacesScenarioErrors(t *testing.T) {
+	runner, err := repro.New(repro.WithMethods("markov"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := repro.PaperConfig()
+	bad.Lambda, bad.Mu = 20, 10 // unstable queue
+	_, err = runner.RunAll(context.Background(), []repro.Scenario{{Name: "bad", Config: bad}})
+	if err == nil || !strings.Contains(err.Error(), "unstable") {
+		t.Fatalf("scenario validation error not surfaced: %v", err)
+	}
+}
+
+// TestRunAllAbandonsBatchOnFirstError: once a scenario fails, RunAll must
+// not burn compute finishing the rest of a large batch.
+func TestRunAllAbandonsBatchOnFirstError(t *testing.T) {
+	var runs atomic.Int64
+	runner, err := repro.New(
+		repro.WithParallelism(1),
+		repro.WithEstimators(slowEstimator{delay: time.Millisecond, runs: &runs}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 50
+	bad := repro.PaperConfig()
+	bad.Lambda, bad.Mu = 20, 10 // fails Validate instantly
+	scenarios := make([]repro.Scenario, total)
+	for i := range scenarios {
+		scenarios[i] = repro.Scenario{Name: fmt.Sprintf("s%d", i)}
+	}
+	scenarios[2] = repro.Scenario{Name: "bad", Config: bad}
+	_, err = runner.RunAll(context.Background(), scenarios)
+	if err == nil || !strings.Contains(err.Error(), "unstable") {
+		t.Fatalf("expected the bad scenario's error, got: %v", err)
+	}
+	if n := runs.Load(); n >= total-1 {
+		t.Fatalf("RunAll ran %d scenarios after an early failure", n)
+	}
+}
+
+// TestRunBatchDeterministicAtAnyParallelism is the determinism contract:
+// identical seeds produce bit-identical estimates whether the batch runs on
+// one worker or many.
+func TestRunBatchDeterministicAtAnyParallelism(t *testing.T) {
+	cfg := repro.PaperConfig()
+	cfg.SimTime = 150
+	cfg.Warmup = 15
+	cfg.Replications = 2
+
+	run := func(parallelism int) []repro.Result {
+		t.Helper()
+		runner, err := repro.New(
+			repro.WithConfig(cfg),
+			repro.WithSeed(424242),
+			repro.WithParallelism(parallelism),
+			repro.WithMethods("sim", "petrinet", "markov"),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scenarios := make([]repro.Scenario, 8)
+		for i := range scenarios {
+			c := cfg
+			c.PDT = 0.125 * float64(i)
+			scenarios[i] = repro.Scenario{Name: fmt.Sprintf("PDT=%g", c.PDT), Config: c}
+		}
+		results, err := runner.RunAll(context.Background(), scenarios)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+
+	seq := run(1)
+	par := run(8)
+	for i := range seq {
+		if seq[i].Seed != par[i].Seed {
+			t.Fatalf("scenario %d: seed %d (sequential) != %d (parallel)", i, seq[i].Seed, par[i].Seed)
+		}
+		for ei := range seq[i].Estimates {
+			a, b := seq[i].Estimates[ei], par[i].Estimates[ei]
+			if a.EnergyJ != b.EnergyJ || a.Fractions != b.Fractions || a.MeanJobs != b.MeanJobs {
+				t.Fatalf("scenario %d estimator %s: sequential %+v != parallel %+v",
+					i, a.Method, a, b)
+			}
+		}
+	}
+}
