@@ -131,10 +131,15 @@ func benchmarkRunBatch(b *testing.B, parallelism int) {
 	cfg.SimTime = 200
 	cfg.Warmup = 20
 	cfg.Replications = 2
+	// Memoization off: the sequential and parallel variants replay the
+	// same effective configs (as do b.N ramp-up rounds and -count reruns),
+	// and this benchmark must measure evaluation, not cache lookups —
+	// BenchmarkRunBatchMemoized covers the cached path.
 	runner, err := repro.New(
 		repro.WithConfig(cfg),
 		repro.WithSeed(1),
 		repro.WithParallelism(parallelism),
+		repro.WithCache(false),
 	)
 	if err != nil {
 		b.Fatal(err)
@@ -150,6 +155,12 @@ func benchmarkRunBatch(b *testing.B, parallelism int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		// A fresh per-iteration seed gives every scenario a new result
+		// cache key, so the benchmark measures actual evaluation rather
+		// than memoized lookups (see BenchmarkRunBatchMemoized for those).
+		for j := range scenarios {
+			scenarios[j].Config.Seed = uint64(i + 1)
+		}
 		if _, err := runner.RunAll(ctx, scenarios); err != nil {
 			b.Fatal(err)
 		}
@@ -160,17 +171,65 @@ func BenchmarkRunBatchSequential(b *testing.B) { benchmarkRunBatch(b, 1) }
 
 func BenchmarkRunBatchParallel(b *testing.B) { benchmarkRunBatch(b, runtime.GOMAXPROCS(0)) }
 
+// BenchmarkRunBatchMemoized times the Figure-4 sweep when every grid point
+// is already in the result cache — the cost Figure 5 pays after Figure 4
+// has run.
+func BenchmarkRunBatchMemoized(b *testing.B) {
+	cfg := repro.PaperConfig()
+	cfg.SimTime = 200
+	cfg.Warmup = 20
+	cfg.Replications = 2
+	runner, err := repro.New(repro.WithConfig(cfg), repro.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	scenarios := make([]repro.Scenario, 11)
+	for i := range scenarios {
+		c := cfg
+		c.PDT = 0.1 * float64(i)
+		scenarios[i] = repro.Scenario{Config: c}
+	}
+	ctx := context.Background()
+	if _, err := runner.RunAll(ctx, scenarios); err != nil {
+		b.Fatal(err) // warm the cache
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.RunAll(ctx, scenarios); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Engine micro-benchmarks
 
 // BenchmarkPetriEngineCPU measures raw EDSPN execution speed on the
-// Figure-3 net: one simulated 1000 s day of the paper's workload.
+// Figure-3 net: one simulated 1000 s day of the paper's workload. The net
+// is compiled once outside the loop — the usage pattern of the replication
+// and sweep layers, which compile a net once per replication set.
 func BenchmarkPetriEngineCPU(b *testing.B) {
 	cfg := core.PaperConfig()
-	n := core.BuildCPUNet(cfg)
+	c, err := petri.Compile(core.BuildCPUNet(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Simulate(petri.SimOptions{Seed: uint64(i), Duration: 1000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPetriCompile measures the one-time Compile step itself.
+func BenchmarkPetriCompile(b *testing.B) {
+	n := core.BuildCPUNet(core.PaperConfig())
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := petri.Simulate(n, petri.SimOptions{Seed: uint64(i), Duration: 1000}); err != nil {
+		if _, err := petri.Compile(n); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -232,12 +291,18 @@ func BenchmarkTransientCPU(b *testing.B) {
 	}
 }
 
-// BenchmarkClosedNet measures the closed-workload net (experiment X-8).
+// BenchmarkClosedNet measures the closed-workload net (experiment X-8),
+// compiled once.
 func BenchmarkClosedNet(b *testing.B) {
 	cfg := core.PaperConfig()
-	n := core.BuildClosedCPUNet(cfg, 3, 1.0)
+	c, err := petri.Compile(core.BuildClosedCPUNet(cfg, 3, 1.0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := petri.Simulate(n, petri.SimOptions{Seed: uint64(i), Duration: 500}); err != nil {
+		if _, err := c.Simulate(petri.SimOptions{Seed: uint64(i), Duration: 500}); err != nil {
 			b.Fatal(err)
 		}
 	}

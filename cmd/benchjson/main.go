@@ -1,0 +1,104 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document, so CI can persist benchmark results (ns/op, B/op, allocs/op) as
+// an artifact and the performance trajectory of the simulation engine stays
+// machine-readable across PRs:
+//
+//	go test -run '^$' -bench 'PetriEngine|RunBatch' -benchmem ./... | benchjson > BENCH.json
+//
+// Lines that are not benchmark results (headers, PASS/ok trailers) are
+// ignored. When a benchmark appears several times (-count > 1), every run
+// is kept; consumers aggregate as they see fit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line. Pkg is the most recent "pkg:" header seen
+// before the line, so results keep their provenance when several `go test`
+// streams are concatenated.
+type Result struct {
+	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// Document is the emitted JSON shape.
+type Document struct {
+	Context map[string]string `json:"context"`
+	Results []Result          `json:"results"`
+}
+
+func main() {
+	doc := Document{Context: map[string]string{}, Results: []Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			_, v, _ := strings.Cut(line, ":")
+			pkg = strings.TrimSpace(v)
+			continue
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			doc.Context[k] = strings.TrimSpace(v)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: fields[0], Pkg: pkg, Iterations: iters}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			val := fields[i]
+			switch fields[i+1] {
+			case "ns/op":
+				if f, err := strconv.ParseFloat(val, 64); err == nil {
+					r.NsPerOp = f
+					ok = true
+				}
+			case "B/op":
+				if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+					r.BytesPerOp = &v
+				}
+			case "allocs/op":
+				if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+					r.AllocsPerOp = &v
+				}
+			}
+		}
+		if ok {
+			doc.Results = append(doc.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"reflect"
 	"runtime"
 	"sync"
 
@@ -54,6 +55,7 @@ type Runner struct {
 	seed        uint64
 	parallelism int
 	estimators  []Estimator
+	cache       bool
 }
 
 // runnerSettings accumulates option values before the Runner is sealed.
@@ -63,6 +65,84 @@ type runnerSettings struct {
 	seedSet     bool
 	parallelism int
 	estimators  []Estimator
+	noCache     bool
+}
+
+// ---------------------------------------------------------------------------
+// Result memoization
+//
+// Every estimator is a pure function of its Config (the effective seed is
+// part of the Config and is derived from the master seed and the Config's
+// own content), so a (config, method) pair fully determines its Estimate.
+// Experiments re-evaluate identical grid points constantly — Figure 4 and
+// Figure 5 run the same PDT×PUD sweep, Tables 4 and 5 repeat it per PUD —
+// and separate Runners are no obstacle to sharing: equal effective configs
+// mean equal results regardless of which Runner computed them. The cache
+// is therefore process-wide, keyed by the full config value plus the
+// estimator's concrete type and name (the type guards against two
+// unrelated estimators that happen to share a Name; two estimators of the
+// same type whose Name hides differing behavior must opt out via
+// WithCache(false)). The cache is bounded with epoch eviction.
+
+type estimateCacheKey struct {
+	cfg    Config
+	method string
+	typ    reflect.Type
+}
+
+// estimateCacheMax bounds the number of memoized results (~64k entries; an
+// Estimate is a small value struct).
+const estimateCacheMax = 1 << 16
+
+var estimateCache = struct {
+	sync.Mutex
+	m    map[estimateCacheKey]Estimate
+	hits uint64
+}{m: make(map[estimateCacheKey]Estimate)}
+
+func estimateCacheLookup(k estimateCacheKey) (*Estimate, bool) {
+	estimateCache.Lock()
+	defer estimateCache.Unlock()
+	est, ok := estimateCache.m[k]
+	if !ok {
+		return nil, false
+	}
+	estimateCache.hits++
+	// Copy out: Estimate carries no reference types, so a value copy keeps
+	// the cache immune to caller mutation.
+	out := est
+	return &out, true
+}
+
+func estimateCacheStore(k estimateCacheKey, est *Estimate) {
+	estimateCache.Lock()
+	defer estimateCache.Unlock()
+	if len(estimateCache.m) >= estimateCacheMax {
+		// Epoch eviction: drop everything and let the current workload
+		// repopulate. Long-running sweep services keep memoizing their
+		// recent grid instead of being pinned to the first 64k points.
+		estimateCache.m = make(map[estimateCacheKey]Estimate)
+	}
+	estimateCache.m[k] = *est
+}
+
+// ResetEstimateCache empties the process-wide result cache (used by tests
+// and by long-lived services that change estimator implementations at
+// runtime — the cache assumes an estimator name always denotes the same
+// pure function).
+func ResetEstimateCache() {
+	estimateCache.Lock()
+	defer estimateCache.Unlock()
+	estimateCache.m = make(map[estimateCacheKey]Estimate)
+	estimateCache.hits = 0
+}
+
+// EstimateCacheStats reports the current entry and hit counts of the
+// process-wide result cache.
+func EstimateCacheStats() (entries int, hits uint64) {
+	estimateCache.Lock()
+	defer estimateCache.Unlock()
+	return len(estimateCache.m), estimateCache.hits
 }
 
 // RunnerOption configures a Runner under construction.
@@ -116,6 +196,19 @@ func WithEstimators(ests ...Estimator) RunnerOption {
 	}
 }
 
+// WithCache enables or disables result memoization (default enabled).
+// With memoization on, a scenario whose effective configuration and
+// estimator name match a previously computed result — in this Runner or
+// any other — returns the cached Estimate instead of re-running the
+// estimator. Disable it for estimators whose Name does not uniquely
+// identify a pure function of the Config.
+func WithCache(enabled bool) RunnerOption {
+	return func(s *runnerSettings) error {
+		s.noCache = !enabled
+		return nil
+	}
+}
+
 // WithMethods resolves estimators by registered name through the registry,
 // e.g. WithMethods("sim", "markov", "erlang32").
 func WithMethods(specs ...string) RunnerOption {
@@ -154,6 +247,7 @@ func NewRunner(opts ...RunnerOption) (*Runner, error) {
 		seed:        s.seed,
 		parallelism: s.parallelism,
 		estimators:  s.estimators,
+		cache:       !s.noCache,
 	}, nil
 }
 
@@ -222,10 +316,20 @@ func (r *Runner) runScenario(i int, s Scenario) Result {
 	res.Seed = cfg.Seed
 	ests := make([]*Estimate, len(r.estimators))
 	for ei, e := range r.estimators {
+		key := estimateCacheKey{cfg: cfg, method: e.Name(), typ: reflect.TypeOf(e)}
+		if r.cache {
+			if est, ok := estimateCacheLookup(key); ok {
+				ests[ei] = est
+				continue
+			}
+		}
 		est, err := e.Estimate(cfg)
 		if err != nil {
 			res.Err = fmt.Errorf("core: scenario %d (%s): estimator %s: %w", i, s.Name, e.Name(), err)
 			return res
+		}
+		if r.cache {
+			estimateCacheStore(key, est)
 		}
 		ests[ei] = est
 	}

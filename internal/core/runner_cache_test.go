@@ -1,0 +1,139 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+// countingEstimator counts Estimate invocations and returns a result
+// derived deterministically from the config.
+type countingEstimator struct {
+	calls *atomic.Int64
+}
+
+func (c countingEstimator) Name() string { return "counting" }
+
+func (c countingEstimator) Estimate(cfg Config) (*Estimate, error) {
+	c.calls.Add(1)
+	return &Estimate{Method: "counting", EnergyJ: cfg.PDT * 100, MeanJobs: cfg.Rho()}, nil
+}
+
+func cacheTestRunner(t *testing.T, calls *atomic.Int64, opts ...RunnerOption) *Runner {
+	t.Helper()
+	r, err := NewRunner(append([]RunnerOption{
+		WithConfig(PaperConfig()),
+		WithSeed(77),
+		WithEstimators(countingEstimator{calls: calls}),
+	}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// pdtSweep builds the Figure-4-style scenario grid.
+func pdtSweep(base Config, pdts []float64) []Scenario {
+	out := make([]Scenario, len(pdts))
+	for i, pdt := range pdts {
+		cfg := base
+		cfg.PDT = pdt
+		out[i] = Scenario{Config: cfg}
+	}
+	return out
+}
+
+func TestRunnerMemoizesRepeatedScenarios(t *testing.T) {
+	ResetEstimateCache()
+	t.Cleanup(ResetEstimateCache)
+	var calls atomic.Int64
+	r := cacheTestRunner(t, &calls)
+	scenarios := pdtSweep(r.BaseConfig(), []float64{0, 0.25, 0.5})
+
+	first, err := r.RunAll(context.Background(), scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("first batch ran the estimator %d times, want 3", got)
+	}
+	// The same grid again — the Figure 4 / Figure 5 sharing pattern — must
+	// be answered entirely from the cache, including through a *different*
+	// Runner with the same seed.
+	r2 := cacheTestRunner(t, &calls)
+	second, err := r2.RunAll(context.Background(), scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("repeat batch re-ran the estimator (%d total calls, want 3)", got)
+	}
+	for i := range first {
+		if *first[i].Estimates[0] != *second[i].Estimates[0] {
+			t.Fatalf("scenario %d: cached estimate differs from computed one", i)
+		}
+	}
+	if entries, hits := EstimateCacheStats(); entries != 3 || hits != 3 {
+		t.Fatalf("cache stats entries=%d hits=%d, want 3 and 3", entries, hits)
+	}
+}
+
+func TestRunnerCacheRespectsSeedAndConfig(t *testing.T) {
+	ResetEstimateCache()
+	t.Cleanup(ResetEstimateCache)
+	var calls atomic.Int64
+	scenarios := pdtSweep(PaperConfig(), []float64{0, 0.5})
+
+	r1 := cacheTestRunner(t, &calls)
+	if _, err := r1.RunAll(context.Background(), scenarios); err != nil {
+		t.Fatal(err)
+	}
+	// A different master seed derives different effective configs: no
+	// cache hits, two more estimator runs.
+	r2 := cacheTestRunner(t, &calls, WithSeed(78))
+	if _, err := r2.RunAll(context.Background(), scenarios); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("distinct seeds shared cache entries: %d calls, want 4", got)
+	}
+}
+
+func TestRunnerCacheDisabled(t *testing.T) {
+	ResetEstimateCache()
+	t.Cleanup(ResetEstimateCache)
+	var calls atomic.Int64
+	r := cacheTestRunner(t, &calls, WithCache(false))
+	scenarios := pdtSweep(r.BaseConfig(), []float64{0.5})
+	for i := 0; i < 2; i++ {
+		if _, err := r.RunAll(context.Background(), scenarios); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("WithCache(false) still memoized: %d calls, want 2", got)
+	}
+	if entries, _ := EstimateCacheStats(); entries != 0 {
+		t.Fatalf("WithCache(false) populated the cache: %d entries", entries)
+	}
+}
+
+func TestRunnerCacheMutationSafe(t *testing.T) {
+	ResetEstimateCache()
+	t.Cleanup(ResetEstimateCache)
+	var calls atomic.Int64
+	r := cacheTestRunner(t, &calls)
+	scenarios := pdtSweep(r.BaseConfig(), []float64{0.5})
+	first, err := r.RunAll(context.Background(), scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first[0].Estimates[0].EnergyJ = -1 // caller scribbles on the result
+	second, err := r.RunAll(context.Background(), scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second[0].Estimates[0].EnergyJ == -1 {
+		t.Fatal("cache returned the mutated Estimate")
+	}
+}

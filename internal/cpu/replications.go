@@ -2,11 +2,10 @@ package cpu
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/energy"
 	"repro/internal/stats"
+	"repro/internal/xsync"
 )
 
 // Replicated aggregates independent replications of a CPU simulation.
@@ -78,7 +77,7 @@ func RunReplications(cfg Config, reps int) (*Replicated, error) {
 			runOne(rep)
 		}
 	} else {
-		parallelFor(reps, runOne)
+		xsync.ParallelFor(reps, runOne)
 	}
 	out := &Replicated{Replications: reps}
 	for rep := 0; rep < reps; rep++ {
@@ -94,34 +93,4 @@ func RunReplications(cfg Config, reps int) (*Replicated, error) {
 		out.PowerCycles.Add(float64(res.PowerCycles))
 	}
 	return out, nil
-}
-
-// parallelFor runs body(0..n-1) over min(n, GOMAXPROCS) workers.
-func parallelFor(n int, body func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			body(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				body(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 }

@@ -350,6 +350,10 @@ func TestSweepDeterministicAcrossParallelism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Drop the memoized results of the first sweep so the parallel run
+	// actually evaluates estimators on the worker pool instead of
+	// answering from the cache.
+	core.ResetEstimateCache()
 	opt.Parallelism = 4
 	par, err := Figure5(opt)
 	if err != nil {

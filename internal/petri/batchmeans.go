@@ -51,9 +51,17 @@ func (r *BatchMeansResult) Mean(n *Net, name string) (mean, ci float64) {
 // measured time (after warmup) and returns per-place batch-means
 // statistics.
 func SimulateBatchMeans(n *Net, opt BatchMeansOptions) (*BatchMeansResult, error) {
-	if err := n.Validate(); err != nil {
+	c, err := Compile(n)
+	if err != nil {
 		return nil, err
 	}
+	return c.SimulateBatchMeans(opt)
+}
+
+// SimulateBatchMeans is batch-means estimation on a compiled net; see the
+// package-level SimulateBatchMeans.
+func (c *Compiled) SimulateBatchMeans(opt BatchMeansOptions) (*BatchMeansResult, error) {
+	n := c.net
 	if opt.BatchLength <= 0 {
 		return nil, fmt.Errorf("petri: BatchLength must be positive, got %v", opt.BatchLength)
 	}
@@ -66,7 +74,7 @@ func SimulateBatchMeans(n *Net, opt BatchMeansOptions) (*BatchMeansResult, error
 	if opt.Warmup < 0 {
 		return nil, fmt.Errorf("petri: Warmup must be non-negative, got %v", opt.Warmup)
 	}
-	e, err := newEngine(n, SimOptions{
+	e, err := newEngine(c, SimOptions{
 		Seed:              opt.Seed,
 		Duration:          opt.Warmup + float64(opt.Batches)*opt.BatchLength,
 		Memory:            opt.Memory,
@@ -75,10 +83,9 @@ func SimulateBatchMeans(n *Net, opt BatchMeansOptions) (*BatchMeansResult, error
 	if err != nil {
 		return nil, err
 	}
-	if err := e.resolveImmediates(); err != nil {
+	if err := e.start(); err != nil {
 		return nil, err
 	}
-	e.syncTimers()
 
 	res := &BatchMeansResult{PlaceAvg: make([]stats.Summary, len(n.Places))}
 	// integrals[p] accumulates the token-time integral within the current
@@ -126,7 +133,7 @@ func SimulateBatchMeans(n *Net, opt BatchMeansOptions) (*BatchMeansResult, error
 		}
 		flushTo(t)
 		e.advanceTo(t)
-		if err := e.fireTimed(TransitionID(id)); err != nil {
+		if err := e.fireTimed(int32(id)); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,509 @@
+package petri
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"repro/internal/dist"
+)
+
+// Firing-delay specializations (see Compiled.delayKind).
+const (
+	delayKindGeneric = uint8(iota)
+	delayKindExp
+	delayKindDet
+)
+
+// carc is a compiled arc: a place index and multiplicity, flattened into the
+// Compiled net's contiguous arc arrays for cache-friendly scanning.
+type carc struct {
+	place  int32
+	weight int32
+}
+
+// cond is one compiled enabling condition, packed into a single word so
+// the hot loop does one load per condition: when the owning place's token
+// count crosses the threshold, transition t gains or loses one unsatisfied
+// condition. A transition with zero unsatisfied conditions is enabled.
+//
+// Layout: bits 0–30 transition id, bit 31 timed flag, bits 32–62
+// threshold, bit 63 form (0: unsatisfied while count < threshold — input
+// arcs; 1: unsatisfied while count >= threshold — inhibitor arcs and
+// capacity bounds). Since "count >= K" is the negation of "count < K", a
+// condition's satisfaction flips exactly when (count < K) changes,
+// independent of the form bit.
+type cond uint64
+
+const condTimedBit = cond(1) << 31
+
+func makeCond(t int32, thresh int, geq, timed bool) cond {
+	if thresh < 0 {
+		// Only capacity bounds can go negative (output weight exceeding
+		// the capacity); token counts are non-negative, so "count >= 0"
+		// (always unsatisfied) is equivalent.
+		thresh = 0
+	}
+	c := cond(uint32(t))
+	if timed {
+		c |= condTimedBit
+	}
+	c |= cond(uint64(uint32(thresh)&0x7fffffff) << 32)
+	if geq {
+		c |= cond(1) << 63
+	}
+	return c
+}
+
+func (c cond) transition() int32 { return int32(c & 0x7fffffff) }
+func (c cond) timed() bool       { return c&condTimedBit != 0 }
+func (c cond) thresh() int       { return int(uint32(c>>32) & 0x7fffffff) }
+func (c cond) geq() bool         { return c>>63 != 0 }
+
+// unsatisfied evaluates the condition against a token count.
+func (c cond) unsatisfied(v int) bool { return (v < c.thresh()) != c.geq() }
+
+// immGroup is one immediate-priority level of a compiled net.
+type immGroup struct {
+	priority int
+	// members lists the level's immediate transitions in ascending id
+	// order, matching the scan order of Net.EnabledImmediatesAtTopPriority
+	// so conflict resolution draws random numbers identically.
+	members []int32
+}
+
+// Compiled is the immutable, dependency-compiled form of a Net, built once
+// by Compile and shared by every simulation run (and every replication
+// goroutine — nothing in it is mutated after construction).
+//
+// It precomputes what the discrete-event engine needs per event:
+//
+//   - flattened input/output/inhibitor arc arrays per transition;
+//   - per-transition net token deltas (self-loops cancel out), so firing
+//     touches only the places whose count actually changes;
+//   - per-place threshold conditions (conds): the compiled form of "which
+//     transitions' enabling can change when this place's count crosses
+//     which value", letting the engine maintain per-transition
+//     unsatisfied-condition counters with a handful of integer compares
+//     per event instead of rescanning arcs;
+//   - the immediate transitions grouped by priority, highest first;
+//   - the short lists of transitions that escape the counter scheme
+//     (guards read arbitrary marking state, multi-server transitions need
+//     their enabling degree re-derived) and are re-checked conventionally.
+//
+// With these, the per-event work is proportional to what the event
+// changes, never to the size of the net.
+type Compiled struct {
+	net *Net
+
+	// Flattened arc arrays: transition t's input arcs occupy
+	// in[inOff[t]:inOff[t+1]], and likewise for outputs and inhibitors.
+	in, out, inh          []carc
+	inOff, outOff, inhOff []int32
+
+	// deltas[deltaOff[t]:deltaOff[t+1]] is transition t's net marking
+	// change: output minus input multiplicity per place, places with zero
+	// net effect omitted, ascending by place id.
+	deltas   []carc
+	deltaOff []int32
+
+	// conds[condOff[p]:condOff[p+1]] are the threshold conditions owned by
+	// place p, covering the input, inhibitor and capacity conditions of
+	// every unguarded transition (multi-server transitions excluded — see
+	// specialTimed).
+	conds   []cond
+	condOff []int32
+
+	// progs[progOff[t]:progOff[t+1]] is transition t's firing program: the
+	// per-transition fusion of deltas and conds into one flat word stream
+	// the engine executes per firing with zero indirection. Each record is
+	// a header word — place (bits 0–30), condition count (32–47), signed
+	// token delta (48–63) — followed by that place's condition words.
+	progs   []uint64
+	progOff []int32
+
+	// hasCapOut[t] reports that transition t has a capacity-bounded output
+	// place, so its enabling depends on output places too.
+	hasCapOut []bool
+	// multi[t] reports multi-server firing semantics (Servers not in {0,1}).
+	multi []bool
+	// guarded[t] reports an attached guard predicate.
+	guarded []bool
+	// special[t] = multi[t] || guarded[t]: the transition is outside the
+	// unsatisfied-condition counter scheme and needs a full re-check.
+	special []bool
+	// complexEnab[t] reports that enabling t requires more than the input
+	// arc check: inhibitors, a capacity-bounded output or a guard.
+	complexEnab []bool
+
+	// timed lists the timed transitions in ascending id order.
+	timed []int32
+	// delayKind/delayParam specialize the two dominant firing-delay
+	// distributions so the hot loop skips the interface dispatch:
+	// exponential (param = rate, sample = ExpFloat64()/rate — the exact
+	// expression dist.Exponential.Sample evaluates) and deterministic
+	// (param = value, no RNG draw). Everything else stays on the
+	// dist.Distribution interface.
+	delayKind  []uint8
+	delayParam []float64
+	// groups are the immediate-priority levels, highest priority first.
+	groups []immGroup
+	// groupOf[t] is the index into groups for an immediate transition and
+	// -1 for a timed one.
+	groupOf []int32
+
+	// guardedImms lists the guarded immediate transitions (ascending):
+	// their enabling is re-evaluated with a full check after every firing
+	// that changed the marking, since a guard may read any place.
+	guardedImms []int32
+	// specialTimed lists the timed transitions outside the counter scheme
+	// (guarded, or multi-server — whose enabling degree must be re-derived
+	// every event, exactly as the scalar engine did), ascending.
+	specialTimed []int32
+
+	// timedDeps[p] and immDeps[p] list, in ascending id order, the timed
+	// and immediate transitions whose enabling can be affected by a change
+	// to place p — the human-readable inverse index behind conds, retained
+	// for analysis and tests.
+	timedDeps [][]int32
+	immDeps   [][]int32
+}
+
+// Compile validates the net and builds its compiled form. The net must not
+// be structurally modified (places, transitions, arcs, guards) after
+// compilation; marking state is never stored in the net, so simulating a
+// compiled net concurrently from many goroutines is safe as long as guards
+// are pure functions of the marking.
+func Compile(n *Net) (*Compiled, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	nT := len(n.Transitions)
+	nP := len(n.Places)
+	c := &Compiled{
+		net:         n,
+		inOff:       make([]int32, nT+1),
+		outOff:      make([]int32, nT+1),
+		inhOff:      make([]int32, nT+1),
+		deltaOff:    make([]int32, nT+1),
+		hasCapOut:   make([]bool, nT),
+		multi:       make([]bool, nT),
+		guarded:     make([]bool, nT),
+		special:     make([]bool, nT),
+		complexEnab: make([]bool, nT),
+		groupOf:     make([]int32, nT),
+		delayKind:   make([]uint8, nT),
+		delayParam:  make([]float64, nT),
+		timedDeps:   make([][]int32, nP),
+		immDeps:     make([][]int32, nP),
+	}
+
+	for i := range n.Transitions {
+		tr := &n.Transitions[i]
+		for _, a := range tr.Inputs {
+			c.in = append(c.in, carc{int32(a.Place), int32(a.Weight)})
+		}
+		for _, a := range tr.Outputs {
+			c.out = append(c.out, carc{int32(a.Place), int32(a.Weight)})
+			if n.Places[a.Place].Capacity > 0 {
+				c.hasCapOut[i] = true
+			}
+		}
+		for _, a := range tr.Inhibitors {
+			c.inh = append(c.inh, carc{int32(a.Place), int32(a.Weight)})
+		}
+		c.inOff[i+1] = int32(len(c.in))
+		c.outOff[i+1] = int32(len(c.out))
+		c.inhOff[i+1] = int32(len(c.inh))
+		c.multi[i] = tr.Servers != 0 && tr.Servers != 1
+		c.guarded[i] = tr.Guard != nil
+		c.special[i] = c.multi[i] || c.guarded[i]
+		c.complexEnab[i] = c.hasCapOut[i] || c.guarded[i] || len(tr.Inhibitors) > 0
+		c.groupOf[i] = -1
+		if tr.Kind == Timed {
+			c.timed = append(c.timed, int32(i))
+			if c.multi[i] || c.guarded[i] {
+				c.specialTimed = append(c.specialTimed, int32(i))
+			}
+			switch d := tr.Delay.(type) {
+			case dist.Exponential:
+				c.delayKind[i], c.delayParam[i] = delayKindExp, d.Rate
+			case dist.Deterministic:
+				c.delayKind[i], c.delayParam[i] = delayKindDet, d.Value
+			}
+		} else if c.guarded[i] {
+			c.guardedImms = append(c.guardedImms, int32(i))
+		}
+
+		// Net marking deltas, ascending by place.
+		net := map[int32]int32{}
+		for _, a := range tr.Inputs {
+			net[int32(a.Place)] -= int32(a.Weight)
+		}
+		for _, a := range tr.Outputs {
+			net[int32(a.Place)] += int32(a.Weight)
+		}
+		var places []int32
+		for p, d := range net {
+			if d != 0 {
+				places = append(places, p)
+			}
+		}
+		slices.Sort(places)
+		for _, p := range places {
+			c.deltas = append(c.deltas, carc{p, net[p]})
+		}
+		c.deltaOff[i+1] = int32(len(c.deltas))
+	}
+
+	// Immediate-priority groups, highest priority first, members ascending.
+	byPriority := make(map[int][]int32)
+	var priorities []int
+	for i := range n.Transitions {
+		if n.Transitions[i].Kind != Immediate {
+			continue
+		}
+		p := n.Transitions[i].Priority
+		if _, seen := byPriority[p]; !seen {
+			priorities = append(priorities, p)
+		}
+		byPriority[p] = append(byPriority[p], int32(i))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(priorities)))
+	for _, p := range priorities {
+		c.groups = append(c.groups, immGroup{priority: p, members: byPriority[p]})
+	}
+	for gi, g := range c.groups {
+		for _, t := range g.members {
+			c.groupOf[t] = int32(gi)
+		}
+	}
+
+	c.buildConditions(nP)
+	c.buildDeps(nP)
+	if err := c.buildPrograms(nT); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// buildPrograms fuses each transition's net deltas with the affected
+// places' conditions into a flat firing program.
+func (c *Compiled) buildPrograms(nT int) error {
+	c.progOff = make([]int32, nT+1)
+	for t := 0; t < nT; t++ {
+		for _, d := range c.deltas[c.deltaOff[t]:c.deltaOff[t+1]] {
+			if d.weight < -32768 || d.weight > 32767 {
+				return fmt.Errorf("petri: net token delta %d of transition %q exceeds the compiled engine's ±32767 range", d.weight, c.net.Transitions[t].Name)
+			}
+			cs := c.conds[c.condOff[d.place]:c.condOff[d.place+1]]
+			if len(cs) > 65535 {
+				return fmt.Errorf("petri: place %q has %d enabling conditions, exceeding the compiled engine's 65535-per-place limit", c.net.Places[d.place].Name, len(cs))
+			}
+			header := uint64(uint32(d.place)) |
+				uint64(uint16(len(cs)))<<32 |
+				uint64(uint16(int16(d.weight)))<<48
+			c.progs = append(c.progs, header)
+			for _, cd := range cs {
+				c.progs = append(c.progs, uint64(cd))
+			}
+		}
+		c.progOff[t+1] = int32(len(c.progs))
+	}
+	return nil
+}
+
+// buildConditions compiles the per-place threshold conditions for every
+// unguarded, non-multi-server transition. Guards (arbitrary marking
+// predicates) and multi-server transitions (degree, not just enabling) are
+// handled by full re-checks via guardedImms/specialTimed instead.
+func (c *Compiled) buildConditions(nP int) {
+	n := c.net
+	perPlace := make([][]cond, nP)
+	for i := range n.Transitions {
+		tr := &n.Transitions[i]
+		if c.guarded[i] || (tr.Kind == Timed && c.multi[i]) {
+			continue
+		}
+		timed := tr.Kind == Timed
+		for _, a := range tr.Inputs {
+			perPlace[a.Place] = append(perPlace[a.Place],
+				makeCond(int32(i), a.Weight, false, timed))
+		}
+		for _, a := range tr.Inhibitors {
+			perPlace[a.Place] = append(perPlace[a.Place],
+				makeCond(int32(i), a.Weight, true, timed))
+		}
+		if c.hasCapOut[i] {
+			for _, a := range tr.Outputs {
+				capacity := n.Places[a.Place].Capacity
+				if capacity <= 0 {
+					continue
+				}
+				consumed := 0
+				for _, in := range tr.Inputs {
+					if in.Place == a.Place {
+						consumed += in.Weight
+					}
+				}
+				// Unsatisfied iff m - consumed + w > capacity, i.e.
+				// m >= capacity + consumed - w + 1.
+				perPlace[a.Place] = append(perPlace[a.Place],
+					makeCond(int32(i), capacity+consumed-a.Weight+1, true, timed))
+			}
+		}
+	}
+	c.condOff = make([]int32, nP+1)
+	for p, cs := range perPlace {
+		c.conds = append(c.conds, cs...)
+		c.condOff[p+1] = int32(len(c.conds))
+	}
+}
+
+// buildDeps derives the place → dependent-transitions inverse index.
+func (c *Compiled) buildDeps(nP int) {
+	n := c.net
+	addDep := func(p PlaceID, t int) {
+		deps := &c.timedDeps
+		if n.Transitions[t].Kind == Immediate {
+			deps = &c.immDeps
+		}
+		l := (*deps)[p]
+		if len(l) > 0 && l[len(l)-1] == int32(t) {
+			return
+		}
+		(*deps)[p] = append(l, int32(t))
+	}
+	for i := range n.Transitions {
+		tr := &n.Transitions[i]
+		if tr.Guard != nil {
+			// A guard can read the whole marking: conservatively depend on
+			// every place.
+			for p := 0; p < nP; p++ {
+				addDep(PlaceID(p), i)
+			}
+			continue
+		}
+		for _, a := range tr.Inputs {
+			addDep(a.Place, i)
+		}
+		for _, a := range tr.Inhibitors {
+			addDep(a.Place, i)
+		}
+		if c.hasCapOut[i] {
+			for _, a := range tr.Outputs {
+				if n.Places[a.Place].Capacity > 0 {
+					addDep(a.Place, i)
+				}
+			}
+		}
+	}
+	for p := 0; p < nP; p++ {
+		c.timedDeps[p] = dedupSorted(c.timedDeps[p])
+		c.immDeps[p] = dedupSorted(c.immDeps[p])
+	}
+}
+
+// MustCompile is Compile that panics on error, for nets known to be valid.
+func MustCompile(n *Net) *Compiled {
+	c, err := Compile(n)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Net returns the net this compiled form was built from.
+func (c *Compiled) Net() *Net { return c.net }
+
+// dedupSorted removes duplicates from an ascending slice in place.
+func dedupSorted(s []int32) []int32 {
+	if len(s) < 2 {
+		return s
+	}
+	w := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[w-1] {
+			s[w] = s[i]
+			w++
+		}
+	}
+	return s[:w]
+}
+
+// enabled reports whether transition t may fire in marking m, mirroring
+// Net.Enabled over the flattened arc arrays. The common case — input arcs
+// only — stays on a single contiguous scan; inhibitors, capacities and
+// guards divert to the slow path. The engine uses this for guarded and
+// multi-server transitions and for one-off queries; unguarded single-server
+// enabling is answered by the unsatisfied-condition counters.
+func (c *Compiled) enabled(m Marking, t int32) bool {
+	for _, a := range c.in[c.inOff[t]:c.inOff[t+1]] {
+		if m[a.place] < int(a.weight) {
+			return false
+		}
+	}
+	if !c.complexEnab[t] {
+		return true
+	}
+	return c.enabledComplex(m, t)
+}
+
+// enabledComplex checks the inhibitor, capacity and guard conditions of a
+// transition whose input arcs are already satisfied.
+func (c *Compiled) enabledComplex(m Marking, t int32) bool {
+	for _, a := range c.inh[c.inhOff[t]:c.inhOff[t+1]] {
+		if m[a.place] >= int(a.weight) {
+			return false
+		}
+	}
+	if c.hasCapOut[t] {
+		for _, a := range c.out[c.outOff[t]:c.outOff[t+1]] {
+			p := &c.net.Places[a.place]
+			if p.Capacity > 0 {
+				// Net effect on the place: outputs minus inputs consumed
+				// by this same firing.
+				consumed := 0
+				for _, in := range c.in[c.inOff[t]:c.inOff[t+1]] {
+					if in.place == a.place {
+						consumed += int(in.weight)
+					}
+				}
+				if m[a.place]-consumed+int(a.weight) > p.Capacity {
+					return false
+				}
+			}
+		}
+	}
+	if c.guarded[t] {
+		if g := c.net.Transitions[t].Guard; g != nil && !g(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// enablingDegree mirrors Net.EnablingDegree over the flattened arcs.
+func (c *Compiled) enablingDegree(m Marking, t int32) int {
+	if !c.enabled(m, t) {
+		return 0
+	}
+	tr := &c.net.Transitions[t]
+	if tr.Servers == 0 || tr.Servers == 1 {
+		return 1
+	}
+	deg := -1
+	for _, a := range c.in[c.inOff[t]:c.inOff[t+1]] {
+		d := m[a.place] / int(a.weight)
+		if deg < 0 || d < deg {
+			deg = d
+		}
+	}
+	if deg < 0 {
+		deg = 1 // source transition
+	}
+	if tr.Servers > 1 && deg > tr.Servers {
+		deg = tr.Servers
+	}
+	return deg
+}

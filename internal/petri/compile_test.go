@@ -1,0 +1,204 @@
+package petri
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/xrand"
+)
+
+// compileTestNet covers every enabling feature the compiler indexes:
+// capacity bounds, inhibitors, guards, multi-server semantics, several
+// immediate priorities and a transition with multiple arcs on one place.
+func compileTestNet() *Net {
+	n := NewNet("compile-test")
+	a := n.AddPlaceInit("A", 2)
+	b := n.AddPlace("B")
+	n.SetCapacity(b, 3)
+	c := n.AddPlace("C")
+	d := n.AddPlaceInit("D", 1)
+
+	t0 := n.AddTimed("T0", dist.NewExponential(1))
+	n.Input(t0, a, 1)
+	n.Output(t0, b, 1)
+	n.SetInfiniteServer(t0)
+
+	t1 := n.AddTimed("T1", dist.NewDeterministic(0.5))
+	n.Input(t1, b, 1)
+	n.Output(t1, a, 1)
+	n.Inhibitor(t1, c, 2)
+
+	t2 := n.AddTimed("T2", dist.NewExponential(2))
+	n.Input(t2, d, 1)
+	n.Output(t2, d, 1)
+	n.SetGuard(t2, func(m Marking) bool { return m[c] == 0 })
+
+	i0 := n.AddImmediate("I0", 3)
+	n.Input(i0, b, 2)
+	n.Output(i0, c, 1)
+
+	i1 := n.AddImmediate("I1", 1)
+	n.Input(i1, c, 1)
+	n.SetGuard(i1, func(m Marking) bool { return m[a] > 0 })
+
+	i2 := n.AddImmediate("I2", 1)
+	n.Input(i2, c, 1)
+	n.Output(i2, a, 1)
+	n.SetWeight(i2, 4)
+	return n
+}
+
+// randomMarkings draws markings with 0..4 tokens per place, clipped to the
+// place capacity so they are reachable-shaped.
+func randomMarkings(n *Net, count int, seed uint64) []Marking {
+	rng := xrand.New(seed)
+	ms := make([]Marking, count)
+	for i := range ms {
+		m := make(Marking, len(n.Places))
+		for p := range m {
+			m[p] = int(rng.Uint64() % 5)
+			if cap := n.Places[p].Capacity; cap > 0 && m[p] > cap {
+				m[p] = cap
+			}
+		}
+		ms[i] = m
+	}
+	return ms
+}
+
+// TestCompiledEnablingMatchesNet checks the compiled enabling predicate and
+// enabling degree against the exported Net methods on random markings.
+func TestCompiledEnablingMatchesNet(t *testing.T) {
+	n := compileTestNet()
+	c := MustCompile(n)
+	for _, m := range randomMarkings(n, 500, 11) {
+		for i := range n.Transitions {
+			if got, want := c.enabled(m, int32(i)), n.Enabled(m, TransitionID(i)); got != want {
+				t.Fatalf("marking %v transition %s: compiled enabled=%v, Net=%v", m, n.Transitions[i].Name, got, want)
+			}
+			if got, want := c.enablingDegree(m, int32(i)), n.EnablingDegree(m, TransitionID(i)); got != want {
+				t.Fatalf("marking %v transition %s: compiled degree=%d, Net=%d", m, n.Transitions[i].Name, got, want)
+			}
+		}
+	}
+}
+
+// TestCompiledGroupsMatchEnabledImmediatesAtTopPriority checks that picking
+// the first live compiled priority group reproduces the exported reference
+// method — the engine's conflict sets are exactly the old ones.
+func TestCompiledGroupsMatchEnabledImmediatesAtTopPriority(t *testing.T) {
+	n := compileTestNet()
+	c := MustCompile(n)
+	for _, m := range randomMarkings(n, 500, 23) {
+		want := n.EnabledImmediatesAtTopPriority(m)
+		var got []TransitionID
+		for _, g := range c.groups {
+			for _, tr := range g.members {
+				if c.enabled(m, tr) {
+					got = append(got, TransitionID(tr))
+				}
+			}
+			if len(got) > 0 {
+				break
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("marking %v: compiled conflict set %v, want %v", m, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("marking %v: compiled conflict set %v, want %v", m, got, want)
+			}
+		}
+	}
+}
+
+// TestCompileDependencyIndex spot-checks the inverse index: a place's
+// dependents must include every transition with an input, inhibitor or
+// capacity-bounded output on it, and guarded transitions everywhere.
+func TestCompileDependencyIndex(t *testing.T) {
+	n := compileTestNet()
+	c := MustCompile(n)
+	has := func(deps []int32, id TransitionID) bool {
+		for _, d := range deps {
+			if d == int32(id) {
+				return true
+			}
+		}
+		return false
+	}
+	t0, _ := n.TransitionByName("T0")
+	t1, _ := n.TransitionByName("T1")
+	t2, _ := n.TransitionByName("T2")
+	i1, _ := n.TransitionByName("I1")
+	a, _ := n.PlaceByName("A")
+	b, _ := n.PlaceByName("B")
+	d, _ := n.PlaceByName("D")
+
+	if !has(c.timedDeps[a], t0) {
+		t.Error("A must affect T0 (input arc)")
+	}
+	// B is capacity-bounded, so producing into it affects T0's enabling.
+	if !has(c.timedDeps[b], t0) {
+		t.Error("B must affect T0 (capacity-bounded output)")
+	}
+	if !has(c.timedDeps[b], t1) {
+		t.Error("B must affect T1 (input arc)")
+	}
+	// T2 is guarded: it must depend on every place.
+	for p := range n.Places {
+		if !has(c.timedDeps[p], t2) {
+			t.Errorf("place %s must affect guarded T2", n.Places[p].Name)
+		}
+		if !has(c.immDeps[p], i1) {
+			t.Errorf("place %s must affect guarded I1", n.Places[p].Name)
+		}
+	}
+	// D only affects T2 among unguarded... T2 is guarded; no other timed
+	// transition touches D, so its timed deps are exactly {T2}.
+	if len(c.timedDeps[d]) != 1 || c.timedDeps[d][0] != int32(t2) {
+		t.Errorf("timedDeps[D] = %v, want [%d]", c.timedDeps[d], t2)
+	}
+}
+
+// TestCompileRejectsInvalidNet preserves the validation contract of the
+// old Simulate entry point.
+func TestCompileRejectsInvalidNet(t *testing.T) {
+	n := NewNet("empty")
+	if _, err := Compile(n); err == nil {
+		t.Fatal("Compile accepted a net with no places")
+	}
+}
+
+// TestEngineSteadyStateAllocationFree asserts the core promise of the
+// compiled engine: once warmed up, advancing the simulation does not
+// allocate.
+func TestEngineSteadyStateAllocationFree(t *testing.T) {
+	n := compileTestNet()
+	c := MustCompile(n)
+	e, err := newEngine(c, SimOptions{Seed: 5, Duration: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.start(); err != nil {
+		t.Fatal(err)
+	}
+	step := func() {
+		ft, id := e.nextTimed()
+		if id < 0 {
+			t.Fatal("net deadlocked unexpectedly")
+		}
+		e.advanceTo(ft)
+		if err := e.fireTimed(int32(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the scratch buffers, then measure.
+	for i := 0; i < 100; i++ {
+		step()
+	}
+	allocs := testing.AllocsPerRun(2000, step)
+	if allocs > 0 {
+		t.Fatalf("steady-state event loop allocates %.2f allocs/event, want 0", allocs)
+	}
+}

@@ -1,0 +1,574 @@
+package petri_test
+
+// Equivalence tests for the compiled-net engine: the dependency-compiled,
+// heap-scheduled, allocation-free fast path must reproduce the scalar
+// engine's results bit for bit — same RNG draw order, same event sequence,
+// same accumulator arithmetic — on every shipped net, at several seeds, and
+// under both memory policies.
+//
+// refSimulate below is a verbatim port of the pre-compilation engine
+// (rescan-all syncTimers, linear-scan nextTimed, allocating
+// EnabledImmediatesAtTopPriority), kept as the executable specification of
+// the old-path semantics. The golden tables further down pin a subset of
+// its outputs to literal values, so the reference copy and the fast path
+// cannot drift together unnoticed.
+//
+// One deliberate caveat on "bit for bit": the goldens were captured from
+// the scalar engine loop *after* stats.TimeWeighted.Set gained its
+// lazy-integration early return (same PR). That change shifts time-average
+// sums by last-ulp amounts relative to the pre-PR binary — integrating a
+// constant stretch as one product instead of many — and is exactly what
+// makes update-only-what-changed statistics reproducible. Equivalence here
+// therefore means: identical trajectories (every RNG draw, firing, and
+// marking) and identical accumulator arithmetic under the current stats
+// semantics, not cross-version bit-stability of the last float ulp.
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/petri"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// ---------------------------------------------------------------------------
+// Reference engine (pre-refactor semantics, exported-API port)
+
+type refEngine struct {
+	net     *petri.Net
+	opt     petri.SimOptions
+	rng     *xrand.Rand
+	marking petri.Marking
+	now     float64
+	fireAt  []float64
+	remain  []float64
+	degree  []int
+
+	measuring bool
+	placeAcc  []stats.TimeWeighted
+	busyAcc   []stats.TimeWeighted
+	firings   []uint64
+}
+
+// refSimulate is the old petri.Simulate: validate, build scalar state, run.
+func refSimulate(n *petri.Net, opt petri.SimOptions) (*petri.SimResult, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.MaxVanishingChain == 0 {
+		opt.MaxVanishingChain = 100000
+	}
+	e := &refEngine{
+		net:     n,
+		opt:     opt,
+		rng:     xrand.NewStream(opt.Seed, 0),
+		marking: n.InitialMarking(),
+		fireAt:  make([]float64, len(n.Transitions)),
+		remain:  make([]float64, len(n.Transitions)),
+		degree:  make([]int, len(n.Transitions)),
+	}
+	for i := range e.fireAt {
+		e.fireAt[i] = math.Inf(1)
+		e.remain[i] = -1
+	}
+	return e.run()
+}
+
+func (e *refEngine) run() (*petri.SimResult, error) {
+	n := e.net
+	horizon := e.opt.Warmup + e.opt.Duration
+	e.placeAcc = make([]stats.TimeWeighted, len(n.Places))
+	e.busyAcc = make([]stats.TimeWeighted, len(n.Places))
+	e.firings = make([]uint64, len(n.Transitions))
+
+	if err := e.resolveImmediates(); err != nil {
+		return nil, err
+	}
+	e.syncTimers()
+	if e.opt.Warmup == 0 {
+		e.beginMeasurement()
+	}
+
+	deadlocked := false
+	for {
+		t, id := e.nextTimed()
+		if id < 0 {
+			deadlocked = true
+			break
+		}
+		if t > horizon {
+			break
+		}
+		if !e.measuring && t >= e.opt.Warmup {
+			e.now = e.opt.Warmup
+			e.beginMeasurement()
+		}
+		e.now = t
+		if err := e.fireTimed(petri.TransitionID(id)); err != nil {
+			return nil, err
+		}
+	}
+	if !e.measuring {
+		e.now = e.opt.Warmup
+		e.beginMeasurement()
+	}
+	e.now = horizon
+
+	res := &petri.SimResult{
+		Time:          e.opt.Duration,
+		PlaceAvg:      make([]float64, len(n.Places)),
+		PlaceNonEmpty: make([]float64, len(n.Places)),
+		Firings:       e.firings,
+		Throughput:    make([]float64, len(n.Transitions)),
+		Deadlocked:    deadlocked,
+		FinalMarking:  e.marking.Clone(),
+	}
+	for i := range n.Places {
+		res.PlaceAvg[i] = e.placeAcc[i].MeanAt(horizon)
+		res.PlaceNonEmpty[i] = e.busyAcc[i].MeanAt(horizon)
+	}
+	for i := range n.Transitions {
+		res.Throughput[i] = float64(e.firings[i]) / e.opt.Duration
+	}
+	return res, nil
+}
+
+func (e *refEngine) beginMeasurement() {
+	e.measuring = true
+	for i, v := range e.marking {
+		e.placeAcc[i].Start(e.now, float64(v))
+		b := 0.0
+		if v > 0 {
+			b = 1
+		}
+		e.busyAcc[i].Start(e.now, b)
+	}
+	for i := range e.firings {
+		e.firings[i] = 0
+	}
+}
+
+func (e *refEngine) recordMarking() {
+	if !e.measuring {
+		return
+	}
+	for i, v := range e.marking {
+		b := 0.0
+		if v > 0 {
+			b = 1
+		}
+		e.placeAcc[i].Set(e.now, float64(v))
+		e.busyAcc[i].Set(e.now, b)
+	}
+}
+
+func (e *refEngine) nextTimed() (float64, int) {
+	best := math.Inf(1)
+	id := -1
+	for i, t := range e.fireAt {
+		if t < best {
+			best = t
+			id = i
+		}
+	}
+	return best, id
+}
+
+func (e *refEngine) fireTimed(t petri.TransitionID) error {
+	e.fireAt[t] = math.Inf(1)
+	e.remain[t] = -1
+	e.net.Fire(e.marking, t)
+	if e.measuring {
+		e.firings[t]++
+	}
+	if err := e.resolveImmediates(); err != nil {
+		return err
+	}
+	e.recordMarking()
+	e.syncTimers()
+	return nil
+}
+
+func (e *refEngine) resolveImmediates() error {
+	for steps := 0; ; steps++ {
+		ids := e.net.EnabledImmediatesAtTopPriority(e.marking)
+		if len(ids) == 0 {
+			return nil
+		}
+		if steps >= e.opt.MaxVanishingChain {
+			return errLivelock
+		}
+		var chosen petri.TransitionID
+		if len(ids) == 1 {
+			chosen = ids[0]
+		} else {
+			total := 0.0
+			for _, id := range ids {
+				total += e.net.Transitions[id].Weight
+			}
+			u := e.rng.Float64() * total
+			chosen = ids[len(ids)-1]
+			for _, id := range ids {
+				u -= e.net.Transitions[id].Weight
+				if u < 0 {
+					chosen = id
+					break
+				}
+			}
+		}
+		e.net.Fire(e.marking, chosen)
+		if e.measuring {
+			e.firings[chosen]++
+		}
+	}
+}
+
+type livelockError struct{}
+
+func (livelockError) Error() string { return "ref: immediate-transition livelock" }
+
+var errLivelock = livelockError{}
+
+func (e *refEngine) syncTimers() {
+	for i := range e.net.Transitions {
+		tr := &e.net.Transitions[i]
+		if tr.Kind != petri.Timed {
+			continue
+		}
+		multi := tr.Servers != 0 && tr.Servers != 1
+		deg := 1
+		var enabled bool
+		if multi {
+			deg = e.net.EnablingDegree(e.marking, petri.TransitionID(i))
+			enabled = deg > 0
+		} else {
+			enabled = e.net.Enabled(e.marking, petri.TransitionID(i))
+		}
+		scheduled := !math.IsInf(e.fireAt[i], 1)
+		switch {
+		case enabled && !scheduled:
+			e.fireAt[i] = e.now + e.sampleDelay(tr, deg, i)
+			e.degree[i] = deg
+		case enabled && scheduled && multi && deg != e.degree[i]:
+			e.fireAt[i] = e.now + e.sampleDelay(tr, deg, i)
+			e.degree[i] = deg
+		case !enabled && scheduled:
+			if e.opt.Memory == petri.RaceAge && !multi {
+				e.remain[i] = e.fireAt[i] - e.now
+			}
+			e.fireAt[i] = math.Inf(1)
+		}
+	}
+}
+
+func (e *refEngine) sampleDelay(tr *petri.Transition, deg, idx int) float64 {
+	if e.opt.Memory == petri.RaceAge && e.remain[idx] >= 0 && (tr.Servers == 0 || tr.Servers == 1) {
+		d := e.remain[idx]
+		e.remain[idx] = -1
+		return d
+	}
+	delay := tr.Delay.Sample(e.rng)
+	if deg > 1 {
+		delay /= float64(deg)
+	}
+	return delay
+}
+
+// ---------------------------------------------------------------------------
+// Net zoo
+
+// stressNet exercises every enabling feature at once: capacity bounds,
+// inhibitors, guards, weighted same-priority immediate conflicts, a second
+// priority level, k-server and infinite-server exponentials, deterministic
+// and Erlang delays.
+func stressNet() *petri.Net {
+	n := petri.NewNet("stress")
+	pool := n.AddPlaceInit("Pool", 4)
+	q := n.AddPlace("Q")
+	n.SetCapacity(q, 3)
+	r := n.AddPlace("R")
+	tick := n.AddPlaceInit("Tick", 1)
+
+	// Arrivals: each pooled token independently moves to the bounded queue.
+	ta := n.AddTimed("TA", dist.NewExponential(1.5))
+	n.Input(ta, pool, 1)
+	n.Output(ta, q, 1)
+	n.SetInfiniteServer(ta)
+
+	// Service: 2-server exponential draining the queue.
+	ts := n.AddTimed("TS", dist.NewExponential(2.0))
+	n.Input(ts, q, 1)
+	n.Output(ts, pool, 1)
+	n.SetServers(ts, 2)
+
+	// A deterministic clock inhibited while the queue is congested.
+	td := n.AddTimed("TD", dist.NewDeterministic(0.7))
+	n.Input(td, tick, 1)
+	n.Output(td, tick, 1)
+	n.Inhibitor(td, q, 2)
+
+	// Erlang recovery of diverted tokens.
+	te := n.AddTimed("TE", dist.NewErlang(2, 3.0))
+	n.Input(te, r, 1)
+	n.Output(te, pool, 1)
+
+	// When the queue fills, a weighted immediate conflict either diverts a
+	// token (I1) or bounces it back to the pool (I2); both fire only when
+	// the queue is actually full (guard).
+	full := func(m petri.Marking) bool { return m[q] >= 3 }
+	i1 := n.AddImmediate("I1", 2)
+	n.Input(i1, q, 1)
+	n.Output(i1, r, 1)
+	n.SetGuard(i1, full)
+	i2 := n.AddImmediate("I2", 2)
+	n.Input(i2, q, 1)
+	n.Output(i2, pool, 1)
+	n.SetWeight(i2, 2.5)
+	n.SetGuard(i2, full)
+
+	// A higher-priority immediate that preempts the pair when two diverted
+	// tokens accumulate.
+	i3 := n.AddImmediate("I3", 5)
+	n.Input(i3, r, 2)
+	n.Output(i3, pool, 2)
+	return n
+}
+
+// deadlockNet drains two tokens and stops: exercises the absorbing-state
+// tail integration.
+func deadlockNet() *petri.Net {
+	n := petri.NewNet("deadlock")
+	x := n.AddPlaceInit("X", 2)
+	tx := n.AddTimed("TX", dist.NewExponential(1.0))
+	n.Input(tx, x, 1)
+	return n
+}
+
+func equivNets() map[string]*petri.Net {
+	cfg := core.PaperConfig()
+	return map[string]*petri.Net{
+		"cpu":      core.BuildCPUNet(cfg),
+		"closed":   core.BuildClosedCPUNet(cfg, 3, 1.0),
+		"stress":   stressNet(),
+		"deadlock": deadlockNet(),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Compiled engine vs reference engine, bit for bit
+
+func TestCompiledEngineMatchesReference(t *testing.T) {
+	for name, n := range equivNets() {
+		c, err := petri.Compile(n)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, seed := range []uint64{1, 7, 42, 12345} {
+			for _, mem := range []petri.MemoryPolicy{petri.RaceEnable, petri.RaceAge} {
+				opt := petri.SimOptions{Seed: seed, Warmup: 25, Duration: 250, Memory: mem}
+				want, err := refSimulate(n, opt)
+				if err != nil {
+					t.Fatalf("%s seed=%d %v: reference: %v", name, seed, mem, err)
+				}
+				got, err := c.Simulate(opt)
+				if err != nil {
+					t.Fatalf("%s seed=%d %v: compiled: %v", name, seed, mem, err)
+				}
+				assertIdentical(t, name, seed, mem, got, want)
+			}
+		}
+	}
+}
+
+func assertIdentical(t *testing.T, name string, seed uint64, mem petri.MemoryPolicy, got, want *petri.SimResult) {
+	t.Helper()
+	ctx := func(what string, i int) string {
+		return name + " seed=" + strconv.FormatUint(seed, 10) + " " + mem.String() + ": " + what + "[" + strconv.Itoa(i) + "]"
+	}
+	if got.Deadlocked != want.Deadlocked {
+		t.Fatalf("%s: Deadlocked = %v, want %v", name, got.Deadlocked, want.Deadlocked)
+	}
+	if !got.FinalMarking.Equal(want.FinalMarking) {
+		t.Fatalf("%s seed=%d %v: FinalMarking = %v, want %v", name, seed, mem, got.FinalMarking, want.FinalMarking)
+	}
+	for i := range want.PlaceAvg {
+		if got.PlaceAvg[i] != want.PlaceAvg[i] {
+			t.Errorf("%s = %x, want %x", ctx("PlaceAvg", i), got.PlaceAvg[i], want.PlaceAvg[i])
+		}
+		if got.PlaceNonEmpty[i] != want.PlaceNonEmpty[i] {
+			t.Errorf("%s = %x, want %x", ctx("PlaceNonEmpty", i), got.PlaceNonEmpty[i], want.PlaceNonEmpty[i])
+		}
+	}
+	for i := range want.Firings {
+		if got.Firings[i] != want.Firings[i] {
+			t.Errorf("%s = %d, want %d", ctx("Firings", i), got.Firings[i], want.Firings[i])
+		}
+		if got.Throughput[i] != want.Throughput[i] {
+			t.Errorf("%s = %x, want %x", ctx("Throughput", i), got.Throughput[i], want.Throughput[i])
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Golden values captured at the pre-compilation HEAD
+
+// engineGolden pins Simulate outputs (Warmup 50, Duration 500) to literals
+// produced by the scalar engine loop immediately before the compiled fast
+// path replaced it (with the lazy-integration stats semantics — see the
+// file comment). Hex float literals round-trip exactly.
+type engineGolden struct {
+	net      string
+	seed     uint64
+	memory   petri.MemoryPolicy
+	placeAvg []float64
+	firings  []uint64
+	final    petri.Marking
+}
+
+var engineGoldens = []engineGolden{
+	{net: "cpu", seed: 1, memory: petri.RaceEnable,
+		placeAvg: []float64{0x1p+00, 0x0p+00, 0x1.28bf3bea81aap-11, 0x1.21f5ed3c25f6dp-07, 0x1.13953e5444329p-01, 0x1.28bf3bea81aap-11, 0x1.d84123b9825a1p-02, 0x1.6dbf87f3cff89p-02, 0x1.aa066f16c985ep-04},
+		firings:  []uint64{0x1ed, 0x1ed, 0x11b, 0xd2, 0x1ed, 0x1ed, 0x11b, 0x11b},
+		final:    petri.Marking{1, 0, 0, 0, 1, 0, 0, 0, 0}},
+	{net: "cpu", seed: 1, memory: petri.RaceAge,
+		placeAvg: []float64{0x1p+00, 0x0p+00, 0x1.3ec460ed6f74cp-11, 0x1.2388947336f23p-07, 0x1.2ec99db0f3a49p-01, 0x1.3ec460ed6f74cp-11, 0x1.a1cd626da1ff3p-02, 0x1.374bc6a7ef9dbp-02, 0x1.aa066f16c985ep-04},
+		firings:  []uint64{0x1ed, 0x1ed, 0x130, 0xbd, 0x1ed, 0x1ed, 0x130, 0x130},
+		final:    petri.Marking{1, 0, 0, 0, 1, 0, 0, 0, 0}},
+	{net: "cpu", seed: 42, memory: petri.RaceEnable,
+		placeAvg: []float64{0x1p+00, 0x0p+00, 0x1.28bf3bea820c5p-11, 0x1.b93027634d52fp-07, 0x1.14cf2537be6e7p-01, 0x1.28bf3bea820c5p-11, 0x1.d5cd55f28de2p-02, 0x1.6f147dfa5138dp-02, 0x1.9ae35fe0f2a4ap-04},
+		firings:  []uint64{0x1f5, 0x1f5, 0x11b, 0xda, 0x1f5, 0x1f5, 0x11b, 0x11b},
+		final:    petri.Marking{1, 0, 0, 0, 1, 0, 0, 0, 0}},
+	{net: "cpu", seed: 42, memory: petri.RaceAge,
+		placeAvg: []float64{0x1p+00, 0x0p+00, 0x1.44028e4fa8312p-11, 0x1.bb27786822862p-07, 0x1.2e1d53e3602fep-01, 0x1.44028e4fa8312p-11, 0x1.a32356f217cc3p-02, 0x1.3c6a7ef9db23p-02, 0x1.9ae35fe0f2a4ap-04},
+		firings:  []uint64{0x1f5, 0x1f5, 0x135, 0xc0, 0x1f5, 0x1f5, 0x135, 0x135},
+		final:    petri.Marking{1, 0, 0, 0, 1, 0, 0, 0, 0}},
+	{net: "closed", seed: 1, memory: petri.RaceEnable,
+		placeAvg: []float64{0x1.54e51630a7e48p+01, 0x1.05a58b6e91917p-11, 0x1.e35775473c7c3p-05, 0x1.2e39e03399185p-03, 0x1.05186db501e35p-11, 0x1.b43041d7ac798p-01, 0x1.25fa11eebfd5fp-01, 0x1.1c6c5fd1d9471p-02},
+		firings:  []uint64{0x58d, 0xf9, 0x494, 0x58d, 0x58d, 0xf9, 0xf9},
+		final:    petri.Marking{3, 0, 0, 0, 0, 1, 1, 0}},
+	{net: "closed", seed: 1, memory: petri.RaceAge,
+		placeAvg: []float64{0x1.54e069763840cp+01, 0x1.d5bfcd6fffdf4p-11, 0x1.e7e662b5e59cdp-05, 0x1.1a61835d617bcp-02, 0x1.d4b6a619c29fcp-11, 0x1.725a10a7c8d17p-01, 0x1.c8b4395810625p-02, 0x1.1bffe7f781409p-02},
+		firings:  []uint64{0x58d, 0x1bf, 0x3ce, 0x58d, 0x58c, 0x1be, 0x1bf},
+		final:    petri.Marking{2, 0, 0, 0, 0, 1, 0, 1}},
+	{net: "closed", seed: 42, memory: petri.RaceEnable,
+		placeAvg: []float64{0x1.5a0e2d1ba9204p+01, 0x1.173e1d6ca5893p-11, 0x1.87cc495c7bdb6p-05, 0x1.786025d769d5ep-03, 0x1.16ebd4cfc1b23p-11, 0x1.a1a23b94f19a2p-01, 0x1.2257b4995dd7dp-01, 0x1.fd2a1bee4f093p-03},
+		firings:  []uint64{0x4f0, 0x10a, 0x3e6, 0x4f0, 0x4f0, 0x109, 0x10a},
+		final:    petri.Marking{3, 0, 0, 0, 0, 1, 1, 0}},
+	{net: "closed", seed: 42, memory: petri.RaceAge,
+		placeAvg: []float64{0x1.59e994bc36077p+01, 0x1.cfdb8f737ced9p-11, 0x1.8e6bb2929f2c9p-05, 0x1.3d4b8ec2203d7p-02, 0x1.ce6c093d7ef9ep-11, 0x1.60e69d9ca0819p-01, 0x1.c2e7576d45224p-02, 0x1.fdcbc797f7c1dp-03},
+		firings:  []uint64{0x4ef, 0x1b9, 0x336, 0x4ef, 0x4ef, 0x1b8, 0x1b9},
+		final:    petri.Marking{3, 0, 0, 0, 0, 1, 1, 0}},
+}
+
+func TestCompiledEngineMatchesGoldens(t *testing.T) {
+	nets := equivNets()
+	for _, g := range engineGoldens {
+		res, err := petri.Simulate(nets[g.net], petri.SimOptions{
+			Seed: g.seed, Warmup: 50, Duration: 500, Memory: g.memory,
+		})
+		if err != nil {
+			t.Fatalf("%s seed=%d %v: %v", g.net, g.seed, g.memory, err)
+		}
+		for i, want := range g.placeAvg {
+			if res.PlaceAvg[i] != want {
+				t.Errorf("%s seed=%d %v: PlaceAvg[%d] = %x, want golden %x",
+					g.net, g.seed, g.memory, i, res.PlaceAvg[i], want)
+			}
+		}
+		for i, want := range g.firings {
+			if res.Firings[i] != want {
+				t.Errorf("%s seed=%d %v: Firings[%d] = %d, want golden %d",
+					g.net, g.seed, g.memory, i, res.Firings[i], want)
+			}
+		}
+		if !res.FinalMarking.Equal(g.final) {
+			t.Errorf("%s seed=%d %v: FinalMarking = %v, want golden %v",
+				g.net, g.seed, g.memory, res.FinalMarking, g.final)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Compile-once replication path
+
+func TestCompiledReplicationsMatchPerRunCompilation(t *testing.T) {
+	n := stressNet()
+	opt := petri.SimOptions{Seed: 9, Warmup: 10, Duration: 100}
+	viaNet, err := petri.SimulateReplications(n, opt, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := petri.Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCompiled, err := c.SimulateReplications(opt, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range viaNet.PlaceAvg {
+		if viaNet.PlaceAvg[i].Mean() != viaCompiled.PlaceAvg[i].Mean() ||
+			viaNet.PlaceAvg[i].Var() != viaCompiled.PlaceAvg[i].Var() {
+			t.Fatalf("place %d: per-run and compile-once aggregates differ", i)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Paired old-path/new-path benchmarks. Running both in one `go test -bench`
+// invocation keeps the speedup ratio meaningful on noisy machines: both
+// sides see the same thermal/scheduling conditions.
+
+// BenchmarkEngineCPUScalarReference times the pre-compilation engine
+// semantics (rescan-all timers, linear next-event scan, allocating conflict
+// sets) on the paper's Figure-3 net.
+func BenchmarkEngineCPUScalarReference(b *testing.B) {
+	n := core.BuildCPUNet(core.PaperConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := refSimulate(n, petri.SimOptions{Seed: uint64(i), Duration: 1000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineCPUCompiled times the compiled fast path on the same net,
+// compiling once — the usage pattern of the replication and sweep layers.
+func BenchmarkEngineCPUCompiled(b *testing.B) {
+	n := core.BuildCPUNet(core.PaperConfig())
+	c, err := petri.Compile(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Simulate(petri.SimOptions{Seed: uint64(i), Duration: 1000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestCompiledTransientRuns(t *testing.T) {
+	c, err := petri.Compile(stressNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.SimulateTransient(petri.TransientOptions{
+		Seed: 3, Horizon: 5, Step: 1, Replications: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deterministic tick place holds exactly one token at all times.
+	id, _ := c.Net().PlaceByName("Tick")
+	for i, m := range res.PlaceMean[id] {
+		if m != 1 {
+			t.Fatalf("Tick mean at grid %d = %v, want 1", i, m)
+		}
+	}
+}

@@ -418,6 +418,15 @@ func (n *Net) AnyImmediateEnabled(m Marking) bool {
 
 // EnabledImmediatesAtTopPriority returns the enabled immediate transitions
 // having the highest priority among all enabled immediates.
+//
+// This is the reference (and allocating) formulation: it rescans every
+// transition and returns a fresh slice. The simulation engine no longer
+// calls it per vanishing step — it resolves conflicts from the compiled
+// priority groups with incremental enabled-set tracking and reusable
+// scratch buffers (see Compile and engine.resolveImmediates, whose
+// selection is asserted equivalent to this method by the equivalence
+// tests). It remains exported for reachability analysis and for callers
+// that want the straightforward semantics.
 func (n *Net) EnabledImmediatesAtTopPriority(m Marking) []TransitionID {
 	best := 0
 	found := false

@@ -3,11 +3,10 @@ package petri
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"repro/internal/stats"
 	"repro/internal/xrand"
+	"repro/internal/xsync"
 )
 
 // MemoryPolicy selects how timed transitions treat their sampled firing
@@ -85,31 +84,30 @@ func (r *SimResult) PlaceAvgByName(n *Net, name string) float64 {
 }
 
 // Simulate executes the net once and returns time-averaged statistics.
+//
+// It compiles the net first; callers running many simulations of the same
+// net (replications, sweeps) should Compile once and use
+// Compiled.Simulate to amortize the compilation.
 func Simulate(n *Net, opt SimOptions) (*SimResult, error) {
-	if err := n.Validate(); err != nil {
+	c, err := Compile(n)
+	if err != nil {
 		return nil, err
 	}
+	return c.Simulate(opt)
+}
+
+// Simulate executes the compiled net once and returns time-averaged
+// statistics. It is safe to call concurrently from many goroutines.
+func (c *Compiled) Simulate(opt SimOptions) (*SimResult, error) {
 	if opt.Duration <= 0 {
 		return nil, fmt.Errorf("petri: SimOptions.Duration must be positive, got %v", opt.Duration)
 	}
 	if opt.Warmup < 0 {
 		return nil, fmt.Errorf("petri: SimOptions.Warmup must be non-negative, got %v", opt.Warmup)
 	}
-	if opt.MaxVanishingChain == 0 {
-		opt.MaxVanishingChain = 100000
-	}
-	e := &engine{
-		net:     n,
-		opt:     opt,
-		rng:     newEngineRand(opt.Seed),
-		marking: n.InitialMarking(),
-		fireAt:  make([]float64, len(n.Transitions)),
-		remain:  make([]float64, len(n.Transitions)),
-		degree:  make([]int, len(n.Transitions)),
-	}
-	for i := range e.fireAt {
-		e.fireAt[i] = math.Inf(1)
-		e.remain[i] = -1
+	e, err := newEngine(c, opt)
+	if err != nil {
+		return nil, err
 	}
 	return e.run()
 }
@@ -119,13 +117,20 @@ func Simulate(n *Net, opt SimOptions) (*SimResult, error) {
 // shares the seed-to-stream mapping.
 func newEngineRand(seed uint64) *xrand.Rand { return xrand.NewStream(seed, 0) }
 
-// engine is the single-run execution state.
+// engine is the single-run execution state of a compiled net. Every event
+// costs work proportional to what it changes: the fired transition's arcs,
+// the transitions adjacent to the touched places, and the heap reshuffles —
+// never the size of the whole net. The steady-state loop performs no heap
+// allocations; all scratch buffers are preallocated in newEngine.
 type engine struct {
-	net     *Net
-	opt     SimOptions
-	rng     *xrand.Rand
+	comp *Compiled
+	net  *Net
+	opt  SimOptions
+	rng  *xrand.Rand
+
 	marking Marking
 	now     float64
+
 	// fireAt[t] is the absolute scheduled firing time of timed transition
 	// t, or +Inf when not scheduled (disabled).
 	fireAt []float64
@@ -137,25 +142,165 @@ type engine struct {
 	// (memoryless) resample.
 	degree []int
 
-	measuring bool
-	placeAcc  []stats.TimeWeighted
-	busyAcc   []stats.TimeWeighted
-	firings   []uint64
+	// heap is a binary min-heap over the scheduled timed transitions,
+	// ordered by (fireAt, id) — the id tie-break reproduces the
+	// lowest-index-first determinism of a linear scan. heapPos[t] is t's
+	// index in heap, -1 while unscheduled.
+	heap    []int32
+	heapPos []int32
+
+	// unsat[t] counts the unsatisfied enabling conditions of unguarded
+	// single-server transition t (inputs below weight, inhibitors at or
+	// above weight, capacity bounds exceeded); zero means enabled. It is
+	// maintained incrementally by the compiled threshold conditions as
+	// token counts cross arc weights. Guarded transitions are outside the
+	// scheme: guardEnabled caches their last full evaluation.
+	unsat        []int32
+	guardEnabled []bool
+	// groupLive[g] counts the enabled members of immediate-priority group
+	// g, kept in lockstep with unsat/guardEnabled; liveGroups counts the
+	// groups with at least one enabled member, so "is the marking
+	// tangible?" is a single compare.
+	groupLive  []int32
+	liveGroups int
+
+	// dirty accumulates the places the current event's firings changed and
+	// candTimed the timed transitions whose enabling flipped. Both may
+	// hold duplicates — the statistics sweep skips places whose count
+	// matches the accumulator's held value, and a second syncOne on an
+	// already-reconciled transition is a no-op — so the hot loop appends
+	// without dedup bookkeeping.
+	dirty     []int32
+	candTimed []int32
+	// immScratch is the reusable conflict-set buffer.
+	immScratch []int32
+	// curTimed is the timed transition whose firing started the current
+	// event (-1 during startup), excluded from flip collection because the
+	// timer sync re-checks it unconditionally.
+	curTimed int32
+
+	// Inline per-place time-weighted accumulators, replicating
+	// stats.TimeWeighted's lazy-integration arithmetic operation for
+	// operation so the reported averages are bit-identical to the scalar
+	// engine's: integral += lastV * (now - lastT) exactly when the value
+	// changes.
+	measuring    bool
+	raceAge      bool
+	measureStart float64
+	pstats       []placeStat
+	firings      []uint64
+}
+
+// placeStat holds one place's token-count and non-empty accumulators in a
+// single cache-friendly record.
+type placeStat struct {
+	tokInt, tokT, tokV    float64
+	busyInt, busyT, busyV float64
+}
+
+// newEngine builds a run-ready engine over a compiled net.
+func newEngine(c *Compiled, opt SimOptions) (*engine, error) {
+	if opt.Duration <= 0 {
+		return nil, fmt.Errorf("petri: duration must be positive, got %v", opt.Duration)
+	}
+	if opt.MaxVanishingChain == 0 {
+		opt.MaxVanishingChain = 100000
+	}
+	n := c.net
+	nT := len(n.Transitions)
+	nP := len(n.Places)
+	maxGroup := 0
+	for _, g := range c.groups {
+		if len(g.members) > maxGroup {
+			maxGroup = len(g.members)
+		}
+	}
+	e := &engine{
+		comp:         c,
+		net:          n,
+		opt:          opt,
+		rng:          newEngineRand(opt.Seed),
+		marking:      n.InitialMarking(),
+		fireAt:       make([]float64, nT),
+		remain:       make([]float64, nT),
+		degree:       make([]int, nT),
+		heap:         make([]int32, 0, len(c.timed)),
+		heapPos:      make([]int32, nT),
+		unsat:        make([]int32, nT),
+		guardEnabled: make([]bool, nT),
+		groupLive:    make([]int32, len(c.groups)),
+		dirty:        make([]int32, 0, 4*nP),
+		candTimed:    make([]int32, 0, 4*len(c.timed)),
+		immScratch:   make([]int32, 0, maxGroup),
+		raceAge:      opt.Memory == RaceAge,
+		curTimed:     -1,
+		pstats:       make([]placeStat, nP),
+		firings:      make([]uint64, nT),
+	}
+	for i := range e.fireAt {
+		e.fireAt[i] = math.Inf(1)
+		e.remain[i] = -1
+		e.heapPos[i] = -1
+	}
+	return e, nil
+}
+
+// start resolves immediates enabled in the initial marking and schedules
+// the initial timers, leaving the engine at a tangible marking at time 0.
+func (e *engine) start() error {
+	c := e.comp
+	// Seed the unsatisfied-condition counters from the initial marking;
+	// the compiled conditions are the single source of truth for which
+	// (place, threshold) pairs matter.
+	for p := range e.marking {
+		v := e.marking[p]
+		for _, cd := range c.conds[c.condOff[p]:c.condOff[p+1]] {
+			if cd.unsatisfied(v) {
+				e.unsat[cd.transition()]++
+			}
+		}
+	}
+	// Seed the guarded caches and the per-group enabled counts.
+	for gi := range c.groups {
+		for _, t := range c.groups[gi].members {
+			var en bool
+			if c.guarded[t] {
+				en = c.enabled(e.marking, t)
+				e.guardEnabled[t] = en
+			} else {
+				en = e.unsat[t] == 0
+			}
+			if en {
+				e.groupLive[gi]++
+			}
+		}
+	}
+	for _, n := range e.groupLive {
+		if n > 0 {
+			e.liveGroups++
+		}
+	}
+	if err := e.resolveImmediates(); err != nil {
+		return err
+	}
+	// The initial timer sync visits every timed transition in id order —
+	// one full pass, exactly like the first syncTimers of the scalar
+	// engine, so the RNG draw order is preserved. Flip candidates
+	// collected during the initial vanishing chain are subsumed by it.
+	for _, t := range e.comp.timed {
+		e.syncOne(t)
+	}
+	e.candTimed = e.candTimed[:0]
+	e.clearDirty()
+	return nil
 }
 
 func (e *engine) run() (*SimResult, error) {
 	n := e.net
 	horizon := e.opt.Warmup + e.opt.Duration
-	e.placeAcc = make([]stats.TimeWeighted, len(n.Places))
-	e.busyAcc = make([]stats.TimeWeighted, len(n.Places))
-	e.firings = make([]uint64, len(n.Transitions))
-
-	// Resolve any immediates enabled in the initial marking, then start
-	// the timers.
-	if err := e.resolveImmediates(); err != nil {
+	if err := e.start(); err != nil {
 		return nil, err
 	}
-	e.syncTimers()
 	if e.opt.Warmup == 0 {
 		e.beginMeasurement()
 	}
@@ -177,7 +322,7 @@ func (e *engine) run() (*SimResult, error) {
 			e.beginMeasurement()
 		}
 		e.advanceTo(t)
-		if err := e.fireTimed(TransitionID(id)); err != nil {
+		if err := e.fireTimed(int32(id)); err != nil {
 			return nil, err
 		}
 	}
@@ -199,8 +344,9 @@ func (e *engine) run() (*SimResult, error) {
 		FinalMarking:  e.marking.Clone(),
 	}
 	for i := range n.Places {
-		res.PlaceAvg[i] = e.placeAcc[i].MeanAt(horizon)
-		res.PlaceNonEmpty[i] = e.busyAcc[i].MeanAt(horizon)
+		st := &e.pstats[i]
+		res.PlaceAvg[i] = e.timeAvg(st.tokInt, st.tokT, st.tokV, horizon)
+		res.PlaceNonEmpty[i] = e.timeAvg(st.busyInt, st.busyT, st.busyV, horizon)
 	}
 	for i := range n.Transitions {
 		res.Throughput[i] = float64(e.firings[i]) / e.opt.Duration
@@ -210,14 +356,27 @@ func (e *engine) run() (*SimResult, error) {
 
 func (e *engine) beginMeasurement() {
 	e.measuring = true
+	e.measureStart = e.now
 	for i, v := range e.marking {
-		e.placeAcc[i].Start(e.now, float64(v))
-		e.busyAcc[i].Start(e.now, boolTo01(v > 0))
+		e.pstats[i] = placeStat{
+			tokT: e.now, tokV: float64(v),
+			busyT: e.now, busyV: boolTo01(v > 0),
+		}
 	}
 	// Reset firing counters: only measured-period firings count.
 	for i := range e.firings {
 		e.firings[i] = 0
 	}
+}
+
+// timeAvg finalizes one accumulator at the horizon, mirroring
+// stats.TimeWeighted.MeanAt (integrate the held value to the horizon,
+// divide by the measured span).
+func (e *engine) timeAvg(integral, lastT, lastV, h float64) float64 {
+	if h > lastT {
+		integral += lastV * (h - lastT)
+	}
+	return integral / (h - e.measureStart)
 }
 
 func boolTo01(b bool) float64 {
@@ -227,7 +386,7 @@ func boolTo01(b bool) float64 {
 	return 0
 }
 
-// advanceTo moves the clock to t, integrating statistics.
+// advanceTo moves the clock to t.
 func (e *engine) advanceTo(t float64) {
 	if t < e.now {
 		panic(fmt.Sprintf("petri: clock moved backwards %v -> %v", e.now, t))
@@ -235,15 +394,97 @@ func (e *engine) advanceTo(t float64) {
 	e.now = t
 }
 
-// recordMarking pushes the current marking into the accumulators at the
-// current time. Must be called after every tangible marking change.
-func (e *engine) recordMarking() {
-	if !e.measuring {
+// clearDirty resets the touched-place set after a timer sync.
+func (e *engine) clearDirty() {
+	e.dirty = e.dirty[:0]
+}
+
+// fireAndUpdate fires transition t (which must be enabled) by applying its
+// compiled net deltas, and propagates each place change through that
+// place's threshold conditions: unsatisfied-condition counters move by one
+// exactly when the count crosses an arc weight, immediate enabled counts
+// (groupLive) track counter flips, and single-server timed transitions
+// whose enabling flipped are collected as candidates for the end-of-chain
+// timer sync. Self-loops have no net delta and cost nothing; nothing here
+// scans a transition's arcs to re-derive enabling.
+func (e *engine) fireAndUpdate(t int32) {
+	c := e.comp
+	marking := e.marking
+	unsat := e.unsat
+	prog := c.progs[c.progOff[t]:c.progOff[t+1]]
+	for i := 0; i < len(prog); {
+		h := prog[i]
+		i++
+		p := int32(h & 0x7fffffff)
+		end := i + int(uint16(h>>32))
+		v0 := marking[p]
+		v1 := v0 + int(int16(uint16(h>>48)))
+		marking[p] = v1
+		e.dirty = append(e.dirty, p)
+		for ; i < end; i++ {
+			cd := cond(prog[i])
+			// Satisfaction flips exactly when (count < thresh) changes,
+			// whichever form the condition has.
+			thresh := cd.thresh()
+			l1 := v1 < thresh
+			if (v0 < thresh) == l1 {
+				continue
+			}
+			tt := cd.transition()
+			if l1 != cd.geq() { // became unsatisfied
+				if unsat[tt] == 0 { // enabled -> disabled flip
+					e.noteFlip(tt, cd.timed(), false)
+				}
+				unsat[tt]++
+			} else {
+				unsat[tt]--
+				if unsat[tt] == 0 { // disabled -> enabled flip
+					e.noteFlip(tt, cd.timed(), true)
+				}
+			}
+		}
+	}
+	// Guards may read any place: re-evaluate guarded immediates after any
+	// marking change. (The list is empty for guard-free nets.)
+	if len(c.guardedImms) > 0 && len(prog) > 0 {
+		for _, i := range c.guardedImms {
+			en := c.enabled(marking, i)
+			if en != e.guardEnabled[i] {
+				e.guardEnabled[i] = en
+				e.bumpGroup(c.groupOf[i], en)
+			}
+		}
+	}
+}
+
+// noteFlip reacts to an enabling flip of an unguarded single-server
+// transition: immediates adjust their priority group's enabled count,
+// timed transitions become candidates for the end-of-chain timer sync.
+// Flips of the timed transition that started the current event are
+// dropped: syncDirtyTimers always re-checks it explicitly.
+func (e *engine) noteFlip(t int32, timed, enabled bool) {
+	if timed {
+		if t != e.curTimed {
+			e.candTimed = append(e.candTimed, t)
+		}
 		return
 	}
-	for i, v := range e.marking {
-		e.placeAcc[i].Set(e.now, float64(v))
-		e.busyAcc[i].Set(e.now, boolTo01(v > 0))
+	e.bumpGroup(e.comp.groupOf[t], enabled)
+}
+
+// bumpGroup adjusts a priority group's enabled-member count and the count
+// of live groups.
+func (e *engine) bumpGroup(g int32, enabled bool) {
+	if enabled {
+		if e.groupLive[g] == 0 {
+			e.liveGroups++
+		}
+		e.groupLive[g]++
+	} else {
+		e.groupLive[g]--
+		if e.groupLive[g] == 0 {
+			e.liveGroups--
+		}
 	}
 }
 
@@ -251,26 +492,29 @@ func (e *engine) recordMarking() {
 // ties by transition index (deterministic). id is -1 when nothing is
 // scheduled.
 func (e *engine) nextTimed() (float64, int) {
-	best := math.Inf(1)
-	id := -1
-	for i, t := range e.fireAt {
-		if t < best {
-			best = t
-			id = i
-		}
+	if len(e.heap) == 0 {
+		return math.Inf(1), -1
 	}
-	return best, id
+	t := e.heap[0]
+	return e.fireAt[t], int(t)
 }
 
 // fireTimed fires the scheduled timed transition, resolves the resulting
-// vanishing markings and re-synchronizes all timers.
-func (e *engine) fireTimed(t TransitionID) error {
+// vanishing markings and re-synchronizes the timers adjacent to the touched
+// places.
+func (e *engine) fireTimed(t int32) error {
+	e.curTimed = t
+	e.unschedule(t)
 	e.fireAt[t] = math.Inf(1)
 	e.remain[t] = -1
-	if !e.net.Enabled(e.marking, t) {
+	enabled := e.unsat[t] == 0
+	if e.comp.special[t] {
+		enabled = e.comp.enabled(e.marking, t)
+	}
+	if !enabled {
 		return fmt.Errorf("petri: internal error: scheduled transition %q not enabled at fire time", e.net.Transitions[t].Name)
 	}
-	e.net.Fire(e.marking, t)
+	e.fireAndUpdate(t)
 	if e.measuring {
 		e.firings[t]++
 	}
@@ -278,94 +522,195 @@ func (e *engine) fireTimed(t TransitionID) error {
 		return err
 	}
 	e.recordMarking()
-	e.syncTimers()
+	e.syncDirtyTimers(t)
+	e.clearDirty()
 	return nil
+}
+
+// recordMarking pushes the changed places' token counts into the
+// accumulators at the current time. Untouched places cannot have changed,
+// touched places that returned to their pre-event count are skipped by the
+// preVal comparison, and TimeWeighted.Set defers integration across
+// unchanged values — so restricting the sweep to the genuinely changed
+// places yields bit-identical averages to a full rescan.
+func (e *engine) recordMarking() {
+	if !e.measuring {
+		return
+	}
+	now := e.now
+	marking := e.marking
+	pstats := e.pstats
+	for _, p := range e.dirty {
+		st := &pstats[p]
+		fv := float64(marking[p])
+		// The accumulator holds the value since its last change — the
+		// pre-event value — so this one comparison filters both places
+		// whose count ended up unchanged and duplicate dirty entries.
+		if fv == st.tokV {
+			continue
+		}
+		st.tokInt += st.tokV * (now - st.tokT)
+		st.tokT, st.tokV = now, fv
+		b := boolTo01(fv > 0)
+		if b != st.busyV {
+			st.busyInt += st.busyV * (now - st.busyT)
+			st.busyT, st.busyV = now, b
+		}
+	}
 }
 
 // resolveImmediates fires enabled immediate transitions (highest priority
 // first, weighted random choice within a priority level) until the marking
-// is tangible. The chain happens in zero simulated time.
+// is tangible. The chain happens in zero simulated time. The enabled set
+// is maintained incrementally (unsat counters, guardEnabled, and the
+// groupLive/liveGroups tallies), so each step costs the priority-group
+// scan plus the re-checks adjacent to the fired transition — and no
+// allocation.
 func (e *engine) resolveImmediates() error {
-	for steps := 0; ; steps++ {
-		ids := e.net.EnabledImmediatesAtTopPriority(e.marking)
-		if len(ids) == 0 {
-			return nil
+	for steps := 0; e.liveGroups > 0; steps++ {
+		gi := 0
+		for e.groupLive[gi] == 0 {
+			gi++
 		}
 		if steps >= e.opt.MaxVanishingChain {
 			return fmt.Errorf("petri: immediate-transition livelock after %d zero-time firings (marking %v)", steps, e.marking)
 		}
-		var chosen TransitionID
-		if len(ids) == 1 {
-			chosen = ids[0]
+		group := &e.comp.groups[gi]
+		var chosen int32
+		if len(group.members) == 1 {
+			// Singleton priority level: the live count says its only
+			// member is enabled; no conflict, no draw.
+			chosen = group.members[0]
 		} else {
-			total := 0.0
-			for _, id := range ids {
-				total += e.net.Transitions[id].Weight
+			ids := e.immScratch[:0]
+			for _, t := range group.members {
+				var en bool
+				if e.comp.guarded[t] {
+					en = e.guardEnabled[t]
+				} else {
+					en = e.unsat[t] == 0
+				}
+				if en {
+					ids = append(ids, t)
+				}
 			}
-			u := e.rng.Float64() * total
-			chosen = ids[len(ids)-1]
-			for _, id := range ids {
-				u -= e.net.Transitions[id].Weight
-				if u < 0 {
-					chosen = id
-					break
+			if len(ids) == 0 {
+				panic("petri: internal error: live priority group has no enabled members")
+			}
+			chosen = ids[0]
+			if len(ids) > 1 {
+				total := 0.0
+				for _, id := range ids {
+					total += e.net.Transitions[id].Weight
+				}
+				u := e.rng.Float64() * total
+				chosen = ids[len(ids)-1]
+				for _, id := range ids {
+					u -= e.net.Transitions[id].Weight
+					if u < 0 {
+						chosen = id
+						break
+					}
 				}
 			}
 		}
-		e.net.Fire(e.marking, chosen)
+		e.fireAndUpdate(chosen)
 		if e.measuring {
 			e.firings[chosen]++
 		}
 	}
+	return nil
 }
 
-// syncTimers reconciles the scheduled timed transitions with the current
-// marking under the configured memory policy. Multi-server exponential
-// transitions resample whenever their enabling degree changes, which is
-// statistically exact by memorylessness.
-func (e *engine) syncTimers() {
-	for i := range e.net.Transitions {
-		tr := &e.net.Transitions[i]
-		if tr.Kind != Timed {
-			continue
+// syncDirtyTimers reconciles the timed transitions whose schedule may need
+// to change with the current marking, in ascending id order — the same
+// order a full syncTimers scan would visit them, so delay samples are
+// drawn from the RNG identically. The candidate set is: single-server
+// transitions whose enabling flipped during the firing chain (collected by
+// fireAndUpdate), the guarded/multi-server specials (re-derived every
+// event, exactly like the scalar engine's full scan), and the fired
+// transition itself (it must be rescheduled if still enabled, even when it
+// has no arcs).
+//
+// A single-server timed transition whose enabling never flipped kept both
+// its enabling status and (trivially) its degree, and after every sync
+// enabled ⇔ scheduled holds, so skipping it can neither miss a state
+// change nor a resample.
+func (e *engine) syncDirtyTimers(fired int32) {
+	cand := append(e.candTimed, e.comp.specialTimed...)
+	cand = append(cand, fired)
+	// Insertion sort: the candidate set is tiny (flips, specials, fired).
+	// Duplicates are harmless — the first syncOne reconciles the
+	// transition and a repeat visit hits a no-op case.
+	for i := 1; i < len(cand); i++ {
+		for j := i; j > 0 && cand[j] < cand[j-1]; j-- {
+			cand[j], cand[j-1] = cand[j-1], cand[j]
 		}
-		multi := tr.Servers != 0 && tr.Servers != 1
-		deg := 1
-		var enabled bool
-		if multi {
-			deg = e.net.EnablingDegree(e.marking, TransitionID(i))
-			enabled = deg > 0
-		} else {
-			enabled = e.net.Enabled(e.marking, TransitionID(i))
+	}
+	for _, t := range cand {
+		e.syncOne(t)
+	}
+	e.candTimed = cand[:0]
+}
+
+// syncOne applies the memory-policy schedule reconciliation to one timed
+// transition — the per-transition body of the scalar engine's syncTimers.
+// Multi-server exponential transitions resample whenever their enabling
+// degree changes, which is statistically exact by memorylessness.
+func (e *engine) syncOne(t int32) {
+	deg := 1
+	var enabled, multi bool
+	if !e.comp.special[t] {
+		enabled = e.unsat[t] == 0
+	} else if multi = e.comp.multi[t]; multi {
+		deg = e.comp.enablingDegree(e.marking, t)
+		enabled = deg > 0
+	} else {
+		enabled = e.comp.enabled(e.marking, t)
+	}
+	scheduled := e.heapPos[t] >= 0
+	switch {
+	case enabled && !scheduled:
+		e.fireAt[t] = e.now + e.sampleDelay(t, deg)
+		e.degree[t] = deg
+		e.schedule(t)
+	case enabled && scheduled && multi && deg != e.degree[t]:
+		e.fireAt[t] = e.now + e.sampleDelay(t, deg)
+		e.degree[t] = deg
+		e.reschedule(t)
+	case !enabled && scheduled:
+		if e.raceAge && !multi {
+			e.remain[t] = e.fireAt[t] - e.now
 		}
-		scheduled := !math.IsInf(e.fireAt[i], 1)
-		switch {
-		case enabled && !scheduled:
-			e.fireAt[i] = e.now + e.sampleDelay(tr, deg, i)
-			e.degree[i] = deg
-		case enabled && scheduled && multi && deg != e.degree[i]:
-			e.fireAt[i] = e.now + e.sampleDelay(tr, deg, i)
-			e.degree[i] = deg
-		case !enabled && scheduled:
-			if e.opt.Memory == RaceAge && !multi {
-				e.remain[i] = e.fireAt[i] - e.now
-			}
-			e.fireAt[i] = math.Inf(1)
-		}
+		e.fireAt[t] = math.Inf(1)
+		e.unschedule(t)
 	}
 }
 
-// sampleDelay draws the firing delay of transition tr at the given enabling
-// degree, honoring race-age resumption for single-server transitions.
-func (e *engine) sampleDelay(tr *Transition, deg int, idx int) float64 {
-	if e.opt.Memory == RaceAge && e.remain[idx] >= 0 && (tr.Servers == 0 || tr.Servers == 1) {
-		d := e.remain[idx]
-		e.remain[idx] = -1
+// sampleDelay draws the firing delay of transition t at the given enabling
+// degree, honoring race-age resumption for single-server transitions. The
+// compiled exponential/deterministic fast paths evaluate the exact
+// expression the distribution's Sample method would, so the draw sequence
+// is unchanged.
+func (e *engine) sampleDelay(t int32, deg int) float64 {
+	c := e.comp
+	if e.raceAge && e.remain[t] >= 0 && !c.multi[t] {
+		d := e.remain[t]
+		e.remain[t] = -1
 		return d
 	}
-	delay := tr.Delay.Sample(e.rng)
-	if delay < 0 || math.IsNaN(delay) {
-		panic(fmt.Sprintf("petri: transition %q sampled invalid delay %v", tr.Name, delay))
+	var delay float64
+	switch c.delayKind[t] {
+	case delayKindExp:
+		delay = e.rng.ExpFloat64() / c.delayParam[t]
+	case delayKindDet:
+		delay = c.delayParam[t]
+	default:
+		tr := &e.net.Transitions[t]
+		delay = tr.Delay.Sample(e.rng)
+		if delay < 0 || math.IsNaN(delay) {
+			panic(fmt.Sprintf("petri: transition %q sampled invalid delay %v", tr.Name, delay))
+		}
 	}
 	if deg > 1 {
 		// Exponential with rate scaled by the degree: dividing a rate-r
@@ -373,6 +718,94 @@ func (e *engine) sampleDelay(tr *Transition, deg int, idx int) float64 {
 		delay /= float64(deg)
 	}
 	return delay
+}
+
+// ---------------------------------------------------------------------------
+// Scheduled-transition min-heap
+
+// heapLess orders heap entries by (fireAt, id); the id tie-break makes the
+// pop order identical to a lowest-index-first linear scan.
+func (e *engine) heapLess(a, b int32) bool {
+	ta, tb := e.fireAt[a], e.fireAt[b]
+	return ta < tb || (ta == tb && a < b)
+}
+
+func (e *engine) heapSwap(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.heapPos[e.heap[i]] = int32(i)
+	e.heapPos[e.heap[j]] = int32(j)
+}
+
+// siftUp restores the heap property upward from i; it reports whether any
+// swap happened (so reschedule knows to try sifting down instead).
+func (e *engine) siftUp(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.heapLess(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heapSwap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (e *engine) siftDown(i int) {
+	n := len(e.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		smallest := l
+		if r := l + 1; r < n && e.heapLess(e.heap[r], e.heap[l]) {
+			smallest = r
+		}
+		if !e.heapLess(e.heap[smallest], e.heap[i]) {
+			return
+		}
+		e.heapSwap(i, smallest)
+		i = smallest
+	}
+}
+
+// schedule inserts unscheduled transition t into the heap.
+func (e *engine) schedule(t int32) {
+	i := len(e.heap)
+	e.heap = append(e.heap, t)
+	e.heapPos[t] = int32(i)
+	e.siftUp(i)
+}
+
+// reschedule restores heap order after t's fireAt changed in place.
+func (e *engine) reschedule(t int32) {
+	i := int(e.heapPos[t])
+	if !e.siftUp(i) {
+		e.siftDown(i)
+	}
+}
+
+// unschedule removes t from the heap if present.
+func (e *engine) unschedule(t int32) {
+	i := int(e.heapPos[t])
+	if i < 0 {
+		return
+	}
+	e.heapPos[t] = -1
+	last := len(e.heap) - 1
+	if i != last {
+		moved := e.heap[last]
+		e.heap[i] = moved
+		e.heapPos[moved] = int32(i)
+		e.heap = e.heap[:last]
+		if !e.siftUp(i) {
+			e.siftDown(i)
+		}
+	} else {
+		e.heap = e.heap[:last]
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -404,22 +837,37 @@ func (r *ReplicatedResult) MeanTokens(n *Net, name string) (mean, ci float64) {
 }
 
 // SimulateReplications runs reps independent replications, deriving each
-// replication's random stream from (opt.Seed, replication index).
-// Replications execute in parallel across the available CPUs; because each
-// replication's seed depends only on its index and results are folded in
-// index order, the aggregate is bit-identical to a sequential run. The net
-// itself is never mutated by simulation, so sharing it between goroutines
-// is safe as long as any guard functions are pure.
+// replication's random stream from (opt.Seed, replication index). The net
+// is compiled once and shared by all replications; see
+// Compiled.SimulateReplications.
 func SimulateReplications(n *Net, opt SimOptions, reps int) (*ReplicatedResult, error) {
 	if reps < 1 {
 		return nil, fmt.Errorf("petri: replications must be >= 1, got %d", reps)
 	}
+	c, err := Compile(n)
+	if err != nil {
+		return nil, err
+	}
+	return c.SimulateReplications(opt, reps)
+}
+
+// SimulateReplications runs reps independent replications of the compiled
+// net. Replications execute in parallel across the available CPUs; because
+// each replication's seed depends only on its index and results are folded
+// in index order, the aggregate is bit-identical to a sequential run. The
+// compiled net is never mutated by simulation, so sharing it between
+// goroutines is safe as long as any guard functions are pure.
+func (c *Compiled) SimulateReplications(opt SimOptions, reps int) (*ReplicatedResult, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("petri: replications must be >= 1, got %d", reps)
+	}
+	n := c.net
 	results := make([]*SimResult, reps)
 	errs := make([]error, reps)
-	parallelFor(reps, func(rep int) {
+	xsync.ParallelFor(reps, func(rep int) {
 		o := opt
 		o.Seed = opt.Seed + uint64(rep)*0x9e3779b97f4a7c15
-		results[rep], errs[rep] = Simulate(n, o)
+		results[rep], errs[rep] = c.Simulate(o)
 	})
 	out := &ReplicatedResult{
 		Replications:  reps,
@@ -444,36 +892,4 @@ func SimulateReplications(n *Net, opt SimOptions, reps int) (*ReplicatedResult, 
 		}
 	}
 	return out, nil
-}
-
-// parallelFor runs body(0..n-1) across min(n, GOMAXPROCS) goroutines and
-// waits for completion. Iteration order is unspecified; callers must write
-// into index-addressed slots to stay deterministic.
-func parallelFor(n int, body func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			body(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				body(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 }

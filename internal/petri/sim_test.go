@@ -4,7 +4,6 @@ import (
 	"math"
 	"runtime"
 	"strings"
-	"sync/atomic"
 	"testing"
 )
 
@@ -379,36 +378,6 @@ func TestParallelReplicationsMatchSequential(t *testing.T) {
 			parallel.PlaceAvg[i].Var() != sequential.PlaceAvg[i].Var() {
 			t.Fatalf("place %d: parallel and sequential aggregates differ", i)
 		}
-	}
-}
-
-func TestParallelForCoversAllIndices(t *testing.T) {
-	const n = 1000
-	hits := make([]int32, n)
-	var total int64
-	parallelFor(n, func(i int) {
-		atomic.AddInt32(&hits[i], 1)
-		atomic.AddInt64(&total, 1)
-	})
-	if total != n {
-		t.Fatalf("body ran %d times, want %d", total, n)
-	}
-	for i, h := range hits {
-		if h != 1 {
-			t.Fatalf("index %d ran %d times", i, h)
-		}
-	}
-}
-
-func TestParallelForZeroAndOne(t *testing.T) {
-	ran := 0
-	parallelFor(0, func(int) { ran++ })
-	if ran != 0 {
-		t.Fatal("parallelFor(0) ran the body")
-	}
-	parallelFor(1, func(int) { ran++ })
-	if ran != 1 {
-		t.Fatalf("parallelFor(1) ran %d times", ran)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/stats"
+	"repro/internal/xsync"
 )
 
 // TransientOptions configures transient (time-dependent) analysis by
@@ -58,11 +59,20 @@ func (r *TransientResult) MeanAt(n *Net, name string, t float64) float64 {
 // SimulateTransient estimates E[tokens(p, t)] on a regular grid by running
 // independent replications and sampling each trajectory at the grid
 // points. Unlike Simulate, which time-averages one long run, this captures
-// the transient approach to steady state from the initial marking.
+// the transient approach to steady state from the initial marking. The net
+// is compiled once and shared by all replications.
 func SimulateTransient(n *Net, opt TransientOptions) (*TransientResult, error) {
-	if err := n.Validate(); err != nil {
+	c, err := Compile(n)
+	if err != nil {
 		return nil, err
 	}
+	return c.SimulateTransient(opt)
+}
+
+// SimulateTransient is transient analysis of a compiled net; see the
+// package-level SimulateTransient.
+func (c *Compiled) SimulateTransient(opt TransientOptions) (*TransientResult, error) {
+	n := c.net
 	if opt.Horizon <= 0 {
 		return nil, fmt.Errorf("petri: TransientOptions.Horizon must be positive, got %v", opt.Horizon)
 	}
@@ -84,8 +94,8 @@ func SimulateTransient(n *Net, opt TransientOptions) (*TransientResult, error) {
 	// the estimate is independent of scheduling.
 	trajectories := make([][][]int, opt.Replications)
 	errs := make([]error, opt.Replications)
-	parallelFor(opt.Replications, func(rep int) {
-		trajectories[rep], errs[rep] = sampleTrajectory(n, SimOptions{
+	xsync.ParallelFor(opt.Replications, func(rep int) {
+		trajectories[rep], errs[rep] = sampleTrajectory(c, SimOptions{
 			Seed:              opt.Seed + uint64(rep)*0x9e3779b97f4a7c15,
 			Duration:          opt.Horizon,
 			Memory:            opt.Memory,
@@ -127,15 +137,14 @@ func SimulateTransient(n *Net, opt TransientOptions) (*TransientResult, error) {
 // point with the right-continuous (cadlag) convention: a grid point that
 // coincides exactly with an event time records the post-event marking; at
 // t=0 the post-vanishing initial marking is used.
-func sampleTrajectory(n *Net, opt SimOptions, step float64, nGrid int) ([][]int, error) {
-	e, err := newEngine(n, opt)
+func sampleTrajectory(c *Compiled, opt SimOptions, step float64, nGrid int) ([][]int, error) {
+	e, err := newEngine(c, opt)
 	if err != nil {
 		return nil, err
 	}
-	if err := e.resolveImmediates(); err != nil {
+	if err := e.start(); err != nil {
 		return nil, err
 	}
-	e.syncTimers()
 	samples := make([][]int, nGrid)
 	next := 0
 	record := func(upTo float64) {
@@ -156,7 +165,7 @@ func sampleTrajectory(n *Net, opt SimOptions, step float64, nGrid int) ([][]int,
 			break
 		}
 		e.advanceTo(t)
-		if err := e.fireTimed(TransitionID(id)); err != nil {
+		if err := e.fireTimed(int32(id)); err != nil {
 			return nil, err
 		}
 	}
@@ -166,32 +175,4 @@ func sampleTrajectory(n *Net, opt SimOptions, step float64, nGrid int) ([][]int,
 		next++
 	}
 	return samples, nil
-}
-
-// newEngine builds a bare engine for trajectory sampling (no time-averaged
-// statistics).
-func newEngine(n *Net, opt SimOptions) (*engine, error) {
-	if opt.MaxVanishingChain == 0 {
-		opt.MaxVanishingChain = 100000
-	}
-	if opt.Duration <= 0 {
-		return nil, fmt.Errorf("petri: duration must be positive, got %v", opt.Duration)
-	}
-	e := &engine{
-		net:     n,
-		opt:     opt,
-		rng:     newEngineRand(opt.Seed),
-		marking: n.InitialMarking(),
-		fireAt:  make([]float64, len(n.Transitions)),
-		remain:  make([]float64, len(n.Transitions)),
-		degree:  make([]int, len(n.Transitions)),
-	}
-	e.placeAcc = make([]stats.TimeWeighted, len(n.Places))
-	e.busyAcc = make([]stats.TimeWeighted, len(n.Places))
-	e.firings = make([]uint64, len(n.Transitions))
-	for i := range e.fireAt {
-		e.fireAt[i] = math.Inf(1)
-		e.remain[i] = -1
-	}
-	return e, nil
 }

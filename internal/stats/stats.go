@@ -138,6 +138,13 @@ func (w *TimeWeighted) Start(t, v float64) {
 
 // Set records that the signal changed to value v at time t. Time must be
 // non-decreasing; the value held since the previous event is integrated.
+//
+// Setting the value it already holds is a no-op: integration of a constant
+// stretch is deferred until the value actually changes (or until
+// Integral/MeanAt is queried). This keeps the accumulator arithmetic — and
+// therefore the reported time-average, bit for bit — independent of how
+// often a caller re-asserts an unchanged value, which is what allows the
+// Petri-net engine to update only the places an event touched.
 func (w *TimeWeighted) Set(t, v float64) {
 	if !w.started {
 		w.Start(t, v)
@@ -145,6 +152,9 @@ func (w *TimeWeighted) Set(t, v float64) {
 	}
 	if t < w.lastT {
 		panic(fmt.Sprintf("stats: time went backwards: %v < %v", t, w.lastT))
+	}
+	if v == w.lastV {
+		return
 	}
 	w.integral += w.lastV * (t - w.lastT)
 	w.lastT, w.lastV = t, v

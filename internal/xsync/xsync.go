@@ -1,0 +1,45 @@
+// Package xsync provides small shared concurrency helpers used by the
+// simulation engines. It exists so the deterministic fan-out idiom — spawn
+// min(n, GOMAXPROCS) workers, feed them indices, write results into
+// index-addressed slots — lives in one place instead of being copied into
+// every package that parallelizes replications.
+package xsync
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelFor runs body(0), ..., body(n-1) across min(n, GOMAXPROCS)
+// goroutines and waits for completion. Iteration order is unspecified;
+// callers must write into index-addressed slots (results[i] = ...) to stay
+// deterministic. For n <= 1 or a single worker the loop runs inline on the
+// calling goroutine.
+func ParallelFor(n int, body func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				body(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

