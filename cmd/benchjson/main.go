@@ -8,13 +8,31 @@
 // Lines that are not benchmark results (headers, PASS/ok trailers) are
 // ignored. When a benchmark appears several times (-count > 1), every run
 // is kept; consumers aggregate as they see fit.
+//
+// With -compare, benchjson additionally gates the parsed results against a
+// committed snapshot and exits non-zero on regression, which is how CI
+// keeps the engine's perf trajectory monotone:
+//
+//	go test -run '^$' -bench ... -count=3 . | benchjson \
+//	    -compare BENCH_PR3.json -threshold 0.25 \
+//	    -match 'BenchmarkPetriEngineCPU$|BenchmarkRunBatch' > BENCH_NEW.json
+//
+// Comparison aggregates repeated runs by their minimum ns/op (the standard
+// noise floor), strips the -GOMAXPROCS name suffix so snapshots transfer
+// between machines with different core counts, and fails if any gated
+// benchmark got more than threshold slower — or vanished from the new run,
+// so a rename cannot silently disable the gate.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -37,9 +55,10 @@ type Document struct {
 	Results []Result          `json:"results"`
 }
 
-func main() {
+// parseBench reads `go test -bench` text and collects benchmark results.
+func parseBench(r io.Reader) (Document, error) {
 	doc := Document{Context: map[string]string{}, Results: []Result{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	pkg := ""
 	for sc.Scan() {
@@ -92,6 +111,82 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
+		return doc, err
+	}
+	return doc, nil
+}
+
+// gomaxprocsSuffix matches the "-8" parallelism suffix `go test` appends to
+// benchmark names; stripping it lets snapshots from machines with
+// different core counts compare.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func normalizeName(name string) string {
+	return gomaxprocsSuffix.ReplaceAllString(name, "")
+}
+
+// bestNs aggregates a document into the minimum ns/op per normalized
+// benchmark name — repeated -count runs collapse to their noise floor.
+func bestNs(doc Document) map[string]float64 {
+	best := map[string]float64{}
+	for _, r := range doc.Results {
+		name := normalizeName(r.Name)
+		if cur, ok := best[name]; !ok || r.NsPerOp < cur {
+			best[name] = r.NsPerOp
+		}
+	}
+	return best
+}
+
+// compareDocs gates fresh against the snapshot: benchmarks whose
+// normalized name matches the pattern fail the gate when their best ns/op
+// regressed by more than threshold (fractional, e.g. 0.25 = 25%), or when
+// they exist in the snapshot but not in the fresh run. The returned report
+// has one line per gated benchmark; failed tells the caller to exit
+// non-zero.
+func compareDocs(snapshot, fresh Document, threshold float64, match *regexp.Regexp) (report []string, failed bool) {
+	oldBest, newBest := bestNs(snapshot), bestNs(fresh)
+	names := make([]string, 0, len(oldBest))
+	for name := range oldBest {
+		if match.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o := oldBest[name]
+		n, ok := newBest[name]
+		if !ok {
+			report = append(report, fmt.Sprintf("FAIL %s: in snapshot (%.0f ns/op) but missing from the new run", name, o))
+			failed = true
+			continue
+		}
+		ratio := n / o
+		verdict := "ok"
+		if n > o*(1+threshold) {
+			verdict = "FAIL"
+			failed = true
+		}
+		report = append(report, fmt.Sprintf("%s %s: %.0f -> %.0f ns/op (%+.1f%%, threshold +%.0f%%)",
+			verdict, name, o, n, (ratio-1)*100, threshold*100))
+	}
+	if len(names) == 0 {
+		report = append(report, fmt.Sprintf("FAIL no benchmark in the snapshot matches %q — nothing gated", match))
+		failed = true
+	}
+	return report, failed
+}
+
+func main() {
+	var (
+		compare   = flag.String("compare", "", "path to a snapshot JSON; gate the new results against it and exit 1 on regression")
+		threshold = flag.Float64("threshold", 0.25, "allowed fractional ns/op regression before the gate fails (with -compare)")
+		match     = flag.String("match", ".", "regexp of (suffix-stripped) benchmark names the gate applies to (with -compare)")
+	)
+	flag.Parse()
+
+	doc, err := parseBench(os.Stdin)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
@@ -99,6 +194,33 @@ func main() {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *compare == "" {
+		return
+	}
+	matchRe, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: -match: %v\n", err)
+		os.Exit(1)
+	}
+	raw, err := os.ReadFile(*compare)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	var old Document
+	if err := json.Unmarshal(raw, &old); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *compare, err)
+		os.Exit(1)
+	}
+	report, failed := compareDocs(old, doc, *threshold, matchRe)
+	for _, line := range report {
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson: benchmark regression vs %s\n", *compare)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: test-cpu
+BenchmarkPetriEngineCPU-8   	     100	    100000 ns/op	      21 B/op	       3 allocs/op
+BenchmarkPetriEngineCPU-8   	     100	     98000 ns/op	      21 B/op	       3 allocs/op
+BenchmarkRunBatchParallel-8 	      10	   5000000 ns/op
+PASS
+ok  	repro	1.0s
+`
+
+func parsed(t *testing.T, text string) Document {
+	t.Helper()
+	doc, err := parseBench(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestParseBench(t *testing.T) {
+	doc := parsed(t, benchText)
+	if len(doc.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(doc.Results))
+	}
+	if doc.Context["cpu"] != "test-cpu" || doc.Context["goos"] != "linux" {
+		t.Fatalf("context not captured: %v", doc.Context)
+	}
+	r := doc.Results[0]
+	if r.Name != "BenchmarkPetriEngineCPU-8" || r.Pkg != "repro" || r.NsPerOp != 100000 {
+		t.Fatalf("first result wrong: %+v", r)
+	}
+	if r.AllocsPerOp == nil || *r.AllocsPerOp != 3 {
+		t.Fatalf("allocs not captured: %+v", r)
+	}
+}
+
+func TestBestNsAggregatesMinAndStripsSuffix(t *testing.T) {
+	best := bestNs(parsed(t, benchText))
+	if got := best["BenchmarkPetriEngineCPU"]; got != 98000 {
+		t.Fatalf("best ns = %v, want the 98000 minimum under the suffix-stripped name", got)
+	}
+	if _, ok := best["BenchmarkPetriEngineCPU-8"]; ok {
+		t.Fatal("suffixed name leaked into the aggregate")
+	}
+}
+
+// gate runs compareDocs with the CI gate's match pattern.
+func gate(t *testing.T, snapshot, fresh string) (report []string, failed bool) {
+	t.Helper()
+	match := regexp.MustCompile(`BenchmarkPetriEngineCPU$|BenchmarkRunBatch`)
+	return compareDocs(parsed(t, snapshot), parsed(t, fresh), 0.25, match)
+}
+
+func TestCompareFailsOnSyntheticRegression(t *testing.T) {
+	// 100000 -> 130000 ns/op is a 30% regression: over the 25% threshold.
+	slower := strings.ReplaceAll(benchText, "    100000 ns/op", "    130000 ns/op")
+	slower = strings.ReplaceAll(slower, "     98000 ns/op", "    130000 ns/op")
+	report, failed := gate(t, benchText, slower)
+	if !failed {
+		t.Fatalf("30%% regression passed the 25%% gate:\n%s", strings.Join(report, "\n"))
+	}
+	joined := strings.Join(report, "\n")
+	if !strings.Contains(joined, "FAIL BenchmarkPetriEngineCPU") {
+		t.Fatalf("report does not name the regressed benchmark:\n%s", joined)
+	}
+}
+
+func TestCompareAllowsRegressionUnderThreshold(t *testing.T) {
+	// 98000 -> 120000 best-of ns/op is ~22%: inside the 25% allowance.
+	slightly := strings.ReplaceAll(benchText, "    100000 ns/op", "    121000 ns/op")
+	slightly = strings.ReplaceAll(slightly, "     98000 ns/op", "    120000 ns/op")
+	if report, failed := gate(t, benchText, slightly); failed {
+		t.Fatalf("22%% regression tripped the 25%% gate:\n%s", strings.Join(report, "\n"))
+	}
+}
+
+func TestComparePassesOnIdenticalAndImprovedRuns(t *testing.T) {
+	if report, failed := gate(t, benchText, benchText); failed {
+		t.Fatalf("identical runs failed the gate:\n%s", strings.Join(report, "\n"))
+	}
+	faster := strings.ReplaceAll(benchText, "   5000000 ns/op", "   2000000 ns/op")
+	if report, failed := gate(t, benchText, faster); failed {
+		t.Fatalf("improvement failed the gate:\n%s", strings.Join(report, "\n"))
+	}
+}
+
+func TestCompareFailsWhenGatedBenchmarkDisappears(t *testing.T) {
+	// Dropping BenchmarkRunBatchParallel must fail: a rename or deleted
+	// benchmark silently disabling the gate is itself a regression.
+	var kept []string
+	for _, line := range strings.Split(benchText, "\n") {
+		if !strings.Contains(line, "RunBatch") {
+			kept = append(kept, line)
+		}
+	}
+	report, failed := gate(t, benchText, strings.Join(kept, "\n"))
+	if !failed {
+		t.Fatal("missing gated benchmark passed the gate")
+	}
+	if !strings.Contains(strings.Join(report, "\n"), "missing from the new run") {
+		t.Fatalf("report does not explain the missing benchmark:\n%s", strings.Join(report, "\n"))
+	}
+}
+
+func TestCompareFailsWhenPatternMatchesNothing(t *testing.T) {
+	match := regexp.MustCompile(`BenchmarkDoesNotExist`)
+	_, failed := compareDocs(parsed(t, benchText), parsed(t, benchText), 0.25, match)
+	if !failed {
+		t.Fatal("empty gate set passed — the gate would be a no-op")
+	}
+}

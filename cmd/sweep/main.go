@@ -2,7 +2,9 @@
 // CPU energy model and emits one CSV row per grid point and estimator —
 // the raw data behind Figures 4/5 and Tables 4/5, suitable for external
 // plotting tools. Grid points are evaluated concurrently by the facade's
-// Runner; Ctrl-C aborts the sweep between points.
+// Runner; Ctrl-C aborts the sweep mid-replication (the cancellation
+// reaches the simulation event loops) while keeping every row already
+// written.
 //
 // Usage:
 //

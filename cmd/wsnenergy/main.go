@@ -44,7 +44,9 @@ func main() {
 	)
 	flag.Parse()
 
-	// Ctrl-C aborts sweeps between points via the Runner's context.
+	// Ctrl-C aborts sweeps mid-replication via the Runner's context: the
+	// cancellation reaches the simulation event loops, not just the
+	// scenario boundaries.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
@@ -116,7 +118,7 @@ func run(ctx context.Context, name string, opt experiments.Options, format strin
 		}
 		return emitTable(t, format)
 	case "erlang":
-		t, err := experiments.ErlangAblation(opt, nil)
+		t, err := experiments.ErlangAblationCtx(ctx, opt, nil)
 		if err != nil {
 			return err
 		}
@@ -128,7 +130,7 @@ func run(ctx context.Context, name string, opt experiments.Options, format strin
 		}
 		return emitTable(t, format)
 	case "workload":
-		t, err := experiments.WorkloadComparison(opt)
+		t, err := experiments.WorkloadComparisonCtx(ctx, opt)
 		if err != nil {
 			return err
 		}
@@ -140,7 +142,7 @@ func run(ctx context.Context, name string, opt experiments.Options, format strin
 		}
 		return emitTable(t, format)
 	case "lifetime":
-		t, err := experiments.Lifetime(opt, nil)
+		t, err := experiments.LifetimeCtx(ctx, opt, nil)
 		if err != nil {
 			return err
 		}

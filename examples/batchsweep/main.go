@@ -45,9 +45,10 @@ func main() {
 		}
 	}
 
-	// A deadline stands in for any external cancellation signal; scenarios
-	// that have not started when it fires are dropped, and the result
-	// channel closes.
+	// A deadline stands in for any external cancellation signal. When it
+	// fires, unstarted scenarios are dropped, in-flight estimators abort
+	// mid-replication (the context reaches the simulation event loops),
+	// and the result channel closes.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 

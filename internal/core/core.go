@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -125,15 +126,86 @@ type Estimate struct {
 	MeanJobs float64
 	// MeanLatency is the mean per-job sojourn time in seconds.
 	MeanLatency float64
+	// Node carries whole-sensor-node outputs for estimators that model
+	// more than the CPU (the sensornode lifetime estimator); zero for the
+	// paper's CPU-only methods. A flat value struct keeps Estimate free of
+	// reference types, which the result cache's copy-on-read safety relies
+	// on.
+	Node NodeMetrics
+}
+
+// NodeMetrics is the node-level slice of an Estimate: average power by
+// subsystem, radio throughput, and battery lifetime.
+type NodeMetrics struct {
+	// CPUAvgMW, RadioAvgMW and TotalAvgMW are average power draws in
+	// milliwatts.
+	CPUAvgMW, RadioAvgMW, TotalAvgMW float64
+	// PacketsPerSecond is the radio transmit throughput.
+	PacketsPerSecond float64
+	// LifetimeSeconds is the battery lifetime at TotalAvgMW.
+	LifetimeSeconds float64
 }
 
 // Estimator computes an Estimate for a Config. Implementations: Simulation,
 // Markov, PetriNet, ErlangMarkov.
+//
+// EstimateContext is the primary entry point: estimators observe the
+// context and abort long simulations mid-replication when it is cancelled.
+// Estimate is the context-free convenience form (equivalent to
+// EstimateContext with context.Background()). Pre-context implementations
+// that only have the old Estimate signature are upgraded with
+// AdaptEstimator.
 type Estimator interface {
 	// Name identifies the method in tables and figures.
 	Name() string
-	// Estimate runs the method.
+	// Estimate runs the method to completion.
 	Estimate(cfg Config) (*Estimate, error)
+	// EstimateContext runs the method under a context; a cancelled context
+	// aborts the run and returns an error wrapping ctx.Err().
+	EstimateContext(ctx context.Context, cfg Config) (*Estimate, error)
+}
+
+// LegacyEstimator is the pre-context estimator contract: Name plus the old
+// Estimate(cfg) signature. AdaptEstimator upgrades one to the full
+// Estimator interface.
+type LegacyEstimator interface {
+	Name() string
+	Estimate(cfg Config) (*Estimate, error)
+}
+
+// adaptedEstimator is the compatibility shim behind AdaptEstimator.
+type adaptedEstimator struct {
+	inner LegacyEstimator
+}
+
+func (a adaptedEstimator) Name() string { return a.inner.Name() }
+
+func (a adaptedEstimator) Estimate(cfg Config) (*Estimate, error) { return a.inner.Estimate(cfg) }
+
+// EstimateContext checks the context once up front and then runs the
+// wrapped estimator to completion: a legacy estimator cannot be interrupted
+// mid-run, but a cancelled batch still skips it before it starts.
+func (a adaptedEstimator) EstimateContext(ctx context.Context, cfg Config) (*Estimate, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return a.inner.Estimate(cfg)
+}
+
+// Unwrap exposes the wrapped estimator, so the result cache can key on the
+// concrete implementation type rather than on the shim.
+func (a adaptedEstimator) Unwrap() LegacyEstimator { return a.inner }
+
+// AdaptEstimator upgrades a pre-context estimator to the Estimator
+// interface. If e already implements Estimator it is returned unchanged;
+// otherwise the returned shim forwards Estimate, and EstimateContext checks
+// the context once before delegating (no mid-run cancellation — implement
+// EstimateContext natively for that).
+func AdaptEstimator(e LegacyEstimator) Estimator {
+	if full, ok := e.(Estimator); ok {
+		return full
+	}
+	return adaptedEstimator{inner: e}
 }
 
 // Methods returns the paper's three estimators in presentation order
@@ -148,15 +220,30 @@ func Methods() []Estimator {
 	return ests
 }
 
-// CompareAll runs every estimator on the same configuration.
+// CompareAll runs every estimator on the same configuration; see
+// CompareAllContext.
 func CompareAll(cfg Config, ests []Estimator) ([]*Estimate, error) {
-	out := make([]*Estimate, 0, len(ests))
-	for _, e := range ests {
-		r, err := e.Estimate(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: estimator %s: %w", e.Name(), err)
-		}
-		out = append(out, r)
+	return CompareAllContext(context.Background(), cfg, ests)
+}
+
+// CompareAllContext runs every estimator on the same configuration through
+// the Runner — the single scenario-evaluation code path — so one-off
+// comparisons share the worker pool, the process-wide result cache, and
+// cancellation with batch sweeps. The configuration's own Seed is used
+// verbatim (no per-scenario seed derivation), preserving the historical
+// CompareAll contract that equal configs reproduce bit-identical results.
+func CompareAllContext(ctx context.Context, cfg Config, ests []Estimator) ([]*Estimate, error) {
+	r, err := NewRunner(
+		WithConfig(cfg),
+		WithEstimators(ests...),
+		WithSeedDerivation(false),
+	)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	res, err := r.Run(ctx, Scenario{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Estimates, nil
 }

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -336,10 +339,37 @@ func TestEstimatorsRejectInvalidConfig(t *testing.T) {
 }
 
 func TestCompareAllPropagatesError(t *testing.T) {
+	// Invalid configurations fail fast at Runner construction, before any
+	// estimator runs.
 	bad := PaperConfig()
 	bad.SimTime = -1
-	if _, err := CompareAll(bad, Methods()); err == nil || !strings.Contains(err.Error(), "Simulation") {
+	if _, err := CompareAll(bad, Methods()); err == nil || !strings.Contains(err.Error(), "SimTime") {
+		t.Fatalf("want config validation error, got %v", err)
+	}
+	// Estimator-level failures keep the estimator's name in the error.
+	failing := AdaptEstimator(failingEstimator{})
+	if _, err := CompareAll(PaperConfig(), []Estimator{failing}); err == nil ||
+		!strings.Contains(err.Error(), "Failing") {
 		t.Fatalf("want wrapped estimator error, got %v", err)
+	}
+}
+
+// failingEstimator always errors; used to pin error propagation.
+type failingEstimator struct{}
+
+func (failingEstimator) Name() string { return "Failing" }
+
+func (failingEstimator) Estimate(cfg Config) (*Estimate, error) {
+	return nil, fmt.Errorf("deliberate failure")
+}
+
+// TestCompareAllObservesCancellation pins the deprecated-shim fix: the
+// one-off comparison path must flow through the context-aware Runner.
+func TestCompareAllObservesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CompareAllContext(ctx, PaperConfig(), Methods()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled CompareAllContext returned %v, want context.Canceled", err)
 	}
 }
 

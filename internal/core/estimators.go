@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -47,7 +48,13 @@ type Simulation struct{}
 func (Simulation) Name() string { return "Simulation" }
 
 // Estimate implements Estimator by running replicated event simulations.
-func (Simulation) Estimate(cfg Config) (*Estimate, error) {
+func (s Simulation) Estimate(cfg Config) (*Estimate, error) {
+	return s.EstimateContext(context.Background(), cfg)
+}
+
+// EstimateContext implements Estimator; a cancelled context aborts the
+// replicated simulations mid-run.
+func (Simulation) EstimateContext(ctx context.Context, cfg Config) (*Estimate, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -61,7 +68,7 @@ func (Simulation) Estimate(cfg Config) (*Estimate, error) {
 		Warmup:   cfg.Warmup,
 		Seed:     cfg.Seed,
 	}
-	rep, err := cpu.RunReplications(base, cfg.Replications)
+	rep, err := cpu.RunReplicationsContext(ctx, base, cfg.Replications)
 	if err != nil {
 		return nil, err
 	}
@@ -89,7 +96,16 @@ func (Markov) Name() string { return "Markov" }
 // Estimate implements Estimator by evaluating the paper's closed forms.
 // Energy follows equation 24 with N = lambda * SimTime jobs, the paper's
 // accounting for the Figure-5 horizon.
-func (Markov) Estimate(cfg Config) (*Estimate, error) {
+func (m Markov) Estimate(cfg Config) (*Estimate, error) {
+	return m.EstimateContext(context.Background(), cfg)
+}
+
+// EstimateContext implements Estimator. The closed forms evaluate in
+// microseconds, so the context is only checked once up front.
+func (Markov) EstimateContext(ctx context.Context, cfg Config) (*Estimate, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -115,13 +131,19 @@ func (PetriNet) Name() string { return "PetriNet" }
 // Estimate implements Estimator by simulating the net and reading the
 // steady-state percentages off the time-averaged token counts (paper §4.2),
 // then applying equation 25.
-func (PetriNet) Estimate(cfg Config) (*Estimate, error) {
+func (p PetriNet) Estimate(cfg Config) (*Estimate, error) {
+	return p.EstimateContext(context.Background(), cfg)
+}
+
+// EstimateContext implements Estimator; a cancelled context aborts the
+// Petri-net replications mid-simulation.
+func (PetriNet) EstimateContext(ctx context.Context, cfg Config) (*Estimate, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	n := BuildCPUNet(cfg)
-	rep, err := petri.SimulateReplications(n, petri.SimOptions{
+	rep, err := petri.SimulateReplicationsContext(ctx, n, petri.SimOptions{
 		Seed:     cfg.Seed + 0x5bf03635,
 		Warmup:   cfg.Warmup,
 		Duration: cfg.SimTime,
@@ -188,6 +210,15 @@ func (e ErlangMarkov) k() int {
 
 // Estimate implements Estimator by solving the phase-expanded CTMC.
 func (e ErlangMarkov) Estimate(cfg Config) (*Estimate, error) {
+	return e.EstimateContext(context.Background(), cfg)
+}
+
+// EstimateContext implements Estimator. The CTMC solve is not interruptible
+// mid-factorization; the context is checked once up front.
+func (e ErlangMarkov) EstimateContext(ctx context.Context, cfg Config) (*Estimate, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/xrand"
 )
@@ -56,6 +57,7 @@ type Runner struct {
 	parallelism int
 	estimators  []Estimator
 	cache       bool
+	deriveSeeds bool
 }
 
 // runnerSettings accumulates option values before the Runner is sealed.
@@ -66,6 +68,7 @@ type runnerSettings struct {
 	parallelism int
 	estimators  []Estimator
 	noCache     bool
+	rawSeeds    bool
 }
 
 // ---------------------------------------------------------------------------
@@ -209,6 +212,22 @@ func WithCache(enabled bool) RunnerOption {
 	}
 }
 
+// WithSeedDerivation enables or disables per-scenario seed derivation
+// (default enabled). With derivation on, every scenario's effective Seed is
+// derived from the Runner's master seed and the scenario's configuration
+// content, so distinct grid points draw independent random streams. With
+// derivation off, scenarios run with their Config.Seed exactly as given —
+// the contract of the fixed-seed experiments (ErlangAblation,
+// WorkloadComparison, Lifetime, CompareAll), where every method must see
+// the same seed for cross-method comparability and results must reproduce
+// the pre-Runner tables bit for bit.
+func WithSeedDerivation(enabled bool) RunnerOption {
+	return func(s *runnerSettings) error {
+		s.rawSeeds = !enabled
+		return nil
+	}
+}
+
 // WithMethods resolves estimators by registered name through the registry,
 // e.g. WithMethods("sim", "markov", "erlang32").
 func WithMethods(specs ...string) RunnerOption {
@@ -248,6 +267,7 @@ func NewRunner(opts ...RunnerOption) (*Runner, error) {
 		parallelism: s.parallelism,
 		estimators:  s.estimators,
 		cache:       !s.noCache,
+		deriveSeeds: !s.rawSeeds,
 	}, nil
 }
 
@@ -298,85 +318,194 @@ func (r *Runner) effectiveConfig(s Scenario) (Config, error) {
 		// ambiguous: refusing beats silently substituting base values.
 		return Config{}, fmt.Errorf("partial scenario config (Lambda unset); copy Runner.BaseConfig() and modify it")
 	}
-	cfg.Seed = r.scenarioSeed(cfg)
+	if r.deriveSeeds {
+		cfg.Seed = r.scenarioSeed(cfg)
+	}
 	return cfg, nil
 }
 
-// runScenario evaluates every estimator on one scenario.
-func (r *Runner) runScenario(i int, s Scenario) Result {
-	res := Result{Index: i, Scenario: s}
-	cfg, err := r.effectiveConfig(s)
-	if err == nil {
-		err = cfg.Validate()
+// estimatorType returns the cache-identity type of an estimator, looking
+// through the AdaptEstimator shim so an adapted estimator shares cache
+// entries with (and only with) its underlying implementation.
+func estimatorType(e Estimator) reflect.Type {
+	if a, ok := e.(interface{ Unwrap() LegacyEstimator }); ok {
+		return reflect.TypeOf(a.Unwrap())
 	}
-	if err != nil {
-		res.Err = fmt.Errorf("core: scenario %d (%s): %w", i, s.Name, err)
-		return res
-	}
-	res.Seed = cfg.Seed
-	ests := make([]*Estimate, len(r.estimators))
-	for ei, e := range r.estimators {
-		key := estimateCacheKey{cfg: cfg, method: e.Name(), typ: reflect.TypeOf(e)}
-		if r.cache {
-			if est, ok := estimateCacheLookup(key); ok {
-				ests[ei] = est
-				continue
-			}
-		}
-		est, err := e.Estimate(cfg)
-		if err != nil {
-			res.Err = fmt.Errorf("core: scenario %d (%s): estimator %s: %w", i, s.Name, e.Name(), err)
-			return res
-		}
-		if r.cache {
-			estimateCacheStore(key, est)
-		}
-		ests[ei] = est
-	}
-	res.Estimates = ests
-	return res
+	return reflect.TypeOf(e)
 }
 
-// RunBatch fans the scenarios out over the worker pool and streams results
-// as they complete, in arbitrary order (Result.Index restores input order).
+// runPair evaluates one (scenario config, estimator) unit of work, through
+// the result cache when enabled. Cancelled or failed runs are never stored,
+// so a mid-replication abort cannot poison the cache.
+func (r *Runner) runPair(ctx context.Context, cfg Config, e Estimator) (*Estimate, error) {
+	key := estimateCacheKey{cfg: cfg, method: e.Name(), typ: estimatorType(e)}
+	if r.cache {
+		if est, ok := estimateCacheLookup(key); ok {
+			return est, nil
+		}
+	}
+	est, err := e.EstimateContext(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if r.cache {
+		estimateCacheStore(key, est)
+	}
+	return est, nil
+}
+
+// scenarioState tracks the in-flight assembly of one scenario's Result
+// while its estimator units run concurrently. Each unit writes its own
+// slot of ests/errs; the atomic pending counter makes the last finisher —
+// which observes all earlier writes — assemble and emit the Result.
+type scenarioState struct {
+	res     Result
+	cfg     Config
+	ests    []*Estimate
+	errs    []error
+	pending atomic.Int32
+	// failed short-circuits the scenario's remaining units after the first
+	// estimator error, matching the sequential runner's skip-the-rest
+	// behaviour without cancelling the whole batch.
+	failed atomic.Bool
+}
+
+// finish assembles the scenario's Result once every unit has reported. On
+// error the lowest-indexed estimator failure is surfaced (the one a
+// sequential run would have hit first) and Estimates is nil.
+func (st *scenarioState) finish() Result {
+	for _, err := range st.errs {
+		if err != nil {
+			st.res.Err = fmt.Errorf("core: scenario %d (%s): %w",
+				st.res.Index, st.res.Scenario.Name, err)
+			return st.res
+		}
+	}
+	st.res.Estimates = st.ests
+	return st.res
+}
+
+// RunBatch fans the batch out over the worker pool and streams results as
+// scenarios complete, in arbitrary order (Result.Index restores input
+// order). The unit of work is one (scenario, estimator) pair, so a single
+// scenario's estimators also run concurrently — a one-scenario,
+// many-estimator comparison saturates the pool just like a sweep does.
+//
 // The returned channel is closed when all scenarios have finished or the
-// context is cancelled; after cancellation, unstarted scenarios are dropped
-// and never emitted. Cancellation is observed between scenarios — an
-// individual estimator run is not interrupted mid-flight.
+// context is cancelled; after cancellation, unstarted work is dropped and
+// incomplete scenarios are never emitted. The context is propagated into
+// every estimator via EstimateContext, so cancellation aborts in-flight
+// simulations mid-replication (between events), not just between scenarios.
 func (r *Runner) RunBatch(ctx context.Context, scenarios []Scenario) (<-chan Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	nE := len(r.estimators)
 	out := make(chan Result)
-	jobs := make(chan int)
+
+	// Materialize every scenario's effective config up front: it is cheap,
+	// deterministic, and lets config errors surface as immediate results
+	// without occupying workers.
+	states := make([]*scenarioState, len(scenarios))
+	for i, s := range scenarios {
+		st := &scenarioState{res: Result{Index: i, Scenario: s}}
+		cfg, err := r.effectiveConfig(s)
+		if err == nil {
+			err = cfg.Validate()
+		}
+		if err != nil {
+			st.res.Err = fmt.Errorf("core: scenario %d (%s): %w", i, s.Name, err)
+		} else {
+			st.cfg = cfg
+			st.res.Seed = cfg.Seed
+			st.ests = make([]*Estimate, nE)
+			st.errs = make([]error, nE)
+			st.pending.Store(int32(nE))
+		}
+		states[i] = st
+	}
+
+	type unit struct{ si, ei int }
+	jobs := make(chan unit)
 	workers := r.parallelism
-	if workers > len(scenarios) {
-		workers = len(scenarios)
+	if max := len(scenarios) * nE; workers > max {
+		workers = max
 	}
 	if workers < 1 {
 		workers = 1
 	}
+	// The WaitGroup covers the workers and the feeder: both send on out
+	// (workers emit completed scenarios, the feeder emits config errors
+	// and fully-cached scenarios), so out may only close after all of
+	// them have returned.
 	var wg sync.WaitGroup
-	wg.Add(workers)
+	wg.Add(workers + 1)
+	emit := func(res Result) {
+		select {
+		case out <- res:
+		case <-ctx.Done():
+		}
+	}
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				select {
-				case out <- r.runScenario(i, scenarios[i]):
-				case <-ctx.Done():
+			for u := range jobs {
+				st := states[u.si]
+				if !st.failed.Load() {
+					e := r.estimators[u.ei]
+					est, err := r.runPair(ctx, st.cfg, e)
+					if err != nil {
+						st.errs[u.ei] = fmt.Errorf("estimator %s: %w", e.Name(), err)
+						st.failed.Store(true)
+					} else {
+						st.ests[u.ei] = est
+					}
+				}
+				if st.pending.Add(-1) == 0 {
+					emit(st.finish())
+				}
+				if ctx.Err() != nil {
 					return
 				}
 			}
 		}()
 	}
 	go func() {
+		defer wg.Done()
 		defer close(jobs)
-		for i := range scenarios {
-			select {
-			case jobs <- i:
-			case <-ctx.Done():
-				return
+		for si, st := range states {
+			if st.res.Err != nil {
+				// Config-level failure: no units to run, emit directly.
+				emit(st.res)
+				continue
+			}
+			if r.cache {
+				// Feed-time prefill: resolve cache hits before dispatching,
+				// so memoized scenarios — the Figure-4/Figure-5 sharing
+				// pattern — complete without a worker round-trip per
+				// estimator. None of the scenario's units have been fed
+				// yet, so the feeder owns its state exclusively here.
+				for ei, e := range r.estimators {
+					key := estimateCacheKey{cfg: st.cfg, method: e.Name(), typ: estimatorType(e)}
+					if est, ok := estimateCacheLookup(key); ok {
+						st.ests[ei] = est
+						st.pending.Add(-1)
+					}
+				}
+				if st.pending.Load() == 0 {
+					emit(st.finish())
+					continue
+				}
+			}
+			for ei := 0; ei < nE; ei++ {
+				if st.ests[ei] != nil {
+					continue // prefilled from the cache
+				}
+				select {
+				case jobs <- unit{si, ei}:
+				case <-ctx.Done():
+					return
+				}
 			}
 		}
 	}()

@@ -7,7 +7,9 @@ import (
 )
 
 // countingEstimator counts Estimate invocations and returns a result
-// derived deterministically from the config.
+// derived deterministically from the config. It deliberately implements
+// only the legacy (context-free) estimator shape, so the cache tests also
+// exercise the AdaptEstimator shim path.
 type countingEstimator struct {
 	calls *atomic.Int64
 }
@@ -24,7 +26,7 @@ func cacheTestRunner(t *testing.T, calls *atomic.Int64, opts ...RunnerOption) *R
 	r, err := NewRunner(append([]RunnerOption{
 		WithConfig(PaperConfig()),
 		WithSeed(77),
-		WithEstimators(countingEstimator{calls: calls}),
+		WithEstimators(AdaptEstimator(countingEstimator{calls: calls})),
 	}, opts...)...)
 	if err != nil {
 		t.Fatal(err)

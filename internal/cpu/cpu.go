@@ -13,6 +13,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -158,14 +159,21 @@ type sim struct {
 
 // Run executes one simulation and returns the measured result.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the event loop polls the
+// context every few hundred dispatched events and a cancelled context
+// aborts the run mid-simulation with ctx.Err().
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return runInternal(cfg, nil)
+	return runInternal(ctx, cfg, nil)
 }
 
 // runInternal is the shared body of Run and RunWithTrace; trace may be nil.
-func runInternal(cfg Config, trace *traceCollector) (*Result, error) {
+func runInternal(ctx context.Context, cfg Config, trace *traceCollector) (*Result, error) {
 	s := &sim{
 		cfg:   cfg,
 		rng:   xrand.NewStream(cfg.Seed, 0),
@@ -188,7 +196,9 @@ func runInternal(cfg Config, trace *traceCollector) (*Result, error) {
 	}
 
 	horizon := cfg.Warmup + cfg.SimTime
-	s.des.RunUntil(horizon)
+	if _, err := s.des.RunUntilContext(ctx, horizon); err != nil {
+		return nil, err
+	}
 	s.integrateTo(horizon)
 	s.queueAcc.Advance(horizon)
 

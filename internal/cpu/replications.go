@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/energy"
@@ -59,6 +60,14 @@ func (r *Replicated) EnergyJoulesCI(p energy.PowerModel, seconds float64) float6
 // replications in index order — exactly the pre-parallel behaviour. Closed
 // workloads carry only immutable distributions and run in parallel.
 func RunReplications(cfg Config, reps int) (*Replicated, error) {
+	return RunReplicationsContext(context.Background(), cfg, reps)
+}
+
+// RunReplicationsContext is RunReplications with cooperative cancellation:
+// every replication polls the context inside its event loop, so a cancelled
+// context aborts the whole set mid-replication (in-flight runs included)
+// and the call returns an error wrapping ctx.Err().
+func RunReplicationsContext(ctx context.Context, cfg Config, reps int) (*Replicated, error) {
 	if reps < 1 {
 		return nil, fmt.Errorf("cpu: replications must be >= 1, got %d", reps)
 	}
@@ -67,13 +76,16 @@ func RunReplications(cfg Config, reps int) (*Replicated, error) {
 	runOne := func(rep int) {
 		c := cfg
 		c.Seed = cfg.Seed + uint64(rep)*0x9e3779b97f4a7c15
-		results[rep], errs[rep] = Run(c)
+		results[rep], errs[rep] = RunContext(ctx, c)
 	}
 	if cfg.Arrivals != nil {
 		// The open-workload Source interface permits stateful
 		// implementations (MMPP phase, trace position), which cannot be
 		// shared across goroutines.
 		for rep := 0; rep < reps; rep++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			runOne(rep)
 		}
 	} else {

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -83,7 +84,7 @@ func RunWithTrace(cfg Config) (*Result, Trace, error) {
 		return nil, nil, err
 	}
 	collector := &traceCollector{}
-	res, err := runInternal(cfg, collector)
+	res, err := runInternal(context.Background(), cfg, collector)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,60 @@
+package des
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRunUntilContextCancelsMidLoop: a cancelled context must stop the
+// dispatch loop within one polling stride and report ctx.Err(), leaving the
+// clock at the last dispatched event instead of the horizon.
+func TestRunUntilContextCancelsMidLoop(t *testing.T) {
+	s := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	// A self-rescheduling event: an infinite supply of work.
+	var tick func()
+	fired := 0
+	tick = func() {
+		fired++
+		if fired == 100 {
+			cancel()
+		}
+		s.ScheduleAfter(1, 0, tick)
+	}
+	s.ScheduleAfter(1, 0, tick)
+	n, err := s.RunUntilContext(ctx, 1e12)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunUntilContext returned %v, want context.Canceled", err)
+	}
+	// The loop polls every ctxCheckStride events: it must stop within one
+	// stride of the cancellation, far short of the 1e12 horizon.
+	if n > 100+2*ctxCheckStride {
+		t.Fatalf("dispatched %d events after cancellation at 100", n)
+	}
+	if s.Now() >= 1e12 {
+		t.Fatalf("clock jumped to the horizon (%v) despite cancellation", s.Now())
+	}
+}
+
+// TestRunUntilContextNilAndUncancelled: a nil context and an uncancelled
+// context must behave exactly like RunUntil.
+func TestRunUntilContextNilAndUncancelled(t *testing.T) {
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		s := New()
+		fired := 0
+		s.ScheduleAfter(1, 0, func() { fired++ })
+		s.ScheduleAfter(2, 0, func() { fired++ })
+		s.ScheduleAfter(99, 0, func() { fired++ }) // beyond horizon
+		n, err := s.RunUntilContext(ctx, 10)
+		if err != nil {
+			t.Fatalf("ctx=%v: %v", ctx, err)
+		}
+		if n != 2 || fired != 2 {
+			t.Fatalf("ctx=%v: dispatched %d (fired %d), want 2", ctx, n, fired)
+		}
+		if s.Now() != 10 {
+			t.Fatalf("ctx=%v: clock = %v, want horizon 10", ctx, s.Now())
+		}
+	}
+}

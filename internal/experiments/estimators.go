@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dist"
+	"repro/internal/energy"
+	"repro/internal/sensornode"
+	"repro/internal/workload"
+)
+
+// This file adapts the extension experiments' row generators to the core
+// Estimator interface, so ErlangAblation, WorkloadComparison and Lifetime
+// evaluate through Runner.RunBatch like the paper sweeps: shared worker
+// pool, context cancellation down to the event loop, and the process-wide
+// (config, method) result cache. Each adapter is a pure function of its
+// Config — every parameter that varies between instances is part of Name()
+// — which is the contract the cache keys on.
+
+// workloadKind selects the arrival process of a workloadEstimator.
+type workloadKind int
+
+const (
+	wlPoisson workloadKind = iota
+	wlPeriodic
+	wlMMPP
+	wlClosed
+)
+
+// workloadEstimator runs the event-driven CPU simulator under a named
+// arrival process derived from the Config: the X-3 comparison's rows. The
+// generator is constructed fresh on every call (MMPP phase and other
+// source state must not leak between runs), so the estimator stays a pure
+// function of the Config.
+type workloadEstimator struct {
+	kind workloadKind
+}
+
+// Name implements core.Estimator; the kind is part of the cache identity.
+func (w workloadEstimator) Name() string {
+	switch w.kind {
+	case wlPoisson:
+		return "Workload(poisson)"
+	case wlPeriodic:
+		return "Workload(periodic)"
+	case wlMMPP:
+		return "Workload(mmpp)"
+	default:
+		return "Workload(closed)"
+	}
+}
+
+// rowLabel renders the X-3 table's row heading for this workload at the
+// given configuration (the MMPP label embeds its effective rate).
+func (w workloadEstimator) rowLabel(cfg core.Config) string {
+	switch w.kind {
+	case wlPoisson:
+		return "open Poisson"
+	case wlPeriodic:
+		return "periodic"
+	case wlMMPP:
+		return fmt.Sprintf("bursty MMPP (rate %.2f)", w.mmpp(cfg).Rate())
+	default:
+		return "closed (N=1, matched rate)"
+	}
+}
+
+// mmpp builds the X-3 bursty source: a two-phase MMPP whose high phase
+// bursts at 5x the nominal rate.
+func (workloadEstimator) mmpp(cfg core.Config) *workload.MMPP2 {
+	return workload.NewMMPP2(cfg.Lambda*5, cfg.Lambda/9, 1, 0.25)
+}
+
+// Estimate implements core.Estimator.
+func (w workloadEstimator) Estimate(cfg core.Config) (*core.Estimate, error) {
+	return w.EstimateContext(context.Background(), cfg)
+}
+
+// EstimateContext implements core.Estimator; cancellation aborts the
+// replicated simulations mid-run.
+func (w workloadEstimator) EstimateContext(ctx context.Context, cfg core.Config) (*core.Estimate, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	reps := cfg.Replications
+	if reps == 0 {
+		reps = 10
+	}
+	c := cpu.Config{
+		Service: dist.ExpMean(1 / cfg.Mu),
+		PDT:     cfg.PDT,
+		PUD:     cfg.PUD,
+		SimTime: cfg.SimTime,
+		Warmup:  cfg.Warmup,
+		Seed:    cfg.Seed,
+	}
+	switch w.kind {
+	case wlPoisson:
+		c.Arrivals = workload.NewPoisson(cfg.Lambda)
+	case wlPeriodic:
+		c.Arrivals = workload.NewPeriodic(1 / cfg.Lambda)
+	case wlMMPP:
+		c.Arrivals = w.mmpp(cfg)
+	case wlClosed:
+		think := 1/cfg.Lambda - 1/cfg.Mu
+		if think <= 0 {
+			return nil, fmt.Errorf("experiments: closed workload needs 1/lambda > 1/mu (got lambda=%g, mu=%g)", cfg.Lambda, cfg.Mu)
+		}
+		c.Closed = &workload.Closed{Customers: 1, Think: dist.ExpMean(think)}
+	}
+	rep, err := cpu.RunReplicationsContext(ctx, c, reps)
+	if err != nil {
+		return nil, err
+	}
+	est := &core.Estimate{
+		Method:      w.Name(),
+		Fractions:   rep.MeanFractions(),
+		EnergyJ:     rep.EnergyJoules(cfg.Power, cfg.SimTime),
+		EnergyCIJ:   rep.EnergyJoulesCI(cfg.Power, cfg.SimTime),
+		MeanJobs:    rep.MeanJobs.Mean(),
+		MeanLatency: rep.MeanLatency.Mean(),
+	}
+	for _, s := range energy.States {
+		est.FractionsCI[s] = rep.FractionCI(s)
+	}
+	return est, nil
+}
+
+// lifetimeEstimator runs the composite CPU+radio sensor-node net and
+// reports node-level power, throughput and battery lifetime through the
+// Estimate's NodeMetrics: the X-5 sweep's row generator. The node
+// parameters (radio, duty cycle, battery) are fixed per instance and baked
+// into Name(), so the cache distinguishes differently equipped nodes; the
+// CPU model comes from the scenario Config.
+type lifetimeEstimator struct {
+	node sensornode.Config
+}
+
+// Name implements core.Estimator; every fixed node parameter participates,
+// keeping the estimator a pure function of (Name, Config).
+func (l lifetimeEstimator) Name() string {
+	n := l.node
+	return fmt.Sprintf("Lifetime(tx=%g,listen=%g/%g,radio=%g/%g/%g,batt=%gmAh@%gV)",
+		n.TxTime, n.ListenPeriod, n.ListenWindow,
+		n.Radio.SleepMW, n.Radio.TxMW, n.Radio.ListenMW,
+		n.Battery.CapacitymAh, n.Battery.Volts)
+}
+
+// Estimate implements core.Estimator.
+func (l lifetimeEstimator) Estimate(cfg core.Config) (*core.Estimate, error) {
+	return l.EstimateContext(context.Background(), cfg)
+}
+
+// EstimateContext implements core.Estimator; cancellation aborts the
+// composite-net replications mid-simulation.
+func (l lifetimeEstimator) EstimateContext(ctx context.Context, cfg core.Config) (*core.Estimate, error) {
+	nc := l.node
+	nc.CPU = cfg
+	res, err := sensornode.EstimateContext(ctx, nc, cfg.Replications)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Estimate{
+		Method:    l.Name(),
+		Fractions: res.CPUFractions,
+		// Total node energy over the measured horizon, by analogy with the
+		// CPU-only estimators' equation-25 accounting.
+		EnergyJ: res.TotalAvgMW * cfg.SimTime / 1000,
+		Node: core.NodeMetrics{
+			CPUAvgMW:         res.CPUAvgMW,
+			RadioAvgMW:       res.RadioAvgMW,
+			TotalAvgMW:       res.TotalAvgMW,
+			PacketsPerSecond: res.PacketsPerSecond,
+			LifetimeSeconds:  res.LifetimeSeconds,
+		},
+	}, nil
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -19,16 +20,42 @@ import (
 // PUD it compares the plain supplementary-variable model and ErlangMarkov
 // with growing K against a high-precision simulation.
 func ErlangAblation(opt Options, ks []int) (*report.Table, error) {
+	return ErlangAblationCtx(context.Background(), opt, ks)
+}
+
+// ErlangAblationCtx is ErlangAblation through Runner.RunBatch: all methods
+// evaluate concurrently on the worker pool against one fixed-seed scenario
+// (seed derivation off, so every method sees the configuration's own seed —
+// the historical cross-method comparability contract), repeated points are
+// answered from the process-wide result cache, and a cancelled context
+// aborts the simulations mid-replication.
+func ErlangAblationCtx(ctx context.Context, opt Options, ks []int) (*report.Table, error) {
 	opt = opt.withDefaults()
 	if len(ks) == 0 {
 		ks = []int{1, 2, 4, 8, 16, 32, 64}
 	}
 	cfg := opt.Base
 	cfg.PUD = opt.PUDs[len(opt.PUDs)-1]
-	ref, err := (core.Simulation{}).Estimate(cfg)
-	if err != nil {
-		return nil, err
+	ests := make([]core.Estimator, 0, len(ks)+3)
+	ests = append(ests, core.Simulation{}, core.Markov{})
+	for _, k := range ks {
+		ests = append(ests, core.ErlangMarkov{K: k})
 	}
+	ests = append(ests, core.PetriNet{})
+	r, err := core.NewRunner(
+		core.WithConfig(cfg),
+		core.WithEstimators(ests...),
+		core.WithParallelism(opt.Parallelism),
+		core.WithSeedDerivation(false),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	res, err := r.Run(ctx, core.Scenario{Name: "erlang-ablation"})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: erlang ablation: %w", err)
+	}
+	ref := res.Estimates[0] // Simulation, the reference
 	t := report.NewTable(
 		fmt.Sprintf("X-1: Erlang-phase ablation at PUD=%g s, PDT=%g s (reference: simulation)", cfg.PUD, cfg.PDT),
 		"Method", "Σ|Δ fraction| vs Sim (pp)", "Energy (J)", "|Δ energy| vs Sim (J)")
@@ -38,23 +65,11 @@ func ErlangAblation(opt Options, ks []int) (*report.Table, error) {
 			report.F(est.EnergyJ, 3),
 			report.F(abs(est.EnergyJ-ref.EnergyJ), 3))
 	}
-	mkv, err := (core.Markov{}).Estimate(cfg)
-	if err != nil {
-		return nil, err
+	add("Markov (supplementary variables)", res.Estimates[1])
+	for i := range ks {
+		add(res.Estimates[2+i].Method, res.Estimates[2+i])
 	}
-	add("Markov (supplementary variables)", mkv)
-	for _, k := range ks {
-		est, err := (core.ErlangMarkov{K: k}).Estimate(cfg)
-		if err != nil {
-			return nil, err
-		}
-		add(est.Method, est)
-	}
-	pn, err := (core.PetriNet{}).Estimate(cfg)
-	if err != nil {
-		return nil, err
-	}
-	add("PetriNet (DSPN simulation)", pn)
+	add("PetriNet (DSPN simulation)", res.Estimates[len(res.Estimates)-1])
 	return t, nil
 }
 
@@ -110,51 +125,49 @@ func PolicyAblation(opt Options) (*report.Table, error) {
 // periodic, bursty (MMPP) and closed generators at matched average rates,
 // showing how burstiness shifts the energy budget.
 func WorkloadComparison(opt Options) (*report.Table, error) {
+	return WorkloadComparisonCtx(context.Background(), opt)
+}
+
+// WorkloadComparisonCtx is WorkloadComparison through Runner.RunBatch: the
+// workload rows are workloadEstimator instances evaluating concurrently on
+// the worker pool against one fixed-seed scenario, cached process-wide,
+// and cancellable mid-replication.
+func WorkloadComparisonCtx(ctx context.Context, opt Options) (*report.Table, error) {
 	opt = opt.withDefaults()
 	base := opt.Base
-	reps := base.Replications
-	if reps == 0 {
-		reps = 10
+	kinds := []workloadKind{wlPoisson, wlPeriodic, wlMMPP}
+	if think := 1/base.Lambda - 1/base.Mu; think > 0 {
+		kinds = append(kinds, wlClosed)
+	}
+	ests := make([]core.Estimator, len(kinds))
+	for i, k := range kinds {
+		ests[i] = workloadEstimator{kind: k}
+	}
+	r, err := core.NewRunner(
+		core.WithConfig(base),
+		core.WithEstimators(ests...),
+		core.WithParallelism(opt.Parallelism),
+		core.WithSeedDerivation(false),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	res, err := r.Run(ctx, core.Scenario{Name: "workload-comparison"})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: workload comparison: %w", err)
 	}
 	t := report.NewTable(
 		fmt.Sprintf("X-3: Workload comparison (rate≈%g/s, PDT=%g s, PUD=%g s)", base.Lambda, base.PDT, base.PUD),
 		"Workload", "Energy (J)", "Mean latency (s)", "Standby (%)", "Idle (%)", "Active (%)")
-	run := func(name string, c cpu.Config) error {
-		c.PDT = base.PDT
-		c.PUD = base.PUD
-		c.SimTime = base.SimTime
-		c.Warmup = base.Warmup
-		c.Seed = base.Seed
-		rep, err := cpu.RunReplications(c, reps)
-		if err != nil {
-			return err
-		}
-		f := rep.MeanFractions()
-		t.AddRow(name,
-			report.F(rep.EnergyJoules(base.Power, base.SimTime), 3),
-			report.F(rep.MeanLatency.Mean(), 4),
+	for i, k := range kinds {
+		est := res.Estimates[i]
+		f := est.Fractions
+		t.AddRow(workloadEstimator{kind: k}.rowLabel(base),
+			report.F(est.EnergyJ, 3),
+			report.F(est.MeanLatency, 4),
 			report.F(f[energy.Standby]*100, 2),
 			report.F(f[energy.Idle]*100, 2),
 			report.F(f[energy.Active]*100, 2))
-		return nil
-	}
-	service := dist.ExpMean(1 / base.Mu)
-	if err := run("open Poisson", cpu.Config{Arrivals: workload.NewPoisson(base.Lambda), Service: service}); err != nil {
-		return nil, err
-	}
-	if err := run("periodic", cpu.Config{Arrivals: workload.NewPeriodic(1 / base.Lambda), Service: service}); err != nil {
-		return nil, err
-	}
-	burst := workload.NewMMPP2(base.Lambda*5, base.Lambda/9, 1, 0.25)
-	if err := run(fmt.Sprintf("bursty MMPP (rate %.2f)", burst.Rate()), cpu.Config{Arrivals: burst, Service: service}); err != nil {
-		return nil, err
-	}
-	think := 1/base.Lambda - 1/base.Mu
-	if think > 0 {
-		closed := &workload.Closed{Customers: 1, Think: dist.ExpMean(think)}
-		if err := run("closed (N=1, matched rate)", cpu.Config{Closed: closed, Service: service}); err != nil {
-			return nil, err
-		}
 	}
 	return t, nil
 }
@@ -241,37 +254,56 @@ func NetworkLifetime(opt Options) (*report.Table, error) {
 // Lifetime (X-5) estimates whole-node battery lifetime across sensing
 // loads using the composite CPU+radio net.
 func Lifetime(opt Options, lambdas []float64) (*report.Table, error) {
+	return LifetimeCtx(context.Background(), opt, lambdas)
+}
+
+// LifetimeCtx is Lifetime through Runner.RunBatch: one scenario per sensing
+// load, evaluated concurrently on the worker pool by the composite-net
+// lifetime estimator (fixed seeds, so the rows reproduce the sequential
+// table bit for bit), cached process-wide, and cancellable mid-replication
+// — the long sweeps that online battery-lifetime estimation needs.
+func LifetimeCtx(ctx context.Context, opt Options, lambdas []float64) (*report.Table, error) {
 	opt = opt.withDefaults()
 	if len(lambdas) == 0 {
 		lambdas = []float64{0.1, 0.5, 1, 2, 5}
 	}
 	base := sensornode.DefaultConfig()
 	base.CPU = opt.Base
-	reps := opt.Base.Replications
-	if reps == 0 {
-		reps = 5
+	r, err := core.NewRunner(
+		core.WithConfig(opt.Base),
+		core.WithEstimators(lifetimeEstimator{node: base}),
+		core.WithParallelism(opt.Parallelism),
+		core.WithSeedDerivation(false),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	scenarios := make([]core.Scenario, len(lambdas))
+	for i, lam := range lambdas {
+		cfg := opt.Base
+		cfg.Lambda = lam
+		if lam >= cfg.Mu {
+			cfg.Mu = lam * 10
+		}
+		scenarios[i] = core.Scenario{Name: fmt.Sprintf("lambda=%g", lam), Config: cfg}
+	}
+	results, err := r.RunAll(ctx, scenarios)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: lifetime: %w", err)
 	}
 	t := report.NewTable(
 		fmt.Sprintf("X-5: sensor-node lifetime on %.0f mAh @ %.1f V (PDT=%g s)",
 			base.Battery.CapacitymAh, base.Battery.Volts, base.CPU.PDT),
 		"Arrival rate (/s)", "CPU avg (mW)", "Radio avg (mW)", "Total (mW)", "Packets/s", "Lifetime (days)")
-	for _, lam := range lambdas {
-		cfg := base
-		cfg.CPU.Lambda = lam
-		if lam >= cfg.CPU.Mu {
-			cfg.CPU.Mu = lam * 10
-		}
-		res, err := sensornode.Estimate(cfg, reps)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: lifetime at lambda=%v: %w", lam, err)
-		}
+	for i, lam := range lambdas {
+		node := results[i].Estimates[0].Node
 		t.AddRow(
 			fmt.Sprintf("%g", lam),
-			report.F(res.CPUAvgMW, 3),
-			report.F(res.RadioAvgMW, 3),
-			report.F(res.TotalAvgMW, 3),
-			report.F(res.PacketsPerSecond, 3),
-			report.F(res.LifetimeDays(), 1))
+			report.F(node.CPUAvgMW, 3),
+			report.F(node.RadioAvgMW, 3),
+			report.F(node.TotalAvgMW, 3),
+			report.F(node.PacketsPerSecond, 3),
+			report.F(node.LifetimeSeconds/86400, 1))
 	}
 	return t, nil
 }

@@ -1,6 +1,7 @@
 package petri
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -51,16 +52,29 @@ func (r *BatchMeansResult) Mean(n *Net, name string) (mean, ci float64) {
 // measured time (after warmup) and returns per-place batch-means
 // statistics.
 func SimulateBatchMeans(n *Net, opt BatchMeansOptions) (*BatchMeansResult, error) {
+	return SimulateBatchMeansContext(context.Background(), n, opt)
+}
+
+// SimulateBatchMeansContext is SimulateBatchMeans with cooperative
+// cancellation: a cancelled context aborts the long run mid-simulation
+// (between events, not batches) with an error wrapping ctx.Err().
+func SimulateBatchMeansContext(ctx context.Context, n *Net, opt BatchMeansOptions) (*BatchMeansResult, error) {
 	c, err := Compile(n)
 	if err != nil {
 		return nil, err
 	}
-	return c.SimulateBatchMeans(opt)
+	return c.SimulateBatchMeansContext(ctx, opt)
 }
 
 // SimulateBatchMeans is batch-means estimation on a compiled net; see the
 // package-level SimulateBatchMeans.
 func (c *Compiled) SimulateBatchMeans(opt BatchMeansOptions) (*BatchMeansResult, error) {
+	return c.SimulateBatchMeansContext(context.Background(), opt)
+}
+
+// SimulateBatchMeansContext is Compiled.SimulateBatchMeans with cooperative
+// cancellation; see the package-level variant.
+func (c *Compiled) SimulateBatchMeansContext(ctx context.Context, opt BatchMeansOptions) (*BatchMeansResult, error) {
 	n := c.net
 	if opt.BatchLength <= 0 {
 		return nil, fmt.Errorf("petri: BatchLength must be positive, got %v", opt.BatchLength)
@@ -74,7 +88,7 @@ func (c *Compiled) SimulateBatchMeans(opt BatchMeansOptions) (*BatchMeansResult,
 	if opt.Warmup < 0 {
 		return nil, fmt.Errorf("petri: Warmup must be non-negative, got %v", opt.Warmup)
 	}
-	e, err := newEngine(c, SimOptions{
+	e, err := c.acquireEngine(ctx, SimOptions{
 		Seed:              opt.Seed,
 		Duration:          opt.Warmup + float64(opt.Batches)*opt.BatchLength,
 		Memory:            opt.Memory,
@@ -83,6 +97,7 @@ func (c *Compiled) SimulateBatchMeans(opt BatchMeansOptions) (*BatchMeansResult,
 	if err != nil {
 		return nil, err
 	}
+	defer c.releaseEngine(e)
 	if err := e.start(); err != nil {
 		return nil, err
 	}

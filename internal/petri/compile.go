@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"sync"
 
 	"repro/internal/dist"
 )
@@ -167,6 +168,14 @@ type Compiled struct {
 	// for analysis and tests.
 	timedDeps [][]int32
 	immDeps   [][]int32
+
+	// enginePool recycles run-ready engines (the per-run scratch state:
+	// marking, timers, heap, counters, accumulators) across simulations of
+	// this net, so replication sweeps reuse one engine per worker instead
+	// of allocating a fresh scratch set per replication. Engines are sized
+	// to this net and never migrate between compiled nets. See
+	// acquireEngine/releaseEngine in sim.go.
+	enginePool sync.Pool
 }
 
 // Compile validates the net and builds its compiled form. The net must not

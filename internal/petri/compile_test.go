@@ -176,10 +176,11 @@ func TestCompileRejectsInvalidNet(t *testing.T) {
 func TestEngineSteadyStateAllocationFree(t *testing.T) {
 	n := compileTestNet()
 	c := MustCompile(n)
-	e, err := newEngine(c, SimOptions{Seed: 5, Duration: 1e9})
+	e, err := c.acquireEngine(nil, SimOptions{Seed: 5, Duration: 1e9})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer c.releaseEngine(e)
 	if err := e.start(); err != nil {
 		t.Fatal(err)
 	}

@@ -493,6 +493,40 @@ func TestCompiledEngineMatchesGoldens(t *testing.T) {
 }
 
 // ---------------------------------------------------------------------------
+// Pooled-engine equivalence
+
+// TestPooledEngineMatchesReference extends the bit-for-bit suite to the
+// engine pool: the same Compiled is driven through every (net, seed,
+// policy) combination twice in a row, so from the second run of each net
+// onward the engine is a recycled one whose reset() state must be
+// indistinguishable from a fresh allocation. Every run — first or recycled
+// — must match the scalar reference exactly.
+func TestPooledEngineMatchesReference(t *testing.T) {
+	for name, n := range equivNets() {
+		c, err := petri.Compile(n)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, seed := range []uint64{3, 99} {
+			for _, mem := range []petri.MemoryPolicy{petri.RaceEnable, petri.RaceAge} {
+				opt := petri.SimOptions{Seed: seed, Warmup: 25, Duration: 250, Memory: mem}
+				want, err := refSimulate(n, opt)
+				if err != nil {
+					t.Fatalf("%s seed=%d %v: reference: %v", name, seed, mem, err)
+				}
+				for round := 0; round < 2; round++ {
+					got, err := c.Simulate(opt)
+					if err != nil {
+						t.Fatalf("%s seed=%d %v round %d: %v", name, seed, mem, round, err)
+					}
+					assertIdentical(t, name+" (pooled)", seed, mem, got, want)
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Compile-once replication path
 
 func TestCompiledReplicationsMatchPerRunCompilation(t *testing.T) {

@@ -1,0 +1,179 @@
+package petri
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// poolTestNet is a small open net with immediate and timed transitions —
+// enough structure that a stale engine field would corrupt results.
+func poolTestNet() *Net {
+	n := NewNet("pool-test")
+	q := n.AddPlace("Q")
+	srv := n.AddPlaceInit("Srv", 1)
+	busy := n.AddPlace("Busy")
+
+	arr := n.AddTimed("Arr", dist.NewExponential(1))
+	n.Output(arr, q, 1)
+
+	grab := n.AddImmediate("Grab", 1)
+	n.Input(grab, q, 1)
+	n.Input(grab, srv, 1)
+	n.Output(grab, busy, 1)
+
+	done := n.AddTimed("Done", dist.NewExponential(4))
+	n.Input(done, busy, 1)
+	n.Output(done, srv, 1)
+	return n
+}
+
+// TestEnginePoolReuseIsAllocFree pins the ROADMAP follow-up this PR lands:
+// in steady state, acquiring an engine for a new run reuses a pooled
+// scratch set instead of allocating one.
+func TestEnginePoolReuseIsAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under the race detector; allocation counts are not meaningful")
+	}
+	c := MustCompile(poolTestNet())
+	opt := SimOptions{Seed: 1, Duration: 50}
+	// Warm the pool (first acquire allocates the engine).
+	e, err := c.acquireEngine(nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.releaseEngine(e)
+	allocs := testing.AllocsPerRun(200, func() {
+		e, err := c.acquireEngine(nil, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.releaseEngine(e)
+	})
+	if allocs != 0 {
+		t.Fatalf("acquire/release allocated %v objects per cycle, want 0", allocs)
+	}
+}
+
+// TestPooledSimulateReusesOneEngine checks that sequential Simulate calls on
+// one compiled net recycle the same engine, and that a recycled engine's
+// results are bit-identical to a never-pooled engine's (a fresh Compile).
+func TestPooledSimulateReusesOneEngine(t *testing.T) {
+	n := poolTestNet()
+	opt := SimOptions{Seed: 7, Warmup: 5, Duration: 100}
+
+	pooled := MustCompile(n)
+	first, err := pooled.Simulate(opt) // populates the pool
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := pooled.Simulate(opt) // runs on the recycled engine
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := MustCompile(n).Simulate(opt) // never-pooled reference
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first.PlaceAvg {
+		if first.PlaceAvg[i] != second.PlaceAvg[i] || first.PlaceAvg[i] != fresh.PlaceAvg[i] {
+			t.Fatalf("PlaceAvg[%d]: first %x, recycled %x, fresh %x", i,
+				first.PlaceAvg[i], second.PlaceAvg[i], fresh.PlaceAvg[i])
+		}
+	}
+	for i := range first.Firings {
+		if first.Firings[i] != second.Firings[i] {
+			t.Fatalf("Firings[%d]: first %d, recycled %d", i, first.Firings[i], second.Firings[i])
+		}
+	}
+}
+
+// TestSimResultDoesNotAliasPooledEngine: a SimResult must stay valid after
+// its engine is recycled and reused by a later run.
+func TestSimResultDoesNotAliasPooledEngine(t *testing.T) {
+	c := MustCompile(poolTestNet())
+	opt := SimOptions{Seed: 3, Duration: 100}
+	res, err := c.Simulate(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firings := append([]uint64(nil), res.Firings...)
+	final := res.FinalMarking.Clone()
+	// Drive more runs through the pool; if res aliases engine scratch,
+	// these overwrite it.
+	for seed := uint64(100); seed < 104; seed++ {
+		if _, err := c.Simulate(SimOptions{Seed: seed, Duration: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range firings {
+		if res.Firings[i] != firings[i] {
+			t.Fatalf("Firings[%d] mutated by a later pooled run: %d != %d", i, res.Firings[i], firings[i])
+		}
+	}
+	if !res.FinalMarking.Equal(final) {
+		t.Fatalf("FinalMarking mutated by a later pooled run")
+	}
+}
+
+// TestSimulateContextCancelsMidRun: cancellation must abort a long
+// simulation between events — promptly in wall-clock terms — with
+// ctx.Err(), not run it to the horizon.
+func TestSimulateContextCancelsMidRun(t *testing.T) {
+	c := MustCompile(poolTestNet())
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	// ~1e9 simulated seconds ≈ minutes of wall clock if cancellation fails.
+	_, err := c.SimulateContext(ctx, SimOptions{Seed: 1, Duration: 1e9})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled SimulateContext returned %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want well under the full-horizon runtime", elapsed)
+	}
+}
+
+// TestSimulateReplicationsContextCancelsInFlight: cancellation during a
+// replication set must surface ctx.Err() from the in-flight replications.
+func TestSimulateReplicationsContextCancelsInFlight(t *testing.T) {
+	c := MustCompile(poolTestNet())
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.SimulateReplicationsContext(ctx, SimOptions{Seed: 1, Duration: 1e8}, 8)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled replication set returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestBatchMeansAndTransientObserveCancellation covers the two remaining
+// execution modes the tentpole threads the context through.
+func TestBatchMeansAndTransientObserveCancellation(t *testing.T) {
+	c := MustCompile(poolTestNet())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.SimulateBatchMeansContext(ctx, BatchMeansOptions{
+		Seed: 1, BatchLength: 1e6, Batches: 100,
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch means: %v, want context.Canceled", err)
+	}
+	if _, err := c.SimulateTransientContext(ctx, TransientOptions{
+		Seed: 1, Horizon: 1e6, Step: 1, Replications: 4,
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("transient: %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package petri
+
+// raceEnabled reports that this test binary runs under the race detector,
+// where sync.Pool deliberately drops items at random and allocation counts
+// are not meaningful.
+const raceEnabled = true

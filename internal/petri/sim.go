@@ -1,6 +1,7 @@
 package petri
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -89,44 +90,57 @@ func (r *SimResult) PlaceAvgByName(n *Net, name string) float64 {
 // net (replications, sweeps) should Compile once and use
 // Compiled.Simulate to amortize the compilation.
 func Simulate(n *Net, opt SimOptions) (*SimResult, error) {
+	return SimulateContext(context.Background(), n, opt)
+}
+
+// SimulateContext is Simulate with cooperative cancellation: the engine
+// polls the context every few hundred events and aborts the run
+// mid-simulation with ctx.Err() when it is cancelled.
+func SimulateContext(ctx context.Context, n *Net, opt SimOptions) (*SimResult, error) {
 	c, err := Compile(n)
 	if err != nil {
 		return nil, err
 	}
-	return c.Simulate(opt)
+	return c.SimulateContext(ctx, opt)
 }
 
 // Simulate executes the compiled net once and returns time-averaged
 // statistics. It is safe to call concurrently from many goroutines.
 func (c *Compiled) Simulate(opt SimOptions) (*SimResult, error) {
-	if opt.Duration <= 0 {
-		return nil, fmt.Errorf("petri: SimOptions.Duration must be positive, got %v", opt.Duration)
-	}
+	return c.SimulateContext(context.Background(), opt)
+}
+
+// SimulateContext is Compiled.Simulate with cooperative cancellation; see
+// the package-level SimulateContext.
+func (c *Compiled) SimulateContext(ctx context.Context, opt SimOptions) (*SimResult, error) {
 	if opt.Warmup < 0 {
 		return nil, fmt.Errorf("petri: SimOptions.Warmup must be non-negative, got %v", opt.Warmup)
 	}
-	e, err := newEngine(c, opt)
+	e, err := c.acquireEngine(ctx, opt)
 	if err != nil {
 		return nil, err
 	}
+	defer c.releaseEngine(e)
 	return e.run()
 }
-
-// newEngineRand derives the engine's random stream from a seed; kept in one
-// place so every execution mode (steady-state, transient, batch means)
-// shares the seed-to-stream mapping.
-func newEngineRand(seed uint64) *xrand.Rand { return xrand.NewStream(seed, 0) }
 
 // engine is the single-run execution state of a compiled net. Every event
 // costs work proportional to what it changes: the fired transition's arcs,
 // the transitions adjacent to the touched places, and the heap reshuffles —
 // never the size of the whole net. The steady-state loop performs no heap
-// allocations; all scratch buffers are preallocated in newEngine.
+// allocations; all scratch buffers are preallocated in newEngine, and the
+// whole engine is recycled between runs through the compiled net's pool
+// (acquireEngine resets it in place instead of reallocating).
 type engine struct {
 	comp *Compiled
 	net  *Net
 	opt  SimOptions
-	rng  *xrand.Rand
+	rng  xrand.Rand
+
+	// ctx is polled every cancelCheckStride events by fireTimed; nil
+	// disables polling. ctxCountdown counts events down to the next poll.
+	ctx          context.Context
+	ctxCountdown int
 
 	marking Marking
 	now     float64
@@ -198,14 +212,43 @@ type placeStat struct {
 	busyInt, busyT, busyV float64
 }
 
-// newEngine builds a run-ready engine over a compiled net.
-func newEngine(c *Compiled, opt SimOptions) (*engine, error) {
+// cancelCheckStride is how many timed-event firings pass between context
+// polls: frequent enough that cancellation lands promptly in wall-clock
+// terms, rare enough that the poll is invisible in event-loop profiles.
+const cancelCheckStride = 512
+
+// acquireEngine validates the options and returns a run-ready engine for
+// the compiled net: a recycled one from the pool when available, a freshly
+// allocated one otherwise. Callers must return it with releaseEngine once
+// the run's results have been copied out.
+func (c *Compiled) acquireEngine(ctx context.Context, opt SimOptions) (*engine, error) {
 	if opt.Duration <= 0 {
 		return nil, fmt.Errorf("petri: duration must be positive, got %v", opt.Duration)
 	}
 	if opt.MaxVanishingChain == 0 {
 		opt.MaxVanishingChain = 100000
 	}
+	if e, ok := c.enginePool.Get().(*engine); ok {
+		e.reset(ctx, opt)
+		return e, nil
+	}
+	return newEngine(c, ctx, opt), nil
+}
+
+// releaseEngine returns an engine to its compiled net's pool. The engine's
+// scratch state may be reused by any later acquireEngine, so results must
+// not alias engine-owned slices (run copies them out). The context is
+// dropped eagerly: an idle pooled engine must not pin a finished run's
+// request-scoped values or cancel chain.
+func (c *Compiled) releaseEngine(e *engine) {
+	e.ctx = nil
+	c.enginePool.Put(e)
+}
+
+// newEngine allocates the scratch state of an engine over a compiled net
+// and resets it for a first run. Options must be pre-validated
+// (acquireEngine is the only caller besides tests).
+func newEngine(c *Compiled, ctx context.Context, opt SimOptions) *engine {
 	n := c.net
 	nT := len(n.Transitions)
 	nP := len(n.Places)
@@ -218,9 +261,7 @@ func newEngine(c *Compiled, opt SimOptions) (*engine, error) {
 	e := &engine{
 		comp:         c,
 		net:          n,
-		opt:          opt,
-		rng:          newEngineRand(opt.Seed),
-		marking:      n.InitialMarking(),
+		marking:      make(Marking, nP),
 		fireAt:       make([]float64, nT),
 		remain:       make([]float64, nT),
 		degree:       make([]int, nT),
@@ -232,17 +273,54 @@ func newEngine(c *Compiled, opt SimOptions) (*engine, error) {
 		dirty:        make([]int32, 0, 4*nP),
 		candTimed:    make([]int32, 0, 4*len(c.timed)),
 		immScratch:   make([]int32, 0, maxGroup),
-		raceAge:      opt.Memory == RaceAge,
-		curTimed:     -1,
 		pstats:       make([]placeStat, nP),
 		firings:      make([]uint64, nT),
+	}
+	e.reset(ctx, opt)
+	return e
+}
+
+// reset rewinds an engine to the exact state newEngine produces for the
+// given options, without allocating: the initial marking is copied back in,
+// timers, counters, accumulators and the scheduler heap are cleared, and
+// the embedded RNG is reseeded in place. A pooled engine that went through
+// reset is bit-for-bit indistinguishable from a freshly allocated one — the
+// equivalence suite in equiv_test.go pins this.
+func (e *engine) reset(ctx context.Context, opt SimOptions) {
+	if opt.MaxVanishingChain == 0 {
+		opt.MaxVanishingChain = 100000
+	}
+	e.opt = opt
+	e.ctx = ctx
+	e.ctxCountdown = cancelCheckStride
+	e.rng.SeedStream(opt.Seed, 0)
+	e.now = 0
+	for i, p := range e.net.Places {
+		e.marking[i] = p.Initial
 	}
 	for i := range e.fireAt {
 		e.fireAt[i] = math.Inf(1)
 		e.remain[i] = -1
+		e.degree[i] = 0
 		e.heapPos[i] = -1
+		e.unsat[i] = 0
+		e.guardEnabled[i] = false
+		e.firings[i] = 0
 	}
-	return e, nil
+	e.heap = e.heap[:0]
+	for i := range e.groupLive {
+		e.groupLive[i] = 0
+	}
+	e.liveGroups = 0
+	e.dirty = e.dirty[:0]
+	e.candTimed = e.candTimed[:0]
+	e.curTimed = -1
+	e.measuring = false
+	e.raceAge = opt.Memory == RaceAge
+	e.measureStart = 0
+	for i := range e.pstats {
+		e.pstats[i] = placeStat{}
+	}
 }
 
 // start resolves immediates enabled in the initial marking and schedules
@@ -338,10 +416,12 @@ func (e *engine) run() (*SimResult, error) {
 		Time:          e.opt.Duration,
 		PlaceAvg:      make([]float64, len(n.Places)),
 		PlaceNonEmpty: make([]float64, len(n.Places)),
-		Firings:       e.firings,
-		Throughput:    make([]float64, len(n.Transitions)),
-		Deadlocked:    deadlocked,
-		FinalMarking:  e.marking.Clone(),
+		// Copied, not aliased: the engine (and its firings buffer) goes
+		// back to the pool when this run's caller releases it.
+		Firings:      append([]uint64(nil), e.firings...),
+		Throughput:   make([]float64, len(n.Transitions)),
+		Deadlocked:   deadlocked,
+		FinalMarking: e.marking.Clone(),
 	}
 	for i := range n.Places {
 		st := &e.pstats[i]
@@ -501,8 +581,19 @@ func (e *engine) nextTimed() (float64, int) {
 
 // fireTimed fires the scheduled timed transition, resolves the resulting
 // vanishing markings and re-synchronizes the timers adjacent to the touched
-// places.
+// places. It is the per-event body of every execution mode (steady state,
+// transient, batch means), so the cooperative cancellation poll lives here:
+// every cancelCheckStride events the run's context is checked, and a
+// cancelled context aborts the simulation mid-run with ctx.Err().
 func (e *engine) fireTimed(t int32) error {
+	if e.ctx != nil {
+		if e.ctxCountdown--; e.ctxCountdown <= 0 {
+			e.ctxCountdown = cancelCheckStride
+			if err := e.ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
 	e.curTimed = t
 	e.unschedule(t)
 	e.fireAt[t] = math.Inf(1)
@@ -707,7 +798,7 @@ func (e *engine) sampleDelay(t int32, deg int) float64 {
 		delay = c.delayParam[t]
 	default:
 		tr := &e.net.Transitions[t]
-		delay = tr.Delay.Sample(e.rng)
+		delay = tr.Delay.Sample(&e.rng)
 		if delay < 0 || math.IsNaN(delay) {
 			panic(fmt.Sprintf("petri: transition %q sampled invalid delay %v", tr.Name, delay))
 		}
@@ -841,6 +932,14 @@ func (r *ReplicatedResult) MeanTokens(n *Net, name string) (mean, ci float64) {
 // is compiled once and shared by all replications; see
 // Compiled.SimulateReplications.
 func SimulateReplications(n *Net, opt SimOptions, reps int) (*ReplicatedResult, error) {
+	return SimulateReplicationsContext(context.Background(), n, opt, reps)
+}
+
+// SimulateReplicationsContext is SimulateReplications with cooperative
+// cancellation: a cancelled context aborts every in-flight replication
+// mid-simulation (not just between replications) and the call returns an
+// error wrapping ctx.Err().
+func SimulateReplicationsContext(ctx context.Context, n *Net, opt SimOptions, reps int) (*ReplicatedResult, error) {
 	if reps < 1 {
 		return nil, fmt.Errorf("petri: replications must be >= 1, got %d", reps)
 	}
@@ -848,7 +947,7 @@ func SimulateReplications(n *Net, opt SimOptions, reps int) (*ReplicatedResult, 
 	if err != nil {
 		return nil, err
 	}
-	return c.SimulateReplications(opt, reps)
+	return c.SimulateReplicationsContext(ctx, opt, reps)
 }
 
 // SimulateReplications runs reps independent replications of the compiled
@@ -856,8 +955,16 @@ func SimulateReplications(n *Net, opt SimOptions, reps int) (*ReplicatedResult, 
 // each replication's seed depends only on its index and results are folded
 // in index order, the aggregate is bit-identical to a sequential run. The
 // compiled net is never mutated by simulation, so sharing it between
-// goroutines is safe as long as any guard functions are pure.
+// goroutines is safe as long as any guard functions are pure. Each worker
+// draws its engine from the compiled net's pool, so a replication sweep
+// allocates a bounded number of engines regardless of reps.
 func (c *Compiled) SimulateReplications(opt SimOptions, reps int) (*ReplicatedResult, error) {
+	return c.SimulateReplicationsContext(context.Background(), opt, reps)
+}
+
+// SimulateReplicationsContext is Compiled.SimulateReplications with
+// cooperative cancellation; see the package-level variant.
+func (c *Compiled) SimulateReplicationsContext(ctx context.Context, opt SimOptions, reps int) (*ReplicatedResult, error) {
 	if reps < 1 {
 		return nil, fmt.Errorf("petri: replications must be >= 1, got %d", reps)
 	}
@@ -867,7 +974,7 @@ func (c *Compiled) SimulateReplications(opt SimOptions, reps int) (*ReplicatedRe
 	xsync.ParallelFor(reps, func(rep int) {
 		o := opt
 		o.Seed = opt.Seed + uint64(rep)*0x9e3779b97f4a7c15
-		results[rep], errs[rep] = c.Simulate(o)
+		results[rep], errs[rep] = c.SimulateContext(ctx, o)
 	})
 	out := &ReplicatedResult{
 		Replications:  reps,

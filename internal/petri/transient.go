@@ -1,6 +1,7 @@
 package petri
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -62,16 +63,29 @@ func (r *TransientResult) MeanAt(n *Net, name string, t float64) float64 {
 // the transient approach to steady state from the initial marking. The net
 // is compiled once and shared by all replications.
 func SimulateTransient(n *Net, opt TransientOptions) (*TransientResult, error) {
+	return SimulateTransientContext(context.Background(), n, opt)
+}
+
+// SimulateTransientContext is SimulateTransient with cooperative
+// cancellation: a cancelled context aborts every in-flight trajectory
+// mid-replication with an error wrapping ctx.Err().
+func SimulateTransientContext(ctx context.Context, n *Net, opt TransientOptions) (*TransientResult, error) {
 	c, err := Compile(n)
 	if err != nil {
 		return nil, err
 	}
-	return c.SimulateTransient(opt)
+	return c.SimulateTransientContext(ctx, opt)
 }
 
 // SimulateTransient is transient analysis of a compiled net; see the
 // package-level SimulateTransient.
 func (c *Compiled) SimulateTransient(opt TransientOptions) (*TransientResult, error) {
+	return c.SimulateTransientContext(context.Background(), opt)
+}
+
+// SimulateTransientContext is Compiled.SimulateTransient with cooperative
+// cancellation; see the package-level variant.
+func (c *Compiled) SimulateTransientContext(ctx context.Context, opt TransientOptions) (*TransientResult, error) {
 	n := c.net
 	if opt.Horizon <= 0 {
 		return nil, fmt.Errorf("petri: TransientOptions.Horizon must be positive, got %v", opt.Horizon)
@@ -95,7 +109,7 @@ func (c *Compiled) SimulateTransient(opt TransientOptions) (*TransientResult, er
 	trajectories := make([][][]int, opt.Replications)
 	errs := make([]error, opt.Replications)
 	xsync.ParallelFor(opt.Replications, func(rep int) {
-		trajectories[rep], errs[rep] = sampleTrajectory(c, SimOptions{
+		trajectories[rep], errs[rep] = sampleTrajectory(ctx, c, SimOptions{
 			Seed:              opt.Seed + uint64(rep)*0x9e3779b97f4a7c15,
 			Duration:          opt.Horizon,
 			Memory:            opt.Memory,
@@ -137,11 +151,12 @@ func (c *Compiled) SimulateTransient(opt TransientOptions) (*TransientResult, er
 // point with the right-continuous (cadlag) convention: a grid point that
 // coincides exactly with an event time records the post-event marking; at
 // t=0 the post-vanishing initial marking is used.
-func sampleTrajectory(c *Compiled, opt SimOptions, step float64, nGrid int) ([][]int, error) {
-	e, err := newEngine(c, opt)
+func sampleTrajectory(ctx context.Context, c *Compiled, opt SimOptions, step float64, nGrid int) ([][]int, error) {
+	e, err := c.acquireEngine(ctx, opt)
 	if err != nil {
 		return nil, err
 	}
+	defer c.releaseEngine(e)
 	if err := e.start(); err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@
 package sensornode
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -158,6 +159,13 @@ func (r *Result) LifetimeDays() float64 { return r.LifetimeSeconds / 86400 }
 // Estimate simulates the composite net and returns node-level power,
 // throughput and lifetime.
 func Estimate(cfg Config, reps int) (*Result, error) {
+	return EstimateContext(context.Background(), cfg, reps)
+}
+
+// EstimateContext is Estimate with cooperative cancellation: a cancelled
+// context aborts the composite-net replications mid-simulation with an
+// error wrapping ctx.Err().
+func EstimateContext(ctx context.Context, cfg Config, reps int) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -165,7 +173,7 @@ func Estimate(cfg Config, reps int) (*Result, error) {
 		reps = 5
 	}
 	n := BuildNodeNet(cfg)
-	rep, err := petri.SimulateReplications(n, petri.SimOptions{
+	rep, err := petri.SimulateReplicationsContext(ctx, n, petri.SimOptions{
 		Seed:     cfg.CPU.Seed,
 		Warmup:   cfg.CPU.Warmup,
 		Duration: cfg.CPU.SimTime,

@@ -42,17 +42,24 @@ func New(seed uint64) *Rand {
 // the (seed, id) pair is diffused through two rounds of SplitMix64 before
 // seeding the xoshiro state.
 func NewStream(seed, id uint64) *Rand {
+	r := &Rand{}
+	r.SeedStream(seed, id)
+	return r
+}
+
+// SeedStream reseeds the generator in place to the state NewStream(seed, id)
+// would return, without allocating. Pooled simulation engines use it to
+// re-arm their embedded generator between runs.
+func (r *Rand) SeedStream(seed, id uint64) {
 	state := seed
 	_ = splitMix64(&state)
 	state ^= 0x9e3779b97f4a7c15 * (id + 1)
 	_ = splitMix64(&state)
-	r := &Rand{}
 	r.s[0] = splitMix64(&state)
 	r.s[1] = splitMix64(&state)
 	r.s[2] = splitMix64(&state)
 	r.s[3] = splitMix64(&state)
 	r.normalize()
-	return r
 }
 
 // Seed resets the generator state from seed via SplitMix64.

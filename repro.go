@@ -34,6 +34,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/petri"
@@ -45,8 +47,20 @@ type Config = core.Config
 // Estimate is the common result of every modeling method.
 type Estimate = core.Estimate
 
-// Estimator is a CPU energy modeling method.
+// NodeMetrics is the whole-sensor-node slice of an Estimate (power by
+// subsystem, radio throughput, battery lifetime); zero for CPU-only
+// methods.
+type NodeMetrics = core.NodeMetrics
+
+// Estimator is a CPU energy modeling method. EstimateContext is the primary
+// entry point — estimators observe the context and abort long simulations
+// mid-replication on cancellation; Estimate is the context-free convenience
+// form.
 type Estimator = core.Estimator
+
+// LegacyEstimator is the pre-context estimator contract (Name plus
+// Estimate); upgrade one with AdaptEstimator.
+type LegacyEstimator = core.LegacyEstimator
 
 // Factory builds an Estimator from an optional method-specific argument;
 // see Register.
@@ -99,13 +113,28 @@ func NewEstimator(spec string) (Estimator, error) { return core.NewEstimator(spe
 // NewEstimators resolves a list of method specs in order.
 func NewEstimators(specs ...string) ([]Estimator, error) { return core.NewEstimators(specs...) }
 
-// CompareAll runs every estimator on the same configuration, sequentially.
+// AdaptEstimator upgrades a pre-context estimator (Name plus Estimate) to
+// the full Estimator interface. The shim's EstimateContext checks the
+// context once before delegating; implement EstimateContext natively for
+// mid-run cancellation.
+func AdaptEstimator(e LegacyEstimator) Estimator { return core.AdaptEstimator(e) }
+
+// CompareAll runs every estimator on the same configuration.
 //
 // Deprecated: build a Runner and use Runner.Run or Runner.RunBatch, which
 // add worker-pool parallelism, context cancellation and deterministic
-// per-scenario seeding. CompareAll remains for one-off comparisons.
+// per-scenario seeding. CompareAll remains for one-off comparisons; it is
+// CompareAllContext with a background context.
 func CompareAll(cfg Config, ests []Estimator) ([]*Estimate, error) {
 	return core.CompareAll(cfg, ests)
+}
+
+// CompareAllContext runs every estimator on the same configuration through
+// the Runner's context-aware path: the estimators share the worker pool and
+// the process-wide result cache, and a cancelled context aborts in-flight
+// simulations mid-replication. The configuration's Seed is used verbatim.
+func CompareAllContext(ctx context.Context, cfg Config, ests []Estimator) ([]*Estimate, error) {
+	return core.CompareAllContext(ctx, cfg, ests)
 }
 
 // BuildCPUNet constructs the paper's Figure-3 Petri net for direct use with

@@ -58,5 +58,11 @@ func WithMethods(specs ...string) Option { return core.WithMethods(specs...) }
 // uniquely identify a pure function of the Config.
 func WithCache(enabled bool) Option { return core.WithCache(enabled) }
 
+// WithSeedDerivation enables or disables per-scenario seed derivation
+// (default enabled). Disable it for fixed-seed experiments where every
+// scenario must run with its Config.Seed exactly as given — the contract
+// of the extension experiments and CompareAll.
+func WithSeedDerivation(enabled bool) Option { return core.WithSeedDerivation(enabled) }
+
 // ResetEstimateCache empties the process-wide result cache.
 func ResetEstimateCache() { core.ResetEstimateCache() }

@@ -152,7 +152,9 @@ func TestScenarioInheritsBaseConfig(t *testing.T) {
 // Batch execution
 
 // slowEstimator blocks long enough for cancellation to land mid-batch and
-// counts how many estimates actually ran.
+// counts how many estimates actually ran. It implements only the legacy
+// (context-free) estimator shape and is upgraded with repro.AdaptEstimator
+// below, which doubles as coverage for the compatibility shim.
 type slowEstimator struct {
 	delay time.Duration
 	runs  *atomic.Int64
@@ -174,7 +176,7 @@ func TestRunBatchCancellationMidSweep(t *testing.T) {
 	runner, err := repro.New(
 		repro.WithParallelism(2),
 		repro.WithCache(false),
-		repro.WithEstimators(slowEstimator{delay: 20 * time.Millisecond, runs: &runs}),
+		repro.WithEstimators(repro.AdaptEstimator(slowEstimator{delay: 20 * time.Millisecond, runs: &runs})),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -263,7 +265,7 @@ func TestRunAllAbandonsBatchOnFirstError(t *testing.T) {
 	var runs atomic.Int64
 	runner, err := repro.New(
 		repro.WithParallelism(1),
-		repro.WithEstimators(slowEstimator{delay: time.Millisecond, runs: &runs}),
+		repro.WithEstimators(repro.AdaptEstimator(slowEstimator{delay: time.Millisecond, runs: &runs})),
 	)
 	if err != nil {
 		t.Fatal(err)
