@@ -22,6 +22,12 @@
 // between machines with different core counts, and fails if any gated
 // benchmark got more than threshold slower — or vanished from the new run,
 // so a rename cannot silently disable the gate.
+//
+// Gated benchmarks that were (near-)allocation-free in the snapshot — best
+// allocs/op at most 100 — are additionally gated on allocs/op with zero
+// tolerance: allocation counts are deterministic, so any increase is a real
+// regression of the engine's allocation-free promise, not machine noise.
+// Dropping -benchmem for such a benchmark fails the gate too.
 package main
 
 import (
@@ -138,14 +144,42 @@ func bestNs(doc Document) map[string]float64 {
 	return best
 }
 
+// allocGateCeiling is the allocs/op level up to which a benchmark counts as
+// "(near-)allocation-free" and gets the strict alloc gate: the engine's
+// promise for those is a constant handful of result-object allocations, so
+// ANY increase is a regression, not noise — alloc counts are deterministic,
+// unlike ns/op. Benchmarks above the ceiling (whole-pipeline sweeps) are
+// only gated on time.
+const allocGateCeiling = 100
+
+// bestAllocs aggregates the minimum allocs/op per normalized benchmark
+// name, for the runs that reported them (-benchmem).
+func bestAllocs(doc Document) map[string]int64 {
+	best := map[string]int64{}
+	for _, r := range doc.Results {
+		if r.AllocsPerOp == nil {
+			continue
+		}
+		name := normalizeName(r.Name)
+		if cur, ok := best[name]; !ok || *r.AllocsPerOp < cur {
+			best[name] = *r.AllocsPerOp
+		}
+	}
+	return best
+}
+
 // compareDocs gates fresh against the snapshot: benchmarks whose
 // normalized name matches the pattern fail the gate when their best ns/op
 // regressed by more than threshold (fractional, e.g. 0.25 = 25%), or when
-// they exist in the snapshot but not in the fresh run. The returned report
-// has one line per gated benchmark; failed tells the caller to exit
-// non-zero.
+// they exist in the snapshot but not in the fresh run. Gated benchmarks
+// that were (near-)allocation-free in the snapshot (best allocs/op at most
+// allocGateCeiling) are additionally held to "no increase at all" on
+// allocs/op — losing -benchmem data for such a benchmark also fails, so the
+// alloc gate cannot be disabled silently. The returned report has one line
+// per gated quantity; failed tells the caller to exit non-zero.
 func compareDocs(snapshot, fresh Document, threshold float64, match *regexp.Regexp) (report []string, failed bool) {
 	oldBest, newBest := bestNs(snapshot), bestNs(fresh)
+	oldAllocs, newAllocs := bestAllocs(snapshot), bestAllocs(fresh)
 	names := make([]string, 0, len(oldBest))
 	for name := range oldBest {
 		if match.MatchString(name) {
@@ -169,6 +203,22 @@ func compareDocs(snapshot, fresh Document, threshold float64, match *regexp.Rege
 		}
 		report = append(report, fmt.Sprintf("%s %s: %.0f -> %.0f ns/op (%+.1f%%, threshold +%.0f%%)",
 			verdict, name, o, n, (ratio-1)*100, threshold*100))
+
+		oa, hasOld := oldAllocs[name]
+		if !hasOld || oa > allocGateCeiling {
+			continue
+		}
+		na, hasNew := newAllocs[name]
+		switch {
+		case !hasNew:
+			report = append(report, fmt.Sprintf("FAIL %s: snapshot has %d allocs/op but the new run reports none (run with -benchmem)", name, oa))
+			failed = true
+		case na > oa:
+			report = append(report, fmt.Sprintf("FAIL %s: %d -> %d allocs/op (near-0-alloc benchmarks may not regress at all)", name, oa, na))
+			failed = true
+		default:
+			report = append(report, fmt.Sprintf("ok %s: %d -> %d allocs/op", name, oa, na))
+		}
 	}
 	if len(names) == 0 {
 		report = append(report, fmt.Sprintf("FAIL no benchmark in the snapshot matches %q — nothing gated", match))

@@ -111,6 +111,59 @@ func TestCompareFailsWhenGatedBenchmarkDisappears(t *testing.T) {
 	}
 }
 
+func TestCompareFailsOnSyntheticAllocRegression(t *testing.T) {
+	// 3 -> 4 allocs/op on a near-0-alloc benchmark: the ns/op is unchanged
+	// and far inside the threshold, but the alloc gate has zero tolerance.
+	leaky := strings.ReplaceAll(benchText, "3 allocs/op", "4 allocs/op")
+	report, failed := gate(t, benchText, leaky)
+	if !failed {
+		t.Fatalf("alloc regression passed the gate:\n%s", strings.Join(report, "\n"))
+	}
+	joined := strings.Join(report, "\n")
+	if !strings.Contains(joined, "3 -> 4 allocs/op") {
+		t.Fatalf("report does not show the alloc regression:\n%s", joined)
+	}
+}
+
+func TestCompareAllowsAllocImprovementAndEquality(t *testing.T) {
+	if report, failed := gate(t, benchText, benchText); failed {
+		t.Fatalf("identical allocs failed the gate:\n%s", strings.Join(report, "\n"))
+	}
+	leaner := strings.ReplaceAll(benchText, "3 allocs/op", "2 allocs/op")
+	if report, failed := gate(t, benchText, leaner); failed {
+		t.Fatalf("alloc improvement failed the gate:\n%s", strings.Join(report, "\n"))
+	}
+}
+
+func TestCompareFailsWhenAllocDataDisappears(t *testing.T) {
+	// Dropping -benchmem would silently disable the alloc gate; treat the
+	// missing data as a failure.
+	var kept []string
+	for _, line := range strings.Split(benchText, "\n") {
+		if strings.Contains(line, "PetriEngineCPU") {
+			line = strings.Split(line, " ns/op")[0] + " ns/op"
+		}
+		kept = append(kept, line)
+	}
+	report, failed := gate(t, benchText, strings.Join(kept, "\n"))
+	if !failed {
+		t.Fatal("missing alloc data passed the gate")
+	}
+	if !strings.Contains(strings.Join(report, "\n"), "-benchmem") {
+		t.Fatalf("report does not explain the missing alloc data:\n%s", strings.Join(report, "\n"))
+	}
+}
+
+func TestCompareDoesNotAllocGateHighAllocBenchmarks(t *testing.T) {
+	// A benchmark far above the near-0-alloc ceiling only gates on time:
+	// alloc noise from pipeline-level benchmarks must not fail CI.
+	base := strings.ReplaceAll(benchText, "      21 B/op	       3 allocs/op", "  131072 B/op	    4000 allocs/op")
+	worse := strings.ReplaceAll(base, "4000 allocs/op", "4100 allocs/op")
+	if report, failed := gate(t, base, worse); failed {
+		t.Fatalf("alloc-heavy benchmark tripped the zero-tolerance gate:\n%s", strings.Join(report, "\n"))
+	}
+}
+
 func TestCompareFailsWhenPatternMatchesNothing(t *testing.T) {
 	match := regexp.MustCompile(`BenchmarkDoesNotExist`)
 	_, failed := compareDocs(parsed(t, benchText), parsed(t, benchText), 0.25, match)

@@ -213,19 +213,18 @@ func (e ErlangMarkov) Estimate(cfg Config) (*Estimate, error) {
 	return e.EstimateContext(context.Background(), cfg)
 }
 
-// EstimateContext implements Estimator. The CTMC solve is not interruptible
-// mid-factorization; the context is checked once up front.
+// EstimateContext implements Estimator. The context is threaded into the
+// stationary solve's linear-algebra iterations, so a cancelled context
+// aborts the phase-expanded CTMC mid-factorization (which dominates the
+// call at large K), not just up front.
 func (e ErlangMarkov) EstimateContext(ctx context.Context, cfg Config) (*Estimate, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	res, err := markov.ErlangCPU{
 		Lambda: cfg.Lambda, Mu: cfg.Mu, T: cfg.PDT, D: cfg.PUD, K: e.k(),
-	}.Solve()
+	}.SolveContext(ctx)
 	if err != nil {
 		return nil, err
 	}

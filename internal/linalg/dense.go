@@ -6,6 +6,7 @@
 package linalg
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -113,6 +114,13 @@ type LU struct {
 // Factorize computes the LU factorization of a square matrix. It returns an
 // error if the matrix is singular to working precision.
 func Factorize(a *Dense) (*LU, error) {
+	return FactorizeContext(context.Background(), a)
+}
+
+// FactorizeContext is Factorize with cooperative cancellation: the O(n³)
+// elimination polls the context every few columns and aborts mid-factorize
+// with ctx.Err() when it is cancelled.
+func FactorizeContext(ctx context.Context, a *Dense) (*LU, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("linalg: cannot factorize %dx%d non-square matrix", a.Rows, a.Cols)
 	}
@@ -121,6 +129,11 @@ func Factorize(a *Dense) (*LU, error) {
 	pivot := make([]int, n)
 	sign := 1
 	for k := 0; k < n; k++ {
+		if k%solveCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// Partial pivoting: find the largest magnitude in column k.
 		p := k
 		maxAbs := math.Abs(lu.At(k, k))

@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -118,12 +119,26 @@ type GaussSeidelOptions struct {
 	Tol     float64 // L1 change tolerance (default 1e-12)
 }
 
+// solveCancelStride is how many iterations of a linear-algebra loop pass
+// between context polls: each iteration already costs O(nnz) or O(n²), so
+// the poll is invisible, but a cancelled solve still aborts within a few
+// sweeps instead of running to convergence.
+const solveCancelStride = 16
+
 // StationaryCTMC solves pi Q = 0, sum(pi) = 1 for an irreducible CTMC
 // generator Q given in CSR form (rows = source states, Q[i][j] = rate i->j,
 // diagonal = -sum of row). It uses the standard transformation to a DTMC via
 // uniformization followed by power iteration, which is robust for the
 // moderately sized generators produced by reachability analysis.
 func StationaryCTMC(q *CSR, opt GaussSeidelOptions) ([]float64, error) {
+	return StationaryCTMCContext(context.Background(), q, opt)
+}
+
+// StationaryCTMCContext is StationaryCTMC with cooperative cancellation:
+// the power loop polls the context every few sweeps and aborts mid-solve
+// with ctx.Err() when it is cancelled, so a large chain does not hold its
+// caller hostage until convergence.
+func StationaryCTMCContext(ctx context.Context, q *CSR, opt GaussSeidelOptions) ([]float64, error) {
 	if q.RowsN != q.ColsN {
 		return nil, fmt.Errorf("linalg: generator must be square, got %dx%d", q.RowsN, q.ColsN)
 	}
@@ -160,6 +175,11 @@ func StationaryCTMC(q *CSR, opt GaussSeidelOptions) ([]float64, error) {
 		pi[i] = 1 / float64(n)
 	}
 	for iter := 0; iter < opt.MaxIter; iter++ {
+		if iter%solveCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		next := q.VecMul(pi)
 		for i := range next {
 			next[i] = pi[i] + next[i]/lambda
@@ -189,6 +209,13 @@ func StationaryCTMC(q *CSR, opt GaussSeidelOptions) ([]float64, error) {
 // replacing one balance equation with the normalization constraint. Suitable
 // for generators up to a few thousand states.
 func StationaryCTMCDirect(q *CSR) ([]float64, error) {
+	return StationaryCTMCDirectContext(context.Background(), q)
+}
+
+// StationaryCTMCDirectContext is StationaryCTMCDirect with cooperative
+// cancellation threaded into the O(n³) factorization, which dominates the
+// solve for the chains this path is chosen for.
+func StationaryCTMCDirectContext(ctx context.Context, q *CSR) ([]float64, error) {
 	if q.RowsN != q.ColsN {
 		return nil, fmt.Errorf("linalg: generator must be square, got %dx%d", q.RowsN, q.ColsN)
 	}
@@ -205,10 +232,11 @@ func StationaryCTMCDirect(q *CSR) ([]float64, error) {
 	}
 	b := make([]float64, n)
 	b[n-1] = 1
-	pi, err := Solve(a, b)
+	f, err := FactorizeContext(ctx, a)
 	if err != nil {
 		return nil, fmt.Errorf("linalg: direct stationary solve: %w", err)
 	}
+	pi := f.Solve(b)
 	// Clamp tiny negatives from roundoff and renormalize.
 	for i, v := range pi {
 		if v < 0 && v > -1e-9 {

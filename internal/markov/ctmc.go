@@ -7,6 +7,7 @@
 package markov
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -87,17 +88,32 @@ func (c *CTMC) Generator() *linalg.CSR {
 // SteadyState solves for the stationary distribution, using a direct LU
 // solve for small chains and uniformized power iteration for large ones.
 func (c *CTMC) SteadyState() ([]float64, error) {
+	return c.SteadyStateContext(context.Background())
+}
+
+// SteadyStateContext is SteadyState with cooperative cancellation threaded
+// into the linear algebra: a cancelled context aborts the LU elimination or
+// the power loop mid-iteration with ctx.Err(), not just up front.
+func (c *CTMC) SteadyStateContext(ctx context.Context) ([]float64, error) {
 	q := c.Generator()
 	if c.Len() <= 2000 {
-		return linalg.StationaryCTMCDirect(q)
+		return linalg.StationaryCTMCDirectContext(ctx, q)
 	}
-	return linalg.StationaryCTMC(q, linalg.GaussSeidelOptions{})
+	return linalg.StationaryCTMCContext(ctx, q, linalg.GaussSeidelOptions{})
 }
 
 // Transient computes the state distribution at time t from the initial
 // distribution pi0 using uniformization (Jensen's method) with truncation
 // error below eps (default 1e-12).
 func (c *CTMC) Transient(pi0 []float64, t float64, eps float64) ([]float64, error) {
+	return c.TransientContext(context.Background(), pi0, t, eps)
+}
+
+// TransientContext is Transient with cooperative cancellation: the
+// uniformization loop polls the context every few matrix-vector products
+// and aborts mid-solve with ctx.Err() when it is cancelled — for stiff
+// chains (large lambda*t) the loop runs tens of thousands of products.
+func (c *CTMC) TransientContext(ctx context.Context, pi0 []float64, t float64, eps float64) ([]float64, error) {
 	n := c.Len()
 	if len(pi0) != n {
 		return nil, fmt.Errorf("markov: initial distribution has %d entries, want %d", len(pi0), n)
@@ -132,6 +148,11 @@ func (c *CTMC) Transient(pi0 []float64, t float64, eps float64) ([]float64, erro
 	logw := -lt // log weight of k=0
 	cum := 0.0
 	for k := 0; ; k++ {
+		if k%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		w := math.Exp(logw)
 		for i := range out {
 			out[i] += w * v[i]

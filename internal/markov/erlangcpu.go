@@ -1,6 +1,7 @@
 package markov
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -44,6 +45,14 @@ type ErlangCPUResult struct {
 //	idle(j)            — powered on, empty queue, idle-timer phase j in 1..K
 //	active(n)          — serving with n >= 1 jobs in system
 func (e ErlangCPU) Solve() (*ErlangCPUResult, error) {
+	return e.SolveContext(context.Background())
+}
+
+// SolveContext is Solve with cooperative cancellation threaded into the
+// stationary solve. At large K the expanded chain has K*(queue cap+1)+K+1
+// states and the solve dominates the call by orders of magnitude, so a
+// cancelled context aborts mid-iteration instead of running to convergence.
+func (e ErlangCPU) SolveContext(ctx context.Context) (*ErlangCPUResult, error) {
 	if e.Lambda <= 0 || e.Mu <= 0 {
 		return nil, fmt.Errorf("markov: rates must be positive (lambda=%v mu=%v)", e.Lambda, e.Mu)
 	}
@@ -134,7 +143,7 @@ func (e ErlangCPU) Solve() (*ErlangCPUResult, error) {
 		}
 	}
 
-	pi, err := c.SteadyState()
+	pi, err := c.SteadyStateContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("markov: Erlang CPU steady state (%d states): %w", c.Len(), err)
 	}

@@ -2,6 +2,7 @@ package petri
 
 import (
 	"fmt"
+	"math"
 	"slices"
 	"sort"
 	"sync"
@@ -9,12 +10,29 @@ import (
 	"repro/internal/dist"
 )
 
-// Firing-delay specializations (see Compiled.delayKind).
+// Firing-delay specializations (see Compiled.delayKind). Every shipped
+// distribution has a compiled sampler kind, so the hot loop never goes
+// through dist.Distribution interface dispatch; each compiled sampler draws
+// the exact xrand sequence and evaluates the exact arithmetic of the
+// distribution's Sample method, keeping trajectories bit-identical.
+// delayKindGeneric is the fallback for user-supplied distributions (and for
+// shipped ones whose parameters bypass their constructor validation, so the
+// generic path's invalid-sample panic still fires).
 const (
 	delayKindGeneric = uint8(iota)
 	delayKindExp
 	delayKindDet
+	delayKindUniform
+	delayKindErlang
+	delayKindWeibull
+	delayKindHyperExp
 )
+
+// maxFusedChain bounds how many immediate firings Compile folds into one
+// firing program. Chains longer than the cap (only possible when the fused
+// transition re-guarantees its own enabling — a structural livelock) fall
+// back to the general resolver for the remainder.
+const maxFusedChain = 16
 
 // carc is a compiled arc: a place index and multiplicity, flattened into the
 // Compiled net's contiguous arc arrays for cache-friendly scanning.
@@ -120,12 +138,30 @@ type Compiled struct {
 	// the engine executes per firing with zero indirection. Each record is
 	// a header word — place (bits 0–30), condition count (32–47), signed
 	// token delta (48–63) — followed by that place's condition words.
+	//
+	// When a vanishing chain is statically guaranteed to follow t's firing
+	// (see buildFusedChains), the program holds the combined net delta of t
+	// plus the whole chain, so the intermediate vanishing markings are never
+	// materialized.
 	progs   []uint64
 	progOff []int32
+
+	// fusedChain[fusedOff[t]:fusedOff[t+1]] lists the immediate transitions
+	// whose firings are fused into t's program, in firing order. The engine
+	// still counts their firings and vanishing-chain steps individually, so
+	// throughput and livelock accounting match the unfused semantics.
+	fusedChain []int32
+	fusedOff   []int32
 
 	// hasCapOut[t] reports that transition t has a capacity-bounded output
 	// place, so its enabling depends on output places too.
 	hasCapOut []bool
+	// negPlace[p] reports that some transition can drive place p negative:
+	// it holds several input arcs on p, and enabling only requires the
+	// largest of them while firing consumes their sum. Token counts on such
+	// places have no non-negativity floor, which invalidates the static
+	// enabling guarantee behind vanishing-chain fusion (see fusionTarget).
+	negPlace []bool
 	// multi[t] reports multi-server firing semantics (Servers not in {0,1}).
 	multi []bool
 	// guarded[t] reports an attached guard predicate.
@@ -139,14 +175,18 @@ type Compiled struct {
 
 	// timed lists the timed transitions in ascending id order.
 	timed []int32
-	// delayKind/delayParam specialize the two dominant firing-delay
-	// distributions so the hot loop skips the interface dispatch:
-	// exponential (param = rate, sample = ExpFloat64()/rate — the exact
-	// expression dist.Exponential.Sample evaluates) and deterministic
-	// (param = value, no RNG draw). Everything else stays on the
-	// dist.Distribution interface.
-	delayKind  []uint8
-	delayParam []float64
+	// delayKind/delayParam/delayParam2 devirtualize the firing-delay
+	// sampling: the engine switches on the kind and evaluates the exact
+	// expression the distribution's Sample method would, drawing the same
+	// xrand stream. Parameter packing per kind: Exp (rate, -), Det (value,
+	// -), Uniform (low, high-low), Erlang (rate, K), Weibull (scale,
+	// 1/shape), HyperExp (index into hypers, -). Distributions outside the
+	// shipped set stay on the dist.Distribution interface (delayKindGeneric).
+	delayKind   []uint8
+	delayParam  []float64
+	delayParam2 []float64
+	// hypers holds the hyper-exponential mixtures referenced by delayParam.
+	hypers []dist.HyperExponential
 	// groups are the immediate-priority levels, highest priority first.
 	groups []immGroup
 	// groupOf[t] is the index into groups for an immediate transition and
@@ -196,6 +236,7 @@ func Compile(n *Net) (*Compiled, error) {
 		inhOff:      make([]int32, nT+1),
 		deltaOff:    make([]int32, nT+1),
 		hasCapOut:   make([]bool, nT),
+		negPlace:    make([]bool, nP),
 		multi:       make([]bool, nT),
 		guarded:     make([]bool, nT),
 		special:     make([]bool, nT),
@@ -203,6 +244,7 @@ func Compile(n *Net) (*Compiled, error) {
 		groupOf:     make([]int32, nT),
 		delayKind:   make([]uint8, nT),
 		delayParam:  make([]float64, nT),
+		delayParam2: make([]float64, nT),
 		timedDeps:   make([][]int32, nP),
 		immDeps:     make([][]int32, nP),
 	}
@@ -234,14 +276,27 @@ func Compile(n *Net) (*Compiled, error) {
 			if c.multi[i] || c.guarded[i] {
 				c.specialTimed = append(c.specialTimed, int32(i))
 			}
-			switch d := tr.Delay.(type) {
-			case dist.Exponential:
-				c.delayKind[i], c.delayParam[i] = delayKindExp, d.Rate
-			case dist.Deterministic:
-				c.delayKind[i], c.delayParam[i] = delayKindDet, d.Value
-			}
+			c.compileSampler(i, tr.Delay)
 		} else if c.guarded[i] {
 			c.guardedImms = append(c.guardedImms, int32(i))
+		}
+
+		// Duplicate input arcs on one place consume their sum while
+		// enabling only checks each arc alone, so firing can take the
+		// place negative; record that (see negPlace).
+		maxIn := map[int32]int32{}
+		sumIn := map[int32]int32{}
+		for _, a := range tr.Inputs {
+			p, w := int32(a.Place), int32(a.Weight)
+			if w > maxIn[p] {
+				maxIn[p] = w
+			}
+			sumIn[p] += w
+		}
+		for p, sum := range sumIn {
+			if sum > maxIn[p] {
+				c.negPlace[p] = true
+			}
 		}
 
 		// Net marking deltas, ascending by place.
@@ -290,28 +345,192 @@ func Compile(n *Net) (*Compiled, error) {
 
 	c.buildConditions(nP)
 	c.buildDeps(nP)
+	c.buildFusedChains(nT)
 	if err := c.buildPrograms(nT); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-// buildPrograms fuses each transition's net deltas with the affected
-// places' conditions into a flat firing program.
+// compileSampler records the devirtualized sampler kind and parameters of a
+// timed transition's delay distribution. Parameters that would bypass the
+// shipped constructors' validation (and so could sample negative or NaN
+// delays) keep the generic interface path, whose runtime check still fires.
+func (c *Compiled) compileSampler(i int, delay dist.Distribution) {
+	switch d := delay.(type) {
+	case dist.Exponential:
+		if !(d.Rate > 0) {
+			return
+		}
+		c.delayKind[i], c.delayParam[i] = delayKindExp, d.Rate
+	case dist.Deterministic:
+		if !(d.Value >= 0) {
+			return
+		}
+		c.delayKind[i], c.delayParam[i] = delayKindDet, d.Value
+	case dist.Uniform:
+		if !(d.Low >= 0 && d.High > d.Low) || math.IsInf(d.High, 1) {
+			// An infinite High sneaks past NewUniform; its span times a
+			// zero draw is NaN, which only the generic path's check
+			// catches.
+			return
+		}
+		// Sample is Low + (High-Low)*U; the span is a deterministic float
+		// subtraction, so precomputing it preserves bit-exactness.
+		c.delayKind[i] = delayKindUniform
+		c.delayParam[i], c.delayParam2[i] = d.Low, d.High-d.Low
+	case dist.Erlang:
+		if d.K < 1 || !(d.Rate > 0) {
+			return
+		}
+		c.delayKind[i] = delayKindErlang
+		c.delayParam[i], c.delayParam2[i] = d.Rate, float64(d.K)
+	case dist.Weibull:
+		if !(d.Shape > 0 && d.Scale > 0) {
+			return
+		}
+		c.delayKind[i] = delayKindWeibull
+		c.delayParam[i], c.delayParam2[i] = d.Scale, 1/d.Shape
+	case dist.HyperExponential:
+		if len(d.Probs) == 0 || len(d.Probs) != len(d.Rates) {
+			return
+		}
+		sum := 0.0
+		for j, p := range d.Probs {
+			if !(p >= 0) || !(d.Rates[j] > 0) {
+				return
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return
+		}
+		c.delayKind[i] = delayKindHyperExp
+		c.delayParam[i] = float64(len(c.hypers))
+		c.hypers = append(c.hypers, d)
+	}
+}
+
+// fusionTarget returns the only immediate transition eligible as a fused
+// vanishing-chain step, or -1. Eligibility is structural: the transition is
+// the sole member of the highest immediate priority level (so whenever it is
+// enabled it fires next, with no weighted conflict draw), it is unguarded,
+// and its enabling depends on input arcs alone (no inhibitors, no
+// capacity-bounded outputs) — the only conditions a chain's accumulated
+// token deltas can statically guarantee. The guarantee "chain delta ≥ arc
+// weight implies enabled" additionally needs the input places' token counts
+// to have a non-negativity floor, which duplicate-input-arc transitions
+// break (negPlace); such targets are refused.
+func (c *Compiled) fusionTarget() int32 {
+	if len(c.groups) == 0 || len(c.groups[0].members) != 1 {
+		return -1
+	}
+	t := c.groups[0].members[0]
+	if c.guarded[t] || c.hasCapOut[t] || c.inhOff[t+1] > c.inhOff[t] {
+		return -1
+	}
+	for _, a := range c.in[c.inOff[t]:c.inOff[t+1]] {
+		if c.negPlace[a.place] {
+			return -1
+		}
+	}
+	return t
+}
+
+// buildFusedChains detects, per transition, the vanishing-chain prefix that
+// is certain to follow its firing and records it for program fusion. A chain
+// step is certain when the accumulated net delta of the parent plus the
+// chain so far guarantees every input of the fusion target regardless of the
+// surrounding marking (token counts are non-negative, so delta >= weight
+// implies enough tokens). Because the target is the highest-priority
+// immediate and has no conflict partners, the resolver would fire exactly
+// this sequence with no RNG draws; fusing it is therefore bit-exact.
+func (c *Compiled) buildFusedChains(nT int) {
+	c.fusedOff = make([]int32, nT+1)
+	target := c.fusionTarget()
+	if target < 0 {
+		return
+	}
+	tIn := c.in[c.inOff[target]:c.inOff[target+1]]
+	tDelta := c.deltas[c.deltaOff[target]:c.deltaOff[target+1]]
+	acc := make(map[int32]int32)
+	for t := 0; t < nT; t++ {
+		clear(acc)
+		for _, d := range c.deltas[c.deltaOff[t]:c.deltaOff[t+1]] {
+			acc[d.place] = d.weight
+		}
+		for steps := 0; steps < maxFusedChain; steps++ {
+			guaranteed := true
+			for _, a := range tIn {
+				if acc[a.place] < a.weight {
+					guaranteed = false
+					break
+				}
+			}
+			if !guaranteed {
+				break
+			}
+			c.fusedChain = append(c.fusedChain, target)
+			for _, d := range tDelta {
+				acc[d.place] += d.weight
+			}
+		}
+		c.fusedOff[t+1] = int32(len(c.fusedChain))
+	}
+}
+
+// FusedChain returns the immediate transitions fused into transition t's
+// firing program, in firing order, or nil when the firing is unfused.
+func (c *Compiled) FusedChain(t TransitionID) []TransitionID {
+	chain := c.fusedChain[c.fusedOff[t]:c.fusedOff[t+1]]
+	if len(chain) == 0 {
+		return nil
+	}
+	out := make([]TransitionID, len(chain))
+	for i, f := range chain {
+		out[i] = TransitionID(f)
+	}
+	return out
+}
+
+// buildPrograms fuses each transition's net deltas — combined with the
+// deltas of its fused vanishing chain, places with zero net effect omitted —
+// with the affected places' conditions into a flat firing program.
 func (c *Compiled) buildPrograms(nT int) error {
 	c.progOff = make([]int32, nT+1)
+	comb := make(map[int32]int32)
+	var places []int32
 	for t := 0; t < nT; t++ {
-		for _, d := range c.deltas[c.deltaOff[t]:c.deltaOff[t+1]] {
-			if d.weight < -32768 || d.weight > 32767 {
-				return fmt.Errorf("petri: net token delta %d of transition %q exceeds the compiled engine's ±32767 range", d.weight, c.net.Transitions[t].Name)
+		clear(comb)
+		places = places[:0]
+		addDeltas := func(id int32) {
+			for _, d := range c.deltas[c.deltaOff[id]:c.deltaOff[id+1]] {
+				if _, seen := comb[d.place]; !seen {
+					places = append(places, d.place)
+				}
+				comb[d.place] += d.weight
 			}
-			cs := c.conds[c.condOff[d.place]:c.condOff[d.place+1]]
+		}
+		addDeltas(int32(t))
+		for _, f := range c.fusedChain[c.fusedOff[t]:c.fusedOff[t+1]] {
+			addDeltas(f)
+		}
+		slices.Sort(places)
+		for _, p := range places {
+			w := comb[p]
+			if w == 0 {
+				continue
+			}
+			if w < -32768 || w > 32767 {
+				return fmt.Errorf("petri: net token delta %d of transition %q exceeds the compiled engine's ±32767 range", w, c.net.Transitions[t].Name)
+			}
+			cs := c.conds[c.condOff[p]:c.condOff[p+1]]
 			if len(cs) > 65535 {
-				return fmt.Errorf("petri: place %q has %d enabling conditions, exceeding the compiled engine's 65535-per-place limit", c.net.Places[d.place].Name, len(cs))
+				return fmt.Errorf("petri: place %q has %d enabling conditions, exceeding the compiled engine's 65535-per-place limit", c.net.Places[p].Name, len(cs))
 			}
-			header := uint64(uint32(d.place)) |
+			header := uint64(uint32(p)) |
 				uint64(uint16(len(cs)))<<32 |
-				uint64(uint16(int16(d.weight)))<<48
+				uint64(uint16(int16(w)))<<48
 			c.progs = append(c.progs, header)
 			for _, cd := range cs {
 				c.progs = append(c.progs, uint64(cd))

@@ -10,6 +10,48 @@ import (
 // boxes annotated with their delay distribution, and inhibitor arcs with
 // circle arrowheads.
 func DOT(n *Net) string {
+	return dot(n, nil)
+}
+
+// DOT renders the compiled net, additionally marking vanishing-chain fusion
+// so exported graphs stay debuggable when the engine never materializes the
+// intermediate markings: a transition whose program absorbed a fused chain
+// is annotated "+ fuses T×k", and the absorbed immediate is drawn dashed
+// with a "(fused)" note. The graph structure (nodes and arcs) is identical
+// to DOT(c.Net()).
+func (c *Compiled) DOT() string {
+	n := c.net
+	fusedInto := make(map[int32]bool)
+	note := make([]string, len(n.Transitions))
+	for t := range n.Transitions {
+		chain := c.fusedChain[c.fusedOff[t]:c.fusedOff[t+1]]
+		if len(chain) == 0 {
+			continue
+		}
+		fusedInto[chain[0]] = true
+		label := n.Transitions[chain[0]].Name
+		if len(chain) > 1 {
+			label = fmt.Sprintf("%s×%d", label, len(chain))
+		}
+		note[t] = fmt.Sprintf(" + fuses %s", label)
+	}
+	return dot(n, func(t int, attrs []string) ([]string, string) {
+		if !fusedInto[int32(t)] {
+			return attrs, note[t]
+		}
+		for i, a := range attrs {
+			if a == "style=filled" {
+				attrs[i] = `style="filled,dashed"`
+				return attrs, " (fused)"
+			}
+		}
+		return append(attrs, "style=dashed"), " (fused)"
+	})
+}
+
+// dot is the shared renderer. annotate, when non-nil, may extend a
+// transition's attribute list and append a suffix to its visible label.
+func dot(n *Net, annotate func(t int, attrs []string) ([]string, string)) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", n.Name)
 	for i, p := range n.Places {
@@ -20,12 +62,27 @@ func DOT(n *Net) string {
 		fmt.Fprintf(&b, "  p%d [shape=circle, label=\"%s\"];\n", i, label)
 	}
 	for i, t := range n.Transitions {
+		var attrs []string
+		var label string
 		switch t.Kind {
 		case Immediate:
-			fmt.Fprintf(&b, "  t%d [shape=box, style=filled, fillcolor=black, height=0.1, width=0.4, label=\"\", xlabel=\"%s (prio %d)\"];\n",
-				i, t.Name, t.Priority)
+			attrs = append(attrs,
+				"shape=box", "style=filled", "fillcolor=black",
+				"height=0.1", "width=0.4", "label=\"\"")
+			label = fmt.Sprintf("%s (prio %d)", t.Name, t.Priority)
 		default:
-			fmt.Fprintf(&b, "  t%d [shape=box, label=\"%s\\n%s\"];\n", i, t.Name, t.Delay)
+			label = fmt.Sprintf("%s\\n%s", t.Name, t.Delay)
+		}
+		suffix := ""
+		if annotate != nil {
+			attrs, suffix = annotate(i, attrs)
+		}
+		if t.Kind == Immediate {
+			fmt.Fprintf(&b, "  t%d [%s, xlabel=\"%s%s\"];\n", i, strings.Join(attrs, ", "), label, suffix)
+		} else if len(attrs) > 0 {
+			fmt.Fprintf(&b, "  t%d [shape=box, %s, label=\"%s%s\"];\n", i, strings.Join(attrs, ", "), label, suffix)
+		} else {
+			fmt.Fprintf(&b, "  t%d [shape=box, label=\"%s%s\"];\n", i, label, suffix)
 		}
 	}
 	for ti := range n.Transitions {

@@ -355,6 +355,13 @@ func equivNets() map[string]*petri.Net {
 		"closed":   core.BuildClosedCPUNet(cfg, 3, 1.0),
 		"stress":   stressNet(),
 		"deadlock": deadlockNet(),
+		// Fusion-specific nets (see fusionprop_test.go): a fully fused
+		// batch-admit chain, the guard-at-vanishing-marking trap, and the
+		// devirtualized sampler kinds. Running them through this zoo also
+		// covers the pooled-engine and replication paths.
+		"batch":          fusionBatchNet(8),
+		"guardTransient": guardTransientNet(),
+		"mixedDists":     mixedDistNet(),
 	}
 }
 
@@ -582,6 +589,40 @@ func BenchmarkEngineCPUCompiled(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.Simulate(petri.SimOptions{Seed: uint64(i), Duration: 1000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineBatchAdmitScalarReference / ...Compiled pair the scalar
+// and fused engines on the fusion-heavy batch-admit net: every timed batch
+// arrival is followed by a deterministic chain of eight admit firings,
+// which the compiled engine folds into the arrival's firing program. This
+// is the workload shape where vanishing markings dominate the event count
+// (cf. the Figure-3 AR→T1 admit path), so it shows the fusion win at its
+// fullest; the CI regression gate tracks the compiled variant.
+func BenchmarkEngineBatchAdmitScalarReference(b *testing.B) {
+	n := fusionBatchNet(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := refSimulate(n, petri.SimOptions{Seed: uint64(i), Duration: 400}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineBatchAdmitCompiled(b *testing.B) {
+	c, err := petri.Compile(fusionBatchNet(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if c.FusedChain(petri.TransitionID(0)) == nil {
+		b.Fatal("batch-admit chain did not fuse")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Simulate(petri.SimOptions{Seed: uint64(i), Duration: 400}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,303 @@
+package petri
+
+// Unit tests for compile-time vanishing-chain fusion: which chains the
+// compiler detects, which near-miss structures it must refuse, how the
+// fused programs look, and that the fused steady-state loop stays
+// allocation-free.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// batchAdmitNet is the canonical fusion-heavy shape: a timed source
+// deposits `batch` work items at once, and the sole top-priority immediate
+// admits them one by one into the service queue. After the source fires,
+// the admit transition is statically guaranteed enabled `batch` times in a
+// row, so the whole admit chain fuses into the source's firing program.
+func batchAdmitNet(batch int) *Net {
+	n := NewNet("batch-admit")
+	gen := n.AddPlaceInit("Gen", 1)
+	in := n.AddPlace("In")
+	q := n.AddPlace("Q")
+	done := n.AddPlace("Done")
+
+	arr := n.AddTimed("Batch", dist.NewExponential(1))
+	n.Input(arr, gen, 1)
+	n.Output(arr, gen, 1)
+	n.Output(arr, in, batch)
+
+	admit := n.AddImmediate("Admit", 2)
+	n.Input(admit, in, 1)
+	n.Output(admit, q, 1)
+
+	srv := n.AddTimed("Serve", dist.NewExponential(float64(batch)*1.25))
+	n.Input(srv, q, 1)
+	n.Output(srv, done, 1)
+
+	sink := n.AddTimed("Drain", dist.NewExponential(float64(batch)*2))
+	n.Input(sink, done, 1)
+	return n
+}
+
+func chainNames(t *testing.T, c *Compiled, name string) []string {
+	t.Helper()
+	id, ok := c.Net().TransitionByName(name)
+	if !ok {
+		t.Fatalf("no transition %q", name)
+	}
+	var out []string
+	for _, f := range c.FusedChain(id) {
+		out = append(out, c.Net().Transitions[f].Name)
+	}
+	return out
+}
+
+func TestFusionDetectsBatchAdmitChain(t *testing.T) {
+	c := MustCompile(batchAdmitNet(8))
+	got := chainNames(t, c, "Batch")
+	if len(got) != 8 {
+		t.Fatalf("Batch fused chain = %v, want 8×Admit", got)
+	}
+	for _, name := range got {
+		if name != "Admit" {
+			t.Fatalf("Batch fused chain = %v, want only Admit", got)
+		}
+	}
+	// The other transitions produce nothing the admit transition's inputs
+	// are guaranteed by, so they must not fuse.
+	for _, name := range []string{"Admit", "Serve", "Drain"} {
+		if got := chainNames(t, c, name); got != nil {
+			t.Fatalf("%s fused chain = %v, want none", name, got)
+		}
+	}
+}
+
+func TestFusionCombinedProgramSkipsIntermediatePlaces(t *testing.T) {
+	n := batchAdmitNet(4)
+	c := MustCompile(n)
+	batch, _ := n.TransitionByName("Batch")
+	in, _ := n.PlaceByName("In")
+	q, _ := n.PlaceByName("Q")
+	// The combined Batch+4×Admit delta cancels on In (+4 then -4) and lands
+	// +4 on Q, so the program must touch Q but not In.
+	touched := map[int32]bool{}
+	prog := c.progs[c.progOff[batch]:c.progOff[batch+1]]
+	for i := 0; i < len(prog); {
+		h := prog[i]
+		touched[int32(h&0x7fffffff)] = true
+		i += 1 + int(uint16(h>>32))
+	}
+	if touched[int32(in)] {
+		t.Error("combined program touches the cancelled intermediate place In")
+	}
+	if !touched[int32(q)] {
+		t.Error("combined program does not touch the chain's net output Q")
+	}
+}
+
+// TestFusionRefusesIneligibleTargets pins the structural safety conditions:
+// each mutation below makes the admit chain illegal to fuse, and the
+// compiler must refuse it.
+func TestFusionRefusesIneligibleTargets(t *testing.T) {
+	admitID := func(n *Net) TransitionID {
+		id, ok := n.TransitionByName("Admit")
+		if !ok {
+			t.Fatal("no Admit")
+		}
+		return id
+	}
+	cases := []struct {
+		name   string
+		mutate func(n *Net)
+	}{
+		{"priority conflict partner", func(n *Net) {
+			// A second immediate at the same priority: the conflict needs a
+			// weighted draw, so the chain is no longer deterministic.
+			p, _ := n.PlaceByName("In")
+			alt := n.AddImmediate("Alt", 2)
+			n.Input(alt, p, 1)
+		}},
+		{"guard on target", func(n *Net) {
+			n.SetGuard(admitID(n), func(m Marking) bool { return true })
+		}},
+		{"inhibitor on target", func(n *Net) {
+			p, _ := n.PlaceByName("Done")
+			n.Inhibitor(admitID(n), p, 100)
+		}},
+		{"capacity-bounded output", func(n *Net) {
+			p, _ := n.PlaceByName("Q")
+			n.SetCapacity(p, 1000)
+		}},
+		{"input place can go negative", func(n *Net) {
+			// A transition with duplicate input arcs on the admit
+			// transition's input place: enabling checks each arc alone but
+			// firing consumes their sum, so the place has no non-negativity
+			// floor and "chain delta ≥ weight" no longer implies enabling.
+			// (Found by FuzzFusionEquivalence — seed 23662 in the corpus.)
+			in, _ := n.PlaceByName("In")
+			d, _ := n.PlaceByName("Done")
+			dup := n.AddTimed("Dup", dist.NewExponential(1))
+			n.Input(dup, in, 1)
+			n.Input(dup, in, 1)
+			n.Output(dup, d, 1)
+		}},
+	}
+	for _, tc := range cases {
+		n := batchAdmitNet(4)
+		tc.mutate(n)
+		c := MustCompile(n)
+		for i := range n.Transitions {
+			if chain := c.FusedChain(TransitionID(i)); chain != nil {
+				t.Errorf("%s: transition %s still fuses %v", tc.name, n.Transitions[i].Name, chain)
+			}
+		}
+	}
+}
+
+// TestFusionHigherPriorityWinsOverGuarantee: a guaranteed immediate that is
+// NOT the top priority level must not fuse — a higher-priority transition
+// could preempt it at the intermediate marking.
+func TestFusionHigherPriorityWinsOverGuarantee(t *testing.T) {
+	n := batchAdmitNet(4)
+	// An unrelated higher-priority immediate (disabled in practice, but the
+	// compiler cannot know that).
+	p := n.AddPlace("Trigger")
+	hi := n.AddImmediate("Preempt", 9)
+	n.Input(hi, p, 1)
+	c := MustCompile(n)
+	for i := range n.Transitions {
+		if chain := c.FusedChain(TransitionID(i)); chain != nil {
+			t.Fatalf("transition %s fuses %v despite a higher-priority level", n.Transitions[i].Name, chain)
+		}
+	}
+}
+
+// TestFusionSelfRegeneratingChainIsCapped: a target that re-guarantees its
+// own enabling would fuse forever; the compiler must cap the chain (the
+// runtime livelock bound still fires through the resolver).
+func TestFusionSelfRegeneratingChainIsCapped(t *testing.T) {
+	n := NewNet("livelock")
+	p := n.AddPlace("P")
+	src := n.AddTimed("Src", dist.NewExponential(1))
+	n.Output(src, p, 1)
+	imm := n.AddImmediate("Grow", 1)
+	n.Input(imm, p, 1)
+	n.Output(imm, p, 2) // net +1: re-guarantees itself
+	c := MustCompile(n)
+	if got := len(c.FusedChain(src)); got != maxFusedChain {
+		t.Fatalf("self-regenerating chain length = %d, want the %d cap", got, maxFusedChain)
+	}
+	// The livelock must still be detected, with every fused firing counted.
+	_, err := c.Simulate(SimOptions{Seed: 1, Duration: 10, MaxVanishingChain: 500})
+	if err == nil || !strings.Contains(err.Error(), "livelock") {
+		t.Fatalf("livelock not detected through fused chains: %v", err)
+	}
+}
+
+// TestFusionFiringCountsIncludeFusedMembers: fused immediates never reach
+// the resolver, but their throughput accounting must be unchanged.
+func TestFusionFiringCountsIncludeFusedMembers(t *testing.T) {
+	n := batchAdmitNet(8)
+	c := MustCompile(n)
+	if chainNames(t, c, "Batch") == nil {
+		t.Fatal("precondition: Batch must fuse its admit chain")
+	}
+	res, err := c.Simulate(SimOptions{Seed: 3, Duration: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, _ := n.TransitionByName("Batch")
+	admit, _ := n.TransitionByName("Admit")
+	if res.Firings[admit] != 8*res.Firings[batch] {
+		t.Fatalf("Admit firings = %d, want 8× Batch firings (%d)", res.Firings[admit], res.Firings[batch])
+	}
+}
+
+// TestFusedSteadyStateLoopIsAllocationFree extends the engine's 0-alloc
+// promise to a net whose every timed event executes a fused chain.
+func TestFusedSteadyStateLoopIsAllocationFree(t *testing.T) {
+	c := MustCompile(batchAdmitNet(8))
+	e, err := c.acquireEngine(nil, SimOptions{Seed: 5, Duration: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.releaseEngine(e)
+	if err := e.start(); err != nil {
+		t.Fatal(err)
+	}
+	step := func() {
+		ft, id := e.nextTimed()
+		if id < 0 {
+			t.Fatal("net deadlocked unexpectedly")
+		}
+		e.advanceTo(ft)
+		if err := e.fireTimed(int32(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		step()
+	}
+	allocs := testing.AllocsPerRun(2000, step)
+	if allocs > 0 {
+		t.Fatalf("fused steady-state loop allocates %.2f allocs/event, want 0", allocs)
+	}
+}
+
+// TestCompiledDOTMarksFusedTransitions: exported graphs must stay
+// debuggable — the parent names its fused chain and the absorbed immediate
+// is visibly marked.
+func TestCompiledDOTMarksFusedTransitions(t *testing.T) {
+	c := MustCompile(batchAdmitNet(8))
+	d := c.DOT()
+	for _, want := range []string{"fuses Admit×8", "(fused)", "dashed"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("Compiled.DOT missing %q:\n%s", want, d)
+		}
+	}
+	// The plain net renderer must stay annotation-free.
+	if plain := DOT(c.Net()); strings.Contains(plain, "fuse") {
+		t.Fatalf("DOT(net) leaked fusion annotations:\n%s", plain)
+	}
+}
+
+// TestCompiledSamplerKinds pins the devirtualized sampler classification,
+// including the constructor-bypass fallback to the generic interface path.
+func TestCompiledSamplerKinds(t *testing.T) {
+	n := NewNet("kinds")
+	p := n.AddPlaceInit("P", 1)
+	add := func(name string, d dist.Distribution) TransitionID {
+		id := n.AddTimed(name, d)
+		n.Input(id, p, 1)
+		n.Output(id, p, 1)
+		return id
+	}
+	exp := add("exp", dist.NewExponential(2))
+	det := add("det", dist.NewDeterministic(0.5))
+	uni := add("uni", dist.NewUniform(1, 3))
+	erl := add("erl", dist.NewErlang(3, 2))
+	wei := add("wei", dist.NewWeibull(0.8, 1.5))
+	hyp := add("hyp", dist.NewHyperExponential([]float64{0.3, 0.7}, []float64{1, 5}))
+	bad := add("bad", dist.Uniform{Low: 2, High: 1}) // bypasses NewUniform validation
+	badHyp := add("badHyp", dist.HyperExponential{Probs: []float64{1}, Rates: []float64{-2}})
+	badExp := add("badExp", dist.Exponential{Rate: -1})
+	// NewUniform accepts an infinite High, but span*0 would sample NaN with
+	// no check on the compiled path; it must stay generic.
+	infUni := add("infUni", dist.NewUniform(0, math.Inf(1)))
+	c := MustCompile(n)
+	want := map[TransitionID]uint8{
+		exp: delayKindExp, det: delayKindDet, uni: delayKindUniform,
+		erl: delayKindErlang, wei: delayKindWeibull, hyp: delayKindHyperExp,
+		bad: delayKindGeneric, badHyp: delayKindGeneric,
+		badExp: delayKindGeneric, infUni: delayKindGeneric,
+	}
+	for id, kind := range want {
+		if got := c.delayKind[id]; got != kind {
+			t.Errorf("%s: delayKind = %d, want %d", n.Transitions[id].Name, got, kind)
+		}
+	}
+}

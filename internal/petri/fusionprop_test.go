@@ -1,0 +1,394 @@
+package petri_test
+
+// Property tests for vanishing-chain fusion and the devirtualized sampler:
+// on randomly generated nets the compiled engine must stay bit-identical to
+// the scalar reference, conserve every P-invariant, and only ever visit
+// markings reachable under the exported firing semantics. A Go fuzz harness
+// exposes the same property to `go test -fuzz`.
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/petri"
+	"repro/internal/xrand"
+)
+
+// fusionBatchNet mirrors the internal batch-admit net shape from the
+// exported API: a timed batch source whose admit chain fuses completely,
+// drained by a whole-batch service. Per cycle the net fires two timed
+// transitions and `batch` immediates, so vanishing firings dominate the
+// event count — the workload shape the fusion fast path is built for.
+func fusionBatchNet(batch int) *petri.Net {
+	n := petri.NewNet("batch-admit-equiv")
+	gen := n.AddPlaceInit("Gen", 1)
+	in := n.AddPlace("In")
+	q := n.AddPlace("Q")
+
+	arr := n.AddTimed("Batch", dist.NewExponential(1))
+	n.Input(arr, gen, 1)
+	n.Output(arr, gen, 1)
+	n.Output(arr, in, batch)
+
+	admit := n.AddImmediate("Admit", 2)
+	n.Input(admit, in, 1)
+	n.Output(admit, q, 1)
+
+	srv := n.AddTimed("Serve", dist.NewExponential(1.25))
+	n.Input(srv, q, batch)
+	return n
+}
+
+// guardTransientNet builds the trickiest legal fusion case: a guarded
+// immediate at a lower priority whose guard is true ONLY at the vanishing
+// marking the fused chain skips. The unfused engine evaluates the guard at
+// that intermediate marking (and sees it flip back before the resolver
+// reaches the guard's priority level); the fused engine never evaluates it
+// there. Both must produce identical trajectories — the equivalence run
+// proves guard transients cannot influence behavior once the chain head is
+// the sole top-priority immediate.
+func guardTransientNet() *petri.Net {
+	n := petri.NewNet("guard-transient")
+	p0 := n.AddPlaceInit("P0", 1)
+	p1 := n.AddPlace("P1")
+	p2 := n.AddPlace("P2")
+	p3 := n.AddPlace("P3")
+
+	ar := n.AddTimed("AR", dist.NewExponential(2))
+	n.Input(ar, p0, 1)
+	n.Output(ar, p0, 1)
+	n.Output(ar, p1, 1)
+
+	// Top singleton: fused into AR.
+	t1 := n.AddImmediate("T1", 4)
+	n.Input(t1, p1, 1)
+	n.Output(t1, p2, 1)
+
+	// Guard true exactly at the intermediate marking AR leaves behind.
+	trap := n.AddImmediate("Trap", 1)
+	n.Input(trap, p2, 1)
+	n.Output(trap, p3, 1)
+	n.SetGuard(trap, func(m petri.Marking) bool { return m[p1] >= 1 })
+
+	// A guarded immediate that legitimately fires at tangible markings,
+	// so the guardEnabled bookkeeping is exercised in both directions.
+	pair := n.AddImmediate("Pair", 1)
+	n.Input(pair, p2, 2)
+	n.Output(pair, p3, 2)
+	n.SetGuard(pair, func(m petri.Marking) bool { return m[p2] >= 2 })
+
+	drain := n.AddTimed("Drain", dist.NewExponential(3))
+	n.Input(drain, p3, 1)
+	return n
+}
+
+// mixedDistNet exercises every devirtualized sampler kind in one net, with
+// a fused admit chain on top.
+func mixedDistNet() *petri.Net {
+	n := petri.NewNet("mixed-dists")
+	gen := n.AddPlaceInit("Gen", 1)
+	in := n.AddPlace("In")
+	q := n.AddPlace("Q")
+	r := n.AddPlace("R")
+	s := n.AddPlace("S")
+
+	src := n.AddTimed("Src", dist.NewUniform(0.2, 1.1))
+	n.Input(src, gen, 1)
+	n.Output(src, gen, 1)
+	n.Output(src, in, 2)
+
+	adm := n.AddImmediate("Adm", 3)
+	n.Input(adm, in, 1)
+	n.Output(adm, q, 1)
+
+	we := n.AddTimed("Wei", dist.NewWeibull(0.9, 0.4))
+	n.Input(we, q, 1)
+	n.Output(we, r, 1)
+
+	er := n.AddTimed("Erl", dist.NewErlang(3, 4))
+	n.Input(er, r, 1)
+	n.Output(er, s, 1)
+
+	hy := n.AddTimed("Hyp", dist.NewHyperExponential([]float64{0.35, 0.65}, []float64{0.8, 6}))
+	n.Input(hy, s, 1)
+	return n
+}
+
+// TestFusionNetsMatchReference runs the dedicated fusion nets through the
+// full bit-for-bit suite against the scalar reference engine.
+func TestFusionNetsMatchReference(t *testing.T) {
+	nets := map[string]*petri.Net{
+		"batch8":         fusionBatchNet(8),
+		"batch1":         fusionBatchNet(1),
+		"guardTransient": guardTransientNet(),
+		"mixedDists":     mixedDistNet(),
+	}
+	for name, n := range nets {
+		c, err := petri.Compile(n)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, seed := range []uint64{1, 17, 4242} {
+			for _, mem := range []petri.MemoryPolicy{petri.RaceEnable, petri.RaceAge} {
+				opt := petri.SimOptions{Seed: seed, Warmup: 10, Duration: 150, Memory: mem}
+				want, err := refSimulate(n, opt)
+				if err != nil {
+					t.Fatalf("%s seed=%d %v: reference: %v", name, seed, mem, err)
+				}
+				got, err := c.Simulate(opt)
+				if err != nil {
+					t.Fatalf("%s seed=%d %v: compiled: %v", name, seed, mem, err)
+				}
+				assertIdentical(t, name, seed, mem, got, want)
+			}
+		}
+	}
+}
+
+// TestFusionPreservesExactReachability checks fusion against the exact
+// engine: on a structurally bounded exponential net whose vanishing chain
+// fuses, the CTMC reachability graph (reach.go) knows every tangible
+// marking, and the simulation — which only ever stops at tangible markings
+// — must end inside that set, with matching exact/simulated statistics.
+func TestFusionPreservesExactReachability(t *testing.T) {
+	n := petri.NewNet("cycle")
+	a := n.AddPlaceInit("A", 1)
+	b := n.AddPlace("B")
+	cc := n.AddPlace("C")
+	u := n.AddTimed("U", dist.NewExponential(2))
+	n.Input(u, a, 1)
+	n.Output(u, b, 1)
+	step := n.AddImmediate("Step", 1)
+	n.Input(step, b, 1)
+	n.Output(step, cc, 1)
+	v := n.AddTimed("V", dist.NewExponential(1))
+	n.Input(v, cc, 1)
+	n.Output(v, a, 1)
+
+	comp, err := petri.Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.FusedChain(u) == nil {
+		t.Fatal("precondition: U must fuse its vanishing step")
+	}
+	exact, err := petri.SolveCTMC(n, petri.ReachOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The vanishing marking B=1 must not be a CTMC state, and every
+	// simulated final marking must be one of the tangible states.
+	for _, m := range exact.Markings {
+		if m[b] != 0 {
+			t.Fatalf("vanishing marking %v leaked into the tangible set", m)
+		}
+	}
+	for seed := uint64(0); seed < 8; seed++ {
+		res, err := comp.Simulate(petri.SimOptions{Seed: seed, Warmup: 50, Duration: 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, m := range exact.Markings {
+			if res.FinalMarking.Equal(m) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("seed %d: final marking %v not in the exact tangible set %v", seed, res.FinalMarking, exact.Markings)
+		}
+		if diff := res.PlaceAvg[a] - exact.PlaceAvg[a]; diff > 0.05 || diff < -0.05 {
+			t.Fatalf("seed %d: simulated PlaceAvg[A]=%v vs exact %v", seed, res.PlaceAvg[a], exact.PlaceAvg[a])
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Random-net property tests
+
+// randomNet generates a small valid net from a seed. Every immediate has at
+// least one input (a sourceless immediate livelocks trivially); inhibitors
+// and occasional weight-2 arcs keep the enabling logic honest. Roughly one
+// net in three has a singleton top-priority immediate — a fusion candidate.
+func randomNet(seed uint64) *petri.Net {
+	rng := xrand.New(seed)
+	n := petri.NewNet("fuzz")
+	nP := 2 + rng.Intn(4)
+	places := make([]petri.PlaceID, nP)
+	for i := range places {
+		places[i] = n.AddPlaceInit(string(rune('A'+i)), rng.Intn(3))
+	}
+	pick := func() petri.PlaceID { return places[rng.Intn(nP)] }
+	w := func() int { return 1 + rng.Intn(2) }
+
+	nT := 1 + rng.Intn(3)
+	for i := 0; i < nT; i++ {
+		var d dist.Distribution
+		switch rng.Intn(4) {
+		case 0:
+			d = dist.NewDeterministic(0.1 + rng.Float64())
+		case 1:
+			d = dist.NewUniform(0.1, 0.5+rng.Float64())
+		default:
+			d = dist.NewExponential(0.5 + 2*rng.Float64())
+		}
+		id := n.AddTimed(string(rune('T'+i)), d)
+		for k := rng.Intn(3); k > 0; k-- {
+			n.Input(id, pick(), w())
+		}
+		for k := 1 + rng.Intn(2); k > 0; k-- {
+			n.Output(id, pick(), w())
+		}
+		if rng.Intn(10) == 0 {
+			n.Inhibitor(id, pick(), w())
+		}
+	}
+	nI := rng.Intn(4)
+	for i := 0; i < nI; i++ {
+		id := n.AddImmediate(string(rune('a'+i)), 1+rng.Intn(3))
+		if rng.Intn(3) > 0 {
+			n.SetWeight(id, 0.5+2*rng.Float64())
+		}
+		n.Input(id, pick(), w())
+		if k := rng.Intn(3); k > 0 {
+			n.Output(id, pick(), w())
+		}
+		if rng.Intn(8) == 0 {
+			n.Inhibitor(id, pick(), w())
+		}
+	}
+	return n
+}
+
+// checkRandomNet compares the compiled engine against the scalar reference
+// on one generated net and verifies P-invariant conservation and (on small
+// state spaces) reachability of the final marking.
+func checkRandomNet(t *testing.T, netSeed uint64) {
+	t.Helper()
+	n := randomNet(netSeed)
+	if n.Validate() != nil {
+		return
+	}
+	c, err := petri.Compile(n)
+	if err != nil {
+		t.Fatalf("net %d: Compile: %v", netSeed, err)
+	}
+	invs, invErr := petri.PInvariants(n)
+	init := n.InitialMarking()
+	for _, simSeed := range []uint64{netSeed, netSeed + 101} {
+		mem := petri.RaceEnable
+		if simSeed%2 == 1 {
+			mem = petri.RaceAge
+		}
+		opt := petri.SimOptions{Seed: simSeed, Warmup: 3, Duration: 40, Memory: mem, MaxVanishingChain: 300}
+		want, refErr := refSimulate(n, opt)
+		got, gotErr := c.Simulate(opt)
+		if (refErr != nil) != (gotErr != nil) {
+			t.Fatalf("net %d seed %d: reference err %v, compiled err %v", netSeed, simSeed, refErr, gotErr)
+		}
+		if refErr != nil {
+			continue // both detected the livelock
+		}
+		assertIdentical(t, n.Name, simSeed, mem, got, want)
+		if invErr == nil {
+			for _, y := range invs {
+				if petri.InvariantValue(got.FinalMarking, y) != petri.InvariantValue(init, y) {
+					t.Fatalf("net %d seed %d: P-invariant %v violated: initial %v, final %v",
+						netSeed, simSeed, y, init, got.FinalMarking)
+				}
+			}
+		}
+		assertReachable(t, n, got.FinalMarking, netSeed)
+	}
+}
+
+// assertReachable BFS-explores the net's marking graph under the exported
+// firing semantics (all transitions, so the set over-approximates any
+// timed/immediate interleaving) and asserts the simulated final marking is
+// a member. Nets whose state space exceeds the cap are skipped — the
+// bit-for-bit comparison already pins their trajectories.
+func assertReachable(t *testing.T, n *petri.Net, final petri.Marking, netSeed uint64) {
+	t.Helper()
+	const cap = 4000
+	seen := map[string]bool{}
+	queue := []petri.Marking{n.InitialMarking()}
+	seen[n.InitialMarking().Key()] = true
+	for len(queue) > 0 {
+		if len(seen) > cap {
+			return // unbounded or too large; skip the membership check
+		}
+		m := queue[0]
+		queue = queue[1:]
+		for i := range n.Transitions {
+			if !n.Enabled(m, petri.TransitionID(i)) {
+				continue
+			}
+			next := m.Clone()
+			n.Fire(next, petri.TransitionID(i))
+			if k := next.Key(); !seen[k] {
+				seen[k] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	if !seen[final.Key()] {
+		t.Fatalf("net %d: final marking %v unreachable under the exported semantics", netSeed, final)
+	}
+}
+
+// TestFusionRespectsSmallVanishingChainBound: a MaxVanishingChain smaller
+// than a fused chain must still produce the livelock error the scalar
+// engine raises partway through the chain — the fused block may not be
+// applied atomically past the bound.
+func TestFusionRespectsSmallVanishingChainBound(t *testing.T) {
+	n := fusionBatchNet(8)
+	c, err := petri.Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bound := range []int{4, 8, 9} {
+		opt := petri.SimOptions{Seed: 2, Duration: 50, MaxVanishingChain: bound}
+		_, refErr := refSimulate(n, opt)
+		_, gotErr := c.Simulate(opt)
+		if (refErr != nil) != (gotErr != nil) {
+			t.Fatalf("bound %d: reference err %v, compiled err %v", bound, refErr, gotErr)
+		}
+	}
+}
+
+// TestFusionPropertyRandomNets is the main property sweep.
+func TestFusionPropertyRandomNets(t *testing.T) {
+	fused := 0
+	for seed := uint64(0); seed < 150; seed++ {
+		checkRandomNet(t, seed)
+		n := randomNet(seed)
+		if n.Validate() != nil {
+			continue
+		}
+		if c, err := petri.Compile(n); err == nil {
+			for i := range n.Transitions {
+				if c.FusedChain(petri.TransitionID(i)) != nil {
+					fused++
+					break
+				}
+			}
+		}
+	}
+	// The sweep is only meaningful if a decent share of generated nets
+	// actually exercises fusion.
+	if fused < 10 {
+		t.Fatalf("only %d random nets had a fused chain; generator drifted", fused)
+	}
+}
+
+// FuzzFusionEquivalence exposes the property to the native fuzzer:
+// `go test -fuzz=FuzzFusionEquivalence ./internal/petri`.
+func FuzzFusionEquivalence(f *testing.F) {
+	for seed := uint64(0); seed < 24; seed++ {
+		f.Add(seed * 7919)
+	}
+	f.Fuzz(func(t *testing.T, netSeed uint64) {
+		checkRandomNet(t, netSeed)
+	})
+}

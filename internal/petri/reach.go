@@ -1,6 +1,7 @@
 package petri
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -65,6 +66,14 @@ type tangibleDist struct {
 // transitions are all exponential, eliminates vanishing markings on the
 // fly, and solves the resulting CTMC for its stationary distribution.
 func SolveCTMC(n *Net, opt ReachOptions) (*CTMCResult, error) {
+	return SolveCTMCContext(context.Background(), n, opt)
+}
+
+// SolveCTMCContext is SolveCTMC with cooperative cancellation: the context
+// is polled during reachability exploration (per frontier marking) and
+// inside the stationary solve's linear-algebra iterations, so both halves
+// of the analysis abort promptly with ctx.Err().
+func SolveCTMCContext(ctx context.Context, n *Net, opt ReachOptions) (*CTMCResult, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
@@ -124,7 +133,12 @@ func SolveCTMC(n *Net, opt ReachOptions) (*CTMCResult, error) {
 	nT := len(n.Transitions)
 	immRatePerState := map[int][]float64{}
 
-	for len(frontier) > 0 {
+	for explored := 0; len(frontier) > 0; explored++ {
+		if explored%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		id := frontier[len(frontier)-1]
 		frontier = frontier[:len(frontier)-1]
 		m := markings[id]
@@ -182,9 +196,9 @@ func SolveCTMC(n *Net, opt ReachOptions) (*CTMCResult, error) {
 
 	var pi []float64
 	if nStates <= 2000 {
-		pi, err = linalg.StationaryCTMCDirect(q)
+		pi, err = linalg.StationaryCTMCDirectContext(ctx, q)
 	} else {
-		pi, err = linalg.StationaryCTMC(q, linalg.GaussSeidelOptions{})
+		pi, err = linalg.StationaryCTMCContext(ctx, q, linalg.GaussSeidelOptions{})
 	}
 	if err != nil {
 		return nil, fmt.Errorf("petri: stationary solve over %d tangible markings: %w", nStates, err)

@@ -1,6 +1,7 @@
 package petri
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -303,5 +304,15 @@ func BenchmarkSolveCTMCMM1K100(b *testing.B) {
 		if _, err := SolveCTMC(n, ReachOptions{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestSolveCTMCContextCancelled: the reachability exploration and the
+// stationary solve must both observe cancellation mid-analysis.
+func TestSolveCTMCContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveCTMCContext(ctx, mm1kNet(1, 2, 40), ReachOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled SolveCTMC returned %v, want context.Canceled", err)
 	}
 }

@@ -156,11 +156,15 @@ type engine struct {
 	// (memoryless) resample.
 	degree []int
 
-	// heap is a binary min-heap over the scheduled timed transitions,
+	// heap is a 4-ary min-heap over the scheduled timed transitions,
 	// ordered by (fireAt, id) — the id tie-break reproduces the
-	// lowest-index-first determinism of a linear scan. heapPos[t] is t's
-	// index in heap, -1 while unscheduled.
-	heap    []int32
+	// lowest-index-first determinism of a linear scan and makes the
+	// minimum unique, so the pop order is independent of the heap's
+	// internal arrangement (and of its arity). Nodes cache the firing time
+	// inline, so sifting compares sequential node memory instead of
+	// chasing fireAt through a second array. heapPos[t] is t's index in
+	// heap, -1 while unscheduled.
+	heap    []timerNode
 	heapPos []int32
 
 	// unsat[t] counts the unsatisfied enabling conditions of unguarded
@@ -210,6 +214,14 @@ type engine struct {
 type placeStat struct {
 	tokInt, tokT, tokV    float64
 	busyInt, busyT, busyV float64
+}
+
+// timerNode is one scheduler-heap entry: a scheduled timed transition with
+// its absolute firing time cached inline (the authoritative copy stays in
+// engine.fireAt).
+type timerNode struct {
+	at float64
+	id int32
 }
 
 // cancelCheckStride is how many timed-event firings pass between context
@@ -265,7 +277,7 @@ func newEngine(c *Compiled, ctx context.Context, opt SimOptions) *engine {
 		fireAt:       make([]float64, nT),
 		remain:       make([]float64, nT),
 		degree:       make([]int, nT),
-		heap:         make([]int32, 0, len(c.timed)),
+		heap:         make([]timerNode, 0, len(c.timed)),
 		heapPos:      make([]int32, nT),
 		unsat:        make([]int32, nT),
 		guardEnabled: make([]bool, nT),
@@ -358,7 +370,7 @@ func (e *engine) start() error {
 			e.liveGroups++
 		}
 	}
-	if err := e.resolveImmediates(); err != nil {
+	if err := e.resolveImmediates(0); err != nil {
 		return err
 	}
 	// The initial timer sync visits every timed transition in id order —
@@ -480,13 +492,15 @@ func (e *engine) clearDirty() {
 }
 
 // fireAndUpdate fires transition t (which must be enabled) by applying its
-// compiled net deltas, and propagates each place change through that
-// place's threshold conditions: unsatisfied-condition counters move by one
-// exactly when the count crosses an arc weight, immediate enabled counts
-// (groupLive) track counter flips, and single-server timed transitions
-// whose enabling flipped are collected as candidates for the end-of-chain
-// timer sync. Self-loops have no net delta and cost nothing; nothing here
-// scans a transition's arcs to re-derive enabling.
+// compiled net deltas — including the deltas of any vanishing chain fused
+// into t's program, so a whole deterministic immediate sequence lands as
+// one combined marking change — and propagates each place change through
+// that place's threshold conditions: unsatisfied-condition counters move by
+// one exactly when the count crosses an arc weight, immediate enabled
+// counts (groupLive) track counter flips, and single-server timed
+// transitions whose enabling flipped are collected as candidates for the
+// end-of-chain timer sync. Self-loops have no net delta and cost nothing;
+// nothing here scans a transition's arcs to re-derive enabling.
 func (e *engine) fireAndUpdate(t int32) {
 	c := e.comp
 	marking := e.marking
@@ -575,8 +589,8 @@ func (e *engine) nextTimed() (float64, int) {
 	if len(e.heap) == 0 {
 		return math.Inf(1), -1
 	}
-	t := e.heap[0]
-	return e.fireAt[t], int(t)
+	n := e.heap[0]
+	return n.at, int(n.id)
 }
 
 // fireTimed fires the scheduled timed transition, resolves the resulting
@@ -605,11 +619,21 @@ func (e *engine) fireTimed(t int32) error {
 	if !enabled {
 		return fmt.Errorf("petri: internal error: scheduled transition %q not enabled at fire time", e.net.Transitions[t].Name)
 	}
+	fused := int(e.comp.fusedOff[t+1] - e.comp.fusedOff[t])
+	if fused > e.opt.MaxVanishingChain {
+		// The scalar engine would hit the livelock bound partway through
+		// this chain; the fused program cannot stop midway, so refuse to
+		// apply it at all — error presence matches the unfused semantics.
+		return fmt.Errorf("petri: immediate-transition livelock after %d zero-time firings (marking %v)", e.opt.MaxVanishingChain, e.marking)
+	}
 	e.fireAndUpdate(t)
 	if e.measuring {
 		e.firings[t]++
+		if fused != 0 {
+			e.countFusedFirings(t)
+		}
 	}
-	if err := e.resolveImmediates(); err != nil {
+	if err := e.resolveImmediates(fused); err != nil {
 		return err
 	}
 	e.recordMarking()
@@ -657,13 +681,20 @@ func (e *engine) recordMarking() {
 // groupLive/liveGroups tallies), so each step costs the priority-group
 // scan plus the re-checks adjacent to the fired transition — and no
 // allocation.
-func (e *engine) resolveImmediates() error {
-	for steps := 0; e.liveGroups > 0; steps++ {
+//
+// steps counts the zero-time firings already charged to this vanishing
+// chain: the immediates fused into the triggering firing's program. Each
+// resolver firing then advances it by one plus its own fused-chain length,
+// so the MaxVanishingChain livelock bound counts every individual immediate
+// firing, fused or not, exactly like the unfused engine.
+func (e *engine) resolveImmediates(steps int) error {
+	maxSteps := e.opt.MaxVanishingChain
+	for e.liveGroups > 0 {
 		gi := 0
 		for e.groupLive[gi] == 0 {
 			gi++
 		}
-		if steps >= e.opt.MaxVanishingChain {
+		if steps >= maxSteps {
 			return fmt.Errorf("petri: immediate-transition livelock after %d zero-time firings (marking %v)", steps, e.marking)
 		}
 		group := &e.comp.groups[gi]
@@ -705,12 +736,32 @@ func (e *engine) resolveImmediates() error {
 				}
 			}
 		}
+		fused := int(e.comp.fusedOff[chosen+1] - e.comp.fusedOff[chosen])
+		if steps+1+fused > maxSteps {
+			// The chain fused into this firing would cross the livelock
+			// bound mid-block, exactly where the unfused engine errors.
+			return fmt.Errorf("petri: immediate-transition livelock after %d zero-time firings (marking %v)", maxSteps, e.marking)
+		}
 		e.fireAndUpdate(chosen)
+		steps += 1 + fused
 		if e.measuring {
 			e.firings[chosen]++
+			if fused != 0 {
+				e.countFusedFirings(chosen)
+			}
 		}
 	}
 	return nil
+}
+
+// countFusedFirings credits the measured-period firing counters of the
+// immediate transitions fused into t's program. Callers handle t's own
+// counter inline and only divert here when the chain is non-empty.
+func (e *engine) countFusedFirings(t int32) {
+	c := e.comp
+	for _, f := range c.fusedChain[c.fusedOff[t]:c.fusedOff[t+1]] {
+		e.firings[f]++
+	}
 }
 
 // syncDirtyTimers reconciles the timed transitions whose schedule may need
@@ -780,9 +831,12 @@ func (e *engine) syncOne(t int32) {
 
 // sampleDelay draws the firing delay of transition t at the given enabling
 // degree, honoring race-age resumption for single-server transitions. The
-// compiled exponential/deterministic fast paths evaluate the exact
-// expression the distribution's Sample method would, so the draw sequence
-// is unchanged.
+// compiled sampler kinds cover every shipped distribution; each evaluates
+// the exact expression (and draws the exact xrand sequence) the
+// distribution's Sample method would, so devirtualizing the dispatch cannot
+// change a trajectory. Only distributions outside the shipped set — or with
+// constructor-bypassing parameters — pay the interface call, which also
+// guards against invalid samples.
 func (e *engine) sampleDelay(t int32, deg int) float64 {
 	c := e.comp
 	if e.raceAge && e.remain[t] >= 0 && !c.multi[t] {
@@ -796,6 +850,20 @@ func (e *engine) sampleDelay(t int32, deg int) float64 {
 		delay = e.rng.ExpFloat64() / c.delayParam[t]
 	case delayKindDet:
 		delay = c.delayParam[t]
+	case delayKindUniform:
+		delay = c.delayParam[t] + c.delayParam2[t]*e.rng.Float64()
+	case delayKindErlang:
+		prod := 1.0
+		for i := 0; i < int(c.delayParam2[t]); i++ {
+			prod *= e.rng.Float64Open()
+		}
+		delay = -math.Log(prod) / c.delayParam[t]
+	case delayKindWeibull:
+		delay = c.delayParam[t] * math.Pow(-math.Log(e.rng.Float64Open()), c.delayParam2[t])
+	case delayKindHyperExp:
+		// A direct call on the concrete mixture value — static dispatch,
+		// no interface, and by construction the same draw sequence.
+		delay = c.hypers[int(c.delayParam[t])].Sample(&e.rng)
 	default:
 		tr := &e.net.Transitions[t]
 		delay = tr.Delay.Sample(&e.rng)
@@ -812,67 +880,86 @@ func (e *engine) sampleDelay(t int32, deg int) float64 {
 }
 
 // ---------------------------------------------------------------------------
-// Scheduled-transition min-heap
+// Scheduled-transition 4-ary min-heap
+//
+// A 4-ary layout halves the tree height of a binary heap, trading a wider
+// per-level child scan (up to four sequential timerNode compares, one cache
+// line) for fewer levels. Only the (fireAt, id) pop order is observable,
+// and the id tie-break makes the minimum unique, so neither the arity nor
+// the hole-based sifting can change simulation results.
 
-// heapLess orders heap entries by (fireAt, id); the id tie-break makes the
-// pop order identical to a lowest-index-first linear scan.
-func (e *engine) heapLess(a, b int32) bool {
-	ta, tb := e.fireAt[a], e.fireAt[b]
-	return ta < tb || (ta == tb && a < b)
+// heapNodeLess orders heap nodes by (fireAt, id).
+func heapNodeLess(a, b timerNode) bool {
+	return a.at < b.at || (a.at == b.at && a.id < b.id)
 }
 
-func (e *engine) heapSwap(i, j int) {
-	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
-	e.heapPos[e.heap[i]] = int32(i)
-	e.heapPos[e.heap[j]] = int32(j)
-}
-
-// siftUp restores the heap property upward from i; it reports whether any
-// swap happened (so reschedule knows to try sifting down instead).
+// siftUp moves the node at i toward the root until its parent is no larger,
+// shifting displaced parents down into the hole; it reports whether the
+// node moved (so fix-ups know to try sifting down instead).
 func (e *engine) siftUp(i int) bool {
+	h := e.heap
+	n := h[i]
 	moved := false
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !e.heapLess(e.heap[i], e.heap[parent]) {
+		parent := (i - 1) >> 2
+		if !heapNodeLess(n, h[parent]) {
 			break
 		}
-		e.heapSwap(i, parent)
+		h[i] = h[parent]
+		e.heapPos[h[i].id] = int32(i)
 		i = parent
 		moved = true
+	}
+	if moved {
+		h[i] = n
+		e.heapPos[n.id] = int32(i)
 	}
 	return moved
 }
 
 func (e *engine) siftDown(i int) {
-	n := len(e.heap)
+	h := e.heap
+	size := len(h)
+	n := h[i]
 	for {
-		l := 2*i + 1
-		if l >= n {
-			return
+		first := 4*i + 1
+		if first >= size {
+			break
 		}
-		smallest := l
-		if r := l + 1; r < n && e.heapLess(e.heap[r], e.heap[l]) {
-			smallest = r
+		end := first + 4
+		if end > size {
+			end = size
 		}
-		if !e.heapLess(e.heap[smallest], e.heap[i]) {
-			return
+		smallest := first
+		for c := first + 1; c < end; c++ {
+			if heapNodeLess(h[c], h[smallest]) {
+				smallest = c
+			}
 		}
-		e.heapSwap(i, smallest)
+		if !heapNodeLess(h[smallest], n) {
+			break
+		}
+		h[i] = h[smallest]
+		e.heapPos[h[i].id] = int32(i)
 		i = smallest
 	}
+	h[i] = n
+	e.heapPos[n.id] = int32(i)
 }
 
-// schedule inserts unscheduled transition t into the heap.
+// schedule inserts unscheduled transition t into the heap at its current
+// fireAt.
 func (e *engine) schedule(t int32) {
 	i := len(e.heap)
-	e.heap = append(e.heap, t)
+	e.heap = append(e.heap, timerNode{at: e.fireAt[t], id: t})
 	e.heapPos[t] = int32(i)
 	e.siftUp(i)
 }
 
-// reschedule restores heap order after t's fireAt changed in place.
+// reschedule restores heap order after t's fireAt changed.
 func (e *engine) reschedule(t int32) {
 	i := int(e.heapPos[t])
+	e.heap[i].at = e.fireAt[t]
 	if !e.siftUp(i) {
 		e.siftDown(i)
 	}
@@ -889,7 +976,7 @@ func (e *engine) unschedule(t int32) {
 	if i != last {
 		moved := e.heap[last]
 		e.heap[i] = moved
-		e.heapPos[moved] = int32(i)
+		e.heapPos[moved.id] = int32(i)
 		e.heap = e.heap[:last]
 		if !e.siftUp(i) {
 			e.siftDown(i)
