@@ -11,6 +11,13 @@
 //
 // Experiments: table1 table2 table3 fig4 fig5 table4 table5
 // erlang policy workload ctmc lifetime all
+//
+// The sweep artifacts (fig4, fig5, table4, table5) can also be split
+// across worker processes with the `shard` subcommand — see shard.go:
+//
+//	wsnenergy shard plan  -experiment table4 -shards 4 -out plan.json
+//	wsnenergy shard run   -plan plan.json -shard 0 -cache cachedir -out r0.json
+//	wsnenergy shard merge -plan plan.json r0.json r1.json r2.json r3.json
 package main
 
 import (
@@ -26,18 +33,63 @@ import (
 	"repro/internal/report"
 )
 
+// modelFlags groups the model-configuration flags shared by the direct
+// experiment runner and `shard plan`, so a plan built from the same flag
+// values parameterizes exactly the sweep a direct run would evaluate.
+// Execution-local knobs (-parallel) are deliberately not model flags: a
+// plan records what to compute, each process decides how hard to run it.
+type modelFlags struct {
+	lambda, mu, pdt, pud, simTime, warmup *float64
+	reps                                  *int
+	seed                                  *uint64
+}
+
+// addModelFlags registers the model flags on a flag set.
+func addModelFlags(fs *flag.FlagSet) *modelFlags {
+	return &modelFlags{
+		lambda:  fs.Float64("lambda", 1, "arrival rate (jobs/s)"),
+		mu:      fs.Float64("mu", 10, "service rate (jobs/s); paper: mean service 0.1 s"),
+		pdt:     fs.Float64("pdt", 0.5, "power down threshold (s) for non-sweep experiments"),
+		pud:     fs.Float64("pud", 0.001, "power up delay (s) for Figure 4/5 sweeps"),
+		simTime: fs.Float64("simtime", 1000, "measured horizon (s), Table 2: 1000"),
+		warmup:  fs.Float64("warmup", 100, "simulated warmup before measurement (s)"),
+		reps:    fs.Int("reps", 10, "replications for stochastic estimators"),
+		seed:    fs.Uint64("seed", 20080901, "master random seed"),
+	}
+}
+
+// options materializes the experiment options from the parsed flags.
+func (m *modelFlags) options() (experiments.Options, error) {
+	cfg := repro.PaperConfig()
+	cfg.Lambda = *m.lambda
+	cfg.Mu = *m.mu
+	cfg.PDT = *m.pdt
+	cfg.PUD = *m.pud
+	cfg.SimTime = *m.simTime
+	cfg.Warmup = *m.warmup
+	cfg.Replications = *m.reps
+	cfg.Seed = *m.seed
+	if err := cfg.Validate(); err != nil {
+		return experiments.Options{}, err
+	}
+	opt := experiments.Default()
+	opt.Base = cfg
+	opt.PUDs = []float64{*m.pud, 0.3, 10.0}
+	if *m.pud != 0.001 {
+		opt.PUDs = []float64{*m.pud}
+	}
+	return opt, nil
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "shard" {
+		shardMain(os.Args[2:])
+		return
+	}
 	var (
 		experiment = flag.String("experiment", "all", "which artifact to regenerate (table1..table5, fig4, fig5, erlang, policy, workload, ctmc, lifetime, all)")
 		format     = flag.String("format", "text", "output format: text, csv or md")
-		lambda     = flag.Float64("lambda", 1, "arrival rate (jobs/s)")
-		mu         = flag.Float64("mu", 10, "service rate (jobs/s); paper: mean service 0.1 s")
-		pdt        = flag.Float64("pdt", 0.5, "power down threshold (s) for non-sweep experiments")
-		pud        = flag.Float64("pud", 0.001, "power up delay (s) for Figure 4/5 sweeps")
-		simTime    = flag.Float64("simtime", 1000, "measured horizon (s), Table 2: 1000")
-		warmup     = flag.Float64("warmup", 100, "simulated warmup before measurement (s)")
-		reps       = flag.Int("reps", 10, "replications for stochastic estimators")
-		seed       = flag.Uint64("seed", 20080901, "master random seed")
+		model      = addModelFlags(flag.CommandLine)
 		parallel   = flag.Int("parallel", 0, "sweep worker pool size (0 = all CPUs)")
 		chartW     = flag.Int("chartwidth", 72, "ASCII chart width for figures in text mode")
 		chartH     = flag.Int("chartheight", 20, "ASCII chart height")
@@ -50,25 +102,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	cfg := repro.PaperConfig()
-	cfg.Lambda = *lambda
-	cfg.Mu = *mu
-	cfg.PDT = *pdt
-	cfg.PUD = *pud
-	cfg.SimTime = *simTime
-	cfg.Warmup = *warmup
-	cfg.Replications = *reps
-	cfg.Seed = *seed
-	if err := cfg.Validate(); err != nil {
+	opt, err := model.options()
+	if err != nil {
 		fatal(err)
 	}
-	opt := experiments.Default()
-	opt.Base = cfg
 	opt.Parallelism = *parallel
-	opt.PUDs = []float64{*pud, 0.3, 10.0}
-	if *pud != 0.001 {
-		opt.PUDs = []float64{*pud}
-	}
 
 	names := strings.Split(*experiment, ",")
 	if *experiment == "all" {

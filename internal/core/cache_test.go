@@ -1,0 +1,303 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/energy"
+)
+
+// randomConfig draws an arbitrary (not necessarily valid) configuration:
+// the key encoding must round-trip any representable config, not just ones
+// that pass Validate.
+func randomConfig(rng *rand.Rand) Config {
+	f := func() float64 {
+		switch rng.Intn(5) {
+		case 0:
+			return 0
+		case 1:
+			return -0.0 // sign must survive the round trip
+		case 2:
+			return rng.Float64() * 1e6
+		case 3:
+			return math.SmallestNonzeroFloat64 * float64(1+rng.Intn(1000))
+		default:
+			// Full-precision mantissas: shortest-representation JSON
+			// encoding must restore these bit for bit.
+			return rng.NormFloat64() * math.Pow(10, float64(rng.Intn(40)-20))
+		}
+	}
+	cfg := Config{
+		Lambda:       f(),
+		Mu:           f(),
+		PDT:          f(),
+		PUD:          f(),
+		SimTime:      f(),
+		Warmup:       f(),
+		Replications: rng.Intn(100),
+		Seed:         rng.Uint64(),
+	}
+	cfg.Power.Name = fmt.Sprintf("cpu-%d", rng.Intn(10))
+	for i := range cfg.Power.MW {
+		cfg.Power.MW[i] = f()
+	}
+	return cfg
+}
+
+// TestCacheKeyRoundTripProperty: encode→decode restores the key exactly
+// for 500 random configurations, and equal keys share canonical bytes and
+// hashes.
+func TestCacheKeyRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20080901))
+	for i := 0; i < 500; i++ {
+		key := CacheKey{
+			Config:    randomConfig(rng),
+			Method:    fmt.Sprintf("method-%d", rng.Intn(5)),
+			Estimator: "repro/internal/core.Simulation",
+		}
+		data, err := key.Encode()
+		if err != nil {
+			t.Fatalf("iteration %d: encode: %v", i, err)
+		}
+		got, err := DecodeCacheKey(data)
+		if err != nil {
+			t.Fatalf("iteration %d: decode: %v", i, err)
+		}
+		if got != key {
+			t.Fatalf("iteration %d: round trip changed the key\n in: %+v\nout: %+v", i, key, got)
+		}
+		// Canonical: re-encoding the decoded key yields identical bytes,
+		// so the hash is stable across processes.
+		data2, err := got.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != string(data2) {
+			t.Fatalf("iteration %d: encoding not canonical:\n%s\n%s", i, data, data2)
+		}
+		h1, err := key.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := got.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 || len(h1) != 64 {
+			t.Fatalf("iteration %d: hash unstable or malformed: %q vs %q", i, h1, h2)
+		}
+	}
+}
+
+// TestCacheKeyDistinguishes: any change to config, method or estimator
+// identity must change the canonical encoding.
+func TestCacheKeyDistinguishes(t *testing.T) {
+	base := CacheKey{Config: PaperConfig(), Method: "Simulation", Estimator: "core.Simulation"}
+	variants := []CacheKey{base, base, base, base}
+	variants[1].Method = "Markov"
+	variants[2].Estimator = "core.Markov"
+	variants[3].Config.PDT += 1e-9
+	seen := map[string]int{}
+	for i, k := range variants[1:] {
+		h, err := k.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseHash, _ := base.Hash()
+		if h == baseHash {
+			t.Fatalf("variant %d collides with the base key", i+1)
+		}
+		seen[h]++
+	}
+	if len(seen) != 3 {
+		t.Fatalf("variants collide among themselves: %v", seen)
+	}
+}
+
+// TestCacheKeyVersionBumpRejected: a key encoded under any other schema
+// version must not decode.
+func TestCacheKeyVersionBumpRejected(t *testing.T) {
+	key := CacheKey{Config: PaperConfig(), Method: "Simulation", Estimator: "core.Simulation"}
+	data, err := key.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{0, CacheKeyVersion + 1, -1} {
+		bumped := strings.Replace(string(data),
+			fmt.Sprintf(`"v":%d`, CacheKeyVersion), fmt.Sprintf(`"v":%d`, v), 1)
+		if bumped == string(data) {
+			t.Fatalf("test setup: version marker not found in %s", data)
+		}
+		if _, err := DecodeCacheKey([]byte(bumped)); err == nil {
+			t.Fatalf("version %d decoded without error", v)
+		}
+	}
+}
+
+// TestCacheKeyUnknownFieldsRejected: a key written by a richer (future)
+// schema that forgot to bump the version must still be refused rather
+// than silently dropping the unknown field.
+func TestCacheKeyUnknownFieldsRejected(t *testing.T) {
+	key := CacheKey{Config: PaperConfig(), Method: "Simulation", Estimator: "core.Simulation"}
+	data, err := key.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withExtra := strings.Replace(string(data), `"method":`, `"voltage":1.8,"method":`, 1)
+	if _, err := DecodeCacheKey([]byte(withExtra)); err == nil {
+		t.Fatal("key with unknown field decoded without error")
+	}
+}
+
+// TestCacheKeyNaNUnencodable: configurations containing NaN have no
+// canonical form and must error instead of storing garbage.
+func TestCacheKeyNaNUnencodable(t *testing.T) {
+	key := CacheKey{Config: PaperConfig(), Method: "m", Estimator: "e"}
+	key.Config.Lambda = math.NaN()
+	if _, err := key.Encode(); err == nil {
+		t.Fatal("NaN config encoded without error")
+	}
+	if _, err := key.Hash(); err == nil {
+		t.Fatal("NaN config hashed without error")
+	}
+}
+
+// TestMemoryBackendZeroValue: a directly constructed backend must behave
+// like a default one, not evict on every Put.
+func TestMemoryBackendZeroValue(t *testing.T) {
+	var b MemoryBackend
+	for i := 0; i < 3; i++ {
+		cfg := PaperConfig()
+		cfg.Seed = uint64(i)
+		if err := b.Put(CacheKey{Config: cfg, Method: "m", Estimator: "e"}, Estimate{EnergyJ: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st, _ := b.Stats(); st.Entries != 3 {
+		t.Fatalf("zero-value backend holds %d entries, want 3", st.Entries)
+	}
+}
+
+func TestMemoryBackendBasics(t *testing.T) {
+	b := NewMemoryBackend()
+	key := CacheKey{Config: PaperConfig(), Method: "m", Estimator: "e"}
+	if _, ok, err := b.Get(key); ok || err != nil {
+		t.Fatalf("empty backend: ok=%v err=%v", ok, err)
+	}
+	want := Estimate{Method: "m", EnergyJ: 42}
+	if err := b.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := b.Get(key)
+	if !ok || err != nil || got != want {
+		t.Fatalf("Get = %+v, %v, %v; want the stored estimate", got, ok, err)
+	}
+	st, err := b.Stats()
+	if err != nil || st.Entries != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, %v; want 1 entry, 1 hit", st, err)
+	}
+	if err := b.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := b.Stats(); st.Entries != 0 || st.Hits != 0 {
+		t.Fatalf("reset left %+v", st)
+	}
+}
+
+// TestMemoryBackendEpochEviction: hitting the entry bound drops the whole
+// epoch rather than refusing new entries.
+func TestMemoryBackendEpochEviction(t *testing.T) {
+	b := &MemoryBackend{m: make(map[CacheKey]Estimate), max: 3}
+	mk := func(i int) CacheKey {
+		cfg := PaperConfig()
+		cfg.Seed = uint64(i)
+		return CacheKey{Config: cfg, Method: "m", Estimator: "e"}
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.Put(mk(i), Estimate{EnergyJ: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The 4th insert crosses the bound: the epoch resets and only the new
+	// entry survives.
+	if err := b.Put(mk(3), Estimate{EnergyJ: 3}); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := b.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("after eviction: %d entries, want 1", st.Entries)
+	}
+	if _, ok, _ := b.Get(mk(3)); !ok {
+		t.Fatal("the entry that triggered eviction was not stored")
+	}
+	if _, ok, _ := b.Get(mk(0)); ok {
+		t.Fatal("evicted entry still present")
+	}
+}
+
+// TestEstimatorIDIdentities pins the cache-identity derivation: concrete
+// type paths, the AdaptEstimator unwrap, and pointer receivers.
+func TestEstimatorIDIdentities(t *testing.T) {
+	if got := estimatorID(Simulation{}); got != "repro/internal/core.Simulation" {
+		t.Fatalf("Simulation id = %q", got)
+	}
+	if got := estimatorID(&Simulation{}); got != "*repro/internal/core.Simulation" {
+		t.Fatalf("*Simulation id = %q", got)
+	}
+	// An adapted legacy estimator must share identity with its wrapped
+	// implementation, not with the shim.
+	var calls atomic.Int64
+	adapted := AdaptEstimator(countingEstimator{calls: &calls})
+	if got := estimatorID(adapted); !strings.HasSuffix(got, ".countingEstimator") {
+		t.Fatalf("adapted id = %q, want the wrapped type's", got)
+	}
+}
+
+// TestDefaultBackendFacade: the package-level reset/stats helpers operate
+// on the process-wide default backend.
+func TestDefaultBackendFacade(t *testing.T) {
+	ResetEstimateCache()
+	t.Cleanup(ResetEstimateCache)
+	key := CacheKey{Config: PaperConfig(), Method: "m", Estimator: "e"}
+	if err := DefaultCacheBackend().Put(key, Estimate{EnergyJ: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if entries, _ := EstimateCacheStats(); entries != 1 {
+		t.Fatalf("entries = %d, want 1", entries)
+	}
+	ResetEstimateCache()
+	if entries, _ := EstimateCacheStats(); entries != 0 {
+		t.Fatalf("after reset entries = %d", entries)
+	}
+}
+
+// TestCacheKeyWireShapeStable pins the canonical field order: changing it
+// silently would orphan every shared cache in the field, so it must fail a
+// test instead.
+func TestCacheKeyWireShapeStable(t *testing.T) {
+	key := CacheKey{Method: "m", Estimator: "e"}
+	key.Config.Power = energy.PXA271
+	data, err := key.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probe struct {
+		V int `json:"v"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil || probe.V != CacheKeyVersion {
+		t.Fatalf("wire form lost the version marker: %s", data)
+	}
+	for _, marker := range []string{`"v":`, `"estimator":"e"`, `"method":"m"`, `"config":{`, `"Lambda":`, `"MW":[`} {
+		if !strings.Contains(string(data), marker) {
+			t.Fatalf("wire form missing %s:\n%s", marker, data)
+		}
+	}
+	if !strings.HasPrefix(string(data), `{"v":`) {
+		t.Fatalf("version must lead the wire form for cheap inspection:\n%s", data)
+	}
+}

@@ -208,10 +208,16 @@ func AdaptEstimator(e LegacyEstimator) Estimator {
 	return adaptedEstimator{inner: e}
 }
 
-// Methods returns the paper's three estimators in presentation order
-// (simulation first, as the benchmark), resolved through the registry.
+// MethodSpecs returns the registry specs of the paper's three methods in
+// presentation order (simulation first, as the benchmark) — the single
+// source of that list, shared by Methods and by coordinators that must
+// record the estimator set for other processes (shard manifests).
+func MethodSpecs() []string { return []string{"simulation", "markov", "petrinet"} }
+
+// Methods returns the paper's three estimators in presentation order,
+// resolved through the registry.
 func Methods() []Estimator {
-	ests, err := NewEstimators("simulation", "markov", "petrinet")
+	ests, err := NewEstimators(MethodSpecs()...)
 	if err != nil {
 		// The three paper methods register in this package's init; a
 		// lookup failure is a programming error, not a runtime condition.

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// sleepEstimator burns a fixed wall-clock duration per run (respecting
+// cancellation) and counts invocations — the knob the deadline tests use
+// to train the Runner's cost model deterministically.
+type sleepEstimator struct {
+	d     time.Duration
+	calls *atomic.Int64
+}
+
+func (s sleepEstimator) Name() string { return "sleepy" }
+
+func (s sleepEstimator) Estimate(cfg Config) (*Estimate, error) {
+	return s.EstimateContext(context.Background(), cfg)
+}
+
+func (s sleepEstimator) EstimateContext(ctx context.Context, cfg Config) (*Estimate, error) {
+	s.calls.Add(1)
+	select {
+	case <-time.After(s.d):
+		return &Estimate{Method: "sleepy", EnergyJ: cfg.PDT}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// trainRunner runs one scenario without a deadline so the Runner's cost
+// model learns the estimator's duration.
+func trainRunner(t *testing.T, r *Runner, cfg Config) {
+	t.Helper()
+	if _, err := r.RunAll(context.Background(), []Scenario{{Name: "train", Config: cfg}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeadlineSkipReportedAndNeverCached is the satellite cancellation
+// test: once the cost model knows a scenario outlasts the deadline, the
+// scenario must be reported as skipped — Result.Skipped set, Err wrapping
+// ErrDeadlineSkipped — without ever invoking the estimator or touching the
+// cache.
+func TestDeadlineSkipReportedAndNeverCached(t *testing.T) {
+	var calls atomic.Int64
+	backend := NewMemoryBackend()
+	r, err := NewRunner(
+		WithConfig(PaperConfig()),
+		WithEstimators(sleepEstimator{d: 300 * time.Millisecond, calls: &calls}),
+		WithCacheBackend(backend),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainRunner(t, r, r.BaseConfig())
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("training ran the estimator %d times, want 1", got)
+	}
+	entriesAfterTraining, _ := EstimateCacheStatsOf(backend)
+
+	// A fresh grid point under a deadline far shorter than the trained
+	// 300 ms cost must be refused up front.
+	fresh := r.BaseConfig()
+	fresh.PDT = 0.123
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	ch, err := r.RunBatch(ctx, []Scenario{{Name: "doomed", Config: fresh}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Result
+	for res := range ch {
+		got = append(got, res)
+	}
+	if len(got) != 1 {
+		t.Fatalf("batch emitted %d results, want 1", len(got))
+	}
+	res := got[0]
+	if !res.Skipped {
+		t.Fatalf("scenario not marked skipped: %+v", res)
+	}
+	if !errors.Is(res.Err, ErrDeadlineSkipped) {
+		t.Fatalf("skip error = %v, want ErrDeadlineSkipped", res.Err)
+	}
+	if res.Estimates != nil {
+		t.Fatalf("skipped scenario carries estimates: %+v", res.Estimates)
+	}
+	if callsNow := calls.Load(); callsNow != 1 {
+		t.Fatalf("skipped scenario still invoked the estimator (%d calls)", callsNow)
+	}
+	if entries, _ := EstimateCacheStatsOf(backend); entries != entriesAfterTraining {
+		t.Fatalf("skip changed the cache: %d entries, want %d", entries, entriesAfterTraining)
+	}
+}
+
+// TestDeadlineSkipSparesCachedScenarios: prefill runs before the skip
+// check, so a scenario the cache can answer completes even when its
+// compute cost would exceed the deadline.
+func TestDeadlineSkipSparesCachedScenarios(t *testing.T) {
+	var calls atomic.Int64
+	backend := NewMemoryBackend()
+	r, err := NewRunner(
+		WithConfig(PaperConfig()),
+		WithEstimators(sleepEstimator{d: 300 * time.Millisecond, calls: &calls}),
+		WithCacheBackend(backend),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainRunner(t, r, r.BaseConfig())
+
+	// Same scenario, impossible deadline: the cached estimate must land.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	results, err := r.RunAll(ctx, []Scenario{{Name: "train", Config: r.BaseConfig()}})
+	if err != nil {
+		t.Fatalf("cached scenario under deadline failed: %v", err)
+	}
+	if results[0].Skipped || results[0].Err != nil || len(results[0].Estimates) != 1 {
+		t.Fatalf("cached scenario mishandled: %+v", results[0])
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("cached scenario recomputed (%d calls)", got)
+	}
+}
+
+// TestDeadlineSkippingDisabled: WithDeadlineSkipping(false) restores the
+// try-and-abort behaviour — the estimator starts and the deadline kills it
+// mid-run.
+func TestDeadlineSkippingDisabled(t *testing.T) {
+	var calls atomic.Int64
+	r, err := NewRunner(
+		WithConfig(PaperConfig()),
+		WithEstimators(sleepEstimator{d: 300 * time.Millisecond, calls: &calls}),
+		WithCacheBackend(NewMemoryBackend()),
+		WithDeadlineSkipping(false),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainRunner(t, r, r.BaseConfig())
+
+	fresh := r.BaseConfig()
+	fresh.PDT = 0.123
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err = r.RunAll(ctx, []Scenario{{Name: "doomed", Config: fresh}})
+	if err == nil {
+		t.Fatal("impossible deadline succeeded")
+	}
+	if errors.Is(err, ErrDeadlineSkipped) {
+		t.Fatalf("skipping disabled but scenario was skipped: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("estimator should have been attempted (%d calls, want 2)", got)
+	}
+}
+
+// TestUntrainedRunnerNeverSkips: with no observed costs the model predicts
+// nothing, so even a tight (but sufficient) deadline runs the scenario.
+func TestUntrainedRunnerNeverSkips(t *testing.T) {
+	var calls atomic.Int64
+	r, err := NewRunner(
+		WithConfig(PaperConfig()),
+		WithEstimators(sleepEstimator{d: 10 * time.Millisecond, calls: &calls}),
+		WithCacheBackend(NewMemoryBackend()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	results, err := r.RunAll(ctx, []Scenario{{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Skipped {
+		t.Fatal("untrained runner skipped a scenario")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("estimator ran %d times, want 1", got)
+	}
+}
+
+// TestCostModelEWMA pins the moving-average fold and the
+// min(work-scaled, absolute) prediction.
+func TestCostModelEWMA(t *testing.T) {
+	var c costModel
+	if _, ok := c.predict("x", 1); ok {
+		t.Fatal("empty model predicted")
+	}
+	c.observe("x", 100*time.Millisecond, 1)
+	if d, ok := c.predict("x", 1); !ok || d != 100*time.Millisecond {
+		t.Fatalf("first observation: %v, %v", d, ok)
+	}
+	c.observe("x", 300*time.Millisecond, 1)
+	if d, _ := c.predict("x", 1); d != 200*time.Millisecond {
+		t.Fatalf("EWMA fold: %v, want 200ms", d)
+	}
+	// Scaling a trained model up is capped by the absolute average (the
+	// analytic-solver case: O(1) cost must not extrapolate linearly)...
+	if d, _ := c.predict("x", 10); d != 200*time.Millisecond {
+		t.Fatalf("scale-up must cap at the absolute EWMA: %v, want 200ms", d)
+	}
+	// ...while scaling down follows the per-work rate (the simulator
+	// case: short scenarios predict proportionally cheaper).
+	if d, _ := c.predict("x", 0.01); d != 2*time.Millisecond {
+		t.Fatalf("work scaling down: %v, want 2ms", d)
+	}
+}
+
+// TestDeadlineSkipAnalyticScaleUp: an estimator whose cost does NOT grow
+// with the horizon (analytic solvers), trained on a short scenario, must
+// not be skipped on a long-horizon scenario — the absolute cost bound
+// caps the work-scaled extrapolation.
+func TestDeadlineSkipAnalyticScaleUp(t *testing.T) {
+	var calls atomic.Int64
+	r, err := NewRunner(
+		WithConfig(PaperConfig()),
+		WithEstimators(sleepEstimator{d: 50 * time.Millisecond, calls: &calls}),
+		WithCacheBackend(NewMemoryBackend()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := r.BaseConfig()
+	short.SimTime = 10
+	short.Warmup = 0
+	short.Replications = 1
+	trainRunner(t, r, short)
+
+	long := short
+	long.SimTime = 100000 // 10000x the work; linear extrapolation says 500s
+	long.PDT = 0.123
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	results, err := r.RunAll(ctx, []Scenario{{Name: "long-analytic", Config: long}})
+	if err != nil {
+		t.Fatalf("flat-cost estimator skipped on scale-up: %v", err)
+	}
+	if results[0].Skipped {
+		t.Fatal("flat-cost estimator skipped on scale-up")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("estimator ran %d times, want 2", got)
+	}
+}
+
+// TestDeadlineSkipScalesWithWork: a model trained on an expensive
+// long-horizon scenario must not skip a cheap short-horizon one — the
+// prediction is per unit of simulated work, so a scenario asking for
+// 1000x less work predicts 1000x cheaper and fits the deadline.
+func TestDeadlineSkipScalesWithWork(t *testing.T) {
+	var calls atomic.Int64
+	r, err := NewRunner(
+		WithConfig(PaperConfig()),
+		// The estimator's wall clock is fixed, which for the model reads
+		// as "cost proportional to nothing": training on the long config
+		// sets a small per-work rate, so the short config predicts far
+		// under the deadline. The point is the direction of the error —
+		// toward attempting, never toward skipping.
+		WithEstimators(sleepEstimator{d: 200 * time.Millisecond, calls: &calls}),
+		WithCacheBackend(NewMemoryBackend()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := r.BaseConfig()
+	long.SimTime = 100000 // work ~ 100100*10 units in 200ms
+	trainRunner(t, r, long)
+
+	short := r.BaseConfig()
+	short.SimTime = 1
+	short.Warmup = 0
+	short.Replications = 1
+	short.PDT = 0.123
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	results, err := r.RunAll(ctx, []Scenario{{Name: "cheap", Config: short}})
+	if err != nil {
+		t.Fatalf("cheap scenario under a generous deadline failed: %v", err)
+	}
+	if results[0].Skipped {
+		t.Fatal("cheap scenario skipped on a model trained by an expensive one")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("estimator ran %d times, want 2", got)
+	}
+}
+
+// EstimateCacheStatsOf is a tiny helper over a backend's Stats for tests.
+func EstimateCacheStatsOf(b CacheBackend) (int, uint64) {
+	st, err := b.Stats()
+	if err != nil {
+		return -1, 0
+	}
+	return st.Entries, st.Hits
+}

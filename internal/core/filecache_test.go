@@ -1,0 +1,341 @@
+package core
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func fileKey(i int) CacheKey {
+	cfg := PaperConfig()
+	cfg.Seed = uint64(i)
+	return CacheKey{Config: cfg, Method: "m", Estimator: "repro/internal/core.test"}
+}
+
+func TestFileBackendRoundTrip(t *testing.T) {
+	b, err := NewFileBackend(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := fileKey(1)
+	if _, ok, err := b.Get(key); ok || err != nil {
+		t.Fatalf("empty cache: ok=%v err=%v", ok, err)
+	}
+	want := Estimate{Method: "m", EnergyJ: 123.456, MeanJobs: 0.1}
+	if err := b.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := b.Get(key)
+	if err != nil || !ok || got != want {
+		t.Fatalf("Get = %+v, %v, %v", got, ok, err)
+	}
+	st, err := b.Stats()
+	if err != nil || st.Entries != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, %v", st, err)
+	}
+	if err := b.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := b.Stats(); st.Entries != 0 || st.Hits != 0 {
+		t.Fatalf("reset left %+v", st)
+	}
+	if _, ok, _ := b.Get(key); ok {
+		t.Fatal("entry survived Reset")
+	}
+}
+
+// TestFileBackendSharedDirectory: two backends over one directory see each
+// other's entries — the cross-process sharing contract of sharded sweeps,
+// exercised here with two independent backend values.
+func TestFileBackendSharedDirectory(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := NewFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reader, err := NewFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := fileKey(7)
+	want := Estimate{Method: "m", EnergyJ: 7}
+	if err := writer.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := reader.Get(key)
+	if err != nil || !ok || got != want {
+		t.Fatalf("second backend missed the shared entry: %+v, %v, %v", got, ok, err)
+	}
+}
+
+// TestFileBackendConcurrentGetPut hammers one shared directory from many
+// goroutines through two backend instances (as two processes would); run
+// with -race this is the concurrency test of the satellite checklist.
+// Readers must only ever observe complete records.
+func TestFileBackendConcurrentGetPut(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		goroutines = 8
+		keys       = 16
+		rounds     = 30
+	)
+	var torn atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		backend := a
+		if g%2 == 1 {
+			backend = b
+		}
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (g + r) % keys
+				key := fileKey(i)
+				// Writers racing on the same key always write the same
+				// value, mirroring the determinism contract of the sweep.
+				if err := backend.Put(key, Estimate{Method: "m", EnergyJ: float64(i)}); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				got, ok, err := backend.Get(key)
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				if ok && got.EnergyJ != float64(i) {
+					torn.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := torn.Load(); n != 0 {
+		t.Fatalf("%d reads observed a value that was never written (torn or aliased entry)", n)
+	}
+	st, err := a.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != keys {
+		t.Fatalf("directory holds %d entries, want %d", st.Entries, keys)
+	}
+	// No temp droppings left behind.
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if !strings.HasSuffix(de.Name(), cacheFileSuffix) {
+			t.Fatalf("leftover non-entry file %s", de.Name())
+		}
+	}
+}
+
+// TestFileBackendCorruptEntry: a truncated record must read as an error
+// (which the Runner treats as a miss), never as a wrong estimate.
+func TestFileBackendCorruptEntry(t *testing.T) {
+	b, err := NewFileBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := fileKey(3)
+	if err := b.Put(key, Estimate{EnergyJ: 3}); err != nil {
+		t.Fatal(err)
+	}
+	_, path, err := b.encodeAndPath(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(`{"version":1,"key":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := b.Get(key); ok || err == nil {
+		t.Fatalf("corrupt entry: ok=%v err=%v, want miss with error", ok, err)
+	}
+}
+
+// TestFileBackendKeyMismatchIsMiss: a record stored under this hash but
+// encoding a different canonical key (collision, or a schema the current
+// binary does not understand) must read as a miss.
+func TestFileBackendKeyMismatchIsMiss(t *testing.T) {
+	b, err := NewFileBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, other := fileKey(1), fileKey(2)
+	if err := b.Put(other, Estimate{EnergyJ: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Graft other's record onto key's path: the embedded canonical key no
+	// longer matches what Get asks for.
+	_, otherPath, _ := b.encodeAndPath(other)
+	_, keyPath, _ := b.encodeAndPath(key)
+	data, err := os.ReadFile(otherPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(keyPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := b.Get(key); ok || err != nil {
+		t.Fatalf("aliased entry served: ok=%v err=%v, want clean miss", ok, err)
+	}
+}
+
+// TestRunnerWithFileBackend: a Runner over a FileBackend memoizes across
+// Runner instances sharing the directory, and Runner.ResetEstimateCache
+// resets that backend — not the process-wide default.
+func TestRunnerWithFileBackend(t *testing.T) {
+	ResetEstimateCache()
+	t.Cleanup(ResetEstimateCache)
+	dir := t.TempDir()
+	var calls atomic.Int64
+	newRunner := func() *Runner {
+		backend, err := NewFileBackend(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRunner(
+			WithConfig(PaperConfig()),
+			WithSeed(77),
+			WithEstimators(AdaptEstimator(countingEstimator{calls: &calls})),
+			WithCacheBackend(backend),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	scenarios := pdtSweep(PaperConfig(), []float64{0, 0.25, 0.5})
+
+	r1 := newRunner()
+	first, err := r1.RunAll(context.Background(), scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("first runner ran the estimator %d times, want 3", got)
+	}
+	// A second Runner with its own backend value over the same directory —
+	// the shape of a second worker process — must answer entirely from the
+	// shared store.
+	r2 := newRunner()
+	second, err := r2.RunAll(context.Background(), scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("shared file cache missed: %d total calls, want 3", got)
+	}
+	for i := range first {
+		if *first[i].Estimates[0] != *second[i].Estimates[0] {
+			t.Fatalf("scenario %d: file-cached estimate differs", i)
+		}
+	}
+	// The process-wide default cache must have stayed untouched.
+	if entries, _ := EstimateCacheStats(); entries != 0 {
+		t.Fatalf("file-backed runner leaked %d entries into the default cache", entries)
+	}
+	// Runner-level reset drains the configured backend...
+	if err := r2.ResetEstimateCache(); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := r2.CacheBackend().Stats(); st.Entries != 0 {
+		t.Fatalf("Runner.ResetEstimateCache left %d entries in the file backend", st.Entries)
+	}
+	// ...so the next batch recomputes.
+	if _, err := r2.RunAll(context.Background(), scenarios); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 6 {
+		t.Fatalf("after backend reset: %d total calls, want 6", got)
+	}
+}
+
+// TestFileBackendUnencodableEstimate: an estimate that cannot serialize
+// (infinite lifetime) fails Put cleanly; the Runner treats that as
+// "don't cache" and the sweep still completes.
+func TestFileBackendUnencodableEstimate(t *testing.T) {
+	b, err := NewFileBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf := Estimate{Method: "m"}
+	inf.Node.LifetimeSeconds = math.Inf(1)
+	if err := b.Put(fileKey(1), inf); err == nil {
+		t.Fatal("infinite estimate serialized without error")
+	}
+	if st, _ := b.Stats(); st.Entries != 0 {
+		t.Fatalf("failed Put left %d entries", st.Entries)
+	}
+}
+
+// TestFileBackendResetSweepsOrphanedTmp: a writer killed between write
+// and rename leaves a temp file; Reset is the collection point for those
+// orphans, while unrelated files in the directory are left alone.
+func TestFileBackendResetSweepsOrphanedTmp(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put(fileKey(1), Estimate{EnergyJ: 1}); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, "deadbeef"+cacheFileSuffix+".tmp.12345.1")
+	if err := os.WriteFile(orphan, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	unrelated := filepath.Join(dir, "README")
+	if err := os.WriteFile(unrelated, []byte("docs"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("Reset left the orphaned temp file behind")
+	}
+	if _, err := os.Stat(unrelated); err != nil {
+		t.Fatal("Reset removed an unrelated file")
+	}
+	if st, _ := b.Stats(); st.Entries != 0 {
+		t.Fatalf("Reset left %d entries", st.Entries)
+	}
+}
+
+// TestNewFileBackendRejectsEmptyDir pins the constructor's validation.
+func TestNewFileBackendRejectsEmptyDir(t *testing.T) {
+	if _, err := NewFileBackend(""); err == nil {
+		t.Fatal("empty directory accepted")
+	}
+	// A directory that cannot be created must surface the error.
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFileBackend(filepath.Join(file, "sub")); err == nil {
+		t.Fatal("uncreatable directory accepted")
+	}
+}
+
+// TestWithCacheBackendValidation: nil backends are a construction error.
+func TestWithCacheBackendValidation(t *testing.T) {
+	if _, err := NewRunner(WithCacheBackend(nil)); err == nil {
+		t.Fatal("nil backend accepted")
+	}
+}

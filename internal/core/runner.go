@@ -2,12 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
-	"reflect"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/xrand"
 )
@@ -44,6 +45,10 @@ type Result struct {
 	Seed uint64
 	// Estimates holds one result per estimator, in estimator order.
 	Estimates []*Estimate
+	// Skipped reports that deadline-aware scheduling refused to start the
+	// scenario because its estimated cost exceeded the remaining context
+	// deadline; Err wraps ErrDeadlineSkipped and Estimates is nil.
+	Skipped bool
 	// Err reports the first estimator failure for this scenario.
 	Err error
 }
@@ -56,96 +61,109 @@ type Runner struct {
 	seed        uint64
 	parallelism int
 	estimators  []Estimator
-	cache       bool
-	deriveSeeds bool
+	// estIDs caches each estimator's implementation identity (parallel to
+	// estimators): deriving it needs reflection and string building, which
+	// must not run once per cache lookup on the memoized fast path.
+	estIDs       []string
+	cache        bool
+	backend      CacheBackend
+	deriveSeeds  bool
+	deadlineSkip bool
+	costs        costModel
 }
 
 // runnerSettings accumulates option values before the Runner is sealed.
 type runnerSettings struct {
-	base        Config
-	seed        uint64
-	seedSet     bool
-	parallelism int
-	estimators  []Estimator
-	noCache     bool
-	rawSeeds    bool
+	base           Config
+	seed           uint64
+	seedSet        bool
+	parallelism    int
+	estimators     []Estimator
+	noCache        bool
+	backend        CacheBackend
+	rawSeeds       bool
+	noDeadlineSkip bool
 }
 
-// ---------------------------------------------------------------------------
-// Result memoization
-//
-// Every estimator is a pure function of its Config (the effective seed is
-// part of the Config and is derived from the master seed and the Config's
-// own content), so a (config, method) pair fully determines its Estimate.
-// Experiments re-evaluate identical grid points constantly — Figure 4 and
-// Figure 5 run the same PDT×PUD sweep, Tables 4 and 5 repeat it per PUD —
-// and separate Runners are no obstacle to sharing: equal effective configs
-// mean equal results regardless of which Runner computed them. The cache
-// is therefore process-wide, keyed by the full config value plus the
-// estimator's concrete type and name (the type guards against two
-// unrelated estimators that happen to share a Name; two estimators of the
-// same type whose Name hides differing behavior must opt out via
-// WithCache(false)). The cache is bounded with epoch eviction.
+// ErrDeadlineSkipped marks a scenario that deadline-aware scheduling
+// refused to start: its estimated cost exceeded the time remaining before
+// the context deadline. Skipped scenarios are reported with Result.Skipped
+// set, wrap this error, and are never cached.
+var ErrDeadlineSkipped = errors.New("estimated cost exceeds the remaining context deadline")
 
-type estimateCacheKey struct {
-	cfg    Config
-	method string
-	typ    reflect.Type
+// costModel tracks the observed wall-clock cost of each estimator (keyed
+// by the same implementation identity the result cache uses) as two
+// exponentially weighted moving averages: cost per unit of simulated work
+// and absolute cost per run. A prediction is the *minimum* of the
+// work-scaled and the absolute estimate, so every modeling error biases
+// toward attempting, never toward skipping: a work-proportional simulator
+// trained on long horizons predicts short scenarios proportionally
+// (absolute would over-predict), and an O(1) analytic solver trained on
+// short horizons predicts long scenarios by its flat cost (work-scaled
+// would over-predict). The worst case is an under-prediction that lets a
+// doomed scenario start — which the deadline then aborts, exactly the
+// pre-skip behaviour. The model powers deadline-aware scheduling and is
+// per-Runner so unrelated workloads (and tests) never train each other.
+type costModel struct {
+	mu sync.Mutex
+	m  map[string]costEstimate
 }
 
-// estimateCacheMax bounds the number of memoized results (~64k entries; an
-// Estimate is a small value struct).
-const estimateCacheMax = 1 << 16
+// costEstimate is one estimator's trained state: EWMA seconds per unit of
+// work and EWMA seconds per run.
+type costEstimate struct {
+	perWork float64
+	abs     float64
+}
 
-var estimateCache = struct {
-	sync.Mutex
-	m    map[estimateCacheKey]Estimate
-	hits uint64
-}{m: make(map[estimateCacheKey]Estimate)}
+// configWork scores how much simulation a config asks for: horizon times
+// replications, the quantity stochastic estimators scale roughly linearly
+// in.
+func configWork(cfg Config) float64 {
+	work := cfg.SimTime + cfg.Warmup
+	if work <= 0 {
+		work = 1
+	}
+	if cfg.Replications > 1 {
+		work *= float64(cfg.Replications)
+	}
+	return work
+}
 
-func estimateCacheLookup(k estimateCacheKey) (*Estimate, bool) {
-	estimateCache.Lock()
-	defer estimateCache.Unlock()
-	est, ok := estimateCache.m[k]
+// observe folds one completed run into the estimator's moving averages.
+func (c *costModel) observe(id string, d time.Duration, work float64) {
+	secs := d.Seconds()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]costEstimate)
+	}
+	if prev, ok := c.m[id]; ok {
+		c.m[id] = costEstimate{
+			perWork: (prev.perWork + secs/work) / 2,
+			abs:     (prev.abs + secs) / 2,
+		}
+	} else {
+		c.m[id] = costEstimate{perWork: secs / work, abs: secs}
+	}
+}
+
+// predict returns the cost estimate for running an estimator over the
+// given amount of work: min(work-scaled, absolute). ok is false until at
+// least one run has been observed (an untrained model never causes a
+// skip).
+func (c *costModel) predict(id string, work float64) (time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	est, ok := c.m[id]
 	if !ok {
-		return nil, false
+		return 0, false
 	}
-	estimateCache.hits++
-	// Copy out: Estimate carries no reference types, so a value copy keeps
-	// the cache immune to caller mutation.
-	out := est
-	return &out, true
-}
-
-func estimateCacheStore(k estimateCacheKey, est *Estimate) {
-	estimateCache.Lock()
-	defer estimateCache.Unlock()
-	if len(estimateCache.m) >= estimateCacheMax {
-		// Epoch eviction: drop everything and let the current workload
-		// repopulate. Long-running sweep services keep memoizing their
-		// recent grid instead of being pinned to the first 64k points.
-		estimateCache.m = make(map[estimateCacheKey]Estimate)
+	secs := est.perWork * work
+	if est.abs < secs {
+		secs = est.abs
 	}
-	estimateCache.m[k] = *est
-}
-
-// ResetEstimateCache empties the process-wide result cache (used by tests
-// and by long-lived services that change estimator implementations at
-// runtime — the cache assumes an estimator name always denotes the same
-// pure function).
-func ResetEstimateCache() {
-	estimateCache.Lock()
-	defer estimateCache.Unlock()
-	estimateCache.m = make(map[estimateCacheKey]Estimate)
-	estimateCache.hits = 0
-}
-
-// EstimateCacheStats reports the current entry and hit counts of the
-// process-wide result cache.
-func EstimateCacheStats() (entries int, hits uint64) {
-	estimateCache.Lock()
-	defer estimateCache.Unlock()
-	return len(estimateCache.m), estimateCache.hits
+	return time.Duration(secs * float64(time.Second)), true
 }
 
 // RunnerOption configures a Runner under construction.
@@ -212,6 +230,36 @@ func WithCache(enabled bool) RunnerOption {
 	}
 }
 
+// WithCacheBackend routes the Runner's result memoization through a
+// specific backend instead of the process-wide default — typically a
+// FileBackend shared with other processes running shards of the same
+// sweep. Setting a backend implies WithCache(true) unless WithCache(false)
+// is also given.
+func WithCacheBackend(b CacheBackend) RunnerOption {
+	return func(s *runnerSettings) error {
+		if b == nil {
+			return fmt.Errorf("core: WithCacheBackend needs a non-nil backend")
+		}
+		s.backend = b
+		return nil
+	}
+}
+
+// WithDeadlineSkipping enables or disables deadline-aware scheduling
+// (default enabled). When the batch context carries a deadline and the
+// Runner has already observed how long an estimator takes, a scenario
+// whose predicted cost exceeds the remaining time is not started: it is
+// reported immediately with Result.Skipped set and an error wrapping
+// ErrDeadlineSkipped, and nothing is cached for it. Scenarios answered
+// entirely from the cache are never skipped. Disable it to force every
+// scenario to be attempted until the deadline actually expires.
+func WithDeadlineSkipping(enabled bool) RunnerOption {
+	return func(s *runnerSettings) error {
+		s.noDeadlineSkip = !enabled
+		return nil
+	}
+}
+
 // WithSeedDerivation enables or disables per-scenario seed derivation
 // (default enabled). With derivation on, every scenario's effective Seed is
 // derived from the Runner's master seed and the scenario's configuration
@@ -261,13 +309,23 @@ func NewRunner(opts ...RunnerOption) (*Runner, error) {
 	if err := s.base.Validate(); err != nil {
 		return nil, err
 	}
+	if s.backend == nil {
+		s.backend = defaultCache
+	}
+	estIDs := make([]string, len(s.estimators))
+	for i, e := range s.estimators {
+		estIDs[i] = estimatorID(e)
+	}
 	return &Runner{
-		base:        s.base,
-		seed:        s.seed,
-		parallelism: s.parallelism,
-		estimators:  s.estimators,
-		cache:       !s.noCache,
-		deriveSeeds: !s.rawSeeds,
+		base:         s.base,
+		seed:         s.seed,
+		parallelism:  s.parallelism,
+		estimators:   s.estimators,
+		estIDs:       estIDs,
+		cache:        !s.noCache,
+		backend:      s.backend,
+		deriveSeeds:  !s.rawSeeds,
+		deadlineSkip: !s.noDeadlineSkip,
 	}, nil
 }
 
@@ -282,6 +340,17 @@ func (r *Runner) Estimators() []Estimator {
 
 // Parallelism returns the configured worker count.
 func (r *Runner) Parallelism() int { return r.parallelism }
+
+// CacheBackend returns the backend this Runner memoizes results through —
+// the process-wide default unless WithCacheBackend overrode it. It is the
+// handle tests and services use to inspect or reset exactly the cache this
+// Runner sees.
+func (r *Runner) CacheBackend() CacheBackend { return r.backend }
+
+// ResetEstimateCache empties the Runner's cache backend — whichever
+// backend that is, not just the process-wide default map. Tests that swap
+// in a FileBackend (or any custom backend) reset it through here.
+func (r *Runner) ResetEstimateCache() error { return r.backend.Reset() }
 
 // scenarioSeed derives the deterministic RNG seed of a scenario from the
 // master seed and the scenario's configuration content, diffused through
@@ -324,34 +393,62 @@ func (r *Runner) effectiveConfig(s Scenario) (Config, error) {
 	return cfg, nil
 }
 
-// estimatorType returns the cache-identity type of an estimator, looking
-// through the AdaptEstimator shim so an adapted estimator shares cache
-// entries with (and only with) its underlying implementation.
-func estimatorType(e Estimator) reflect.Type {
-	if a, ok := e.(interface{ Unwrap() LegacyEstimator }); ok {
-		return reflect.TypeOf(a.Unwrap())
+// cacheKey derives the canonical cache key of the ei-th estimator's unit
+// of work on cfg.
+func (r *Runner) cacheKey(cfg Config, ei int) CacheKey {
+	return CacheKey{Config: cfg, Method: r.estimators[ei].Name(), Estimator: r.estIDs[ei]}
+}
+
+// cacheLookup consults the Runner's backend; a backend error is a miss
+// (the cache is best-effort — a degraded backend slows the sweep down but
+// never fails or changes it).
+func (r *Runner) cacheLookup(key CacheKey) (*Estimate, bool) {
+	est, ok, err := r.backend.Get(key)
+	if err != nil || !ok {
+		return nil, false
 	}
-	return reflect.TypeOf(e)
+	return &est, true
 }
 
 // runPair evaluates one (scenario config, estimator) unit of work, through
 // the result cache when enabled. Cancelled or failed runs are never stored,
-// so a mid-replication abort cannot poison the cache.
-func (r *Runner) runPair(ctx context.Context, cfg Config, e Estimator) (*Estimate, error) {
-	key := estimateCacheKey{cfg: cfg, method: e.Name(), typ: estimatorType(e)}
+// so a mid-replication abort cannot poison the cache; completed runs train
+// the Runner's cost model for deadline-aware scheduling.
+func (r *Runner) runPair(ctx context.Context, cfg Config, ei int) (*Estimate, error) {
+	key := r.cacheKey(cfg, ei)
 	if r.cache {
-		if est, ok := estimateCacheLookup(key); ok {
+		if est, ok := r.cacheLookup(key); ok {
 			return est, nil
 		}
 	}
-	est, err := e.EstimateContext(ctx, cfg)
+	start := time.Now()
+	est, err := r.estimators[ei].EstimateContext(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
+	r.costs.observe(r.estIDs[ei], time.Since(start), configWork(cfg))
 	if r.cache {
-		estimateCacheStore(key, est)
+		// Best-effort store: a backend write failure just means the next
+		// evaluation of this point recomputes it.
+		_ = r.backend.Put(key, *est)
 	}
 	return est, nil
+}
+
+// predictScenarioCost returns the Runner's cost estimate for the given
+// pending estimator units of a scenario: the slowest single unit (with
+// full parallelism a scenario cannot finish faster than that), scaled to
+// the scenario's configured amount of work. Estimators the model has
+// never observed predict as free, so an untrained Runner never skips.
+func (r *Runner) predictScenarioCost(cfg Config, pending []int) time.Duration {
+	work := configWork(cfg)
+	var worst time.Duration
+	for _, ei := range pending {
+		if d, ok := r.costs.predict(r.estIDs[ei], work); ok && d > worst {
+			worst = d
+		}
+	}
+	return worst
 }
 
 // scenarioState tracks the in-flight assembly of one scenario's Result
@@ -452,10 +549,9 @@ func (r *Runner) RunBatch(ctx context.Context, scenarios []Scenario) (<-chan Res
 			for u := range jobs {
 				st := states[u.si]
 				if !st.failed.Load() {
-					e := r.estimators[u.ei]
-					est, err := r.runPair(ctx, st.cfg, e)
+					est, err := r.runPair(ctx, st.cfg, u.ei)
 					if err != nil {
-						st.errs[u.ei] = fmt.Errorf("estimator %s: %w", e.Name(), err)
+						st.errs[u.ei] = fmt.Errorf("estimator %s: %w", r.estimators[u.ei].Name(), err)
 						st.failed.Store(true)
 					} else {
 						st.ests[u.ei] = est
@@ -485,9 +581,8 @@ func (r *Runner) RunBatch(ctx context.Context, scenarios []Scenario) (<-chan Res
 				// pattern — complete without a worker round-trip per
 				// estimator. None of the scenario's units have been fed
 				// yet, so the feeder owns its state exclusively here.
-				for ei, e := range r.estimators {
-					key := estimateCacheKey{cfg: st.cfg, method: e.Name(), typ: estimatorType(e)}
-					if est, ok := estimateCacheLookup(key); ok {
+				for ei := range r.estimators {
+					if est, ok := r.cacheLookup(r.cacheKey(st.cfg, ei)); ok {
 						st.ests[ei] = est
 						st.pending.Add(-1)
 					}
@@ -495,6 +590,30 @@ func (r *Runner) RunBatch(ctx context.Context, scenarios []Scenario) (<-chan Res
 				if st.pending.Load() == 0 {
 					emit(st.finish())
 					continue
+				}
+			}
+			if r.deadlineSkip {
+				// Deadline-aware scheduling: a scenario predicted (from
+				// this Runner's observed estimator costs) to outlast the
+				// context deadline is refused up front — reported as
+				// skipped, never started, never cached — instead of being
+				// run and aborted mid-replication. Prefill ran first, so a
+				// scenario the cache can answer completes regardless.
+				if deadline, ok := ctx.Deadline(); ok {
+					var pending []int
+					for ei := range r.estimators {
+						if st.ests[ei] == nil {
+							pending = append(pending, ei)
+						}
+					}
+					if cost := r.predictScenarioCost(st.cfg, pending); cost > 0 && cost > time.Until(deadline) {
+						st.res.Skipped = true
+						st.res.Err = fmt.Errorf("core: scenario %d (%s): %w (predicted %v)",
+							si, st.res.Scenario.Name, ErrDeadlineSkipped, cost.Round(time.Millisecond))
+						st.res.Estimates = nil
+						emit(st.res)
+						continue
+					}
 				}
 			}
 			for ei := 0; ei < nE; ei++ {

@@ -64,10 +64,48 @@ type sweepPoint struct {
 	Estimates []*core.Estimate // parallel to the estimator list
 }
 
-// runSweepCtx evaluates all estimators across the PDT sweep at a fixed
-// PUD, fanning the sweep points out over the Runner's worker pool. Results
-// are deterministic for a given Options.Base.Seed at any parallelism.
-func runSweepCtx(ctx context.Context, opt Options, pud float64) ([]sweepPoint, error) {
+// SweepScenarios returns the PDT-sweep scenario list at a fixed PUD — the
+// exact batch the Figure 4/5 and Table 4/5 machinery evaluates, exposed so
+// external coordinators (internal/shard, `wsnenergy shard plan`) can
+// partition the same batch across processes.
+func SweepScenarios(opt Options, pud float64) []core.Scenario {
+	opt = opt.withDefaults()
+	scenarios := make([]core.Scenario, len(opt.PDTs))
+	for i, pdt := range opt.PDTs {
+		cfg := opt.Base
+		cfg.PDT = pdt
+		cfg.PUD = pud
+		scenarios[i] = core.Scenario{Name: fmt.Sprintf("PDT=%g PUD=%g", pdt, pud), Config: cfg}
+	}
+	return scenarios
+}
+
+// GridScenarios returns the full scenario grid of a sweep artifact in
+// canonical order: "fig4" and "fig5" sweep the PDTs at the first
+// configured PUD; "table4" and "table5" concatenate the PDT sweep for
+// every PUD (PUD-major). The order is the contract the From-results
+// renderers and the shard merger rely on.
+func GridScenarios(name string, opt Options) ([]core.Scenario, error) {
+	opt = opt.withDefaults()
+	switch name {
+	case "fig4", "fig5":
+		return SweepScenarios(opt, opt.PUDs[0]), nil
+	case "table4", "table5":
+		var out []core.Scenario
+		for _, pud := range opt.PUDs {
+			out = append(out, SweepScenarios(opt, pud)...)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("experiments: %q is not a shardable sweep (want fig4, fig5, table4 or table5)", name)
+	}
+}
+
+// newSweepRunner builds the Runner every sweep artifact shares: base
+// config, the configured estimators, and no explicit master seed (the
+// Runner defaults it to Base.Seed) — the parameterization worker processes
+// must replicate for a sharded sweep to merge byte-identically.
+func newSweepRunner(opt Options) (*core.Runner, error) {
 	r, err := core.NewRunner(
 		core.WithConfig(opt.Base),
 		core.WithEstimators(opt.Estimators...),
@@ -76,22 +114,63 @@ func runSweepCtx(ctx context.Context, opt Options, pud float64) ([]sweepPoint, e
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	scenarios := make([]core.Scenario, len(opt.PDTs))
-	for i, pdt := range opt.PDTs {
-		cfg := opt.Base
-		cfg.PDT = pdt
-		cfg.PUD = pud
-		scenarios[i] = core.Scenario{Name: fmt.Sprintf("PDT=%g PUD=%g", pdt, pud), Config: cfg}
+	return r, nil
+}
+
+// pointsFromEstimates shapes one PDT sweep's estimate slices into points.
+func pointsFromEstimates(opt Options, ests [][]*core.Estimate) []sweepPoint {
+	points := make([]sweepPoint, len(ests))
+	for i := range ests {
+		points[i] = sweepPoint{PDT: opt.PDTs[i], Estimates: ests[i]}
 	}
-	results, err := r.RunAll(ctx, scenarios)
+	return points
+}
+
+// sweepEstimates validates and slices a result list covering exactly the
+// PDT sweep repeated once per element of puds (PUD-major), returning one
+// estimate matrix per PUD.
+func sweepEstimates(opt Options, puds []float64, results []core.Result) ([][][]*core.Estimate, error) {
+	want := len(opt.PDTs) * len(puds)
+	if len(results) != want {
+		return nil, fmt.Errorf("experiments: %d results for a %d-scenario grid (%d PDTs × %d PUDs)",
+			len(results), want, len(opt.PDTs), len(puds))
+	}
+	perPUD := make([][][]*core.Estimate, len(puds))
+	for p := range puds {
+		block := results[p*len(opt.PDTs) : (p+1)*len(opt.PDTs)]
+		ests := make([][]*core.Estimate, len(block))
+		for i, res := range block {
+			if res.Err != nil {
+				return nil, fmt.Errorf("experiments: scenario %d: %w", res.Index, res.Err)
+			}
+			if len(res.Estimates) != len(opt.Estimators) {
+				return nil, fmt.Errorf("experiments: scenario %d carries %d estimates, want %d",
+					res.Index, len(res.Estimates), len(opt.Estimators))
+			}
+			ests[i] = res.Estimates
+		}
+		perPUD[p] = ests
+	}
+	return perPUD, nil
+}
+
+// runSweepCtx evaluates all estimators across the PDT sweep at a fixed
+// PUD, fanning the sweep points out over the Runner's worker pool. Results
+// are deterministic for a given Options.Base.Seed at any parallelism.
+func runSweepCtx(ctx context.Context, opt Options, pud float64) ([]sweepPoint, error) {
+	r, err := newSweepRunner(opt)
+	if err != nil {
+		return nil, err
+	}
+	results, err := r.RunAll(ctx, SweepScenarios(opt, pud))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: sweep PUD=%v: %w", pud, err)
 	}
-	points := make([]sweepPoint, len(results))
-	for i, res := range results {
-		points[i] = sweepPoint{PDT: opt.PDTs[i], Estimates: res.Estimates}
+	perPUD, err := sweepEstimates(opt, []float64{pud}, results)
+	if err != nil {
+		return nil, err
 	}
-	return points, nil
+	return pointsFromEstimates(opt, perPUD[0]), nil
 }
 
 // sumAbsFractionDiff returns the summed absolute difference of the four
@@ -188,11 +267,30 @@ func Figure4(opt Options) (*report.Figure, error) {
 // sweep between points.
 func Figure4Ctx(ctx context.Context, opt Options) (*report.Figure, error) {
 	opt = opt.withDefaults()
-	pud := opt.PUDs[0]
-	points, err := runSweepCtx(ctx, opt, pud)
+	points, err := runSweepCtx(ctx, opt, opt.PUDs[0])
 	if err != nil {
 		return nil, err
 	}
+	return renderFigure4(opt, points), nil
+}
+
+// Figure4FromResults renders Figure 4 from precomputed results covering
+// GridScenarios("fig4", opt) in order — the merge half of a sharded sweep.
+// Because per-scenario seeds are content-derived and the result
+// serialization round-trips float64 exactly, the output is byte-identical
+// to Figure4Ctx evaluating the same options in-process.
+func Figure4FromResults(opt Options, results []core.Result) (*report.Figure, error) {
+	opt = opt.withDefaults()
+	perPUD, err := sweepEstimates(opt, opt.PUDs[:1], results)
+	if err != nil {
+		return nil, err
+	}
+	return renderFigure4(opt, pointsFromEstimates(opt, perPUD[0])), nil
+}
+
+// renderFigure4 builds the figure from evaluated sweep points.
+func renderFigure4(opt Options, points []sweepPoint) *report.Figure {
+	pud := opt.PUDs[0]
 	fig := &report.Figure{
 		Title:  fmt.Sprintf("Figure 4: Steady-state percentages vs Power Down Threshold (PUD=%g s)", pud),
 		XLabel: "Power Down Threshold (sec)",
@@ -209,7 +307,7 @@ func Figure4Ctx(ctx context.Context, opt Options) (*report.Figure, error) {
 			fig.AddSeries(fmt.Sprintf("%s/%s", est.Name(), s), x, y)
 		}
 	}
-	return fig, nil
+	return fig
 }
 
 // Figure5 regenerates the energy sweep at the first configured PUD.
@@ -220,11 +318,27 @@ func Figure5(opt Options) (*report.Figure, error) {
 // Figure5Ctx is Figure5 with cancellation.
 func Figure5Ctx(ctx context.Context, opt Options) (*report.Figure, error) {
 	opt = opt.withDefaults()
-	pud := opt.PUDs[0]
-	points, err := runSweepCtx(ctx, opt, pud)
+	points, err := runSweepCtx(ctx, opt, opt.PUDs[0])
 	if err != nil {
 		return nil, err
 	}
+	return renderFigure5(opt, points), nil
+}
+
+// Figure5FromResults renders Figure 5 from precomputed results covering
+// GridScenarios("fig5", opt) in order; see Figure4FromResults.
+func Figure5FromResults(opt Options, results []core.Result) (*report.Figure, error) {
+	opt = opt.withDefaults()
+	perPUD, err := sweepEstimates(opt, opt.PUDs[:1], results)
+	if err != nil {
+		return nil, err
+	}
+	return renderFigure5(opt, pointsFromEstimates(opt, perPUD[0])), nil
+}
+
+// renderFigure5 builds the figure from evaluated sweep points.
+func renderFigure5(opt Options, points []sweepPoint) *report.Figure {
+	pud := opt.PUDs[0]
 	fig := &report.Figure{
 		Title:  fmt.Sprintf("Figure 5: Energy (J) vs Power Down Threshold (PUD=%g s, %g s horizon)", pud, opt.Base.SimTime),
 		XLabel: "Power Down Threshold (sec)",
@@ -239,7 +353,7 @@ func Figure5Ctx(ctx context.Context, opt Options) (*report.Figure, error) {
 		}
 		fig.AddSeries(est.Name(), x, y)
 	}
-	return fig, nil
+	return fig
 }
 
 // ---------------------------------------------------------------------------
@@ -252,20 +366,38 @@ func Table4(opt Options) (*report.Table, error) {
 	return Table4Ctx(context.Background(), opt)
 }
 
-// Table4Ctx is Table4 with cancellation.
+// Table4Ctx is Table4 with cancellation. The full PDT×PUD grid runs as one
+// batch, so every (point, estimator) pair fans out over the worker pool at
+// once (points shared with Figure 4/5 still come from the cache).
 func Table4Ctx(ctx context.Context, opt Options) (*report.Table, error) {
+	// Fail fast on a wrong estimator set before paying for the sweep.
+	if err := requireThree(opt.withDefaults()); err != nil {
+		return nil, err
+	}
+	results, err := runGridCtx(ctx, opt, "table4")
+	if err != nil {
+		return nil, err
+	}
+	return Table4FromResults(opt, results)
+}
+
+// Table4FromResults renders Table 4 from precomputed results covering
+// GridScenarios("table4", opt) in order — the merge half of a sharded
+// sweep, byte-identical to Table4Ctx evaluating the same options.
+func Table4FromResults(opt Options, results []core.Result) (*report.Table, error) {
 	opt = opt.withDefaults()
 	if err := requireThree(opt); err != nil {
+		return nil, err
+	}
+	perPUD, err := sweepEstimates(opt, opt.PUDs, results)
+	if err != nil {
 		return nil, err
 	}
 	t := report.NewTable("Table 4: Δ Steady State Percentages (%) for Varying Power Up Delay",
 		"Power Up Delay (sec)",
 		pairLabel(opt, pairNames[0]), pairLabel(opt, pairNames[1]), pairLabel(opt, pairNames[2]))
-	for _, pud := range opt.PUDs {
-		points, err := runSweepCtx(ctx, opt, pud)
-		if err != nil {
-			return nil, err
-		}
+	for p, pud := range opt.PUDs {
+		points := pointsFromEstimates(opt, perPUD[p])
 		row := []string{fmt.Sprintf("%g", pud)}
 		for _, pair := range pairNames {
 			sum := 0.0
@@ -279,26 +411,61 @@ func Table4Ctx(ctx context.Context, opt Options) (*report.Table, error) {
 	return t, nil
 }
 
+// runGridCtx evaluates a sweep artifact's whole scenario grid as one
+// batch.
+func runGridCtx(ctx context.Context, opt Options, name string) ([]core.Result, error) {
+	opt = opt.withDefaults()
+	scenarios, err := GridScenarios(name, opt)
+	if err != nil {
+		return nil, err
+	}
+	r, err := newSweepRunner(opt)
+	if err != nil {
+		return nil, err
+	}
+	results, err := r.RunAll(ctx, scenarios)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s grid: %w", name, err)
+	}
+	return results, nil
+}
+
 // Table5 regenerates the energy deviation table: mean over the PDT sweep of
 // the absolute energy difference (Joules) between each pair of methods.
 func Table5(opt Options) (*report.Table, error) {
 	return Table5Ctx(context.Background(), opt)
 }
 
-// Table5Ctx is Table5 with cancellation.
+// Table5Ctx is Table5 with cancellation; like Table4Ctx it evaluates the
+// whole grid as one batch.
 func Table5Ctx(ctx context.Context, opt Options) (*report.Table, error) {
+	// Fail fast on a wrong estimator set before paying for the sweep.
+	if err := requireThree(opt.withDefaults()); err != nil {
+		return nil, err
+	}
+	results, err := runGridCtx(ctx, opt, "table5")
+	if err != nil {
+		return nil, err
+	}
+	return Table5FromResults(opt, results)
+}
+
+// Table5FromResults renders Table 5 from precomputed results covering
+// GridScenarios("table5", opt) in order; see Table4FromResults.
+func Table5FromResults(opt Options, results []core.Result) (*report.Table, error) {
 	opt = opt.withDefaults()
 	if err := requireThree(opt); err != nil {
+		return nil, err
+	}
+	perPUD, err := sweepEstimates(opt, opt.PUDs, results)
+	if err != nil {
 		return nil, err
 	}
 	t := report.NewTable("Table 5: Δ Energy Consumption (Joules) for Varying Power Up Delay",
 		"Power Up Delay (sec)",
 		pairLabel(opt, pairNames[0]), pairLabel(opt, pairNames[1]), pairLabel(opt, pairNames[2]))
-	for _, pud := range opt.PUDs {
-		points, err := runSweepCtx(ctx, opt, pud)
-		if err != nil {
-			return nil, err
-		}
+	for p, pud := range opt.PUDs {
+		points := pointsFromEstimates(opt, perPUD[p])
 		row := []string{fmt.Sprintf("%g", pud)}
 		for _, pair := range pairNames {
 			sum := 0.0

@@ -1,0 +1,184 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// RunShard evaluates one shard's scenarios with the given Runner and
+// returns the worker's ResultSet, with every result re-tagged to its
+// global batch index. Any scenario failure (including a deadline skip)
+// fails the whole shard: merge needs complete shards.
+func RunShard(ctx context.Context, r *core.Runner, s Shard) (*ResultSet, error) {
+	scenarios := make([]core.Scenario, len(s.Items))
+	for i, it := range s.Items {
+		scenarios[i] = it.Scenario()
+	}
+	results, err := r.RunAll(ctx, scenarios)
+	if err != nil {
+		return nil, fmt.Errorf("shard: running shard %d: %w", s.Index, err)
+	}
+	for i := range results {
+		results[i].Index = s.Items[i].Index
+	}
+	return NewResultSet(s.Index, results)
+}
+
+// ResultSetVersion is the schema version of the worker result JSON.
+const ResultSetVersion = 1
+
+// ResultItem is one completed scenario as serialized by a worker.
+// Estimates are stored by value; encoding/json round-trips every float64
+// exactly (shortest-representation encoding), which is what keeps a
+// merged sweep bit-identical to a single-process one.
+type ResultItem struct {
+	// Index is the scenario's global position in the batch.
+	Index int `json:"index"`
+	// Name echoes the scenario name.
+	Name string `json:"name,omitempty"`
+	// Config echoes the scenario configuration, so merged Results carry
+	// the full Scenario the core.Result contract documents.
+	Config core.Config `json:"config"`
+	// Seed is the effective seed the scenario ran with.
+	Seed uint64 `json:"seed"`
+	// Estimates holds one result per estimator, in the spec's method
+	// order.
+	Estimates []core.Estimate `json:"estimates"`
+}
+
+// ResultSet is the JSON document one worker writes after finishing its
+// shard.
+type ResultSet struct {
+	// Version is ResultSetVersion at write time.
+	Version int `json:"version"`
+	// ShardIndex identifies which shard of the plan produced this set.
+	ShardIndex int `json:"shard_index"`
+	// Results lists the shard's completed scenarios.
+	Results []ResultItem `json:"results"`
+}
+
+// NewResultSet converts a completed shard's Runner results into the wire
+// shape. Every result must be a success: a failed or skipped scenario has
+// no estimates to merge, so the worker must fail instead of writing a
+// partial set.
+func NewResultSet(shardIndex int, results []core.Result) (*ResultSet, error) {
+	rs := &ResultSet{Version: ResultSetVersion, ShardIndex: shardIndex}
+	for _, res := range results {
+		if res.Err != nil {
+			return nil, fmt.Errorf("shard: scenario %d failed, refusing to serialize a partial shard: %w", res.Index, res.Err)
+		}
+		ests := make([]core.Estimate, len(res.Estimates))
+		for i, e := range res.Estimates {
+			ests[i] = *e
+		}
+		rs.Results = append(rs.Results, ResultItem{
+			Index:     res.Index,
+			Name:      res.Scenario.Name,
+			Config:    res.Scenario.Config,
+			Seed:      res.Seed,
+			Estimates: ests,
+		})
+	}
+	return rs, nil
+}
+
+// WriteResultSet writes the set as indented JSON.
+func WriteResultSet(path string, rs *ResultSet) error {
+	return writeJSON(path, rs)
+}
+
+// ReadResultSet reads one worker output.
+func ReadResultSet(path string) (*ResultSet, error) {
+	var rs ResultSet
+	if err := readJSON(path, &rs); err != nil {
+		return nil, fmt.Errorf("shard: reading result set %s: %w", path, err)
+	}
+	if rs.Version != ResultSetVersion {
+		return nil, fmt.Errorf("shard: result set %s has version %d, want %d", path, rs.Version, ResultSetVersion)
+	}
+	return &rs, nil
+}
+
+// Merge reassembles worker result sets into the plan's results in input
+// order. It detects the ways a sharded run can lie: a scenario reported
+// by no shard (incomplete), a scenario reported by two shards with
+// differing content (conflict — with content-derived seeding a duplicated
+// scenario must be bit-identical, so a mismatch means the workers ran
+// different code or different plans; identical duplicates are tolerated),
+// an index outside the batch, and a result whose scenario does not match
+// what the plan assigned to that index (a stale or foreign result set
+// from a different plan must not merge silently into a wrong artifact).
+func Merge(m *Manifest, sets []*ResultSet) ([]core.Result, error) {
+	total := m.Total
+	planned := make(map[int]Item, total)
+	for _, s := range m.Shards {
+		for _, it := range s.Items {
+			planned[it.Index] = it
+		}
+	}
+	byIndex := make(map[int]ResultItem, total)
+	owner := make(map[int]int, total) // scenario index -> shard that reported it
+	for _, rs := range sets {
+		for _, item := range rs.Results {
+			if item.Index < 0 || item.Index >= total {
+				return nil, fmt.Errorf("shard: shard %d reports scenario %d outside batch of %d", rs.ShardIndex, item.Index, total)
+			}
+			if want, ok := planned[item.Index]; ok && (item.Name != want.Name || item.Config != want.Config) {
+				return nil, fmt.Errorf("shard: shard %d reports a different scenario %d than the plan assigned (stale result set from another plan?)",
+					rs.ShardIndex, item.Index)
+			}
+			if prev, dup := byIndex[item.Index]; dup {
+				if !resultItemsEqual(prev, item) {
+					return nil, fmt.Errorf("shard: conflicting results for scenario %d from shards %d and %d",
+						item.Index, owner[item.Index], rs.ShardIndex)
+				}
+				continue
+			}
+			byIndex[item.Index] = item
+			owner[item.Index] = rs.ShardIndex
+		}
+	}
+	if len(byIndex) != total {
+		missing := make([]int, 0)
+		for i := 0; i < total && len(missing) < 8; i++ {
+			if _, ok := byIndex[i]; !ok {
+				missing = append(missing, i)
+			}
+		}
+		return nil, fmt.Errorf("shard: merge incomplete: %d of %d scenarios reported (missing %v...)", len(byIndex), total, missing)
+	}
+	// Placement into out is positional and coverage of 0..total-1 was
+	// just verified, so plain map iteration order suffices.
+	out := make([]core.Result, total)
+	for i, item := range byIndex {
+		ests := make([]*core.Estimate, len(item.Estimates))
+		for j := range item.Estimates {
+			e := item.Estimates[j]
+			ests[j] = &e
+		}
+		out[i] = core.Result{
+			Index:     i,
+			Scenario:  core.Scenario{Name: item.Name, Config: item.Config},
+			Seed:      item.Seed,
+			Estimates: ests,
+		}
+	}
+	return out, nil
+}
+
+// resultItemsEqual compares two reports of the same scenario field by
+// field. Estimate and Config are flat value structs, so == is exact.
+func resultItemsEqual(a, b ResultItem) bool {
+	if a.Index != b.Index || a.Name != b.Name || a.Config != b.Config ||
+		a.Seed != b.Seed || len(a.Estimates) != len(b.Estimates) {
+		return false
+	}
+	for i := range a.Estimates {
+		if a.Estimates[i] != b.Estimates[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,213 @@
+// Package shard splits a Runner batch across processes and reassembles the
+// results. It is the scale-out layer over internal/core: Plan partitions a
+// scenario list deterministically, a Manifest carries the partition and the
+// Runner parameters to worker processes as JSON, each worker writes its
+// completed scenarios as a ResultSet, and Merge reassembles the sets in
+// input order with conflict detection.
+//
+// Placement independence is by construction, not by coordination: the
+// Runner derives every scenario's RNG seed from the master seed and the
+// scenario's configuration content (never from batch position or worker
+// identity), so a scenario produces bit-identical results whichever shard —
+// or how many shards — it runs in. A sweep split N ways and merged is
+// therefore byte-identical to the same sweep run in one process. Workers
+// that additionally share a core.FileBackend result cache also skip grid
+// points another worker has already finished.
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+// ManifestVersion is the schema version of the shard-manifest JSON; readers
+// reject manifests written under any other version.
+const ManifestVersion = 1
+
+// Item is one scenario of the batch, tagged with its global position so
+// shards can be merged back into input order.
+type Item struct {
+	// Index is the scenario's position in the original batch.
+	Index int `json:"index"`
+	// Name labels the scenario (core.Scenario.Name).
+	Name string `json:"name,omitempty"`
+	// Config is the scenario's full configuration.
+	Config core.Config `json:"config"`
+}
+
+// Scenario converts the item back to the Runner's scenario shape.
+func (it Item) Scenario() core.Scenario {
+	return core.Scenario{Name: it.Name, Config: it.Config}
+}
+
+// Shard is one worker's slice of the batch.
+type Shard struct {
+	// Index identifies the shard within its plan (0-based).
+	Index int `json:"index"`
+	// Items lists the shard's scenarios with their global indices.
+	Items []Item `json:"items"`
+}
+
+// RunnerSpec carries the Runner parameters every worker must agree on for
+// the merged output to equal a single-process run.
+type RunnerSpec struct {
+	// Base is the base model configuration (core.WithConfig).
+	Base core.Config `json:"base"`
+	// Seed is the master seed (core.WithSeed).
+	Seed uint64 `json:"seed"`
+	// Methods are the estimator specs resolved through the registry, in
+	// estimator order (core.WithMethods).
+	Methods []string `json:"methods"`
+	// DeriveSeeds mirrors core.WithSeedDerivation.
+	DeriveSeeds bool `json:"derive_seeds"`
+}
+
+// NewRunner builds the worker-side Runner from the spec. Extra options
+// (parallelism, cache backend) are appended after the spec's own, so they
+// may refine but not contradict it.
+func (sp RunnerSpec) NewRunner(extra ...core.RunnerOption) (*core.Runner, error) {
+	opts := []core.RunnerOption{
+		core.WithConfig(sp.Base),
+		core.WithSeed(sp.Seed),
+		core.WithMethods(sp.Methods...),
+		core.WithSeedDerivation(sp.DeriveSeeds),
+	}
+	return core.NewRunner(append(opts, extra...)...)
+}
+
+// Manifest is the JSON document a coordinator writes with `plan` and every
+// worker and the merger read back: the full partition plus everything
+// needed to reconstruct identical Runners.
+type Manifest struct {
+	// Version is ManifestVersion at write time.
+	Version int `json:"version"`
+	// Experiment optionally names the artifact the plan serves (e.g.
+	// "table4"), for self-describing pipelines; the shard machinery itself
+	// does not interpret it.
+	Experiment string `json:"experiment,omitempty"`
+	// Runner is the shared Runner parameterization.
+	Runner RunnerSpec `json:"runner"`
+	// Total is the scenario count of the original batch.
+	Total int `json:"total_scenarios"`
+	// Extra carries coordinator-specific context the shard machinery does
+	// not interpret — e.g. the sweep axes a renderer needs at merge time.
+	Extra json.RawMessage `json:"extra,omitempty"`
+	// Shards is the partition; concatenated in order, the shards' items
+	// restore the original batch exactly.
+	Shards []Shard `json:"shards"`
+}
+
+// Shard returns the shard with the given index.
+func (m *Manifest) Shard(index int) (Shard, error) {
+	for _, s := range m.Shards {
+		if s.Index == index {
+			return s, nil
+		}
+	}
+	return Shard{}, fmt.Errorf("shard: manifest has no shard %d (plan has %d shards)", index, len(m.Shards))
+}
+
+// Plan partitions scenarios into n shards deterministically: contiguous,
+// balanced slices (the first total%n shards take one extra scenario).
+// Every scenario appears in exactly one shard, tagged with its global
+// index. Shards may be empty when n exceeds the scenario count.
+//
+// Because Runner seeds are content-derived, the partition is purely a
+// load-balancing choice: any assignment yields the same per-scenario
+// results.
+func Plan(scenarios []core.Scenario, n int) ([]Shard, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: plan needs at least 1 shard, got %d", n)
+	}
+	shards := make([]Shard, n)
+	total := len(scenarios)
+	next := 0
+	for i := range shards {
+		size := total / n
+		if i < total%n {
+			size++
+		}
+		items := make([]Item, 0, size)
+		for j := 0; j < size; j++ {
+			s := scenarios[next]
+			items = append(items, Item{Index: next, Name: s.Name, Config: s.Config})
+			next++
+		}
+		shards[i] = Shard{Index: i, Items: items}
+	}
+	return shards, nil
+}
+
+// NewManifest plans the batch and wraps it with the Runner spec.
+func NewManifest(experiment string, spec RunnerSpec, scenarios []core.Scenario, n int) (*Manifest, error) {
+	shards, err := Plan(scenarios, n)
+	if err != nil {
+		return nil, err
+	}
+	return &Manifest{
+		Version:    ManifestVersion,
+		Experiment: experiment,
+		Runner:     spec,
+		Total:      len(scenarios),
+		Shards:     shards,
+	}, nil
+}
+
+// WriteManifest writes the manifest as indented JSON.
+func WriteManifest(path string, m *Manifest) error {
+	return writeJSON(path, m)
+}
+
+// ReadManifest reads and validates a manifest: version, shard indices, and
+// the exactly-once global index coverage Merge will later rely on.
+func ReadManifest(path string) (*Manifest, error) {
+	var m Manifest
+	if err := readJSON(path, &m); err != nil {
+		return nil, fmt.Errorf("shard: reading manifest %s: %w", path, err)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("shard: manifest %s has version %d, want %d", path, m.Version, ManifestVersion)
+	}
+	seen := make(map[int]bool, m.Total)
+	for i, s := range m.Shards {
+		if s.Index != i {
+			return nil, fmt.Errorf("shard: manifest shard %d carries index %d", i, s.Index)
+		}
+		for _, it := range s.Items {
+			if it.Index < 0 || it.Index >= m.Total {
+				return nil, fmt.Errorf("shard: scenario index %d outside batch of %d", it.Index, m.Total)
+			}
+			if seen[it.Index] {
+				return nil, fmt.Errorf("shard: scenario %d assigned to more than one shard", it.Index)
+			}
+			seen[it.Index] = true
+		}
+	}
+	if len(seen) != m.Total {
+		return nil, fmt.Errorf("shard: manifest covers %d of %d scenarios", len(seen), m.Total)
+	}
+	return &m, nil
+}
+
+// writeJSON marshals v indented and writes it atomically enough for our
+// single-writer files (plain create-then-write; manifests and result sets
+// have one producer each).
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("shard: encoding %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// readJSON strictly decodes one JSON document from path into v.
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}

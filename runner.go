@@ -64,5 +64,49 @@ func WithCache(enabled bool) Option { return core.WithCache(enabled) }
 // of the extension experiments and CompareAll.
 func WithSeedDerivation(enabled bool) Option { return core.WithSeedDerivation(enabled) }
 
-// ResetEstimateCache empties the process-wide result cache.
+// CacheBackend stores memoized estimator results behind the Runner; see
+// NewMemoryCacheBackend and NewFileCacheBackend for the built-in
+// implementations. Backends must be safe for concurrent use.
+type CacheBackend = core.CacheBackend
+
+// CacheKey identifies one memoized estimator result: effective Config,
+// method name, and estimator implementation identity. Encode/Hash yield
+// its canonical, versioned wire form for shared stores.
+type CacheKey = core.CacheKey
+
+// CacheStats reports a backend's entry and hit counts.
+type CacheStats = core.CacheStats
+
+// NewMemoryCacheBackend returns a fresh process-local result cache with
+// epoch eviction — the same implementation as the process-wide default,
+// but private to the Runners it is handed to.
+func NewMemoryCacheBackend() CacheBackend { return core.NewMemoryBackend() }
+
+// NewFileCacheBackend opens (creating if needed) a file-backed result
+// cache rooted at dir, shareable across processes — the backend behind
+// `wsnenergy shard run -cache`.
+func NewFileCacheBackend(dir string) (CacheBackend, error) { return core.NewFileBackend(dir) }
+
+// WithCacheBackend routes the Runner's result memoization through a
+// specific backend instead of the process-wide default — typically a
+// file-backed cache shared with other processes running shards of the
+// same sweep.
+func WithCacheBackend(b CacheBackend) Option { return core.WithCacheBackend(b) }
+
+// WithDeadlineSkipping enables or disables deadline-aware scheduling
+// (default enabled): when the batch context carries a deadline, scenarios
+// whose predicted cost (from the Runner's observed estimator timings)
+// exceeds the remaining time are reported as skipped — wrapping
+// ErrDeadlineSkipped, never cached — instead of being started and
+// aborted.
+func WithDeadlineSkipping(enabled bool) Option { return core.WithDeadlineSkipping(enabled) }
+
+// ErrDeadlineSkipped marks scenarios refused by deadline-aware
+// scheduling; match it with errors.Is on Result.Err.
+var ErrDeadlineSkipped = core.ErrDeadlineSkipped
+
+// ResetEstimateCache empties the process-wide default result cache. A
+// Runner configured with its own backend via WithCacheBackend is
+// unaffected — reset that one with Runner.ResetEstimateCache, which goes
+// through whatever backend the Runner actually uses.
 func ResetEstimateCache() { core.ResetEstimateCache() }

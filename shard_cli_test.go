@@ -1,0 +1,102 @@
+// End-to-end test of the sharded sweep pipeline, exercised exactly the way
+// an operator would run it: `wsnenergy shard plan|run|merge` across two
+// worker processes sharing a file-backed result cache, asserted
+// byte-identical against the single-process artifacts.
+package repro_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// shardPipeline plans an experiment into two shards, runs both worker
+// processes against a shared cache directory, merges, and returns the
+// merged artifact.
+func shardPipeline(t *testing.T, experiment string, modelFlags ...string) string {
+	t.Helper()
+	dir := t.TempDir()
+	plan := filepath.Join(dir, "plan.json")
+	cache := filepath.Join(dir, "cache")
+	r0 := filepath.Join(dir, "r0.json")
+	r1 := filepath.Join(dir, "r1.json")
+
+	planOut := runCLI(t, "wsnenergy", append([]string{"shard", "plan",
+		"-experiment", experiment, "-shards", "2", "-out", plan}, modelFlags...)...)
+	if !strings.Contains(planOut, "2 shards") {
+		t.Fatalf("plan output unexpected: %s", planOut)
+	}
+	runCLI(t, "wsnenergy", "shard", "run", "-plan", plan, "-shard", "0", "-cache", cache, "-out", r0)
+	runCLI(t, "wsnenergy", "shard", "run", "-plan", plan, "-shard", "1", "-cache", cache, "-out", r1)
+
+	// The shared cache must actually be shared: entries from both workers
+	// land in one directory.
+	entries, err := os.ReadDir(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("shard workers left the shared cache empty")
+	}
+	return runCLI(t, "wsnenergy", "shard", "merge", "-plan", plan, "-format", "csv", r0, r1)
+}
+
+// TestShardPipelineTable4 is the acceptance test of the sharding
+// subsystem: a Table 4 sweep split across 2 shard processes with a shared
+// file-backed cache merges byte-identical to the single-process output.
+func TestShardPipelineTable4(t *testing.T) {
+	flags := []string{"-simtime", "100", "-reps", "2"}
+	single := runCLI(t, "wsnenergy", append([]string{"-experiment", "table4", "-format", "csv"}, flags...)...)
+	merged := shardPipeline(t, "table4", flags...)
+	if merged != single {
+		t.Fatalf("merged Table 4 differs from single-process run:\n--- single ---\n%s\n--- merged ---\n%s", single, merged)
+	}
+}
+
+// TestShardPipelineFig5 covers the figure path (Figure 4 and 5 share the
+// same grid and machinery; Figure 5's CSV is the cheaper assertion).
+func TestShardPipelineFig5(t *testing.T) {
+	flags := []string{"-simtime", "100", "-reps", "2"}
+	single := runCLI(t, "wsnenergy", append([]string{"-experiment", "fig5", "-format", "csv"}, flags...)...)
+	merged := shardPipeline(t, "fig5", flags...)
+	if merged != single {
+		t.Fatalf("merged Figure 5 differs from single-process run:\n--- single ---\n%s\n--- merged ---\n%s", single, merged)
+	}
+}
+
+// TestShardPlanRejectsNonSweep: only the grid artifacts are shardable.
+func TestShardPlanRejectsNonSweep(t *testing.T) {
+	out := runCLIExpectError(t, "wsnenergy", "shard", "plan", "-experiment", "table1")
+	if !strings.Contains(out, "not a shardable sweep") {
+		t.Fatalf("missing shardability error:\n%s", out)
+	}
+}
+
+// TestShardRunRejectsBadIndex: asking for a shard outside the plan fails
+// with a clear message.
+func TestShardRunRejectsBadIndex(t *testing.T) {
+	dir := t.TempDir()
+	plan := filepath.Join(dir, "plan.json")
+	runCLI(t, "wsnenergy", "shard", "plan", "-experiment", "fig5", "-shards", "2",
+		"-simtime", "100", "-reps", "1", "-out", plan)
+	out := runCLIExpectError(t, "wsnenergy", "shard", "run", "-plan", plan, "-shard", "9")
+	if !strings.Contains(out, "no shard 9") {
+		t.Fatalf("missing shard-index error:\n%s", out)
+	}
+}
+
+// TestShardMergeDetectsMissingShard: merging only half the result sets
+// must fail as incomplete rather than render a partial table.
+func TestShardMergeDetectsMissingShard(t *testing.T) {
+	dir := t.TempDir()
+	plan := filepath.Join(dir, "plan.json")
+	r0 := filepath.Join(dir, "r0.json")
+	runCLI(t, "wsnenergy", "shard", "plan", "-experiment", "fig5", "-shards", "2",
+		"-simtime", "100", "-reps", "1", "-out", plan)
+	runCLI(t, "wsnenergy", "shard", "run", "-plan", plan, "-shard", "0", "-out", r0)
+	out := runCLIExpectError(t, "wsnenergy", "shard", "merge", "-plan", plan, r0)
+	if !strings.Contains(out, "incomplete") {
+		t.Fatalf("missing incompleteness error:\n%s", out)
+	}
+}
