@@ -13,6 +13,7 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/field"
 	"repro/internal/petri"
 	"repro/internal/sensornode"
 )
@@ -313,6 +314,26 @@ func BenchmarkNetworkLifetime(b *testing.B) {
 	opt := benchOptions()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.NetworkLifetime(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFieldSimulate measures the event-driven field simulator on a
+// 100-node 4-ary tree: 100 compiled nets under one scheduler, every
+// delivered packet relayed hop by hop to the sink. The topology is built
+// once outside the loop — the usage pattern of the field estimator, which
+// reuses one placed node set across scenarios.
+func BenchmarkFieldSimulate(b *testing.B) {
+	nodes := field.TreeTopology(100, 4, 0.05, 10)
+	cfg := field.DefaultConfig(nodes)
+	cfg.Horizon = 50
+	cfg.Warmup = 5
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := field.Simulate(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,7 +10,7 @@
 //	wsnenergy -experiment table4 -reps 30     # higher precision
 //
 // Experiments: table1 table2 table3 fig4 fig5 table4 table5
-// erlang policy workload ctmc lifetime all
+// erlang policy workload ctmc lifetime fieldlife fieldbreakdown all
 //
 // The sweep artifacts (fig4, fig5, table4, table5) can also be split
 // across worker processes with the `shard` subcommand — see shard.go:
@@ -18,6 +18,11 @@
 //	wsnenergy shard plan  -experiment table4 -shards 4 -out plan.json
 //	wsnenergy shard run   -plan plan.json -shard 0 -cache cachedir -out r0.json
 //	wsnenergy shard merge -plan plan.json r0.json r1.json r2.json r3.json
+//
+// Whole sensor fields are simulated with the `field` subcommand — see
+// field.go:
+//
+//	wsnenergy field -nodes 100 -topology tree -rate 0.5
 package main
 
 import (
@@ -86,6 +91,10 @@ func main() {
 		shardMain(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "field" {
+		fieldMain(os.Args[2:])
+		return
+	}
 	var (
 		experiment = flag.String("experiment", "all", "which artifact to regenerate (table1..table5, fig4, fig5, erlang, policy, workload, ctmc, lifetime, all)")
 		format     = flag.String("format", "text", "output format: text, csv or md")
@@ -111,7 +120,8 @@ func main() {
 	names := strings.Split(*experiment, ",")
 	if *experiment == "all" {
 		names = []string{"table1", "table2", "table3", "fig4", "fig5", "table4", "table5",
-			"erlang", "policy", "workload", "ctmc", "lifetime", "convergence", "transient", "network"}
+			"erlang", "policy", "workload", "ctmc", "lifetime", "convergence", "transient", "network",
+			"fieldlife", "fieldbreakdown"}
 	}
 	for i, name := range names {
 		if i > 0 {
@@ -199,6 +209,18 @@ func run(ctx context.Context, name string, opt experiments.Options, format strin
 		return emitFigure(fig, format, chartW, chartH)
 	case "network":
 		t, err := experiments.NetworkLifetime(opt)
+		if err != nil {
+			return err
+		}
+		return emitTable(t, format)
+	case "fieldlife":
+		t, err := experiments.FieldLifetimeCtx(ctx, opt, nil, nil)
+		if err != nil {
+			return err
+		}
+		return emitTable(t, format)
+	case "fieldbreakdown":
+		t, err := experiments.FieldBreakdownCtx(ctx, opt, 0)
 		if err != nil {
 			return err
 		}

@@ -4,12 +4,18 @@
 package repro_test
 
 import (
+	"context"
 	"math"
+	"strings"
 	"testing"
 
 	"repro"
 	"repro/internal/energy"
 	"repro/internal/petri"
+
+	// Registers the field estimators ("field", "fieldline", "fieldstar")
+	// with the method registry used by repro.WithMethods.
+	_ "repro/internal/field"
 )
 
 func TestFacadePaperConfig(t *testing.T) {
@@ -110,6 +116,61 @@ func TestFigure3NetThroughTheFacade(t *testing.T) {
 	if res.Firings[arID] != res.Firings[t1ID] {
 		t.Fatalf("every arrival must be admitted exactly once: AR=%d T1=%d",
 			res.Firings[arID], res.Firings[t1ID])
+	}
+}
+
+// TestFieldThroughRunBatch streams a 100-node sensor-field simulation
+// through the public Runner batch path: the field estimator resolves from
+// the registry like any paper method, so whole-field scenarios ride the
+// same worker pool, cache and cancellation as single-node sweeps.
+func TestFieldThroughRunBatch(t *testing.T) {
+	cfg := repro.PaperConfig()
+	cfg.Lambda = 0.05 // per-node sample rate; 100 nodes funnel 5 job/s into the sink
+	cfg.SimTime = 30
+	cfg.Warmup = 5
+	r, err := repro.New(repro.WithConfig(cfg), repro.WithMethods("field100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := []repro.Scenario{{Name: "flat"}}
+	dense := cfg
+	dense.Lambda = 0.09
+	scenarios = append(scenarios, repro.Scenario{Name: "dense", Config: dense})
+
+	ch, err := r.RunBatch(context.Background(), scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]*repro.Estimate{}
+	for res := range ch {
+		if res.Err != nil {
+			t.Fatalf("%s: %v", res.Scenario.Name, res.Err)
+		}
+		if len(res.Estimates) != 1 {
+			t.Fatalf("%s: %d estimates, want 1", res.Scenario.Name, len(res.Estimates))
+		}
+		got[res.Scenario.Name] = res.Estimates[0]
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d results, want 2", len(got))
+	}
+	for name, e := range got {
+		if !strings.Contains(e.Method, "n=100") {
+			t.Errorf("%s: method %q does not name the 100-node field", name, e.Method)
+		}
+		if e.EnergyJ <= 0 || math.IsNaN(e.EnergyJ) {
+			t.Errorf("%s: field energy %v", name, e.EnergyJ)
+		}
+		if e.Node.LifetimeSeconds <= 0 || math.IsInf(e.Node.LifetimeSeconds, 1) {
+			t.Errorf("%s: network lifetime %v", name, e.Node.LifetimeSeconds)
+		}
+		if e.Node.PacketsPerSecond <= 0 {
+			t.Errorf("%s: sink throughput %v", name, e.Node.PacketsPerSecond)
+		}
+	}
+	// More traffic per node costs more energy across the whole field.
+	if got["dense"].EnergyJ <= got["flat"].EnergyJ {
+		t.Errorf("dense field energy %v <= flat %v", got["dense"].EnergyJ, got["flat"].EnergyJ)
 	}
 }
 

@@ -1,0 +1,97 @@
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Radio is the first-order radio energy model standard in network-level
+// WSN energy studies (Heinzelman et al.; see PAPERS.md for its use by the
+// ad hoc network models related to the paper): transmitting b bits over
+// distance d costs
+//
+//	E_tx(b, d) = E_elec·b + E_amp·b·d²
+//
+// where E_elec is the per-bit electronics cost and E_amp·d² the amplifier
+// cost against the free-space path loss, receiving costs E_elec·b, and
+// aggregating relayed data costs E_da·b. Sensing a sample of b bits costs
+// E_sense·b. The model complements the paper's Petri-net CPU model: the
+// CPU side of a node is simulated, the radio side is attributed per packet
+// from this table.
+type Radio struct {
+	// ElecJPerBit is the transceiver electronics energy per bit (Tx or Rx).
+	ElecJPerBit float64
+	// AmpJPerBitM2 is the transmit amplifier energy per bit per square
+	// meter of distance.
+	AmpJPerBitM2 float64
+	// AggJPerBit is the data-aggregation energy per relayed bit.
+	AggJPerBit float64
+	// SenseJPerBit is the sensing energy per sampled bit.
+	SenseJPerBit float64
+	// PacketBits is the payload size of one packet in bits.
+	PacketBits float64
+	// ListenMW is the idle-listening power draw in milliwatts, charged for
+	// the whole run (a duty-cycling MAC would scale it down).
+	ListenMW float64
+}
+
+// FirstOrderRadio returns the canonical parameterization: 50 nJ/bit
+// electronics, 100 pJ/bit/m² amplifier, 5 nJ/bit aggregation and sensing,
+// 2048-bit packets, no idle listening.
+func FirstOrderRadio() Radio {
+	return Radio{
+		ElecJPerBit:  50e-9,
+		AmpJPerBitM2: 100e-12,
+		AggJPerBit:   5e-9,
+		SenseJPerBit: 5e-9,
+		PacketBits:   2048,
+	}
+}
+
+// Validate checks the table for physically meaningful values.
+func (r Radio) Validate() error {
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{
+		{"ElecJPerBit", r.ElecJPerBit},
+		{"AmpJPerBitM2", r.AmpJPerBitM2},
+		{"AggJPerBit", r.AggJPerBit},
+		{"SenseJPerBit", r.SenseJPerBit},
+		{"ListenMW", r.ListenMW},
+	} {
+		if v.val < 0 || math.IsNaN(v.val) || math.IsInf(v.val, 0) {
+			return fmt.Errorf("energy: Radio.%s must be finite and non-negative, got %v", v.name, v.val)
+		}
+	}
+	if !(r.PacketBits > 0) || math.IsInf(r.PacketBits, 0) {
+		return fmt.Errorf("energy: Radio.PacketBits must be positive and finite, got %v", r.PacketBits)
+	}
+	return nil
+}
+
+// TxJ returns the energy in joules to transmit bits over distance d meters.
+func (r Radio) TxJ(bits, d float64) float64 {
+	return r.ElecJPerBit*bits + r.AmpJPerBitM2*bits*d*d
+}
+
+// RxJ returns the energy in joules to receive bits.
+func (r Radio) RxJ(bits float64) float64 {
+	return r.ElecJPerBit * bits
+}
+
+// AggregateJ returns the energy in joules to aggregate bits of relayed data.
+func (r Radio) AggregateJ(bits float64) float64 {
+	return r.AggJPerBit * bits
+}
+
+// SenseJ returns the energy in joules to acquire bits of sensor data.
+func (r Radio) SenseJ(bits float64) float64 {
+	return r.SenseJPerBit * bits
+}
+
+// PacketTxJ returns TxJ for one packet of PacketBits over distance d.
+func (r Radio) PacketTxJ(d float64) float64 { return r.TxJ(r.PacketBits, d) }
+
+// PacketRxJ returns RxJ for one packet of PacketBits.
+func (r Radio) PacketRxJ() float64 { return r.RxJ(r.PacketBits) }

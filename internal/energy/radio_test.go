@@ -1,0 +1,64 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFirstOrderRadioTx(t *testing.T) {
+	r := FirstOrderRadio()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// At d = 0 only the electronics term remains.
+	if got, want := r.TxJ(1000, 0), r.ElecJPerBit*1000; got != want {
+		t.Fatalf("TxJ(1000, 0) = %v, want %v", got, want)
+	}
+	// The amplifier term grows with the square of the distance.
+	if got, want := r.TxJ(1000, 10), r.ElecJPerBit*1000+r.AmpJPerBitM2*1000*10*10; math.Abs(got-want) > 1e-18 {
+		t.Fatalf("TxJ(1000, 10) = %v, want %v", got, want)
+	}
+	if r.RxJ(2048) != r.ElecJPerBit*2048 {
+		t.Fatalf("RxJ(2048) = %v", r.RxJ(2048))
+	}
+	if r.AggregateJ(100) != r.AggJPerBit*100 || r.SenseJ(100) != r.SenseJPerBit*100 {
+		t.Fatal("aggregation/sensing costs wrong")
+	}
+	if r.PacketTxJ(5) != r.TxJ(r.PacketBits, 5) || r.PacketRxJ() != r.RxJ(r.PacketBits) {
+		t.Fatal("packet helpers disagree with bit-level methods")
+	}
+}
+
+func TestRadioTxMonotone(t *testing.T) {
+	r := FirstOrderRadio()
+	// Monotone in both bits and distance.
+	for d := 0.0; d < 100; d += 7 {
+		if r.TxJ(100, d) > r.TxJ(200, d) {
+			t.Fatalf("TxJ not monotone in bits at d=%v", d)
+		}
+		if r.TxJ(100, d) > r.TxJ(100, d+1) {
+			t.Fatalf("TxJ not monotone in distance at d=%v", d)
+		}
+	}
+}
+
+func TestRadioValidate(t *testing.T) {
+	bad := []Radio{
+		{ElecJPerBit: -1, PacketBits: 1},
+		{AmpJPerBitM2: math.NaN(), PacketBits: 1},
+		{AggJPerBit: math.Inf(1), PacketBits: 1},
+		{SenseJPerBit: -1e-12, PacketBits: 1},
+		{ListenMW: -0.1, PacketBits: 1},
+		{PacketBits: 0},
+		{PacketBits: math.NaN()},
+		{PacketBits: math.Inf(1)},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Fatalf("bad radio %d accepted: %+v", i, r)
+		}
+	}
+	if err := (Radio{PacketBits: 1}).Validate(); err != nil {
+		t.Fatalf("minimal valid radio rejected: %v", err)
+	}
+}

@@ -1,0 +1,148 @@
+package experiments
+
+// The field experiment family (X-10, X-11): network-scale questions the
+// static analytic model cannot answer, evaluated on the event-driven field
+// simulator. X-10 sweeps field size × sample rate through the core Runner
+// — field estimators are registered core.Estimators, so the sweeps share
+// the result cache, worker pool and cancellation with the paper sweeps —
+// and X-11 breaks down where the bottleneck node's energy goes.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/field"
+	"repro/internal/report"
+)
+
+// FieldSizes and FieldRates are the default X-10 sweep axes.
+var (
+	FieldSizes = []int{9, 25, 49}
+	FieldRates = []float64{0.25, 0.5, 1.0}
+)
+
+// FieldLifetime is FieldLifetimeCtx without cancellation.
+func FieldLifetime(opt Options, sizes []int, rates []float64) (*report.Table, error) {
+	return FieldLifetimeCtx(context.Background(), opt, sizes, rates)
+}
+
+// FieldLifetimeCtx simulates 4-ary-tree fields of the given sizes at the
+// given per-node sample rates and tabulates time-to-first-node-death: one
+// row per (size, rate) with the bottleneck node's draw, the sink's
+// delivered throughput and the network lifetime.
+func FieldLifetimeCtx(ctx context.Context, opt Options, sizes []int, rates []float64) (*report.Table, error) {
+	opt = opt.withDefaults()
+	if len(sizes) == 0 {
+		sizes = FieldSizes
+	}
+	if len(rates) == 0 {
+		rates = FieldRates
+	}
+	ests := make([]core.Estimator, len(sizes))
+	for i, n := range sizes {
+		ests[i] = field.DefaultEstimator(n)
+	}
+	r, err := core.NewRunner(
+		core.WithConfig(opt.Base),
+		core.WithEstimators(ests...),
+		core.WithParallelism(opt.Parallelism),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	scenarios := make([]core.Scenario, len(rates))
+	for i, rate := range rates {
+		cfg := opt.Base
+		cfg.Lambda = rate
+		scenarios[i] = core.Scenario{Name: fmt.Sprintf("rate=%g", rate), Config: cfg}
+	}
+	results, err := r.RunAll(ctx, scenarios)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: field sweep: %w", err)
+	}
+	t := report.NewTable(
+		"X-10: simulated time to first node death vs field size and sample rate (4-ary tree, first-order radio, 2xAA)",
+		"Nodes", "Sample rate (/s)", "Bottleneck draw (mW)", "Delivered (pkt/s)", "Network lifetime (days)")
+	for i, res := range results {
+		if res.Err != nil {
+			return nil, fmt.Errorf("experiments: field sweep %q: %w", res.Scenario.Name, res.Err)
+		}
+		for j, est := range res.Estimates {
+			t.AddRow(
+				fmt.Sprintf("%d", sizes[j]),
+				report.F(rates[i], 2),
+				report.F(est.Node.TotalAvgMW, 3),
+				report.F(est.Node.PacketsPerSecond, 2),
+				report.F(est.Node.LifetimeSeconds/86400, 1))
+		}
+	}
+	return t, nil
+}
+
+// FieldBreakdown is FieldBreakdownCtx without cancellation.
+func FieldBreakdown(opt Options, n int) (*report.Table, error) {
+	return FieldBreakdownCtx(context.Background(), opt, n)
+}
+
+// FieldBreakdownCtx simulates one n-node tree field and reports the energy
+// breakdown of its hottest nodes — the bottleneck first — attributing each
+// node's budget to CPU, transmit, receive, aggregation, sensing and
+// listening.
+func FieldBreakdownCtx(ctx context.Context, opt Options, n int) (*report.Table, error) {
+	opt = opt.withDefaults()
+	if n <= 0 {
+		n = 25
+	}
+	est := field.DefaultEstimator(n)
+	nodes, err := est.Nodes(0.5)
+	if err != nil {
+		return nil, err
+	}
+	cfg := field.Config{
+		Nodes:   nodes,
+		CPU:     opt.Base,
+		Radio:   est.Radio,
+		Battery: est.Battery,
+		Horizon: opt.Base.SimTime,
+		Warmup:  opt.Base.Warmup,
+		Seed:    opt.Base.Seed,
+	}
+	res, err := field.SimulateContext(ctx, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: field breakdown: %w", err)
+	}
+	byDraw := make([]*field.NodeResult, len(res.Nodes))
+	for i := range res.Nodes {
+		byDraw[i] = &res.Nodes[i]
+	}
+	sort.Slice(byDraw, func(i, j int) bool {
+		if byDraw[i].AvgPowerMW != byDraw[j].AvgPowerMW {
+			return byDraw[i].AvgPowerMW > byDraw[j].AvgPowerMW
+		}
+		return byDraw[i].ID < byDraw[j].ID
+	})
+	top := len(byDraw)
+	if top > 6 {
+		top = 6
+	}
+	t := report.NewTable(
+		fmt.Sprintf("X-11: bottleneck energy breakdown, %d-node tree at 0.5 samples/s (top %d nodes by draw; network lifetime %.1f days)",
+			n, top, res.LifetimeDays()),
+		"Node", "Processed (job/s)", "Tx (pkt/s)", "CPU (J)", "Radio (J)", "Draw (mW)", "Lifetime (days)")
+	for _, nr := range byDraw[:top] {
+		label := fmt.Sprintf("%d", nr.ID)
+		if nr.ID == res.Bottleneck {
+			label += " (bottleneck)"
+		}
+		t.AddRow(label,
+			report.F(float64(nr.Processed)/res.Time, 2),
+			report.F(float64(nr.TxPackets)/res.Time, 2),
+			report.F(nr.CPUEnergyJ, 1),
+			report.F(nr.RadioEnergyJ, 3),
+			report.F(nr.AvgPowerMW, 3),
+			report.F(nr.LifetimeDays(), 1))
+	}
+	return t, nil
+}

@@ -1,0 +1,98 @@
+package field
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/xrand"
+)
+
+// FuzzFieldSimulate drives the simulator over randomized small topologies —
+// random trees, sample rates, radio parameters, placements — and asserts
+// the accounting invariants that must hold for every field:
+//
+//   - the simulation completes without error;
+//   - no energy component is negative and no lifetime is NaN;
+//   - the field total equals the per-node sum and packet flows balance;
+//   - monotonicity: charging a node more traffic energy can only shorten
+//     its lifetime, and the network lifetime is the minimum node lifetime.
+func FuzzFieldSimulate(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint16(1000), uint16(300), uint8(10))
+	f.Add(uint64(42), uint8(2), uint16(1), uint16(65535), uint8(0))
+	f.Add(uint64(20080901), uint8(6), uint16(30000), uint16(1), uint8(200))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint8, rateRaw, radioRaw uint16, spacingRaw uint8) {
+		n := 2 + int(nRaw%6)
+		rng := xrand.New(seed)
+		nodes := make([]Node, n)
+		baseRate := 0.05 + float64(rateRaw)/65535*1.5
+		for i := range nodes {
+			parent := 0
+			if i > 0 {
+				parent = rng.Intn(i) // parents precede children: always a tree
+			}
+			nodes[i] = Node{
+				ID:         i,
+				Parent:     parent,
+				SampleRate: baseRate * (0.5 + rng.Float64()),
+				Pos: Position{
+					X: float64(spacingRaw) * rng.Float64(),
+					Y: float64(spacingRaw) * rng.Float64(),
+				},
+			}
+		}
+		scale := 0.1 + float64(radioRaw)/65535*10
+		cfg := DefaultConfig(nodes)
+		cfg.Radio = energy.Radio{
+			ElecJPerBit:  50e-9 * scale,
+			AmpJPerBitM2: 100e-12 * scale,
+			AggJPerBit:   5e-9 * scale,
+			SenseJPerBit: 5e-9 * scale,
+			PacketBits:   256 + float64(radioRaw%2048),
+			ListenMW:     0.01 * scale,
+		}
+		cfg.Horizon = 25
+		cfg.Warmup = 2.5
+		cfg.Seed = seed
+
+		res, err := Simulate(cfg)
+		if err != nil {
+			t.Fatalf("config %+v: %v", cfg, err)
+		}
+
+		var total float64
+		minLife := math.Inf(1)
+		for _, nr := range res.Nodes {
+			for name, v := range map[string]float64{
+				"CPU": nr.CPUEnergyJ, "Tx": nr.TxEnergyJ, "Rx": nr.RxEnergyJ,
+				"Agg": nr.AggEnergyJ, "Sense": nr.SenseEnergyJ, "Listen": nr.ListenEnergyJ,
+				"Radio": nr.RadioEnergyJ, "Total": nr.EnergyJ,
+			} {
+				if v < 0 || math.IsNaN(v) {
+					t.Fatalf("node %d: %s energy %v", nr.ID, name, v)
+				}
+			}
+			if math.IsNaN(nr.LifetimeSeconds) || nr.LifetimeSeconds <= 0 {
+				t.Fatalf("node %d: lifetime %v", nr.ID, nr.LifetimeSeconds)
+			}
+			total += nr.EnergyJ
+			if nr.LifetimeSeconds < minLife {
+				minLife = nr.LifetimeSeconds
+			}
+
+			// Monotonicity: adding the energy of one more transmitted
+			// packet to the node's budget never lengthens its lifetime.
+			extra := (nr.EnergyJ + cfg.Radio.PacketTxJ(nr.Distance) + cfg.Radio.PacketRxJ()) / res.Time * 1000
+			if longer := cfg.Battery.LifetimeSeconds(extra); longer > nr.LifetimeSeconds {
+				t.Fatalf("node %d: more traffic lengthened lifetime: %v -> %v",
+					nr.ID, nr.LifetimeSeconds, longer)
+			}
+		}
+		if res.TotalEnergyJ != total {
+			t.Fatalf("TotalEnergyJ %v != sum %v", res.TotalEnergyJ, total)
+		}
+		if res.LifetimeSeconds != minLife {
+			t.Fatalf("network lifetime %v != min node lifetime %v", res.LifetimeSeconds, minLife)
+		}
+	})
+}

@@ -1,0 +1,469 @@
+package field
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/petri"
+)
+
+// NodeResult is one node's outcome over the measured period.
+type NodeResult struct {
+	// ID and Parent identify the node and its next hop (Parent == ID for
+	// the sink). Distance is the transmit distance to the parent in
+	// meters.
+	ID, Parent int
+	Distance   float64
+	// SampleRate echoes the node's own sensing rate.
+	SampleRate float64
+	// Samples counts the node's own sensed samples (AR firings),
+	// Processed the CPU jobs it completed (SR firings, own + relayed).
+	Samples, Processed uint64
+	// TxPackets and RxPackets count radio packets sent to the parent and
+	// received from children.
+	TxPackets, RxPackets uint64
+	// CPUFractions are the processor state shares (Figure-3 places).
+	CPUFractions energy.Fractions
+	// Energy breakdown in joules over the measured period.
+	CPUEnergyJ, TxEnergyJ, RxEnergyJ, AggEnergyJ, SenseEnergyJ, ListenEnergyJ float64
+	// RadioEnergyJ is the radio subtotal, EnergyJ the node total.
+	RadioEnergyJ, EnergyJ float64
+	// AvgPowerMW is the node's average draw; LifetimeSeconds the battery
+	// lifetime extrapolated from it (first-order, same definition as the
+	// analytic network.Analyze, so the two are directly comparable).
+	AvgPowerMW      float64
+	LifetimeSeconds float64
+}
+
+// LifetimeDays converts the node lifetime to days.
+func (r *NodeResult) LifetimeDays() float64 { return r.LifetimeSeconds / 86400 }
+
+// Result is the outcome of a field simulation.
+type Result struct {
+	// Time is the measured duration in seconds.
+	Time float64
+	// Nodes holds per-node results in ascending ID order.
+	Nodes []NodeResult
+	// Delivered counts packets absorbed at the sink during measurement.
+	Delivered uint64
+	// TotalEnergyJ is the field-wide energy spent over the measured
+	// period; it equals the sum of the per-node EnergyJ values.
+	TotalEnergyJ float64
+	// LifetimeSeconds is the network lifetime under the first-node-death
+	// definition: the minimum node lifetime. Bottleneck is the ID of that
+	// node (lowest ID on ties).
+	LifetimeSeconds float64
+	Bottleneck      int
+}
+
+// LifetimeDays converts the network lifetime to days.
+func (r *Result) LifetimeDays() float64 { return r.LifetimeSeconds / 86400 }
+
+// nodeIDs caches the place and transition IDs a field node's net resolves
+// to. BuildNodeNet is deterministic, so the IDs are identical across all
+// per-rate compilations; they are still resolved per compiled net.
+type nodeIDs struct {
+	p6, buffer, outbox             petri.PlaceID
+	standby, powerup, idle, active petri.PlaceID
+	ar, sr                         petri.TransitionID
+}
+
+type compiledNode struct {
+	comp *petri.Compiled
+	ids  nodeIDs
+}
+
+// nodeState is one node's live simulation state.
+type nodeState struct {
+	node   Node
+	parent int // index into the state slice, -1 for the sink
+	dist   float64
+	sess   *petri.Session
+	ids    nodeIDs
+
+	txPackets, rxPackets uint64
+	txJ, rxJ, aggJ       float64
+}
+
+// Simulate runs the field to its horizon and returns per-node and
+// network-level energy, traffic and lifetime results.
+func Simulate(cfg Config) (*Result, error) {
+	return SimulateContext(context.Background(), cfg)
+}
+
+// SimulateContext is Simulate with cooperative cancellation: the per-node
+// engines poll the context during event processing, so cancellation lands
+// mid-run even in large fields.
+func SimulateContext(ctx context.Context, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f, err := open(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer f.close()
+	if err := f.run(ctx); err != nil {
+		return nil, err
+	}
+	return f.finish()
+}
+
+type fieldSim struct {
+	cfg    Config
+	nodes  []nodeState
+	heap   eventHeap
+	warmup float64
+	hz     float64
+
+	delivered uint64
+}
+
+// open compiles the distinct per-rate nets, opens one engine session per
+// node (seeded from NodeSeed) and schedules the initial events.
+func open(ctx context.Context, cfg Config) (*fieldSim, error) {
+	f := &fieldSim{
+		cfg:    cfg,
+		warmup: cfg.Warmup,
+		hz:     cfg.Warmup + cfg.Horizon,
+	}
+	// Ascending-ID node order makes every downstream iteration (and the
+	// reported result order) independent of the caller's slice order.
+	nodes := append([]Node(nil), cfg.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	byID := make(map[int]int, len(nodes))
+	for i, n := range nodes {
+		byID[n.ID] = i
+	}
+
+	// One compiled net per distinct sample rate; nodes sharing a rate
+	// share the compilation and its engine pool.
+	compiled := map[float64]*compiledNode{}
+	f.nodes = make([]nodeState, len(nodes))
+	for i, n := range nodes {
+		cn, ok := compiled[n.SampleRate]
+		if !ok {
+			net := BuildNodeNet(cfg.CPU, n.SampleRate)
+			comp, err := petri.Compile(net)
+			if err != nil {
+				return nil, fmt.Errorf("field: node %d: %w", n.ID, err)
+			}
+			cn = &compiledNode{comp: comp, ids: resolveIDs(net)}
+			compiled[n.SampleRate] = cn
+		}
+		parent := -1
+		var dist float64
+		if n.Parent != n.ID {
+			parent = byID[n.Parent]
+			dist = Distance(n.Pos, nodes[parent].Pos)
+		}
+		sess, err := cn.comp.OpenSession(ctx, petri.SimOptions{
+			Seed:     NodeSeed(cfg.Seed, n.ID),
+			Warmup:   cfg.Warmup,
+			Duration: cfg.Horizon,
+		})
+		if err != nil {
+			f.close()
+			return nil, fmt.Errorf("field: node %d: %w", n.ID, err)
+		}
+		f.nodes[i] = nodeState{node: n, parent: parent, dist: dist, sess: sess, ids: cn.ids}
+	}
+	f.heap.init(len(f.nodes))
+	for i := range f.nodes {
+		f.heap.update(i, f.nodes[i].sess.NextEventTime())
+	}
+	return f, nil
+}
+
+func resolveIDs(n *petri.Net) nodeIDs {
+	place := func(name string) petri.PlaceID {
+		id, ok := n.PlaceByName(name)
+		if !ok {
+			panic(fmt.Sprintf("field: node net lost place %q", name))
+		}
+		return id
+	}
+	trans := func(name string) petri.TransitionID {
+		id, ok := n.TransitionByName(name)
+		if !ok {
+			panic(fmt.Sprintf("field: node net lost transition %q", name))
+		}
+		return id
+	}
+	return nodeIDs{
+		p6:      place(core.PlaceP6),
+		buffer:  place(core.PlaceCPUBuffer),
+		outbox:  place(PlaceOutbox),
+		standby: place(core.PlaceStandBy),
+		powerup: place(core.PlacePowerUp),
+		idle:    place(core.PlaceIdle),
+		active:  place(core.PlaceActive),
+		ar:      trans(core.TransAR),
+		sr:      trans(core.TransSR),
+	}
+}
+
+// close abandons every still-open session (error paths; finish closes
+// sessions by finishing them).
+func (f *fieldSim) close() {
+	for i := range f.nodes {
+		if s := f.nodes[i].sess; s != nil {
+			s.Close()
+		}
+	}
+}
+
+// run is the global event loop: repeatedly advance the globally earliest
+// node to its next event time and forward whatever packets that event (and
+// any cascade it triggers upstream) produced.
+func (f *fieldSim) run(ctx context.Context) error {
+	poll := 0
+	for {
+		i, te := f.heap.min()
+		if i < 0 || te > f.hz {
+			return nil
+		}
+		if poll++; poll&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		n := &f.nodes[i]
+		if err := n.sess.StepTo(te); err != nil {
+			return err
+		}
+		if err := f.deliver(i, te); err != nil {
+			return err
+		}
+		f.heap.update(i, n.sess.NextEventTime())
+	}
+}
+
+// deliver drains node i's outbox and pushes the packets up the routing
+// chain: each hop charges transmit energy at the sender (distance-
+// dependent), receive and aggregation energy at the receiver, and injects
+// the packets as workload into the receiver's CPU net. The receiver is
+// first stepped to the current time, so a relayed packet can trigger
+// further completions that continue the cascade toward the sink within the
+// same instant.
+func (f *fieldSim) deliver(i int, te float64) error {
+	measured := te >= f.warmup
+	radio := &f.cfg.Radio
+	for {
+		n := &f.nodes[i]
+		k := n.sess.Tokens(n.ids.outbox)
+		if k == 0 {
+			return nil
+		}
+		if err := n.sess.Inject(petri.Injection{Place: n.ids.outbox, Tokens: -k}); err != nil {
+			return err
+		}
+		if n.parent < 0 {
+			// The sink absorbs its completed packets (uplink to the base
+			// station is outside the field's energy budget).
+			if measured {
+				f.delivered += uint64(k)
+			}
+			return nil
+		}
+		p := &f.nodes[n.parent]
+		if err := p.sess.StepTo(te); err != nil {
+			return err
+		}
+		if err := p.sess.Inject(
+			petri.Injection{Place: p.ids.p6, Tokens: k},
+			petri.Injection{Place: p.ids.buffer, Tokens: k},
+		); err != nil {
+			return err
+		}
+		if measured {
+			bits := float64(k) * radio.PacketBits
+			n.txPackets += uint64(k)
+			n.txJ += radio.TxJ(bits, n.dist)
+			p.rxPackets += uint64(k)
+			p.rxJ += radio.RxJ(bits)
+			p.aggJ += radio.AggregateJ(bits)
+		}
+		f.heap.update(n.parent, p.sess.NextEventTime())
+		i = n.parent
+	}
+}
+
+// finish closes every session at the horizon and assembles the result:
+// CPU energy from the time-averaged state fractions and the power table,
+// radio energy from the per-packet accounting, lifetime by extrapolating
+// the battery at the node's average draw.
+func (f *fieldSim) finish() (*Result, error) {
+	cfg := f.cfg
+	out := &Result{
+		Time:            cfg.Horizon,
+		Nodes:           make([]NodeResult, len(f.nodes)),
+		Delivered:       f.delivered,
+		LifetimeSeconds: math.Inf(1),
+		Bottleneck:      -1,
+	}
+	for i := range f.nodes {
+		n := &f.nodes[i]
+		res, err := n.sess.Finish()
+		n.sess = nil
+		if err != nil {
+			return nil, fmt.Errorf("field: node %d: %w", n.node.ID, err)
+		}
+		nr := NodeResult{
+			ID:         n.node.ID,
+			Parent:     n.node.Parent,
+			Distance:   n.dist,
+			SampleRate: n.node.SampleRate,
+			Samples:    res.Firings[n.ids.ar],
+			Processed:  res.Firings[n.ids.sr],
+			TxPackets:  n.txPackets,
+			RxPackets:  n.rxPackets,
+			TxEnergyJ:  n.txJ,
+			RxEnergyJ:  n.rxJ,
+			AggEnergyJ: n.aggJ,
+		}
+		nr.CPUFractions[energy.Standby] = res.PlaceAvg[n.ids.standby]
+		nr.CPUFractions[energy.PowerUp] = res.PlaceAvg[n.ids.powerup]
+		nr.CPUFractions[energy.Idle] = res.PlaceAvg[n.ids.idle]
+		nr.CPUFractions[energy.Active] = res.PlaceAvg[n.ids.active]
+		nr.CPUEnergyJ = cfg.CPU.Power.EnergyJoules(nr.CPUFractions, cfg.Horizon)
+		nr.SenseEnergyJ = cfg.Radio.SenseJ(float64(nr.Samples) * cfg.Radio.PacketBits)
+		nr.ListenEnergyJ = cfg.Radio.ListenMW * cfg.Horizon / 1000
+		nr.RadioEnergyJ = nr.TxEnergyJ + nr.RxEnergyJ + nr.AggEnergyJ + nr.SenseEnergyJ + nr.ListenEnergyJ
+		nr.EnergyJ = nr.CPUEnergyJ + nr.RadioEnergyJ
+		nr.AvgPowerMW = nr.EnergyJ / cfg.Horizon * 1000
+		nr.LifetimeSeconds = cfg.Battery.LifetimeSeconds(nr.AvgPowerMW)
+		if math.IsNaN(nr.LifetimeSeconds) || nr.EnergyJ < 0 {
+			return nil, fmt.Errorf("field: node %d: invalid energy accounting (%v J, lifetime %v s)",
+				nr.ID, nr.EnergyJ, nr.LifetimeSeconds)
+		}
+		out.TotalEnergyJ += nr.EnergyJ
+		if nr.LifetimeSeconds < out.LifetimeSeconds {
+			out.LifetimeSeconds = nr.LifetimeSeconds
+			out.Bottleneck = nr.ID
+		}
+		out.Nodes[i] = nr
+	}
+	if out.Bottleneck < 0 {
+		// All lifetimes infinite (zero draw): call the sink the bottleneck.
+		out.Bottleneck = out.Nodes[0].ID
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Per-node event heap
+//
+// An indexed binary min-heap over (next event time, node index): the key
+// array is indexed by node, update re-sifts in place. The index tie-break
+// keeps the pop order deterministic under equal event times, which —
+// together with per-node seeding — makes field trajectories independent of
+// map iteration and node ordering.
+
+type eventHeap struct {
+	at   []float64
+	heap []int
+	pos  []int
+}
+
+func (h *eventHeap) init(n int) {
+	h.at = make([]float64, n)
+	h.heap = make([]int, 0, n)
+	h.pos = make([]int, n)
+	for i := range h.pos {
+		h.at[i] = math.Inf(1)
+		h.pos[i] = -1
+	}
+}
+
+func (h *eventHeap) less(a, b int) bool {
+	return h.at[a] < h.at[b] || (h.at[a] == h.at[b] && a < b)
+}
+
+// min returns the node with the earliest event, or (-1, +Inf) when no node
+// has one scheduled.
+func (h *eventHeap) min() (int, float64) {
+	if len(h.heap) == 0 {
+		return -1, math.Inf(1)
+	}
+	i := h.heap[0]
+	return i, h.at[i]
+}
+
+// update sets node i's next event time (or +Inf to deschedule it).
+func (h *eventHeap) update(i int, at float64) {
+	if math.IsInf(at, 1) {
+		h.remove(i)
+		return
+	}
+	h.at[i] = at
+	if h.pos[i] < 0 {
+		h.pos[i] = len(h.heap)
+		h.heap = append(h.heap, i)
+		h.siftUp(h.pos[i])
+		return
+	}
+	if !h.siftUp(h.pos[i]) {
+		h.siftDown(h.pos[i])
+	}
+}
+
+func (h *eventHeap) remove(i int) {
+	at := h.pos[i]
+	if at < 0 {
+		return
+	}
+	h.at[i] = math.Inf(1)
+	h.pos[i] = -1
+	last := len(h.heap) - 1
+	if at != last {
+		moved := h.heap[last]
+		h.heap[at] = moved
+		h.pos[moved] = at
+		h.heap = h.heap[:last]
+		if !h.siftUp(at) {
+			h.siftDown(at)
+		}
+	} else {
+		h.heap = h.heap[:last]
+	}
+}
+
+func (h *eventHeap) siftUp(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.heap[i], h.heap[parent]) {
+			break
+		}
+		h.heap[i], h.heap[parent] = h.heap[parent], h.heap[i]
+		h.pos[h.heap[i]] = i
+		h.pos[h.heap[parent]] = parent
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.heap)
+	for {
+		smallest := i
+		for c := 2*i + 1; c <= 2*i+2 && c < n; c++ {
+			if h.less(h.heap[c], h.heap[smallest]) {
+				smallest = c
+			}
+		}
+		if smallest == i {
+			return
+		}
+		h.heap[i], h.heap[smallest] = h.heap[smallest], h.heap[i]
+		h.pos[h.heap[i]] = i
+		h.pos[h.heap[smallest]] = smallest
+		i = smallest
+	}
+}

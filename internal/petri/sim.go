@@ -772,7 +772,8 @@ func (e *engine) countFusedFirings(t int32) {
 // fireAndUpdate), the guarded/multi-server specials (re-derived every
 // event, exactly like the scalar engine's full scan), and the fired
 // transition itself (it must be rescheduled if still enabled, even when it
-// has no arcs).
+// has no arcs). A negative fired means the marking changed without a
+// firing (Session.Inject): only flips and specials are reconciled.
 //
 // A single-server timed transition whose enabling never flipped kept both
 // its enabling status and (trivially) its degree, and after every sync
@@ -780,7 +781,9 @@ func (e *engine) countFusedFirings(t int32) {
 // change nor a resample.
 func (e *engine) syncDirtyTimers(fired int32) {
 	cand := append(e.candTimed, e.comp.specialTimed...)
-	cand = append(cand, fired)
+	if fired >= 0 {
+		cand = append(cand, fired)
+	}
 	// Insertion sort: the candidate set is tiny (flips, specials, fired).
 	// Duplicates are harmless — the first syncOne reconciles the
 	// transition and a repeat visit hits a no-op case.
