@@ -339,6 +339,26 @@ func BenchmarkFieldSimulate(b *testing.B) {
 	}
 }
 
+// BenchmarkFieldSimulate1000 scales the field simulator to a 1000-node
+// 4-ary tree over a shorter horizon: same per-event work, 10x the sessions
+// under one global scheduler, so it regresses on anything superlinear in
+// node count (scheduler merging, per-session bookkeeping) that the 100-node
+// benchmark would hide.
+func BenchmarkFieldSimulate1000(b *testing.B) {
+	nodes := field.TreeTopology(1000, 4, 0.05, 10)
+	cfg := field.DefaultConfig(nodes)
+	cfg.Horizon = 10
+	cfg.Warmup = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := field.Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSensorNode measures the composite CPU+radio net.
 func BenchmarkSensorNode(b *testing.B) {
 	cfg := sensornode.DefaultConfig()

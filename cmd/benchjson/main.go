@@ -21,7 +21,9 @@
 // noise floor), strips the -GOMAXPROCS name suffix so snapshots transfer
 // between machines with different core counts, and fails if any gated
 // benchmark got more than threshold slower — or vanished from the new run,
-// so a rename cannot silently disable the gate.
+// so a rename cannot silently disable the gate. Before the gate verdict it
+// prints a %Δ table covering every benchmark in either document — gated or
+// not — so CI logs carry the full perf trajectory even on green runs.
 //
 // Gated benchmarks that were (near-)allocation-free in the snapshot — best
 // allocs/op at most 100 — are additionally gated on allocs/op with zero
@@ -168,6 +170,56 @@ func bestAllocs(doc Document) map[string]int64 {
 	return best
 }
 
+// deltaTable renders the full per-benchmark comparison against the
+// snapshot — every normalized name in either document, not just the gated
+// ones — so CI logs show the whole perf trajectory even when the gate
+// passes. Benchmarks absent from the snapshot are marked "new", snapshot
+// benchmarks absent from the fresh run "gone"; allocs/op deltas are shown
+// when both sides reported them.
+func deltaTable(snapshot, fresh Document) []string {
+	oldBest, newBest := bestNs(snapshot), bestNs(fresh)
+	oldAllocs, newAllocs := bestAllocs(snapshot), bestAllocs(fresh)
+	seen := map[string]bool{}
+	names := make([]string, 0, len(oldBest)+len(newBest))
+	for name := range oldBest {
+		seen[name] = true
+		names = append(names, name)
+	}
+	for name := range newBest {
+		if !seen[name] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	width := 0
+	for _, name := range names {
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	table := make([]string, 0, len(names))
+	for _, name := range names {
+		o, hasOld := oldBest[name]
+		n, hasNew := newBest[name]
+		var line string
+		switch {
+		case !hasOld:
+			line = fmt.Sprintf("%-*s  %12s  %12.0f ns/op       new", width, name, "-", n)
+		case !hasNew:
+			line = fmt.Sprintf("%-*s  %12.0f  %12s ns/op      gone", width, name, o, "-")
+		default:
+			line = fmt.Sprintf("%-*s  %12.0f  %12.0f ns/op  %+7.1f%%", width, name, o, n, (n/o-1)*100)
+			if oa, ok := oldAllocs[name]; ok {
+				if na, ok := newAllocs[name]; ok && na != oa {
+					line += fmt.Sprintf("  (allocs %d -> %d)", oa, na)
+				}
+			}
+		}
+		table = append(table, line)
+	}
+	return table
+}
+
 // compareDocs gates fresh against the snapshot: benchmarks whose
 // normalized name matches the pattern fail the gate when their best ns/op
 // regressed by more than threshold (fractional, e.g. 0.25 = 25%), or when
@@ -264,6 +316,10 @@ func main() {
 	if err := json.Unmarshal(raw, &old); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *compare, err)
 		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchmark deltas vs %s (best-of ns/op):\n", *compare)
+	for _, line := range deltaTable(old, doc) {
+		fmt.Fprintln(os.Stderr, line)
 	}
 	report, failed := compareDocs(old, doc, *threshold, matchRe)
 	for _, line := range report {

@@ -171,3 +171,38 @@ func TestCompareFailsWhenPatternMatchesNothing(t *testing.T) {
 		t.Fatal("empty gate set passed — the gate would be a no-op")
 	}
 }
+
+func TestDeltaTableCoversAllBenchmarks(t *testing.T) {
+	// The fresh run improves the engine benchmark (ungated names included),
+	// gains one benchmark and loses another; the table must show all of
+	// them even though the gate only watches a subset.
+	fresh := strings.ReplaceAll(benchText, "     98000 ns/op", "     49000 ns/op")
+	fresh = strings.ReplaceAll(fresh, "BenchmarkRunBatchParallel-8 	      10	   5000000 ns/op",
+		"BenchmarkFreshOnly-8 	      10	   5000000 ns/op")
+	table := deltaTable(parsed(t, benchText), parsed(t, fresh))
+	if len(table) != 3 {
+		t.Fatalf("table rows = %d, want 3:\n%s", len(table), strings.Join(table, "\n"))
+	}
+	joined := strings.Join(table, "\n")
+	for _, want := range []string{
+		"BenchmarkPetriEngineCPU", "-50.0%", // 98000 -> 49000 best-of
+		"BenchmarkFreshOnly", "new",
+		"BenchmarkRunBatchParallel", "gone",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("table missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestDeltaTableShowsAllocDrift(t *testing.T) {
+	leaky := strings.ReplaceAll(benchText, "3 allocs/op", "5 allocs/op")
+	joined := strings.Join(deltaTable(parsed(t, benchText), parsed(t, leaky)), "\n")
+	if !strings.Contains(joined, "allocs 3 -> 5") {
+		t.Fatalf("table does not show the alloc drift:\n%s", joined)
+	}
+	same := strings.Join(deltaTable(parsed(t, benchText), parsed(t, benchText)), "\n")
+	if strings.Contains(same, "allocs") {
+		t.Fatalf("unchanged allocs should not clutter the table:\n%s", same)
+	}
+}

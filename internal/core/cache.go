@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+
+	"repro/internal/xrand"
 )
 
 // ---------------------------------------------------------------------------
@@ -35,6 +37,12 @@ import (
 // Bump it whenever the wire shape of CacheKey (including Config's field
 // set) changes: decoders reject foreign versions, so stale entries written
 // by an older binary read as misses instead of silently aliasing new keys.
+//
+// The wire form additionally stamps xrand.StreamVersion (the simulators'
+// draw law) into every key: an engine change that redraws the same seeds
+// differently — like the version-3 ziggurat exponential — invalidates all
+// cached simulation results without a schema bump, because both the hash
+// (file backends store under it) and the decode check cover the stamp.
 const CacheKeyVersion = 1
 
 // CacheKey identifies one memoized estimator result: the effective model
@@ -58,6 +66,7 @@ type CacheKey struct {
 // order), so equal keys encode to equal bytes.
 type cacheKeyWire struct {
 	Version   int    `json:"v"`
+	DrawLaw   int    `json:"drawlaw"`
 	Estimator string `json:"estimator"`
 	Method    string `json:"method"`
 	Config    Config `json:"config"`
@@ -70,6 +79,7 @@ type cacheKeyWire struct {
 func (k CacheKey) Encode() ([]byte, error) {
 	b, err := json.Marshal(cacheKeyWire{
 		Version:   CacheKeyVersion,
+		DrawLaw:   xrand.StreamVersion,
 		Estimator: k.Estimator,
 		Method:    k.Method,
 		Config:    k.Config,
@@ -92,6 +102,11 @@ func DecodeCacheKey(data []byte) (CacheKey, error) {
 	}
 	if w.Version != CacheKeyVersion {
 		return CacheKey{}, fmt.Errorf("core: cache key version %d, want %d", w.Version, CacheKeyVersion)
+	}
+	if w.DrawLaw != xrand.StreamVersion {
+		// Entries computed under another sampling law (a missing field
+		// decodes as 0) describe different trajectories for the same seeds.
+		return CacheKey{}, fmt.Errorf("core: cache key draw-law version %d, want %d", w.DrawLaw, xrand.StreamVersion)
 	}
 	return CacheKey{Config: w.Config, Method: w.Method, Estimator: w.Estimator}, nil
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/energy"
+	"repro/internal/xrand"
 )
 
 // randomConfig draws an arbitrary (not necessarily valid) configuration:
@@ -136,6 +137,42 @@ func TestCacheKeyVersionBumpRejected(t *testing.T) {
 		if _, err := DecodeCacheKey([]byte(bumped)); err == nil {
 			t.Fatalf("version %d decoded without error", v)
 		}
+	}
+}
+
+// TestCacheKeyDrawLawChangeMisses: keys written under a different sampling
+// law — older binaries whose encodings carry no "drawlaw" stamp (pre-ziggurat
+// PR-2..6 file caches), or an explicit other version — must neither decode
+// nor share a storage hash with current keys, so stale simulation results
+// read as misses instead of silently mixing streams.
+func TestCacheKeyDrawLawChangeMisses(t *testing.T) {
+	key := CacheKey{Config: PaperConfig(), Method: "Simulation", Estimator: "core.Simulation"}
+	data, err := key.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	curMarker := fmt.Sprintf(`"drawlaw":%d`, xrand.StreamVersion)
+	if !strings.Contains(string(data), curMarker) {
+		t.Fatalf("encoding does not stamp the draw law: %s", data)
+	}
+	// A same-schema key under another law version must be refused.
+	old := strings.Replace(string(data), curMarker, `"drawlaw":2`, 1)
+	if _, err := DecodeCacheKey([]byte(old)); err == nil {
+		t.Fatal("key with draw-law 2 decoded without error")
+	}
+	// A pre-stamp encoding (exact PR-5-era wire shape, no drawlaw field)
+	// must be refused too: the missing field decodes as law 0.
+	legacy := strings.Replace(string(data), curMarker+`,`, ``, 1)
+	if strings.Contains(legacy, "drawlaw") {
+		t.Fatalf("test setup: stamp not removed from %s", legacy)
+	}
+	if _, err := DecodeCacheKey([]byte(legacy)); err == nil {
+		t.Fatal("legacy pre-draw-law key decoded without error")
+	}
+	// File backends address records by the encoding's hash, so the stamped
+	// and legacy byte forms can never alias one another's files.
+	if string(data) == legacy || string(data) == old {
+		t.Fatal("stamped and unstamped encodings are byte-identical")
 	}
 }
 

@@ -91,6 +91,66 @@ func TestNetStructureMatchesTable1(t *testing.T) {
 	}
 }
 
+// TestNetFusedChains pins the vanishing-chain fusion the compiled engine
+// derives for Figure 3: the paper's immediate cascade behind each timed
+// transition collapses into that transition's firing program, guarded by
+// runtime preconditions on the pre-firing marking.
+func TestNetFusedChains(t *testing.T) {
+	n := BuildCPUNet(PaperConfig())
+	c, err := petri.Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertChain := func(name string, wantChain, wantPre []string) {
+		t.Helper()
+		id, ok := n.TransitionByName(name)
+		if !ok {
+			t.Fatalf("no transition %s", name)
+		}
+		var chain []string
+		for _, f := range c.FusedChain(id) {
+			chain = append(chain, n.Transitions[f].Name)
+		}
+		if fmt.Sprint(chain) != fmt.Sprint(wantChain) {
+			t.Errorf("%s fused chain = %v, want %v", name, chain, wantChain)
+		}
+		pre := append([]string(nil), c.FusedPreconds(id)...)
+		sortStrings(pre)
+		want := append([]string(nil), wantPre...)
+		sortStrings(want)
+		if fmt.Sprint(pre) != fmt.Sprint(want) {
+			t.Errorf("%s chain preconditions = %v, want %v", name, pre, want)
+		}
+	}
+	// An arrival at an on-and-idle CPU runs the whole T1→T5→T2 cascade:
+	// admit the job, discard the power-up notice, start service — one
+	// event, net effect Idle−1/Active+1.
+	assertChain(TransAR, []string{TransT1, TransT5, TransT2}, []string{
+		PlaceStandBy + " < 1", PlaceCPUOn + " >= 1", PlaceIdle + " >= 1",
+	})
+	// A service completion immediately starts the next buffered job.
+	assertChain(TransSR, []string{TransT2}, []string{
+		PlaceCPUBuffer + " >= 1", PlaceCPUOn + " >= 1",
+	})
+	// Power-up with a buffered job starts service at once. (P6 < 2: a
+	// second pending notice would re-enable T5 first.)
+	assertChain(TransPUT, []string{TransT2}, []string{
+		PlaceP6 + " < 2", PlaceCPUBuffer + " >= 1",
+	})
+	// Power-down leads nowhere provable: T6 needs a P6 token, but any
+	// marking with P6 ≥ 1 and the CPU on would have fired T5 already, so
+	// the candidate chain contradicts tangibility and is refused.
+	assertChain(TransPDT, nil, nil)
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
 // TestNetPInvariants verifies the three structural conservation laws of
 // DESIGN.md §4 directly from the incidence matrix.
 func TestNetPInvariants(t *testing.T) {

@@ -124,8 +124,13 @@ func NewErlang(k int, rate float64) Erlang {
 func ErlangMean(k int, mean float64) Erlang { return NewErlang(k, float64(k)/mean) }
 
 func (e Erlang) Sample(r *xrand.Rand) float64 {
-	// The product of K open-interval uniforms through one log beats K
-	// separate ExpFloat64 calls and is numerically identical in law.
+	if e.K == 1 {
+		// A single phase is exactly exponential; the ziggurat draw is ~3x
+		// cheaper than a uniform plus a log.
+		return r.ExpFloat64() / e.Rate
+	}
+	// For K >= 2 the product of K open-interval uniforms through one log
+	// beats K separate ExpFloat64 calls and is identical in law.
 	prod := 1.0
 	for i := 0; i < e.K; i++ {
 		prod *= r.Float64Open()
@@ -156,7 +161,9 @@ func NewWeibull(shape, scale float64) Weibull {
 }
 
 func (w Weibull) Sample(r *xrand.Rand) float64 {
-	return w.Scale * math.Pow(-math.Log(r.Float64Open()), 1/w.Shape)
+	// X = scale * E^(1/shape) with E ~ Exp(1): the inverse-CDF transform
+	// with the -log(U) draw replaced by the (same-law, cheaper) ziggurat.
+	return w.Scale * math.Pow(r.ExpFloat64(), 1/w.Shape)
 }
 func (w Weibull) Mean() float64 { return w.Scale * math.Gamma(1+1/w.Shape) }
 func (w Weibull) Var() float64 {

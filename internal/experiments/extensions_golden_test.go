@@ -23,6 +23,10 @@ import (
 // port: evaluation now flows through the Runner's worker pool and result
 // cache, but with seed derivation disabled the numbers must not move at
 // any parallelism.
+//
+// The files are re-rendered whenever xrand.StreamVersion bumps (currently
+// the version-3 ziggurat exponential law); between bumps no change may
+// move them.
 func goldenOptions() Options {
 	opt := Default()
 	opt.Base.SimTime = 400

@@ -7,6 +7,7 @@ package petri
 
 import (
 	"math"
+	"slices"
 	"strings"
 	"testing"
 
@@ -56,6 +57,29 @@ func chainNames(t *testing.T, c *Compiled, name string) []string {
 	return out
 }
 
+func preconds(t *testing.T, c *Compiled, name string) []string {
+	t.Helper()
+	id, ok := c.Net().TransitionByName(name)
+	if !ok {
+		t.Fatalf("no transition %q", name)
+	}
+	return c.FusedPreconds(id)
+}
+
+func assertChain(t *testing.T, c *Compiled, name string, wantChain, wantPre []string) {
+	t.Helper()
+	if got := chainNames(t, c, name); !slices.Equal(got, wantChain) {
+		t.Errorf("%s fused chain = %v, want %v", name, got, wantChain)
+	}
+	got := slices.Clone(preconds(t, c, name))
+	slices.Sort(got)
+	want := slices.Clone(wantPre)
+	slices.Sort(want)
+	if !slices.Equal(got, want) {
+		t.Errorf("%s chain preconditions = %v, want %v", name, got, want)
+	}
+}
+
 func TestFusionDetectsBatchAdmitChain(t *testing.T) {
 	c := MustCompile(batchAdmitNet(8))
 	got := chainNames(t, c, "Batch")
@@ -67,9 +91,21 @@ func TestFusionDetectsBatchAdmitChain(t *testing.T) {
 			t.Fatalf("Batch fused chain = %v, want only Admit", got)
 		}
 	}
-	// The other transitions produce nothing the admit transition's inputs
-	// are guaranteed by, so they must not fuse.
-	for _, name := range []string{"Admit", "Serve", "Drain"} {
+	// Batch's chain needs no runtime preconditions: the batch deposit alone
+	// proves all 8 firings enabled, and once the accumulated delta on In
+	// returns to zero, tangibility proves Admit disabled again — it was
+	// disabled at the tangible pre-event marking and In has gained nothing.
+	if pcs := preconds(t, c, "Batch"); pcs != nil {
+		t.Errorf("Batch chain carries preconditions %v, want none", pcs)
+	}
+	// Admit's own firing fuses one more Admit behind the precondition that
+	// the input held a second token before the first firing; the chain
+	// cannot extend further (a third firing would escalate the same demand
+	// to In ≥ 3, shadowing this chain at the common markings).
+	assertChain(t, c, "Admit", []string{"Admit"}, []string{"In >= 2"})
+	// Serve and Drain produce nothing on In, so tangibility proves Admit
+	// stays disabled after they fire: no chain.
+	for _, name := range []string{"Serve", "Drain"} {
 		if got := chainNames(t, c, name); got != nil {
 			t.Fatalf("%s fused chain = %v, want none", name, got)
 		}
@@ -99,81 +135,162 @@ func TestFusionCombinedProgramSkipsIntermediatePlaces(t *testing.T) {
 	}
 }
 
-// TestFusionRefusesIneligibleTargets pins the structural safety conditions:
-// each mutation below makes the admit chain illegal to fuse, and the
-// compiler must refuse it.
-func TestFusionRefusesIneligibleTargets(t *testing.T) {
-	admitID := func(n *Net) TransitionID {
-		id, ok := n.TransitionByName("Admit")
-		if !ok {
-			t.Fatal("no Admit")
+// TestFusionRefusesGuardedTargets pins the one condition no precondition
+// can discharge: a guard is an arbitrary marking predicate the static
+// analysis cannot evaluate, so a guarded immediate can never be proven to
+// fire (nor forced enabled) and nothing on its priority level fuses past
+// it.
+func TestFusionRefusesGuardedTargets(t *testing.T) {
+	n := batchAdmitNet(4)
+	id, _ := n.TransitionByName("Admit")
+	n.SetGuard(id, func(m Marking) bool { return true })
+	c := MustCompile(n)
+	for i := range n.Transitions {
+		tid := TransitionID(i)
+		if chain := c.FusedChain(tid); chain != nil {
+			t.Errorf("transition %s fuses %v past a guarded target", n.Transitions[i].Name, chain)
 		}
-		return id
+		if conf := c.FusedConflict(tid); conf != nil {
+			t.Errorf("transition %s got conflict terminal %v with a guarded member", n.Transitions[i].Name, conf)
+		}
+		if pcs := c.FusedPreconds(tid); pcs != nil {
+			t.Errorf("transition %s carries preconditions %v without a chain", n.Transitions[i].Name, pcs)
+		}
 	}
+}
+
+// TestFusionPrecondChains pins the conditional chains: structures the
+// purely structural analysis had to refuse wholesale now fuse behind
+// runtime preconditions on the pre-firing marking, and chains whose
+// precondition set would contradict the tangibility of that marking are
+// pruned back to their satisfiable prefix.
+func TestFusionPrecondChains(t *testing.T) {
+	adm := []string{"Admit"}
+	adm4 := []string{"Admit", "Admit", "Admit", "Admit"}
 	cases := []struct {
 		name   string
 		mutate func(n *Net)
+		want   map[string][2][]string // transition -> {chain, preconds}
 	}{
-		{"priority conflict partner", func(n *Net) {
-			// A second immediate at the same priority: the conflict needs a
-			// weighted draw, so the chain is no longer deterministic.
-			p, _ := n.PlaceByName("In")
-			alt := n.AddImmediate("Alt", 2)
-			n.Input(alt, p, 1)
-		}},
-		{"guard on target", func(n *Net) {
-			n.SetGuard(admitID(n), func(m Marking) bool { return true })
-		}},
-		{"inhibitor on target", func(n *Net) {
-			p, _ := n.PlaceByName("Done")
-			n.Inhibitor(admitID(n), p, 100)
-		}},
-		{"capacity-bounded output", func(n *Net) {
-			p, _ := n.PlaceByName("Q")
-			n.SetCapacity(p, 1000)
-		}},
-		{"input place can go negative", func(n *Net) {
-			// A transition with duplicate input arcs on the admit
-			// transition's input place: enabling checks each arc alone but
-			// firing consumes their sum, so the place has no non-negativity
-			// floor and "chain delta ≥ weight" no longer implies enabling.
-			// (Found by FuzzFusionEquivalence — seed 23662 in the corpus.)
-			in, _ := n.PlaceByName("In")
-			d, _ := n.PlaceByName("Done")
-			dup := n.AddTimed("Dup", dist.NewExponential(1))
-			n.Input(dup, in, 1)
-			n.Input(dup, in, 1)
-			n.Output(dup, d, 1)
-		}},
+		{
+			name: "inhibitor on target",
+			mutate: func(n *Net) {
+				id, _ := n.TransitionByName("Admit")
+				p, _ := n.PlaceByName("Done")
+				n.Inhibitor(id, p, 100)
+			},
+			want: map[string][2][]string{
+				// The batch chain fires all 4 admits when the inhibitor was
+				// clear; a 5th step would demand In ≥ 1 at the pre-event
+				// marking — with Done < 100 that proves Admit enabled at a
+				// tangible marking, so the extension is pruned as dead.
+				"Batch": {adm4, {"Done < 100"}},
+				"Admit": {adm, {"In >= 2"}},
+				// Serve raises Done toward the threshold, so its candidate
+				// chain (In ≥ 1 ∧ Done < 99) is dead for the same reason.
+				"Serve": {nil, nil},
+				// Drain lowers Done: at Done = 100 exactly, its firing
+				// un-inhibits Admit — a chain live at real markings.
+				"Drain": {adm, {"In >= 1", "Done < 101"}},
+			},
+		},
+		{
+			name: "capacity-bounded output",
+			mutate: func(n *Net) {
+				p, _ := n.PlaceByName("Q")
+				n.SetCapacity(p, 1000)
+			},
+			want: map[string][2][]string{
+				"Batch": {adm4, {"Q < 997"}},
+				"Admit": {adm, {"In >= 2", "Q < 999"}},
+				// Serve frees one slot of the full queue; the capacity
+				// bound Q ≤ 1000 supplies the post-firing room (see
+				// TestFusionInvariantBoundSuspendedByInjection for the
+				// injection story).
+				"Serve": {adm, {"In >= 1"}},
+				"Drain": {nil, nil},
+			},
+		},
+		{
+			name: "input place can go negative",
+			mutate: func(n *Net) {
+				// Duplicate input arcs: enabling checks each arc alone but
+				// firing consumes their sum, so In can go negative and
+				// loses its non-negativity floor. The chain survives with
+				// an explicit In ≥ 0 floor as a precondition. (Found by
+				// FuzzFusionEquivalence — seed 23662 in the corpus.)
+				in, _ := n.PlaceByName("In")
+				d, _ := n.PlaceByName("Done")
+				dup := n.AddTimed("Dup", dist.NewExponential(1))
+				n.Input(dup, in, 1)
+				n.Input(dup, in, 1)
+				n.Output(dup, d, 1)
+			},
+			want: map[string][2][]string{
+				"Batch": {adm4, {"In >= 0"}},
+				"Admit": {adm, {"In >= 2"}},
+				"Dup":   {nil, nil},
+			},
+		},
 	}
 	for _, tc := range cases {
 		n := batchAdmitNet(4)
 		tc.mutate(n)
 		c := MustCompile(n)
-		for i := range n.Transitions {
-			if chain := c.FusedChain(TransitionID(i)); chain != nil {
-				t.Errorf("%s: transition %s still fuses %v", tc.name, n.Transitions[i].Name, chain)
-			}
+		for name, want := range tc.want {
+			t.Run(tc.name+"/"+name, func(t *testing.T) {
+				assertChain(t, c, name, want[0], want[1])
+			})
 		}
 	}
 }
 
-// TestFusionHigherPriorityWinsOverGuarantee: a guaranteed immediate that is
-// NOT the top priority level must not fuse — a higher-priority transition
-// could preempt it at the intermediate marking.
-func TestFusionHigherPriorityWinsOverGuarantee(t *testing.T) {
+// TestFusionConflictTerminal: a same-priority partner makes the postfix a
+// weighted draw instead of a certain firing. The chain cannot absorb the
+// firing, but the proven fully-live level is recorded as a conflict
+// terminal for the engine to replay from the compiled weight tables.
+func TestFusionConflictTerminal(t *testing.T) {
 	n := batchAdmitNet(4)
-	// An unrelated higher-priority immediate (disabled in practice, but the
-	// compiler cannot know that).
+	p, _ := n.PlaceByName("In")
+	alt := n.AddImmediate("Alt", 2)
+	n.Input(alt, p, 1)
+	c := MustCompile(n)
+	if chain := chainNames(t, c, "Batch"); chain != nil {
+		t.Fatalf("Batch fused chain = %v, want none (conflict cannot be absorbed)", chain)
+	}
+	batch, _ := n.TransitionByName("Batch")
+	var confNames []string
+	for _, id := range c.FusedConflict(batch) {
+		confNames = append(confNames, n.Transitions[id].Name)
+	}
+	if !slices.Equal(confNames, []string{"Admit", "Alt"}) {
+		t.Fatalf("Batch conflict terminal = %v, want [Admit Alt]", confNames)
+	}
+	if pcs := preconds(t, c, "Batch"); pcs != nil {
+		t.Fatalf("Batch conflict terminal carries preconditions %v, want none", pcs)
+	}
+	// Immediate parents never get conflict terminals: their firings already
+	// run inside the resolver, whose own draw handles the level.
+	admit, _ := n.TransitionByName("Admit")
+	if conf := c.FusedConflict(admit); conf != nil {
+		t.Fatalf("immediate parent Admit got conflict terminal %v", conf)
+	}
+}
+
+// TestFusionProvesHigherPriorityLevelDead: an empty-trigger preemptor above
+// the admit level does not block fusion — the tangibility of the pre-event
+// marking proves it disabled, and nothing the chain fires feeds its input.
+func TestFusionProvesHigherPriorityLevelDead(t *testing.T) {
+	n := batchAdmitNet(4)
 	p := n.AddPlace("Trigger")
 	hi := n.AddImmediate("Preempt", 9)
 	n.Input(hi, p, 1)
 	c := MustCompile(n)
-	for i := range n.Transitions {
-		if chain := c.FusedChain(TransitionID(i)); chain != nil {
-			t.Fatalf("transition %s fuses %v despite a higher-priority level", n.Transitions[i].Name, chain)
-		}
-	}
+	assertChain(t, c, "Batch", []string{"Admit", "Admit", "Admit", "Admit"}, nil)
+	// The immediates fuse too, each pinning the preemptor dead at their own
+	// pre-firing marking with an explicit precondition.
+	assertChain(t, c, "Admit", []string{"Admit"}, []string{"Trigger < 1", "In >= 2"})
+	assertChain(t, c, "Preempt", []string{"Admit"}, []string{"Trigger < 2", "In >= 1"})
 }
 
 // TestFusionSelfRegeneratingChainIsCapped: a target that re-guarantees its

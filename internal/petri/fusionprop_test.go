@@ -114,6 +114,74 @@ func mixedDistNet() *petri.Net {
 	return n
 }
 
+// conflictNet: every source firing certainly enables two same-priority
+// immediates with distinct weights, so the compiled engine replays the
+// resolver's weighted conflict draw from its compile-time tables on every
+// single event.
+func conflictNet() *petri.Net {
+	n := petri.NewNet("conflict")
+	gen := n.AddPlaceInit("Gen", 1)
+	in := n.AddPlace("In")
+	qa := n.AddPlace("QA")
+	qb := n.AddPlace("QB")
+
+	src := n.AddTimed("Src", dist.NewExponential(1))
+	n.Input(src, gen, 1)
+	n.Output(src, gen, 1)
+	n.Output(src, in, 1)
+
+	a := n.AddImmediate("A", 2)
+	n.SetWeight(a, 1.0)
+	n.Input(a, in, 1)
+	n.Output(a, qa, 1)
+
+	b := n.AddImmediate("B", 2)
+	n.SetWeight(b, 2.5)
+	n.Input(b, in, 1)
+	n.Output(b, qb, 1)
+
+	da := n.AddTimed("DrainA", dist.NewExponential(2))
+	n.Input(da, qa, 1)
+	db := n.AddTimed("DrainB", dist.NewExponential(3))
+	n.Input(db, qb, 1)
+	return n
+}
+
+// invariantRingNet: an inhibitor whose clearance is only provable through a
+// P-invariant — S0+S1 is conserved at 1, so S1 can never reach the
+// inhibitor threshold 2 and the admit step fuses despite the inhibitor
+// arc. The chain is bounds-dependent: Session.Inject can break the
+// invariant, after which it must stop applying.
+func invariantRingNet() *petri.Net {
+	n := petri.NewNet("invariant-ring")
+	s0 := n.AddPlaceInit("S0", 1)
+	s1 := n.AddPlace("S1")
+	gen := n.AddPlaceInit("Gen", 1)
+	in := n.AddPlace("In")
+	q := n.AddPlace("Q")
+
+	flip := n.AddTimed("Flip", dist.NewExponential(0.7))
+	n.Input(flip, s0, 1)
+	n.Output(flip, s1, 1)
+	flop := n.AddTimed("Flop", dist.NewExponential(1.3))
+	n.Input(flop, s1, 1)
+	n.Output(flop, s0, 1)
+
+	src := n.AddTimed("Src", dist.NewExponential(2))
+	n.Input(src, gen, 1)
+	n.Output(src, gen, 1)
+	n.Output(src, in, 1)
+
+	admit := n.AddImmediate("Admit", 1)
+	n.Input(admit, in, 1)
+	n.Output(admit, q, 1)
+	n.Inhibitor(admit, s1, 2)
+
+	drain := n.AddTimed("Drain", dist.NewExponential(2.5))
+	n.Input(drain, q, 1)
+	return n
+}
+
 // TestFusionNetsMatchReference runs the dedicated fusion nets through the
 // full bit-for-bit suite against the scalar reference engine.
 func TestFusionNetsMatchReference(t *testing.T) {
@@ -122,6 +190,8 @@ func TestFusionNetsMatchReference(t *testing.T) {
 		"batch1":         fusionBatchNet(1),
 		"guardTransient": guardTransientNet(),
 		"mixedDists":     mixedDistNet(),
+		"conflict":       conflictNet(),
+		"invariantRing":  invariantRingNet(),
 	}
 	for name, n := range nets {
 		c, err := petri.Compile(n)
@@ -142,6 +212,85 @@ func TestFusionNetsMatchReference(t *testing.T) {
 				assertIdentical(t, name, seed, mem, got, want)
 			}
 		}
+	}
+}
+
+// TestFusionConflictDrawMatchesReference pins the conflict-terminal fast
+// path: the source certainly enables the weighted A/B pair, the compiler
+// records the level as a conflict terminal, and over a long run both
+// branches are taken with the reference's exact draws (the bit-identical
+// trajectory comparison runs in TestFusionNetsMatchReference).
+func TestFusionConflictDrawMatchesReference(t *testing.T) {
+	n := conflictNet()
+	c, err := petri.Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := n.TransitionByName("Src")
+	if conf := c.FusedConflict(src); len(conf) != 2 {
+		t.Fatalf("Src conflict terminal = %v, want the A/B pair", conf)
+	}
+	res, err := c.Simulate(petri.SimOptions{Seed: 11, Warmup: 10, Duration: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := n.TransitionByName("A")
+	b, _ := n.TransitionByName("B")
+	if res.Firings[a] == 0 || res.Firings[b] == 0 {
+		t.Fatalf("conflict draw degenerated: A=%d B=%d firings", res.Firings[a], res.Firings[b])
+	}
+	// Weight 1 vs 2.5: B should win roughly 5/2 as often as A.
+	ratio := float64(res.Firings[b]) / float64(res.Firings[a])
+	if ratio < 1.8 || ratio > 3.4 {
+		t.Fatalf("conflict weights ignored: B/A firing ratio = %.2f, want ≈2.5", ratio)
+	}
+}
+
+// TestFusionInvariantBoundSuspendedByInjection: the invariant-ring chain is
+// bounds-dependent, and an injection that breaks the conserved sum must
+// suspend it — afterwards the inhibited admit transition may not fire, so
+// the queue freezes while the input backs up.
+func TestFusionInvariantBoundSuspendedByInjection(t *testing.T) {
+	n := invariantRingNet()
+	c, err := petri.Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := n.TransitionByName("Src")
+	if got := c.FusedChain(src); len(got) != 1 {
+		t.Fatalf("Src fused chain = %v, want the single admit step", got)
+	}
+	if !c.BoundsDependent(src) {
+		t.Fatal("Src chain not marked bounds-dependent despite the P-invariant proof")
+	}
+	s1, _ := n.PlaceByName("S1")
+	in, _ := n.PlaceByName("In")
+	admit, _ := n.TransitionByName("Admit")
+	s, err := c.OpenSession(nil, petri.SimOptions{Seed: 7, Duration: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.StepTo(40); err != nil {
+		t.Fatal(err)
+	}
+	if s.Firings(admit) == 0 {
+		t.Fatal("admit chain never fired before the injection")
+	}
+	// Break the invariant: S1 jumps far past the inhibitor threshold, and
+	// far enough that Flop cannot drain it below 2 within the window.
+	if err := s.Inject(petri.Injection{Place: s1, Tokens: 500}); err != nil {
+		t.Fatal(err)
+	}
+	admit0, in0 := s.Firings(admit), s.Tokens(in)
+	if err := s.StepTo(80); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Firings(admit); got != admit0 {
+		t.Fatalf("inhibited admit still fired after the injection: %d -> %d firings", admit0, got)
+	}
+	if got := s.Tokens(in); got <= in0 {
+		t.Fatalf("input did not back up after the injection: In %d -> %d", in0, got)
 	}
 }
 
@@ -359,7 +508,7 @@ func TestFusionRespectsSmallVanishingChainBound(t *testing.T) {
 
 // TestFusionPropertyRandomNets is the main property sweep.
 func TestFusionPropertyRandomNets(t *testing.T) {
-	fused := 0
+	fused, precond, conflict := 0, 0, 0
 	for seed := uint64(0); seed < 150; seed++ {
 		checkRandomNet(t, seed)
 		n := randomNet(seed)
@@ -367,18 +516,35 @@ func TestFusionPropertyRandomNets(t *testing.T) {
 			continue
 		}
 		if c, err := petri.Compile(n); err == nil {
+			hasChain, hasPre, hasConf := false, false, false
 			for i := range n.Transitions {
-				if c.FusedChain(petri.TransitionID(i)) != nil {
-					fused++
-					break
+				id := petri.TransitionID(i)
+				if c.FusedChain(id) != nil {
+					hasChain = true
+					if c.FusedPreconds(id) != nil {
+						hasPre = true
+					}
 				}
+				if c.FusedConflict(id) != nil {
+					hasConf = true
+				}
+			}
+			if hasChain {
+				fused++
+			}
+			if hasPre {
+				precond++
+			}
+			if hasConf {
+				conflict++
 			}
 		}
 	}
 	// The sweep is only meaningful if a decent share of generated nets
-	// actually exercises fusion.
-	if fused < 10 {
-		t.Fatalf("only %d random nets had a fused chain; generator drifted", fused)
+	// actually exercises each fusion mechanism.
+	if fused < 10 || precond < 10 || conflict < 3 {
+		t.Fatalf("random nets exercised fusion %d / preconditions %d / conflicts %d times; generator drifted",
+			fused, precond, conflict)
 	}
 }
 
@@ -387,6 +553,12 @@ func TestFusionPropertyRandomNets(t *testing.T) {
 func FuzzFusionEquivalence(f *testing.F) {
 	for seed := uint64(0); seed < 24; seed++ {
 		f.Add(seed * 7919)
+	}
+	// Seeds whose nets compile to a conflict terminal (a same-priority
+	// weighted draw replayed from the compiled tables) — the rarest fusion
+	// mechanism, pinned explicitly so the corpus always covers it.
+	for _, seed := range []uint64{13, 28, 31, 90, 177, 190, 229, 248} {
+		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, netSeed uint64) {
 		checkRandomNet(t, netSeed)

@@ -1,0 +1,92 @@
+package petri
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// opaqueDist hides a distribution's concrete type behind a wrapper struct,
+// so compileSampler's type switch falls through to delayKindGeneric and the
+// engine samples via the dist.Distribution interface. Comparing runs of the
+// same net with and without the wrapper checks that every devirtualized
+// sampler kind draws the exact xrand stream its Sample method would.
+type opaqueDist struct {
+	dist.Distribution
+}
+
+// samplerEdgeNet puts the distribution under test on a service transition
+// that is enabled, disabled and re-enabled as an exponential arrival stream
+// fills and drains its queue — so the run exercises repeated sampling at
+// scattered points of the RNG stream, not one draw at time zero.
+func samplerEdgeNet(d dist.Distribution) *Net {
+	n := NewNet("sampler-edge")
+	queue := n.AddPlace("Queue")
+	arrive := n.AddExponential("Arrive", 3)
+	n.Output(arrive, queue, 1)
+	serve := n.AddTimed("Serve", d)
+	n.Input(serve, queue, 1)
+	return n
+}
+
+// TestSamplerEdgeCasesMatchGenericPath runs each compiled sampler kind at a
+// degenerate parameter edge — where the distribution collapses onto a
+// simpler law and an off-by-one in the devirtualized expression would be
+// easiest to introduce — against the interface fallback, and requires
+// bit-identical trajectories.
+func TestSamplerEdgeCasesMatchGenericPath(t *testing.T) {
+	cases := []struct {
+		name string
+		d    dist.Distribution
+		kind uint8
+	}{
+		// Weibull with shape 1 is an exponential; 1/shape is exactly 1.
+		{"weibull-shape-1", dist.NewWeibull(1, 0.4), delayKindWeibull},
+		// Erlang with k=1 is an exponential: a single-draw sum.
+		{"erlang-k-1", dist.NewErlang(1, 2.5), delayKindErlang},
+		// A one-branch hyper-exponential still draws the branch-selection
+		// uniform before the exponential, and the compiled path must too.
+		{"hyperexp-single", dist.NewHyperExponential([]float64{1}, []float64{2}), delayKindHyperExp},
+		// Deterministic 0 fires with zero delay: scheduling at now itself.
+		{"det-0", dist.NewDeterministic(0), delayKindDet},
+		// Non-degenerate controls for the same kinds.
+		{"weibull-shape-2", dist.NewWeibull(2, 0.4), delayKindWeibull},
+		{"erlang-k-4", dist.NewErlang(4, 2.5), delayKindErlang},
+		{"hyperexp-2", dist.NewHyperExponential([]float64{0.3, 0.7}, []float64{1, 5}), delayKindHyperExp},
+		{"uniform", dist.NewUniform(0.1, 0.5), delayKindUniform},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fast, err := Compile(samplerEdgeNet(tc.d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow, err := Compile(samplerEdgeNet(opaqueDist{tc.d}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			serve, _ := fast.Net().TransitionByName("Serve")
+			if got := fast.delayKind[serve]; got != tc.kind {
+				t.Fatalf("compiled sampler kind = %d, want %d", got, tc.kind)
+			}
+			if got := slow.delayKind[serve]; got != delayKindGeneric {
+				t.Fatalf("wrapped distribution compiled to kind %d, want generic", got)
+			}
+			for seed := uint64(1); seed <= 3; seed++ {
+				opt := SimOptions{Seed: seed, Warmup: 2, Duration: 300}
+				a, err := fast.Simulate(opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := slow.Simulate(opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("seed %d: compiled %s sampler diverges from the interface path:\ncompiled %+v\ngeneric  %+v", seed, tc.name, a, b)
+				}
+			}
+		})
+	}
+}

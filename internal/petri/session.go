@@ -211,6 +211,10 @@ func (s *Session) Inject(injs ...Injection) error {
 	if !changed {
 		return nil
 	}
+	// The injected marking may lie outside the unperturbed net's
+	// reachability set, invalidating the compiler's capacity/P-invariant
+	// bounds for the rest of the run.
+	e.bndBroken = true
 	c := s.c
 	if len(c.guardedImms) > 0 {
 		for _, i := range c.guardedImms {
@@ -283,7 +287,7 @@ func (s *Session) Finish() (*SimResult, error) {
 		PlaceNonEmpty: make([]float64, len(n.Places)),
 		Firings:       append([]uint64(nil), e.firings...),
 		Throughput:    make([]float64, len(n.Transitions)),
-		Deadlocked:    len(e.heap) == 0,
+		Deadlocked:    e.nothingScheduled(),
 		FinalMarking:  e.marking.Clone(),
 	}
 	for i := range n.Places {

@@ -164,8 +164,17 @@ type engine struct {
 	// inline, so sifting compares sequential node memory instead of
 	// chasing fireAt through a second array. heapPos[t] is t's index in
 	// heap, -1 while unscheduled.
+	//
+	// Nets with at most linearSchedulerMax timed transitions skip the heap
+	// entirely (linear=true): heapPos degrades to a 0/-1 scheduled flag,
+	// nSched counts the scheduled timers, and nextTimed scans fireAt
+	// directly. The scan visits c.timed in ascending id with a strict
+	// less-than, which is exactly the heap's (fireAt, id) order, so the
+	// two schedulers pop identical event sequences.
 	heap    []timerNode
 	heapPos []int32
+	linear  bool
+	nSched  int
 
 	// unsat[t] counts the unsatisfied enabling conditions of unguarded
 	// single-server transition t (inputs below weight, inhibitors at or
@@ -181,6 +190,13 @@ type engine struct {
 	// tangible?" is a single compare.
 	groupLive  []int32
 	liveGroups int
+
+	// bndBroken is set by Session.Inject: injected tokens escape the
+	// reachability set the compiler's capacity/P-invariant bounds cover,
+	// so fused chains flagged boundsDep stop applying (chainOK). The
+	// injection-proof chains keep running — their facts are re-verified at
+	// fire time or by runtime preconditions.
+	bndBroken bool
 
 	// dirty accumulates the places the current event's firings changed and
 	// candTimed the timed transitions whose enabling flipped. Both may
@@ -228,6 +244,12 @@ type timerNode struct {
 // polls: frequent enough that cancellation lands promptly in wall-clock
 // terms, rare enough that the poll is invisible in event-loop profiles.
 const cancelCheckStride = 512
+
+// linearSchedulerMax is the largest timed-transition count for which the
+// engine replaces the scheduler heap with a direct fireAt scan. At this
+// size the scan is one or two cache lines, cheaper than maintaining heap
+// order on every schedule/unschedule; past it the heap's O(log n) wins.
+const linearSchedulerMax = 16
 
 // acquireEngine validates the options and returns a run-ready engine for
 // the compiled net: a recycled one from the pool when available, a freshly
@@ -287,6 +309,7 @@ func newEngine(c *Compiled, ctx context.Context, opt SimOptions) *engine {
 		immScratch:   make([]int32, 0, maxGroup),
 		pstats:       make([]placeStat, nP),
 		firings:      make([]uint64, nT),
+		linear:       len(c.timed) <= linearSchedulerMax,
 	}
 	e.reset(ctx, opt)
 	return e
@@ -320,10 +343,12 @@ func (e *engine) reset(ctx context.Context, opt SimOptions) {
 		e.firings[i] = 0
 	}
 	e.heap = e.heap[:0]
+	e.nSched = 0
 	for i := range e.groupLive {
 		e.groupLive[i] = 0
 	}
 	e.liveGroups = 0
+	e.bndBroken = false
 	e.dirty = e.dirty[:0]
 	e.candTimed = e.candTimed[:0]
 	e.curTimed = -1
@@ -503,9 +528,16 @@ func (e *engine) clearDirty() {
 // nothing here scans a transition's arcs to re-derive enabling.
 func (e *engine) fireAndUpdate(t int32) {
 	c := e.comp
+	e.applyProg(c.progs[c.progOff[t]:c.progOff[t+1]])
+}
+
+// applyProg interprets one firing program against the marking and the
+// incremental enabling state. It is the shared body of the main (fused) and
+// solo program paths.
+func (e *engine) applyProg(prog []uint64) {
+	c := e.comp
 	marking := e.marking
 	unsat := e.unsat
-	prog := c.progs[c.progOff[t]:c.progOff[t+1]]
 	for i := 0; i < len(prog); {
 		h := prog[i]
 		i++
@@ -551,6 +583,51 @@ func (e *engine) fireAndUpdate(t int32) {
 	}
 }
 
+// chainOK reports whether t's fused chain (and terminal conflict draw)
+// applies at the current marking: the chain's compile-time bounds must
+// still be valid (boundsDep vs bndBroken) and every runtime precondition
+// must hold against the pre-firing marking. Callers must check BEFORE
+// applying any program of t.
+func (e *engine) chainOK(t int32) bool {
+	c := e.comp
+	if c.boundsDep[t] && e.bndBroken {
+		return false
+	}
+	for _, pc := range c.preconds[c.precondOff[t]:c.precondOff[t+1]] {
+		if !pc.holds(e.marking[pc.place()]) {
+			return false
+		}
+	}
+	return true
+}
+
+// fireImm fires immediate transition chosen — with its fused chain when the
+// chain's preconditions hold, bare otherwise — charging the zero-time
+// firings against the livelock bound. It returns the updated step count.
+func (e *engine) fireImm(chosen int32, steps int) (int, error) {
+	c := e.comp
+	fused := int(c.fusedOff[chosen+1] - c.fusedOff[chosen])
+	prog := c.progs[c.progOff[chosen]:c.progOff[chosen+1]]
+	if fused != 0 && !e.chainOK(chosen) {
+		fused = 0
+		prog = c.soloProg(chosen)
+	}
+	if steps+1+fused > e.opt.MaxVanishingChain {
+		// The chain fused into this firing would cross the livelock
+		// bound mid-block, exactly where the unfused engine errors.
+		return steps, fmt.Errorf("petri: immediate-transition livelock after %d zero-time firings (marking %v)", e.opt.MaxVanishingChain, e.marking)
+	}
+	e.applyProg(prog)
+	steps += 1 + fused
+	if e.measuring {
+		e.firings[chosen]++
+		if fused != 0 {
+			e.countFusedFirings(chosen)
+		}
+	}
+	return steps, nil
+}
+
 // noteFlip reacts to an enabling flip of an unguarded single-server
 // transition: immediates adjust their priority group's enabled count,
 // timed transitions become candidates for the end-of-chain timer sync.
@@ -586,11 +663,45 @@ func (e *engine) bumpGroup(g int32, enabled bool) {
 // ties by transition index (deterministic). id is -1 when nothing is
 // scheduled.
 func (e *engine) nextTimed() (float64, int) {
+	if e.linear {
+		if e.nSched == 0 {
+			return math.Inf(1), -1
+		}
+		// Ascending-id scan with strict less-than: the first occurrence of
+		// the minimum wins, matching the heap's (fireAt, id) order.
+		// Unscheduled timers sit at +Inf and never win the comparison.
+		best := math.Inf(1)
+		id := -1
+		for _, t := range e.comp.timed {
+			if at := e.fireAt[t]; at < best {
+				best, id = at, int(t)
+			}
+		}
+		if id < 0 {
+			// Every scheduled timer is at +Inf (a degenerate sampler):
+			// surface the lowest-id scheduled one, as the heap would.
+			for _, t := range e.comp.timed {
+				if e.heapPos[t] >= 0 {
+					return best, int(t)
+				}
+			}
+		}
+		return best, id
+	}
 	if len(e.heap) == 0 {
 		return math.Inf(1), -1
 	}
 	n := e.heap[0]
 	return n.at, int(n.id)
+}
+
+// nothingScheduled reports whether no timed transition is scheduled — the
+// deadlock test, valid under either scheduler.
+func (e *engine) nothingScheduled() bool {
+	if e.linear {
+		return e.nSched == 0
+	}
+	return len(e.heap) == 0
 }
 
 // fireTimed fires the scheduled timed transition, resolves the resulting
@@ -619,22 +730,60 @@ func (e *engine) fireTimed(t int32) error {
 	if !enabled {
 		return fmt.Errorf("petri: internal error: scheduled transition %q not enabled at fire time", e.net.Transitions[t].Name)
 	}
-	fused := int(e.comp.fusedOff[t+1] - e.comp.fusedOff[t])
-	if fused > e.opt.MaxVanishingChain {
-		// The scalar engine would hit the livelock bound partway through
-		// this chain; the fused program cannot stop midway, so refuse to
-		// apply it at all — error presence matches the unfused semantics.
-		return fmt.Errorf("petri: immediate-transition livelock after %d zero-time firings (marking %v)", e.opt.MaxVanishingChain, e.marking)
-	}
-	e.fireAndUpdate(t)
-	if e.measuring {
-		e.firings[t]++
-		if fused != 0 {
-			e.countFusedFirings(t)
+	c := e.comp
+	fused := int(c.fusedOff[t+1] - c.fusedOff[t])
+	if (fused != 0 || c.conflictGroup[t] >= 0) && !e.chainOK(t) {
+		// A runtime precondition failed (or injection broke the bounds):
+		// fire the bare transition and let the resolver take over.
+		e.applyProg(c.soloProg(t))
+		if e.measuring {
+			e.firings[t]++
 		}
-	}
-	if err := e.resolveImmediates(fused); err != nil {
-		return err
+		if err := e.resolveImmediates(0); err != nil {
+			return err
+		}
+	} else {
+		if fused > e.opt.MaxVanishingChain {
+			// The scalar engine would hit the livelock bound partway through
+			// this chain; the fused program cannot stop midway, so refuse to
+			// apply it at all — error presence matches the unfused semantics.
+			return fmt.Errorf("petri: immediate-transition livelock after %d zero-time firings (marking %v)", e.opt.MaxVanishingChain, e.marking)
+		}
+		e.fireAndUpdate(t)
+		if e.measuring {
+			e.firings[t]++
+			if fused != 0 {
+				e.countFusedFirings(t)
+			}
+		}
+		steps := fused
+		if gi := c.conflictGroup[t]; gi >= 0 {
+			// The chain's terminal is a proven fully-live priority level:
+			// replay the resolver's weighted draw from the compile-time
+			// tables — the total and the member order match its arithmetic
+			// bit for bit — then fire the winner.
+			if steps >= e.opt.MaxVanishingChain {
+				return fmt.Errorf("petri: immediate-transition livelock after %d zero-time firings (marking %v)", steps, e.marking)
+			}
+			members := c.groups[gi].members
+			weights := c.confWeights[c.confOff[gi]:c.confOff[gi+1]]
+			u := e.rng.Float64() * c.confTotal[gi]
+			chosen := members[len(members)-1]
+			for k, id := range members {
+				u -= weights[k]
+				if u < 0 {
+					chosen = id
+					break
+				}
+			}
+			var err error
+			if steps, err = e.fireImm(chosen, steps); err != nil {
+				return err
+			}
+		}
+		if err := e.resolveImmediates(steps); err != nil {
+			return err
+		}
 	}
 	e.recordMarking()
 	e.syncDirtyTimers(t)
@@ -703,6 +852,21 @@ func (e *engine) resolveImmediates(steps int) error {
 			// Singleton priority level: the live count says its only
 			// member is enabled; no conflict, no draw.
 			chosen = group.members[0]
+		} else if int(e.groupLive[gi]) == len(group.members) {
+			// Every member is live: skip the subset scan and draw from the
+			// precomputed tables. The compile-time total was summed in
+			// member order — the same order the scan would add live
+			// weights — so the draw arithmetic is bit-identical.
+			weights := e.comp.confWeights[e.comp.confOff[gi]:e.comp.confOff[gi+1]]
+			u := e.rng.Float64() * e.comp.confTotal[gi]
+			chosen = group.members[len(group.members)-1]
+			for k, id := range group.members {
+				u -= weights[k]
+				if u < 0 {
+					chosen = id
+					break
+				}
+			}
 		} else {
 			ids := e.immScratch[:0]
 			for _, t := range group.members {
@@ -736,19 +900,9 @@ func (e *engine) resolveImmediates(steps int) error {
 				}
 			}
 		}
-		fused := int(e.comp.fusedOff[chosen+1] - e.comp.fusedOff[chosen])
-		if steps+1+fused > maxSteps {
-			// The chain fused into this firing would cross the livelock
-			// bound mid-block, exactly where the unfused engine errors.
-			return fmt.Errorf("petri: immediate-transition livelock after %d zero-time firings (marking %v)", maxSteps, e.marking)
-		}
-		e.fireAndUpdate(chosen)
-		steps += 1 + fused
-		if e.measuring {
-			e.firings[chosen]++
-			if fused != 0 {
-				e.countFusedFirings(chosen)
-			}
+		var err error
+		if steps, err = e.fireImm(chosen, steps); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -856,13 +1010,18 @@ func (e *engine) sampleDelay(t int32, deg int) float64 {
 	case delayKindUniform:
 		delay = c.delayParam[t] + c.delayParam2[t]*e.rng.Float64()
 	case delayKindErlang:
+		if c.delayParam2[t] == 1 {
+			// Mirrors dist.Erlang.Sample's single-phase shortcut exactly.
+			delay = e.rng.ExpFloat64() / c.delayParam[t]
+			break
+		}
 		prod := 1.0
 		for i := 0; i < int(c.delayParam2[t]); i++ {
 			prod *= e.rng.Float64Open()
 		}
 		delay = -math.Log(prod) / c.delayParam[t]
 	case delayKindWeibull:
-		delay = c.delayParam[t] * math.Pow(-math.Log(e.rng.Float64Open()), c.delayParam2[t])
+		delay = c.delayParam[t] * math.Pow(e.rng.ExpFloat64(), c.delayParam2[t])
 	case delayKindHyperExp:
 		// A direct call on the concrete mixture value — static dispatch,
 		// no interface, and by construction the same draw sequence.
@@ -950,17 +1109,26 @@ func (e *engine) siftDown(i int) {
 	e.heapPos[n.id] = int32(i)
 }
 
-// schedule inserts unscheduled transition t into the heap at its current
-// fireAt.
+// schedule inserts unscheduled transition t into the scheduler at its
+// current fireAt. In linear mode the fireAt array is the schedule; only the
+// scheduled flag and count need maintaining.
 func (e *engine) schedule(t int32) {
+	if e.linear {
+		e.heapPos[t] = 0
+		e.nSched++
+		return
+	}
 	i := len(e.heap)
 	e.heap = append(e.heap, timerNode{at: e.fireAt[t], id: t})
 	e.heapPos[t] = int32(i)
 	e.siftUp(i)
 }
 
-// reschedule restores heap order after t's fireAt changed.
+// reschedule restores scheduler order after t's fireAt changed.
 func (e *engine) reschedule(t int32) {
+	if e.linear {
+		return
+	}
 	i := int(e.heapPos[t])
 	e.heap[i].at = e.fireAt[t]
 	if !e.siftUp(i) {
@@ -968,13 +1136,17 @@ func (e *engine) reschedule(t int32) {
 	}
 }
 
-// unschedule removes t from the heap if present.
+// unschedule removes t from the scheduler if present.
 func (e *engine) unschedule(t int32) {
 	i := int(e.heapPos[t])
 	if i < 0 {
 		return
 	}
 	e.heapPos[t] = -1
+	if e.linear {
+		e.nSched--
+		return
+	}
 	last := len(e.heap) - 1
 	if i != last {
 		moved := e.heap[last]

@@ -1,7 +1,9 @@
 package petri
 
 import (
+	"fmt"
 	"math"
+	"reflect"
 	"runtime"
 	"strings"
 	"testing"
@@ -393,6 +395,64 @@ func BenchmarkSimulateMM1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Simulate(n, SimOptions{Seed: uint64(i), Duration: 1000}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// poolStationsNet builds a net with 20 timed transitions — above
+// linearSchedulerMax, so it compiles to the heap scheduler by default — in
+// which ten arrival/service station pairs contend for a 3-token resource
+// pool, churning the schedule with constant enable/disable flips.
+func poolStationsNet() *Net {
+	n := NewNet("pool-stations")
+	pool := n.AddPlaceInit("Pool", 3)
+	for i := 0; i < 10; i++ {
+		queue := n.AddPlace(fmt.Sprintf("Queue%d", i))
+		busy := n.AddPlace(fmt.Sprintf("Busy%d", i))
+		arrive := n.AddExponential(fmt.Sprintf("Arrive%d", i), 1+0.1*float64(i))
+		n.Output(arrive, queue, 1)
+		start := n.AddImmediate(fmt.Sprintf("Start%d", i), 1)
+		n.Input(start, queue, 1)
+		n.Input(start, pool, 1)
+		n.Output(start, busy, 1)
+		serve := n.AddExponential(fmt.Sprintf("Serve%d", i), 2+0.2*float64(i))
+		n.Input(serve, busy, 1)
+		n.Output(serve, pool, 1)
+	}
+	return n
+}
+
+// TestLinearSchedulerMatchesHeap forces both scheduler implementations over
+// the same compiled nets and seeds and requires bit-identical results: the
+// linear fireAt scan and the 4-ary heap must pop the exact same (fireAt, id)
+// sequence. Covered in both directions — a small net (linear by default)
+// forced onto the heap, and a 20-timer net (heap by default) forced linear.
+func TestLinearSchedulerMatchesHeap(t *testing.T) {
+	nets := map[string]*Net{
+		"mm1":   mm1Net(2, 5),
+		"pool":  poolStationsNet(),
+		"batch": batchAdmitNet(8),
+	}
+	for name, n := range nets {
+		c, err := Compile(n)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for seed := uint64(1); seed <= 4; seed++ {
+			opt := SimOptions{Seed: seed, Warmup: 5, Duration: 500}
+			run := func(linear bool) *SimResult {
+				e := newEngine(c, nil, opt)
+				e.linear = linear
+				res, err := e.run()
+				if err != nil {
+					t.Fatalf("%s seed %d linear=%v: %v", name, seed, linear, err)
+				}
+				return res
+			}
+			heap, lin := run(false), run(true)
+			if !reflect.DeepEqual(heap, lin) {
+				t.Errorf("%s seed %d: linear and heap schedulers diverge:\nheap   %+v\nlinear %+v", name, seed, heap, lin)
+			}
 		}
 	}
 }
