@@ -7,8 +7,10 @@ package repro_test
 
 import (
 	"context"
+	"net/http/httptest"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/core"
@@ -16,6 +18,8 @@ import (
 	"repro/internal/field"
 	"repro/internal/petri"
 	"repro/internal/sensornode"
+	"repro/internal/shard"
+	"repro/internal/sweepd"
 )
 
 // benchOptions returns reduced-effort sweep options sized for benchmarking.
@@ -370,4 +374,78 @@ func BenchmarkSensorNode(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServeSweepLocal measures the sweep service's orchestration
+// overhead: an in-process coordinator and one worker, submitting and
+// completing a whole Figure 5 sweep per iteration over loopback HTTP. The
+// shared result cache is warmed before the timer, so every iteration's
+// scenarios are cache hits and the protocol — submit, lease, heartbeat
+// bookkeeping, result submission, merge, status polling — dominates, not
+// the simulations.
+func BenchmarkServeSweepLocal(b *testing.B) {
+	coord := sweepd.NewCoordinator(sweepd.Options{DefaultPartitions: 4})
+	srv := httptest.NewServer(sweepd.Handler(coord))
+	defer srv.Close()
+
+	cfg := repro.PaperConfig()
+	cfg.SimTime = 30
+	cfg.Warmup = 3
+	cfg.Replications = 1
+	spec := shard.RunnerSpec{Base: cfg, Seed: cfg.Seed, Methods: []string{"markov"}, DeriveSeeds: true}
+	scenarios := make([]core.Scenario, 12)
+	for i := range scenarios {
+		c := cfg
+		c.PDT = 0.1 * float64(i)
+		scenarios[i] = core.Scenario{Config: c}
+	}
+	manifest, err := shard.NewManifest("bench", spec, scenarios, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := sweepd.NewClient(srv.URL, srv.Client())
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	workerDone := make(chan error, 1)
+	go func() {
+		workerDone <- sweepd.Work(ctx, sweepd.WorkerOptions{
+			Coordinator: srv.URL,
+			Name:        "bench",
+			Parallelism: 2,
+			Client:      srv.Client(),
+			Backoff:     sweepd.Backoff{Base: 100 * time.Microsecond, Max: time.Millisecond, Factor: 2},
+		})
+	}()
+	runSweep := func() {
+		id, err := client.Submit(sweepd.SubmitRequest{Manifest: manifest})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			st, err := client.SweepStatus(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.State == sweepd.StateDone {
+				return
+			}
+			if st.State == sweepd.StateFailed {
+				b.Fatalf("sweep failed: %s", st.Error)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	runSweep() // warm the shared result cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runSweep()
+	}
+	b.StopTimer()
+	coord.Drain()
+	cancel()
+	<-workerDone
 }

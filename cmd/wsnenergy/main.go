@@ -23,6 +23,13 @@
 // field.go:
 //
 //	wsnenergy field -nodes 100 -topology tree -rate 0.5
+//
+// Sweeps can also run as a long-lived coordinator/worker service with the
+// `serve`, `work` and `sweep` subcommands — see sweepd.go:
+//
+//	wsnenergy serve -listen 127.0.0.1:8080
+//	wsnenergy work  -join http://127.0.0.1:8080
+//	wsnenergy sweep -join http://127.0.0.1:8080 -experiment table4
 package main
 
 import (
@@ -93,6 +100,18 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "field" {
 		fieldMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "work" {
+		workMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		sweepMain(os.Args[2:])
 		return
 	}
 	var (

@@ -73,9 +73,24 @@ func shardPlan(args []string) error {
 	if err != nil {
 		return err
 	}
-	scenarios, err := experiments.GridScenarios(*experiment, opt)
+	m, err := buildManifest(*experiment, *shards, opt)
 	if err != nil {
 		return err
+	}
+	if err := shard.WriteManifest(*out, m); err != nil {
+		return err
+	}
+	fmt.Printf("planned %s: %d scenarios across %d shards -> %s\n",
+		*experiment, m.Total, len(m.Shards), *out)
+	return nil
+}
+
+// buildManifest plans an artifact's scenario grid into a manifest —
+// shared by `shard plan` and the `sweep` service client.
+func buildManifest(experiment string, shards int, opt experiments.Options) (*shard.Manifest, error) {
+	scenarios, err := experiments.GridScenarios(experiment, opt)
+	if err != nil {
+		return nil, err
 	}
 	spec := shard.RunnerSpec{
 		Base: opt.Base,
@@ -88,19 +103,14 @@ func shardPlan(args []string) error {
 		Methods:     core.MethodSpecs(),
 		DeriveSeeds: true,
 	}
-	m, err := shard.NewManifest(*experiment, spec, scenarios, *shards)
+	m, err := shard.NewManifest(experiment, spec, scenarios, shards)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if m.Extra, err = json.Marshal(sweepExtra{PDTs: opt.PDTs, PUDs: opt.PUDs}); err != nil {
-		return err
+		return nil, err
 	}
-	if err := shard.WriteManifest(*out, m); err != nil {
-		return err
-	}
-	fmt.Printf("planned %s: %d scenarios across %d shards -> %s\n",
-		*experiment, m.Total, len(m.Shards), *out)
-	return nil
+	return m, nil
 }
 
 // shardRun evaluates one shard of a plan and writes its result set.
@@ -176,6 +186,13 @@ func shardMerge(args []string) error {
 	if err != nil {
 		return err
 	}
+	return renderExperiment(m, results, *format, *chartW, *chartH)
+}
+
+// renderExperiment renders a sweep artifact from merged results, using the
+// manifest to reconstruct the renderer's options — shared by `shard merge`
+// and the `sweep` service client, so both emit byte-identical artifacts.
+func renderExperiment(m *shard.Manifest, results []core.Result, format string, chartW, chartH int) error {
 	opt, err := mergeOptions(m)
 	if err != nil {
 		return err
@@ -186,25 +203,25 @@ func shardMerge(args []string) error {
 		if err != nil {
 			return err
 		}
-		return emitFigure(fig, *format, *chartW, *chartH)
+		return emitFigure(fig, format, chartW, chartH)
 	case "fig5":
 		fig, err := experiments.Figure5FromResults(opt, results)
 		if err != nil {
 			return err
 		}
-		return emitFigure(fig, *format, *chartW, *chartH)
+		return emitFigure(fig, format, chartW, chartH)
 	case "table4":
 		t, err := experiments.Table4FromResults(opt, results)
 		if err != nil {
 			return err
 		}
-		return emitTable(t, *format)
+		return emitTable(t, format)
 	case "table5":
 		t, err := experiments.Table5FromResults(opt, results)
 		if err != nil {
 			return err
 		}
-		return emitTable(t, *format)
+		return emitTable(t, format)
 	default:
 		return fmt.Errorf("manifest plans unknown experiment %q", m.Experiment)
 	}

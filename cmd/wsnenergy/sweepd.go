@@ -1,0 +1,232 @@
+// The sweep-service subcommands turn the sweep artifacts into a
+// long-running coordinator/worker fleet:
+//
+//	wsnenergy serve -listen 127.0.0.1:8080 [-lease 30s] [-cache dir]
+//	wsnenergy work  -join http://127.0.0.1:8080 [-name w1] [-parallel N]
+//	wsnenergy sweep -join http://127.0.0.1:8080 -experiment table4 \
+//	    -format csv [model flags]
+//
+// serve hosts the coordinator: it accepts sweeps, re-plans them against
+// the cost model its workers report, leases partitions with heartbeat
+// deadlines, replans exactly what crashed workers leave missing, and hosts
+// the fleet's shared result cache. work joins a worker that polls with
+// bounded exponential backoff until the coordinator drains. sweep submits
+// an artifact's grid, waits, and renders the merged output — byte-identical
+// to running the same artifact in one process, whatever happens to the
+// fleet mid-run.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/internal/sweepd"
+)
+
+// serveMain runs the sweep coordinator until interrupted.
+func serveMain(args []string) {
+	fs := newFlagSet("serve")
+	var (
+		listen     = fs.String("listen", "127.0.0.1:8080", "address to serve the coordinator API on")
+		lease      = fs.Duration("lease", sweepd.DefaultLeaseTTL, "lease TTL: a worker silent this long loses its partition")
+		attempts   = fs.Int("attempts", sweepd.DefaultAttempts, "attempts per partition before its sweep fails")
+		partitions = fs.Int("partitions", sweepd.DefaultPartitions, "default lease partitions per sweep")
+		cacheDir   = fs.String("cache", "", "back the shared result cache with this directory (default: in-memory)")
+		quiet      = fs.Bool("quiet", false, "suppress progress logging")
+	)
+	parseFlags(fs, args)
+
+	opts := sweepd.Options{
+		LeaseTTL:          *lease,
+		MaxAttempts:       *attempts,
+		DefaultPartitions: *partitions,
+	}
+	if !*quiet {
+		opts.Log = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "serve: "+format+"\n", a...)
+		}
+	}
+	if *cacheDir != "" {
+		backend, err := core.NewFileBackend(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Cache = backend
+	}
+	coord := sweepd.NewCoordinator(opts)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	// Announce the resolved address (meaningful with -listen :0) on stdout
+	// so scripts and tests can discover the port.
+	fmt.Printf("listening on http://%s\n", ln.Addr())
+
+	srv := &http.Server{Handler: sweepd.Handler(coord)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		coord.Drain()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+}
+
+// workMain joins the fleet as a worker.
+func workMain(args []string) {
+	fs := newFlagSet("work")
+	var (
+		join     = fs.String("join", "", "coordinator base URL (required)")
+		name     = fs.String("name", "", "worker name in coordinator status (default host:pid)")
+		parallel = fs.Int("parallel", 0, "scenario pool size within this worker (0 = all CPUs)")
+		idle     = fs.Int("idle-exit", 0, "exit after this many consecutive empty polls (0 = stay)")
+		cacheDir = fs.String("local-cache", "", "use a local file-backed result cache instead of the coordinator's")
+		noCache  = fs.Bool("no-remote-cache", false, "do not use the coordinator's shared result cache")
+		quiet    = fs.Bool("quiet", false, "suppress progress logging")
+	)
+	parseFlags(fs, args)
+	if *join == "" {
+		fatal(errors.New("work needs -join <coordinator URL>"))
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	opts := sweepd.WorkerOptions{
+		Coordinator:        *join,
+		Name:               *name,
+		Parallelism:        *parallel,
+		MaxIdlePolls:       *idle,
+		CacheDir:           *cacheDir,
+		DisableRemoteCache: *noCache,
+	}
+	if !*quiet {
+		opts.Log = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "work %s: "+format+"\n", append([]any{*name}, a...)...)
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := sweepd.Work(ctx, opts); err != nil {
+		fatal(err)
+	}
+}
+
+// sweepMain submits a sweep, waits for the fleet, and renders the merged
+// artifact.
+func sweepMain(args []string) {
+	fs := newFlagSet("sweep")
+	var (
+		join       = fs.String("join", "", "coordinator base URL (required)")
+		experiment = fs.String("experiment", "", "sweep artifact: fig4, fig5, table4 or table5")
+		partitions = fs.Int("partitions", 0, "lease partitions for this sweep (0 = coordinator default)")
+		format     = fs.String("format", "text", "output format: text, csv or md")
+		chartW     = fs.Int("chartwidth", 72, "ASCII chart width for figures in text mode")
+		chartH     = fs.Int("chartheight", 20, "ASCII chart height")
+		poll       = fs.Duration("poll", 500*time.Millisecond, "status poll interval while waiting")
+		timeout    = fs.Duration("timeout", 0, "give up after this long (0 = wait forever)")
+		model      = addModelFlags(fs)
+	)
+	parseFlags(fs, args)
+	if *join == "" {
+		fatal(errors.New("sweep needs -join <coordinator URL>"))
+	}
+	opt, err := model.options()
+	if err != nil {
+		fatal(err)
+	}
+	// The manifest's own partition is advisory (the coordinator re-plans),
+	// so plan with 1 shard and let -partitions steer the service.
+	m, err := buildManifest(*experiment, 1, opt)
+	if err != nil {
+		fatal(err)
+	}
+	client, err := sweepd.NewClient(*join, nil)
+	if err != nil {
+		fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := runSweep(ctx, client, m, *partitions, *poll, *format, *chartW, *chartH); err != nil {
+		fatal(err)
+	}
+}
+
+// runSweep drives one sweep through the service and renders the result.
+func runSweep(ctx context.Context, client *sweepd.Client, m *shard.Manifest, partitions int, poll time.Duration, format string, chartW, chartH int) error {
+	id, err := client.Submit(sweepd.SubmitRequest{Manifest: m, Partitions: partitions})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep %s submitted: %s, %d scenarios\n", id, m.Experiment, m.Total)
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		st, err := client.SweepStatus(id)
+		if err != nil {
+			return err
+		}
+		switch st.State {
+		case sweepd.StateDone:
+			return renderSweep(client, m, id, format, chartW, chartH)
+		case sweepd.StateFailed:
+			return fmt.Errorf("sweep %s failed: %s", id, st.Error)
+		}
+		fmt.Fprintf(os.Stderr, "sweep %s: %d/%d scenarios (%d queued, %d leased)\n",
+			id, st.Completed, st.Total, st.Queued, st.Leased)
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("sweep %s: gave up waiting: %w (the sweep keeps running server-side)", id, ctx.Err())
+		case <-ticker.C:
+		}
+	}
+}
+
+// renderSweep fetches a completed sweep's results and renders the artifact
+// through the same local merge `shard merge` uses, re-validating the
+// stream against the submitted manifest on the way.
+func renderSweep(client *sweepd.Client, m *shard.Manifest, id, format string, chartW, chartH int) error {
+	resp, err := client.SweepResults(id)
+	if err != nil {
+		return err
+	}
+	if !resp.Complete {
+		return fmt.Errorf("sweep %s reported done but streams incomplete results", id)
+	}
+	rs := &shard.ResultSet{Version: shard.ResultSetVersion, Results: resp.Results}
+	results, err := shard.Merge(m, []*shard.ResultSet{rs})
+	if err != nil {
+		return err
+	}
+	return renderExperiment(m, results, format, chartW, chartH)
+}
+
+// newFlagSet builds a subcommand flag set that exits on parse errors.
+func newFlagSet(name string) *flag.FlagSet {
+	return flag.NewFlagSet("wsnenergy "+name, flag.ExitOnError)
+}
+
+// parseFlags parses or dies; ExitOnError flag sets only return nil.
+func parseFlags(fs *flag.FlagSet, args []string) {
+	_ = fs.Parse(args)
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestCostSnapshotExport: running scenarios trains the model, and the
+// snapshot prices work the way the Runner's own scheduler does.
+func TestCostSnapshotExport(t *testing.T) {
+	cfg := PaperConfig()
+	cfg.SimTime = 20
+	cfg.Warmup = 2
+	cfg.Replications = 1
+	r, err := NewRunner(WithConfig(cfg), WithMethods("markov"), WithCache(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CostSnapshot(); len(got) != 0 {
+		t.Fatalf("untrained snapshot not empty: %+v", got)
+	}
+	if _, err := r.Run(context.Background(), Scenario{Name: "train"}); err != nil {
+		t.Fatal(err)
+	}
+	table := r.CostSnapshot()
+	ids, err := EstimatorIDs("markov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("EstimatorIDs = %v", ids)
+	}
+	sample, ok := table[ids[0]]
+	if !ok {
+		t.Fatalf("snapshot %v has no sample under id %q", table, ids[0])
+	}
+	if sample.AbsSeconds <= 0 || sample.PerWorkSeconds <= 0 {
+		t.Fatalf("non-positive trained sample: %+v", sample)
+	}
+	// Prediction mirrors the scheduler: min(work-scaled, absolute).
+	secs, ok := table.PredictSeconds(ids[0], ConfigWork(cfg))
+	if !ok || secs <= 0 {
+		t.Fatalf("PredictSeconds = (%v, %v)", secs, ok)
+	}
+	if secs > sample.AbsSeconds+1e-12 {
+		t.Fatalf("prediction %v exceeds absolute estimate %v", secs, sample.AbsSeconds)
+	}
+	if s := table.ScenarioSeconds(cfg, ids); s != secs {
+		t.Fatalf("ScenarioSeconds %v != single-estimator prediction %v", s, secs)
+	}
+	if s := table.ScenarioSeconds(cfg, []string{"unknown"}); s != 0 {
+		t.Fatalf("unsampled estimator priced at %v, want 0", s)
+	}
+	// The snapshot is a copy: mutating it does not touch the Runner.
+	table[ids[0]] = CostSample{}
+	if again := r.CostSnapshot(); again[ids[0]].AbsSeconds != sample.AbsSeconds {
+		t.Fatal("snapshot aliases the Runner's model")
+	}
+}
+
+// TestCostTableMergeAndJSON: Merge follows the EWMA rule and the table
+// round-trips through its wire form.
+func TestCostTableMergeAndJSON(t *testing.T) {
+	a := CostTable{"e1": {PerWorkSeconds: 2, AbsSeconds: 4}}
+	b := CostTable{
+		"e1": {PerWorkSeconds: 4, AbsSeconds: 8},
+		"e2": {PerWorkSeconds: 1, AbsSeconds: 1},
+	}
+	merged := a.Merge(b)
+	if got := merged["e1"]; got.PerWorkSeconds != 3 || got.AbsSeconds != 6 {
+		t.Fatalf("EWMA merge: %+v", got)
+	}
+	if got := merged["e2"]; got != b["e2"] {
+		t.Fatalf("new sample not adopted: %+v", got)
+	}
+	data, err := json.Marshal(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CostTable
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["e1"] != merged["e1"] || back["e2"] != merged["e2"] {
+		t.Fatalf("JSON round trip changed the table: %+v", back)
+	}
+}
+
+// TestEstimatorIDsUnknown: unknown specs fail loudly.
+func TestEstimatorIDsUnknown(t *testing.T) {
+	if _, err := EstimatorIDs("quantum"); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}

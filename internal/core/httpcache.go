@@ -1,0 +1,259 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// HTTPBackend is a CacheBackend over a remote HTTP key-value endpoint —
+// the memoization story for a worker fleet with no shared filesystem: a
+// sweep coordinator hosts CacheHandler over its own backend, every worker
+// points an HTTPBackend at it, and a grid point is simulated by whichever
+// worker reaches it first, fleet-wide.
+//
+// The wire protocol reuses the canonical CacheKey encoding end to end: a
+// lookup POSTs the encoded key, a store POSTs the same entry envelope the
+// file backend persists (canonical key bytes + estimate), and Get verifies
+// the returned key byte-for-byte against the requested one — so a
+// confused server, a stale schema, or a draw-law mismatch degrades to a
+// miss rather than a wrong result, exactly like the file backend.
+//
+// All methods are best-effort from the Runner's point of view: a network
+// error is surfaced, and the Runner already treats backend errors as
+// misses (Get) or dropped stores (Put), so an unreachable coordinator
+// slows a sweep down but never changes its results.
+type HTTPBackend struct {
+	base   string // endpoint root, no trailing slash
+	client *http.Client
+	hits   atomic.Uint64
+}
+
+// NewHTTPBackend opens a remote cache rooted at base (e.g.
+// "http://coordinator:8080/v1/cache"). A nil client uses a dedicated
+// client with a conservative timeout; cache lookups must never stall a
+// worker longer than recomputing the entry would.
+func NewHTTPBackend(base string, client *http.Client) (*HTTPBackend, error) {
+	if base == "" {
+		return nil, errors.New("core: http cache base URL must not be empty")
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &HTTPBackend{base: strings.TrimRight(base, "/"), client: client}, nil
+}
+
+// Base returns the backend's endpoint root.
+func (b *HTTPBackend) Base() string { return b.base }
+
+// post sends body to the given cache endpoint and returns the response.
+func (b *HTTPBackend) post(path string, body []byte) (*http.Response, error) {
+	resp, err := b.client.Post(b.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("core: http cache %s: %w", path, err)
+	}
+	return resp, nil
+}
+
+// Get implements CacheBackend: POST the canonical key encoding to /get;
+// 404 is a miss, 200 returns the stored entry envelope whose embedded key
+// must round-trip byte-identically.
+func (b *HTTPBackend) Get(key CacheKey) (Estimate, bool, error) {
+	want, err := key.Encode()
+	if err != nil {
+		return Estimate{}, false, err
+	}
+	resp, err := b.post("/get", want)
+	if err != nil {
+		return Estimate{}, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		return Estimate{}, false, nil
+	case http.StatusOK:
+	default:
+		return Estimate{}, false, fmt.Errorf("core: http cache get: unexpected status %s", resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return Estimate{}, false, fmt.Errorf("core: http cache get: %w", err)
+	}
+	var entry fileEntry
+	if err := json.Unmarshal(data, &entry); err != nil {
+		return Estimate{}, false, fmt.Errorf("core: http cache get: corrupt entry: %w", err)
+	}
+	if entry.Version != fileEntryVersion {
+		return Estimate{}, false, nil
+	}
+	if !bytes.Equal(bytes.TrimSpace(entry.Key), want) {
+		// A server answering with a different key is serving a different
+		// entry (or a different schema era): miss, never a wrong result.
+		return Estimate{}, false, nil
+	}
+	b.hits.Add(1)
+	return entry.Estimate, true, nil
+}
+
+// Put implements CacheBackend: POST the file-backend entry envelope to
+// /put.
+func (b *HTTPBackend) Put(key CacheKey, est Estimate) error {
+	keyBytes, err := key.Encode()
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(fileEntry{Version: fileEntryVersion, Key: keyBytes, Estimate: est})
+	if err != nil {
+		return fmt.Errorf("core: encoding cache entry: %w", err)
+	}
+	resp, err := b.post("/put", body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("core: http cache put: unexpected status %s", resp.Status)
+	}
+	return nil
+}
+
+// Reset implements CacheBackend: POST /reset drops every entry on the
+// server and zeroes this client's hit counter.
+func (b *HTTPBackend) Reset() error {
+	resp, err := b.post("/reset", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("core: http cache reset: unexpected status %s", resp.Status)
+	}
+	b.hits.Store(0)
+	return nil
+}
+
+// Stats implements CacheBackend. Entries counts the server's store; Hits
+// counts this client's successful Gets, mirroring FileBackend's per-process
+// accounting.
+func (b *HTTPBackend) Stats() (CacheStats, error) {
+	resp, err := b.client.Get(b.base + "/stats")
+	if err != nil {
+		return CacheStats{}, fmt.Errorf("core: http cache stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return CacheStats{}, fmt.Errorf("core: http cache stats: unexpected status %s", resp.Status)
+	}
+	var remote cacheStatsWire
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&remote); err != nil {
+		return CacheStats{}, fmt.Errorf("core: http cache stats: %w", err)
+	}
+	return CacheStats{Entries: remote.Entries, Hits: b.hits.Load()}, nil
+}
+
+// cacheStatsWire is the JSON shape of the /stats endpoint. Hits reports
+// the server-side backend's counter — useful for fleet observability even
+// though the client's own Stats() surfaces local hits.
+type cacheStatsWire struct {
+	Entries int    `json:"entries"`
+	Hits    uint64 `json:"hits"`
+}
+
+// CacheHandler serves any CacheBackend over HTTP as the remote-KV protocol
+// HTTPBackend speaks: POST /get (body: canonical key encoding), POST /put
+// (body: entry envelope), POST /reset, GET /stats. Every entry passing
+// through is re-validated with DecodeCacheKey, so a client from a
+// different schema or draw-law era is rejected at the boundary instead of
+// polluting the store.
+//
+// Mount it wherever fits the deployment, e.g.:
+//
+//	mux.Handle("/v1/cache/", http.StripPrefix("/v1/cache", core.CacheHandler(backend)))
+func CacheHandler(b CacheBackend) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /get", func(w http.ResponseWriter, r *http.Request) {
+		keyBytes, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		key, err := DecodeCacheKey(keyBytes)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		est, ok, err := b.Get(key)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		// Re-encode the key rather than echoing the request bytes: the
+		// entry the client verifies is exactly what the backend stores.
+		stored, err := key.Encode()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeCacheJSON(w, fileEntry{Version: fileEntryVersion, Key: stored, Estimate: est})
+	})
+	mux.HandleFunc("POST /put", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var entry fileEntry
+		if err := json.Unmarshal(body, &entry); err != nil {
+			http.Error(w, "corrupt cache entry: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if entry.Version != fileEntryVersion {
+			http.Error(w, fmt.Sprintf("cache entry version %d, want %d", entry.Version, fileEntryVersion), http.StatusBadRequest)
+			return
+		}
+		key, err := DecodeCacheKey(entry.Key)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := b.Put(key, entry.Estimate); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /reset", func(w http.ResponseWriter, r *http.Request) {
+		if err := b.Reset(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		s, err := b.Stats()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeCacheJSON(w, cacheStatsWire{Entries: s.Entries, Hits: s.Hits})
+	})
+	return mux
+}
+
+// writeCacheJSON writes v as a JSON response body.
+func writeCacheJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	// Encoding errors after the header is out can only be logged by the
+	// http server; the value shapes here cannot fail to marshal.
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// newCachePair starts a CacheHandler over a fresh MemoryBackend and
+// returns an HTTPBackend client pointed at it.
+func newCachePair(t *testing.T) (*HTTPBackend, *MemoryBackend) {
+	t.Helper()
+	mem := NewMemoryBackend()
+	srv := httptest.NewServer(CacheHandler(mem))
+	t.Cleanup(srv.Close)
+	client, err := NewHTTPBackend(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, mem
+}
+
+// testCacheKey builds a valid key for the cache tests.
+func testCacheKey(seed uint64) CacheKey {
+	cfg := PaperConfig()
+	cfg.Seed = seed
+	return CacheKey{Config: cfg, Method: "sim", Estimator: "repro/internal/core.Simulation"}
+}
+
+func TestHTTPBackendRoundTrip(t *testing.T) {
+	client, mem := newCachePair(t)
+	key := testCacheKey(1)
+
+	if _, ok, err := client.Get(key); err != nil || ok {
+		t.Fatalf("empty cache Get = (%v, %v), want miss", ok, err)
+	}
+	want := Estimate{Method: "sim", EnergyJ: 42.5, MeanJobs: 0.125}
+	if err := client.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := client.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put = (%v, %v)", ok, err)
+	}
+	if got != want {
+		t.Fatalf("round trip changed the estimate: %+v != %+v", got, want)
+	}
+	// The server's store holds the entry under the decoded key, so a
+	// second client (another worker) hits it too.
+	if est, ok, _ := mem.Get(key); !ok || est != want {
+		t.Fatal("entry did not land in the server-side backend")
+	}
+
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entries != 1 || stats.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 entry, 1 local hit", stats)
+	}
+	if err := client.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := client.Get(key); ok {
+		t.Fatal("entry survived Reset")
+	}
+	if stats, _ = client.Stats(); stats.Entries != 0 || stats.Hits != 0 {
+		t.Fatalf("stats after reset = %+v", stats)
+	}
+}
+
+// TestHTTPBackendCrossWorkerSharing: two clients over one server share
+// entries — the fleet-memoization contract.
+func TestHTTPBackendCrossWorkerSharing(t *testing.T) {
+	mem := NewMemoryBackend()
+	srv := httptest.NewServer(CacheHandler(mem))
+	defer srv.Close()
+	w1, _ := NewHTTPBackend(srv.URL, srv.Client())
+	w2, _ := NewHTTPBackend(srv.URL, srv.Client())
+	key := testCacheKey(7)
+	est := Estimate{Method: "sim", EnergyJ: 7}
+	if err := w1.Put(key, est); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := w2.Get(key)
+	if err != nil || !ok || got != est {
+		t.Fatalf("worker 2 missed worker 1's entry: (%+v, %v, %v)", got, ok, err)
+	}
+}
+
+// TestHTTPBackendThroughRunner: a Runner memoizing through the HTTP
+// backend computes once and serves the repeat from the remote cache.
+func TestHTTPBackendThroughRunner(t *testing.T) {
+	client, _ := newCachePair(t)
+	cfg := PaperConfig()
+	cfg.SimTime = 20
+	cfg.Warmup = 2
+	cfg.Replications = 1
+	r, err := NewRunner(WithConfig(cfg), WithMethods("markov"), WithCacheBackend(client))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := r.Run(context.Background(), Scenario{Name: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := r.Run(context.Background(), Scenario{Name: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *first.Estimates[0] != *again.Estimates[0] {
+		t.Fatal("remote-cached repeat differs from the computed run")
+	}
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hits == 0 {
+		t.Fatal("repeat run did not hit the remote cache")
+	}
+}
+
+// TestHTTPBackendRejectsForeignEntries: the server validates entries at
+// the boundary — a put from a different key schema or entry version is
+// rejected, and garbage bodies are 400s, not stored entries.
+func TestHTTPBackendRejectsForeignEntries(t *testing.T) {
+	_, mem := newCachePair(t)
+	srv := httptest.NewServer(CacheHandler(mem))
+	defer srv.Close()
+
+	post := func(path, body string) int {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("/get", "{not json"); code != http.StatusBadRequest {
+		t.Fatalf("garbage key accepted: %d", code)
+	}
+	if code := post("/get", `{"v":999,"drawlaw":0,"estimator":"e","method":"m","config":{}}`); code != http.StatusBadRequest {
+		t.Fatalf("foreign key version accepted: %d", code)
+	}
+	if code := post("/put", `{"version":999,"key":{},"estimate":{}}`); code != http.StatusBadRequest {
+		t.Fatalf("foreign entry version accepted: %d", code)
+	}
+	if code := post("/put", "{not json"); code != http.StatusBadRequest {
+		t.Fatalf("garbage entry accepted: %d", code)
+	}
+	if s, _ := mem.Stats(); s.Entries != 0 {
+		t.Fatalf("rejected entries landed in the store: %+v", s)
+	}
+}
+
+// TestHTTPBackendUnreachable: a dead coordinator yields errors, which the
+// Runner treats as misses — never wrong results, never a panic.
+func TestHTTPBackendUnreachable(t *testing.T) {
+	srv := httptest.NewServer(CacheHandler(NewMemoryBackend()))
+	url := srv.URL
+	srv.Close() // now unreachable
+	client, err := NewHTTPBackend(url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := client.Get(testCacheKey(1)); err == nil || ok {
+		t.Fatal("Get against a dead server must error")
+	}
+	if err := client.Put(testCacheKey(1), Estimate{}); err == nil {
+		t.Fatal("Put against a dead server must error")
+	}
+	if _, err := client.Stats(); err == nil {
+		t.Fatal("Stats against a dead server must error")
+	}
+	if _, err := NewHTTPBackend("", nil); err == nil {
+		t.Fatal("empty base URL accepted")
+	}
+}

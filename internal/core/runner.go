@@ -116,10 +116,11 @@ type costEstimate struct {
 	abs     float64
 }
 
-// configWork scores how much simulation a config asks for: horizon times
+// ConfigWork scores how much simulation a config asks for: horizon times
 // replications, the quantity stochastic estimators scale roughly linearly
-// in.
-func configWork(cfg Config) float64 {
+// in. It is the work unit of the cost model, exported so planners holding
+// a CostTable can price scenarios the same way the Runner does.
+func ConfigWork(cfg Config) float64 {
 	work := cfg.SimTime + cfg.Warmup
 	if work <= 0 {
 		work = 1
@@ -164,6 +165,98 @@ func (c *costModel) predict(id string, work float64) (time.Duration, bool) {
 		secs = est.abs
 	}
 	return time.Duration(secs * float64(time.Second)), true
+}
+
+// CostSample is one estimator's exported cost-model state: EWMA seconds
+// per unit of ConfigWork and EWMA seconds per run. The JSON shape is the
+// wire form sweep workers ship their trained models to a coordinator in.
+type CostSample struct {
+	PerWorkSeconds float64 `json:"per_work_seconds"`
+	AbsSeconds     float64 `json:"abs_seconds"`
+}
+
+// CostTable is a serializable snapshot of a Runner's trained cost model,
+// keyed by estimator implementation identity (the same key the result
+// cache uses — see EstimatorIDs to derive keys from method specs). A
+// coordinator merges the tables its workers report and feeds predictions
+// into cost-weighted shard planning.
+type CostTable map[string]CostSample
+
+// CostSnapshot exports the Runner's current cost model. The snapshot is a
+// copy: later observations do not mutate it.
+func (r *Runner) CostSnapshot() CostTable {
+	r.costs.mu.Lock()
+	defer r.costs.mu.Unlock()
+	t := make(CostTable, len(r.costs.m))
+	for id, est := range r.costs.m {
+		t[id] = CostSample{PerWorkSeconds: est.perWork, AbsSeconds: est.abs}
+	}
+	return t
+}
+
+// PredictSeconds prices one estimator's run over the given amount of work
+// the way the Runner's scheduler does: min(work-scaled, absolute), biasing
+// every modeling error toward under- rather than over-prediction. ok is
+// false for estimators the table has no sample for.
+func (t CostTable) PredictSeconds(id string, work float64) (float64, bool) {
+	est, ok := t[id]
+	if !ok {
+		return 0, false
+	}
+	secs := est.PerWorkSeconds * work
+	if est.AbsSeconds < secs {
+		secs = est.AbsSeconds
+	}
+	return secs, true
+}
+
+// ScenarioSeconds prices a whole scenario across estimator ids: the
+// slowest single estimator (they run concurrently under the Runner's
+// pair-level fan-out), scaled to the config's work. Unsampled estimators
+// price as zero, so a partially trained table under-predicts — the safe
+// direction for both deadline skipping and load balancing.
+func (t CostTable) ScenarioSeconds(cfg Config, ids []string) float64 {
+	work := ConfigWork(cfg)
+	worst := 0.0
+	for _, id := range ids {
+		if secs, ok := t.PredictSeconds(id, work); ok && secs > worst {
+			worst = secs
+		}
+	}
+	return worst
+}
+
+// Merge folds another table into this one with the cost model's own EWMA
+// rule — samples present in both average, new samples copy — and returns
+// the receiver for chaining. A coordinator calls it once per worker
+// report, so repeated reports converge the same way repeated observations
+// do inside a Runner.
+func (t CostTable) Merge(other CostTable) CostTable {
+	for id, n := range other {
+		if prev, ok := t[id]; ok {
+			t[id] = CostSample{
+				PerWorkSeconds: (prev.PerWorkSeconds + n.PerWorkSeconds) / 2,
+				AbsSeconds:     (prev.AbsSeconds + n.AbsSeconds) / 2,
+			}
+		} else {
+			t[id] = n
+		}
+	}
+	return t
+}
+
+// EstimatorIDs resolves method specs through the registry to the estimator
+// implementation identities CostTable and the result cache are keyed by.
+func EstimatorIDs(specs ...string) ([]string, error) {
+	ests, err := NewEstimators(specs...)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, len(ests))
+	for i, e := range ests {
+		ids[i] = estimatorID(e)
+	}
+	return ids, nil
 }
 
 // RunnerOption configures a Runner under construction.
@@ -426,7 +519,7 @@ func (r *Runner) runPair(ctx context.Context, cfg Config, ei int) (*Estimate, er
 	if err != nil {
 		return nil, err
 	}
-	r.costs.observe(r.estIDs[ei], time.Since(start), configWork(cfg))
+	r.costs.observe(r.estIDs[ei], time.Since(start), ConfigWork(cfg))
 	if r.cache {
 		// Best-effort store: a backend write failure just means the next
 		// evaluation of this point recomputes it.
@@ -441,7 +534,7 @@ func (r *Runner) runPair(ctx context.Context, cfg Config, ei int) (*Estimate, er
 // the scenario's configured amount of work. Estimators the model has
 // never observed predict as free, so an untrained Runner never skips.
 func (r *Runner) predictScenarioCost(cfg Config, pending []int) time.Duration {
-	work := configWork(cfg)
+	work := ConfigWork(cfg)
 	var worst time.Duration
 	for _, ei := range pending {
 		if d, ok := r.costs.predict(r.estIDs[ei], work); ok && d > worst {

@@ -141,13 +141,13 @@ func Merge(m *Manifest, sets []*ResultSet) ([]core.Result, error) {
 		}
 	}
 	if len(byIndex) != total {
-		missing := make([]int, 0)
-		for i := 0; i < total && len(missing) < 8; i++ {
+		missing := make([]int, 0, total-len(byIndex))
+		for i := 0; i < total; i++ {
 			if _, ok := byIndex[i]; !ok {
 				missing = append(missing, i)
 			}
 		}
-		return nil, fmt.Errorf("shard: merge incomplete: %d of %d scenarios reported (missing %v...)", len(byIndex), total, missing)
+		return nil, &IncompleteError{Total: total, Missing: missing}
 	}
 	// Placement into out is positional and coverage of 0..total-1 was
 	// just verified, so plain map iteration order suffices.
@@ -166,6 +166,103 @@ func Merge(m *Manifest, sets []*ResultSet) ([]core.Result, error) {
 		}
 	}
 	return out, nil
+}
+
+// IncompleteError is the gap report Merge returns when the result sets do
+// not cover the plan: exactly which global scenario indices no shard
+// reported. A coordinator recovering from a worker crash feeds Missing
+// straight into Replan; because re-planning only ever covers these indices,
+// completed scenarios are never re-run and the recovered merge is
+// byte-identical to an uninterrupted one.
+type IncompleteError struct {
+	// Total is the plan's scenario count.
+	Total int
+	// Missing lists the unreported global indices in increasing order.
+	Missing []int
+}
+
+// Error implements error. The message shows at most 8 indices so a huge
+// gap does not flood logs; the full list is in Missing.
+func (e *IncompleteError) Error() string {
+	shown := e.Missing
+	suffix := ""
+	if len(shown) > 8 {
+		shown, suffix = shown[:8], "..."
+	}
+	return fmt.Sprintf("shard: merge incomplete: %d of %d scenarios reported (missing %v%s)",
+		e.Total-len(e.Missing), e.Total, shown, suffix)
+}
+
+// Missing returns the sorted global indices of the plan that no result set
+// covers — the exact re-run set after worker loss. Unlike Merge it does not
+// validate the sets' contents; it only measures coverage, so a coordinator
+// can track gaps incrementally while results stream in.
+func Missing(m *Manifest, sets []*ResultSet) []int {
+	covered := make(map[int]bool, m.Total)
+	for _, rs := range sets {
+		for _, item := range rs.Results {
+			if item.Index >= 0 && item.Index < m.Total {
+				covered[item.Index] = true
+			}
+		}
+	}
+	missing := make([]int, 0, m.Total-len(covered))
+	for i := 0; i < m.Total; i++ {
+		if !covered[i] {
+			missing = append(missing, i)
+		}
+	}
+	return missing
+}
+
+// Replan partitions exactly the given missing scenario indices of a plan
+// into up to n fresh shards (indexed 0..n-1 within the returned slice) —
+// the crash-recovery step: a lease that expired or a merge that reported
+// gaps re-enters the queue as these shards. Items are copied verbatim from
+// the manifest, so the re-run scenarios carry identical configurations
+// and, with content-derived seeding, produce results byte-identical to
+// what the lost worker would have reported. Indices outside the plan or
+// not assigned by it are rejected; duplicates collapse.
+func Replan(m *Manifest, missing []int, n int) ([]Shard, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: replan needs at least 1 shard, got %d", n)
+	}
+	planned := make(map[int]Item, m.Total)
+	for _, s := range m.Shards {
+		for _, it := range s.Items {
+			planned[it.Index] = it
+		}
+	}
+	seen := make(map[int]bool, len(missing))
+	scenarios := make([]core.Scenario, 0, len(missing))
+	order := make([]Item, 0, len(missing))
+	for _, idx := range missing {
+		if idx < 0 || idx >= m.Total {
+			return nil, fmt.Errorf("shard: replan index %d outside batch of %d", idx, m.Total)
+		}
+		it, ok := planned[idx]
+		if !ok {
+			return nil, fmt.Errorf("shard: replan index %d is not assigned by the plan", idx)
+		}
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		order = append(order, it)
+		scenarios = append(scenarios, it.Scenario())
+	}
+	shards, err := Plan(scenarios, n)
+	if err != nil {
+		return nil, err
+	}
+	// Plan tagged items with positions inside the missing list; restore the
+	// global batch indices from the manifest's items.
+	for si := range shards {
+		for ii := range shards[si].Items {
+			shards[si].Items[ii] = order[shards[si].Items[ii].Index]
+		}
+	}
+	return shards, nil
 }
 
 // resultItemsEqual compares two reports of the same scenario field by

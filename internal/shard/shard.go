@@ -141,9 +141,77 @@ func Plan(scenarios []core.Scenario, n int) ([]Shard, error) {
 	return shards, nil
 }
 
+// WeightFunc scores one scenario's predicted cost (e.g. in seconds) for
+// cost-weighted planning. Non-positive and NaN weights count as one unit,
+// so a partially trained cost model degrades shard by shard to count
+// balancing instead of producing degenerate partitions.
+type WeightFunc func(core.Scenario) float64
+
+// PlanWeighted partitions scenarios into n contiguous shards balancing the
+// total weight per shard rather than the scenario count: a grid whose
+// expensive rows cluster at one end (long-horizon scenarios sort together
+// in sweep order) no longer hands one worker all the slow points. A nil
+// weight function is exactly Plan.
+//
+// The partition is deterministic in (scenarios, n, weights): each shard is
+// closed greedily against the ideal remaining-weight-per-remaining-shard
+// target. Like Plan, the partition is purely a load-balancing choice —
+// content-derived seeds make any assignment produce identical per-scenario
+// results — so replanning with a retrained cost table changes wall-clock
+// balance, never output.
+func PlanWeighted(scenarios []core.Scenario, n int, weight WeightFunc) ([]Shard, error) {
+	if weight == nil {
+		return Plan(scenarios, n)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("shard: plan needs at least 1 shard, got %d", n)
+	}
+	weights := make([]float64, len(scenarios))
+	remaining := 0.0
+	for i, s := range scenarios {
+		w := weight(s)
+		if !(w > 0) { // non-positive or NaN: treat as one unit of work
+			w = 1
+		}
+		weights[i] = w
+		remaining += w
+	}
+	shards := make([]Shard, n)
+	next := 0
+	for i := range shards {
+		items := []Item{}
+		if left := n - i; left > 0 && next < len(scenarios) {
+			target := remaining / float64(left)
+			acc := 0.0
+			for next < len(scenarios) {
+				w := weights[next]
+				// Take the scenario if it brings the shard closer to (or is
+				// the first step toward) the ideal target; the last shard
+				// takes everything left.
+				if len(items) > 0 && i < n-1 && acc+w/2 > target {
+					break
+				}
+				s := scenarios[next]
+				items = append(items, Item{Index: next, Name: s.Name, Config: s.Config})
+				acc += w
+				next++
+			}
+			remaining -= acc
+		}
+		shards[i] = Shard{Index: i, Items: items}
+	}
+	return shards, nil
+}
+
 // NewManifest plans the batch and wraps it with the Runner spec.
 func NewManifest(experiment string, spec RunnerSpec, scenarios []core.Scenario, n int) (*Manifest, error) {
-	shards, err := Plan(scenarios, n)
+	return NewManifestWeighted(experiment, spec, scenarios, n, nil)
+}
+
+// NewManifestWeighted is NewManifest with a cost-weighted partition: the
+// form a coordinator uses once it has a trained per-method cost model.
+func NewManifestWeighted(experiment string, spec RunnerSpec, scenarios []core.Scenario, n int, weight WeightFunc) (*Manifest, error) {
+	shards, err := PlanWeighted(scenarios, n, weight)
 	if err != nil {
 		return nil, err
 	}
@@ -161,6 +229,49 @@ func WriteManifest(path string, m *Manifest) error {
 	return writeJSON(path, m)
 }
 
+// Validate checks the manifest's structural invariants: schema version,
+// sequential shard indices, and the exactly-once global index coverage
+// Merge will later rely on.
+func (m *Manifest) Validate() error {
+	if m.Version != ManifestVersion {
+		return fmt.Errorf("shard: manifest has version %d, want %d", m.Version, ManifestVersion)
+	}
+	seen := make(map[int]bool, m.Total)
+	for i, s := range m.Shards {
+		if s.Index != i {
+			return fmt.Errorf("shard: manifest shard %d carries index %d", i, s.Index)
+		}
+		for _, it := range s.Items {
+			if it.Index < 0 || it.Index >= m.Total {
+				return fmt.Errorf("shard: scenario index %d outside batch of %d", it.Index, m.Total)
+			}
+			if seen[it.Index] {
+				return fmt.Errorf("shard: scenario %d assigned to more than one shard", it.Index)
+			}
+			seen[it.Index] = true
+		}
+	}
+	if len(seen) != m.Total {
+		return fmt.Errorf("shard: manifest covers %d of %d scenarios", len(seen), m.Total)
+	}
+	return nil
+}
+
+// Scenarios flattens the plan back to the original batch in global index
+// order — the inverse of Plan, used by coordinators that re-partition a
+// submitted manifest against their own cost model.
+func (m *Manifest) Scenarios() []core.Scenario {
+	out := make([]core.Scenario, m.Total)
+	for _, s := range m.Shards {
+		for _, it := range s.Items {
+			if it.Index >= 0 && it.Index < m.Total {
+				out[it.Index] = it.Scenario()
+			}
+		}
+	}
+	return out
+}
+
 // ReadManifest reads and validates a manifest: version, shard indices, and
 // the exactly-once global index coverage Merge will later rely on.
 func ReadManifest(path string) (*Manifest, error) {
@@ -168,26 +279,8 @@ func ReadManifest(path string) (*Manifest, error) {
 	if err := readJSON(path, &m); err != nil {
 		return nil, fmt.Errorf("shard: reading manifest %s: %w", path, err)
 	}
-	if m.Version != ManifestVersion {
-		return nil, fmt.Errorf("shard: manifest %s has version %d, want %d", path, m.Version, ManifestVersion)
-	}
-	seen := make(map[int]bool, m.Total)
-	for i, s := range m.Shards {
-		if s.Index != i {
-			return nil, fmt.Errorf("shard: manifest shard %d carries index %d", i, s.Index)
-		}
-		for _, it := range s.Items {
-			if it.Index < 0 || it.Index >= m.Total {
-				return nil, fmt.Errorf("shard: scenario index %d outside batch of %d", it.Index, m.Total)
-			}
-			if seen[it.Index] {
-				return nil, fmt.Errorf("shard: scenario %d assigned to more than one shard", it.Index)
-			}
-			seen[it.Index] = true
-		}
-	}
-	if len(seen) != m.Total {
-		return nil, fmt.Errorf("shard: manifest covers %d of %d scenarios", len(seen), m.Total)
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("%w (manifest %s)", err, path)
 	}
 	return &m, nil
 }

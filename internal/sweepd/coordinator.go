@@ -1,0 +1,569 @@
+package sweepd
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// Default coordinator parameters; Options fields of zero value fall back
+// to these.
+const (
+	DefaultLeaseTTL   = 30 * time.Second
+	DefaultPartitions = 8
+	DefaultAttempts   = 5
+)
+
+// Options parameterizes a Coordinator.
+type Options struct {
+	// LeaseTTL is the heartbeat window: a lease not renewed within it is
+	// reclaimed and its partition requeued.
+	LeaseTTL time.Duration
+	// MaxAttempts bounds how many times one partition may be granted
+	// before its sweep fails (a poisoned scenario must not loop forever).
+	MaxAttempts int
+	// DefaultPartitions is the lease-partition count for sweeps that do
+	// not request their own.
+	DefaultPartitions int
+	// Cache optionally backs the coordinator-hosted remote result cache;
+	// nil hosts a fresh in-memory backend.
+	Cache core.CacheBackend
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+	// Log receives progress lines (nil discards them).
+	Log func(format string, args ...any)
+}
+
+// pending is a partition awaiting a worker.
+type pending struct {
+	shard    shard.Shard
+	attempts int
+}
+
+// lease is one granted partition.
+type lease struct {
+	id       string
+	sweepID  string
+	worker   string
+	part     pending
+	started  time.Time
+	deadline time.Time
+}
+
+// sweep is the coordinator's state for one submitted sweep.
+type sweep struct {
+	id       string
+	manifest *shard.Manifest // the coordinator's own (re-planned) partition
+	state    string
+	errMsg   string
+	queue    []pending
+	active   int // leases currently out for this sweep
+	sets     []*shard.ResultSet
+	covered  map[int]bool
+	merged   []core.Result // set when state == StateDone
+}
+
+// Coordinator owns sweep state: it re-plans submitted manifests against
+// its cost model, leases partitions, reclaims expired leases, replans
+// merge gaps, and merges completed sweeps. All methods are safe for
+// concurrent use; Server exposes them over HTTP.
+type Coordinator struct {
+	opts  Options
+	cache core.CacheBackend
+
+	mu        sync.Mutex
+	sweeps    map[string]*sweep
+	order     []string // sweep ids in submission order
+	leases    map[string]*lease
+	costs     core.CostTable
+	nextSweep int
+	nextLease int
+	expired   int
+	requeues  int
+	replans   int
+	draining  bool
+}
+
+// NewCoordinator builds a coordinator; zero-value options take the
+// package defaults.
+func NewCoordinator(opts Options) *Coordinator {
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = DefaultLeaseTTL
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = DefaultAttempts
+	}
+	if opts.DefaultPartitions <= 0 {
+		opts.DefaultPartitions = DefaultPartitions
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = core.NewMemoryBackend()
+	}
+	return &Coordinator{
+		opts:   opts,
+		cache:  cache,
+		sweeps: make(map[string]*sweep),
+		leases: make(map[string]*lease),
+		costs:  core.CostTable{},
+	}
+}
+
+// Cache returns the backend behind the coordinator's remote result cache.
+func (c *Coordinator) Cache() core.CacheBackend { return c.cache }
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opts.Log != nil {
+		c.opts.Log(format, args...)
+	}
+}
+
+// Submit validates and admits a sweep. The manifest's own partition is
+// discarded: the batch is re-planned into the requested partition count
+// with the coordinator's current cost table as weights (placement
+// independence makes this safe; cost weighting makes it fast).
+func (c *Coordinator) Submit(req SubmitRequest) (SubmitResponse, error) {
+	if req.Version != ProtocolVersion {
+		return SubmitResponse{}, fmt.Errorf("sweepd: submit version %d, want %d", req.Version, ProtocolVersion)
+	}
+	if req.Manifest == nil {
+		return SubmitResponse{}, errors.New("sweepd: submit carries no manifest")
+	}
+	if err := req.Manifest.Validate(); err != nil {
+		return SubmitResponse{}, err
+	}
+	parts := req.Partitions
+	if parts <= 0 {
+		parts = c.opts.DefaultPartitions
+	}
+	scenarios := req.Manifest.Scenarios()
+	if len(scenarios) == 0 {
+		return SubmitResponse{}, errors.New("sweepd: sweep has no scenarios")
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		return SubmitResponse{}, errors.New("sweepd: coordinator is draining")
+	}
+	weight := c.weightLocked(req.Manifest.Runner.Methods)
+	m, err := shard.NewManifestWeighted(req.Manifest.Experiment, req.Manifest.Runner, scenarios, parts, weight)
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	m.Extra = req.Manifest.Extra
+
+	c.nextSweep++
+	sw := &sweep{
+		id:       fmt.Sprintf("s%d", c.nextSweep),
+		manifest: m,
+		state:    StateRunning,
+		covered:  make(map[int]bool, m.Total),
+	}
+	for _, s := range m.Shards {
+		if len(s.Items) > 0 {
+			sw.queue = append(sw.queue, pending{shard: s})
+		}
+	}
+	c.sweeps[sw.id] = sw
+	c.order = append(c.order, sw.id)
+	c.logf("sweep %s admitted: experiment=%q scenarios=%d partitions=%d",
+		sw.id, m.Experiment, m.Total, len(sw.queue))
+	return SubmitResponse{ID: sw.id}, nil
+}
+
+// weightLocked builds a WeightFunc from the current cost table, or nil
+// (count balancing) when the table has no samples for these methods yet.
+// The table is snapshotted so one plan prices consistently even as new
+// worker samples merge in.
+func (c *Coordinator) weightLocked(methods []string) shard.WeightFunc {
+	ids, err := core.EstimatorIDs(methods...)
+	if err != nil || len(c.costs) == 0 {
+		return nil
+	}
+	table := copyCosts(c.costs)
+	sampled := false
+	for _, id := range ids {
+		if _, ok := table[id]; ok {
+			sampled = true
+			break
+		}
+	}
+	if !sampled {
+		return nil
+	}
+	return func(s core.Scenario) float64 {
+		return table.ScenarioSeconds(s.Config, ids)
+	}
+}
+
+// Lease grants the next queued partition, preferring older sweeps.
+func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
+	if req.Version != ProtocolVersion {
+		return LeaseResponse{}, fmt.Errorf("sweepd: lease version %d, want %d", req.Version, ProtocolVersion)
+	}
+	now := c.opts.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(now)
+	for _, id := range c.order {
+		sw := c.sweeps[id]
+		if sw.state != StateRunning || len(sw.queue) == 0 {
+			continue
+		}
+		part := sw.queue[0]
+		sw.queue = sw.queue[1:]
+		sw.active++
+		c.nextLease++
+		l := &lease{
+			id:       fmt.Sprintf("l%d", c.nextLease),
+			sweepID:  sw.id,
+			worker:   req.Worker,
+			part:     part,
+			started:  now,
+			deadline: now.Add(c.opts.LeaseTTL),
+		}
+		c.leases[l.id] = l
+		c.logf("lease %s: sweep %s shard %d (%d scenarios) -> worker %q",
+			l.id, sw.id, part.shard.Index, len(part.shard.Items), req.Worker)
+		runner := sw.manifest.Runner
+		sh := part.shard
+		return LeaseResponse{
+			Version:    ProtocolVersion,
+			Status:     LeaseWork,
+			LeaseID:    l.id,
+			SweepID:    sw.id,
+			Runner:     &runner,
+			Shard:      &sh,
+			TTLSeconds: c.opts.LeaseTTL.Seconds(),
+			CachePath:  CachePath,
+		}, nil
+	}
+	if c.draining {
+		return LeaseResponse{Version: ProtocolVersion, Status: LeaseBye}, nil
+	}
+	return LeaseResponse{Version: ProtocolVersion, Status: LeaseWait}, nil
+}
+
+// Heartbeat extends a lease's deadline by one TTL. An unknown (already
+// reclaimed) lease errors so the worker abandons the partition instead of
+// racing the replacement worker for submission.
+func (c *Coordinator) Heartbeat(leaseID string) error {
+	now := c.opts.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(now)
+	l, ok := c.leases[leaseID]
+	if !ok {
+		return fmt.Errorf("sweepd: lease %s not found (expired or completed)", leaseID)
+	}
+	l.deadline = now.Add(c.opts.LeaseTTL)
+	return nil
+}
+
+// Results accepts a worker's submission for a lease: results are folded
+// into the sweep, the worker's cost table is merged into the planning
+// model, and any scenarios of the partition the submission did not cover
+// are re-planned into a recovery partition.
+func (c *Coordinator) Results(leaseID string, sub ResultSubmission) error {
+	if sub.Version != ProtocolVersion {
+		return fmt.Errorf("sweepd: results version %d, want %d", sub.Version, ProtocolVersion)
+	}
+	if sub.Results == nil {
+		return errors.New("sweepd: submission carries no result set")
+	}
+	now := c.opts.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(now)
+	l, ok := c.leases[leaseID]
+	if !ok {
+		return fmt.Errorf("sweepd: lease %s not found (expired or completed)", leaseID)
+	}
+	sw := c.sweeps[l.sweepID]
+	delete(c.leases, leaseID)
+	sw.active--
+
+	c.costs = c.costs.Merge(sub.Costs)
+	sw.sets = append(sw.sets, sub.Results)
+	for _, item := range sub.Results.Results {
+		if item.Index >= 0 && item.Index < sw.manifest.Total {
+			sw.covered[item.Index] = true
+		}
+	}
+	// A partial submission (worker gave up mid-shard) leaves a gap inside
+	// this partition; replan exactly those indices as a recovery partition.
+	var gap []int
+	for _, it := range l.part.shard.Items {
+		if !sw.covered[it.Index] {
+			gap = append(gap, it.Index)
+		}
+	}
+	if len(gap) > 0 {
+		if err := c.requeueGapLocked(sw, l.part, gap); err != nil {
+			return err
+		}
+	}
+	c.logf("lease %s: sweep %s shard %d done (%d results, %d missing)",
+		leaseID, sw.id, l.part.shard.Index, len(sub.Results.Results), len(gap))
+	c.maybeFinishLocked(sw)
+	return nil
+}
+
+// Fail reports a lease the worker could not run; the partition requeues
+// (bounded by MaxAttempts).
+func (c *Coordinator) Fail(leaseID string, req FailRequest) error {
+	now := c.opts.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(now)
+	l, ok := c.leases[leaseID]
+	if !ok {
+		return fmt.Errorf("sweepd: lease %s not found (expired or completed)", leaseID)
+	}
+	sw := c.sweeps[l.sweepID]
+	delete(c.leases, leaseID)
+	sw.active--
+	c.logf("lease %s: worker %q failed sweep %s shard %d: %s",
+		leaseID, l.worker, sw.id, l.part.shard.Index, req.Error)
+	c.requeueLocked(sw, l.part, req.Error)
+	c.maybeFinishLocked(sw)
+	return nil
+}
+
+// reapLocked reclaims expired leases: each reclaimed partition re-enters
+// its sweep's queue with one more attempt on the clock.
+func (c *Coordinator) reapLocked(now time.Time) {
+	for id, l := range c.leases {
+		if now.After(l.deadline) {
+			sw := c.sweeps[l.sweepID]
+			delete(c.leases, id)
+			sw.active--
+			c.expired++
+			c.logf("lease %s: worker %q missed its deadline; requeueing sweep %s shard %d",
+				id, l.worker, sw.id, l.part.shard.Index)
+			c.requeueLocked(sw, l.part, "lease expired")
+			c.maybeFinishLocked(sw)
+		}
+	}
+}
+
+// requeueLocked puts a partition back in the queue, failing the sweep if
+// the partition has exhausted its attempts. Scenarios already covered by
+// other submissions are dropped from the requeued partition so recovery
+// never re-runs completed work.
+func (c *Coordinator) requeueLocked(sw *sweep, part pending, reason string) {
+	part.attempts++
+	if part.attempts >= c.opts.MaxAttempts {
+		sw.state = StateFailed
+		sw.errMsg = fmt.Sprintf("partition %d failed %d times (last: %s)",
+			part.shard.Index, part.attempts, reason)
+		c.logf("sweep %s failed: %s", sw.id, sw.errMsg)
+		return
+	}
+	var remaining []int
+	for _, it := range part.shard.Items {
+		if !sw.covered[it.Index] {
+			remaining = append(remaining, it.Index)
+		}
+	}
+	if len(remaining) == 0 {
+		return // everything landed elsewhere; nothing to redo
+	}
+	if len(remaining) != len(part.shard.Items) {
+		shards, err := shard.Replan(sw.manifest, remaining, 1)
+		if err != nil {
+			sw.state = StateFailed
+			sw.errMsg = err.Error()
+			return
+		}
+		part.shard.Items = shards[0].Items
+	}
+	c.requeues++
+	sw.queue = append(sw.queue, part)
+}
+
+// requeueGapLocked turns a merge gap (missing global indices) into a
+// recovery partition via shard.Replan — the exact-missing-indices
+// recovery path.
+func (c *Coordinator) requeueGapLocked(sw *sweep, from pending, missing []int) error {
+	shards, err := shard.Replan(sw.manifest, missing, 1)
+	if err != nil {
+		sw.state = StateFailed
+		sw.errMsg = err.Error()
+		return err
+	}
+	c.replans++
+	from.shard.Items = shards[0].Items
+	c.requeueLocked(sw, from, "partial results")
+	return nil
+}
+
+// maybeFinishLocked merges the sweep once nothing is queued or leased.
+// A merge gap (defensive: incremental coverage should have caught it)
+// re-plans the missing indices instead of failing.
+func (c *Coordinator) maybeFinishLocked(sw *sweep) {
+	if sw.state != StateRunning || len(sw.queue) > 0 || sw.active > 0 {
+		return
+	}
+	results, err := shard.Merge(sw.manifest, sw.sets)
+	if err == nil {
+		sw.merged = results
+		sw.state = StateDone
+		c.logf("sweep %s complete: %d scenarios merged", sw.id, sw.manifest.Total)
+		return
+	}
+	var inc *shard.IncompleteError
+	if errors.As(err, &inc) {
+		shards, rerr := shard.Replan(sw.manifest, inc.Missing, 1)
+		if rerr == nil {
+			c.replans++
+			c.requeueLocked(sw, pending{shard: shards[0]}, "merge gap")
+			return
+		}
+		err = rerr
+	}
+	sw.state = StateFailed
+	sw.errMsg = err.Error()
+	c.logf("sweep %s failed at merge: %v", sw.id, err)
+}
+
+// SweepStatus reports one sweep.
+func (c *Coordinator) SweepStatus(id string) (SweepStatus, error) {
+	now := c.opts.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(now)
+	sw, ok := c.sweeps[id]
+	if !ok {
+		return SweepStatus{}, fmt.Errorf("sweepd: sweep %s not found", id)
+	}
+	return c.sweepStatusLocked(sw), nil
+}
+
+func (c *Coordinator) sweepStatusLocked(sw *sweep) SweepStatus {
+	return SweepStatus{
+		ID:         sw.id,
+		Experiment: sw.manifest.Experiment,
+		State:      sw.state,
+		Total:      sw.manifest.Total,
+		Completed:  len(sw.covered),
+		Queued:     len(sw.queue),
+		Leased:     sw.active,
+		Error:      sw.errMsg,
+	}
+}
+
+// Status reports the whole service.
+func (c *Coordinator) Status() CoordinatorStatus {
+	now := c.opts.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(now)
+	st := CoordinatorStatus{
+		Version:       ProtocolVersion,
+		ExpiredLeases: c.expired,
+		Requeues:      c.requeues,
+		Replans:       c.replans,
+	}
+	for _, id := range c.order {
+		st.Sweeps = append(st.Sweeps, c.sweepStatusLocked(c.sweeps[id]))
+	}
+	for _, l := range c.leases {
+		st.Leases = append(st.Leases, LeaseInfo{
+			ID:        l.id,
+			SweepID:   l.sweepID,
+			Worker:    l.worker,
+			Scenarios: len(l.part.shard.Items),
+			StartedAt: l.started,
+			Deadline:  l.deadline,
+		})
+	}
+	sort.Slice(st.Leases, func(i, j int) bool { return st.Leases[i].ID < st.Leases[j].ID })
+	return st
+}
+
+// SweepResults reports a sweep's completed scenarios so far, in global
+// index order; Complete is true once the sweep has merged.
+func (c *Coordinator) SweepResults(id string) (ResultsResponse, error) {
+	now := c.opts.Clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(now)
+	sw, ok := c.sweeps[id]
+	if !ok {
+		return ResultsResponse{}, fmt.Errorf("sweepd: sweep %s not found", id)
+	}
+	resp := ResultsResponse{
+		Version:  ProtocolVersion,
+		State:    sw.state,
+		Error:    sw.errMsg,
+		Complete: sw.state == StateDone,
+	}
+	byIndex := make(map[int]shard.ResultItem, len(sw.covered))
+	for _, rs := range sw.sets {
+		for _, item := range rs.Results {
+			if _, dup := byIndex[item.Index]; !dup {
+				byIndex[item.Index] = item
+			}
+		}
+	}
+	indices := make([]int, 0, len(byIndex))
+	for i := range byIndex {
+		indices = append(indices, i)
+	}
+	sort.Ints(indices)
+	for _, i := range indices {
+		resp.Results = append(resp.Results, byIndex[i])
+	}
+	return resp, nil
+}
+
+// Merged returns a completed sweep's merged results (the same slice shape
+// core.Runner.RunAll produces) — the in-process path tests and benchmarks
+// use to skip the client-side re-merge.
+func (c *Coordinator) Merged(id string) ([]core.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sw, ok := c.sweeps[id]
+	if !ok {
+		return nil, fmt.Errorf("sweepd: sweep %s not found", id)
+	}
+	if sw.state != StateDone {
+		return nil, fmt.Errorf("sweepd: sweep %s is %s, not done", id, sw.state)
+	}
+	return sw.merged, nil
+}
+
+// CostTable snapshots the coordinator's merged planning model.
+func (c *Coordinator) CostTable() core.CostTable {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return copyCosts(c.costs)
+}
+
+// copyCosts clones a cost table (CostTable.Merge mutates its receiver, so
+// callers that need a stable snapshot copy first).
+func copyCosts(t core.CostTable) core.CostTable {
+	out := make(core.CostTable, len(t))
+	for id, s := range t {
+		out[id] = s
+	}
+	return out
+}
+
+// Drain stops admitting sweeps and tells idle workers to exit; running
+// leases finish normally.
+func (c *Coordinator) Drain() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.draining = true
+}
