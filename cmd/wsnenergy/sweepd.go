@@ -1,7 +1,7 @@
 // The sweep-service subcommands turn the sweep artifacts into a
 // long-running coordinator/worker fleet:
 //
-//	wsnenergy serve -listen 127.0.0.1:8080 [-lease 30s] [-cache dir]
+//	wsnenergy serve -listen 127.0.0.1:8080 [-state-dir dir] [-lease 30s]
 //	wsnenergy work  -join http://127.0.0.1:8080 [-name w1] [-parallel N]
 //	wsnenergy sweep -join http://127.0.0.1:8080 -experiment table4 \
 //	    -format csv [model flags]
@@ -9,11 +9,17 @@
 // serve hosts the coordinator: it accepts sweeps, re-plans them against
 // the cost model its workers report, leases partitions with heartbeat
 // deadlines, replans exactly what crashed workers leave missing, and hosts
-// the fleet's shared result cache. work joins a worker that polls with
-// bounded exponential backoff until the coordinator drains. sweep submits
-// an artifact's grid, waits, and renders the merged output — byte-identical
-// to running the same artifact in one process, whatever happens to the
-// fleet mid-run.
+// the fleet's shared result cache. With -state-dir every transition is
+// write-ahead journaled and a restarted coordinator recovers its sweeps
+// exactly where they stopped; SIGTERM drains gracefully (stop leasing,
+// wait bounded time for in-flight work, journal a clean shutdown). work
+// joins a worker that polls with bounded exponential backoff until the
+// coordinator drains; its first SIGTERM finishes the current lease and
+// exits, a second aborts the lease (cleanly failed back). sweep submits
+// an artifact's grid, waits, and renders the merged output —
+// byte-identical to running the same artifact in one process, whatever
+// happens to the fleet mid-run; -detach and -attach split submission from
+// rendering across coordinator restarts.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -36,12 +43,16 @@ import (
 func serveMain(args []string) {
 	fs := newFlagSet("serve")
 	var (
-		listen     = fs.String("listen", "127.0.0.1:8080", "address to serve the coordinator API on")
-		lease      = fs.Duration("lease", sweepd.DefaultLeaseTTL, "lease TTL: a worker silent this long loses its partition")
-		attempts   = fs.Int("attempts", sweepd.DefaultAttempts, "attempts per partition before its sweep fails")
-		partitions = fs.Int("partitions", sweepd.DefaultPartitions, "default lease partitions per sweep")
-		cacheDir   = fs.String("cache", "", "back the shared result cache with this directory (default: in-memory)")
-		quiet      = fs.Bool("quiet", false, "suppress progress logging")
+		listen       = fs.String("listen", "127.0.0.1:8080", "address to serve the coordinator API on")
+		lease        = fs.Duration("lease", sweepd.DefaultLeaseTTL, "lease TTL: a worker silent this long loses its partition")
+		attempts     = fs.Int("attempts", sweepd.DefaultAttempts, "attempts per partition before its sweep fails")
+		partitions   = fs.Int("partitions", sweepd.DefaultPartitions, "default lease partitions per sweep")
+		stateDir     = fs.String("state-dir", "", "journal every transition under this directory and recover from it at startup (also hosts the result cache)")
+		drainWait    = fs.Duration("drain", 30*time.Second, "on SIGTERM, wait this long for in-flight leases before exiting")
+		speculate    = fs.Bool("speculate", true, "re-issue predicted straggler partitions as shadow leases")
+		cacheDir     = fs.String("cache", "", "back the shared result cache with this directory (default: in-memory LRU, or state-dir/cache)")
+		cacheEntries = fs.Int("cache-entries", 0, "entry bound for the in-memory result cache (0 = 65536)")
+		quiet        = fs.Bool("quiet", false, "suppress progress logging")
 	)
 	parseFlags(fs, args)
 
@@ -49,6 +60,9 @@ func serveMain(args []string) {
 		LeaseTTL:          *lease,
 		MaxAttempts:       *attempts,
 		DefaultPartitions: *partitions,
+		StateDir:          *stateDir,
+		NoSpeculation:     !*speculate,
+		CacheEntries:      *cacheEntries,
 	}
 	if !*quiet {
 		opts.Log = func(format string, a ...any) {
@@ -62,7 +76,10 @@ func serveMain(args []string) {
 		}
 		opts.Cache = backend
 	}
-	coord := sweepd.NewCoordinator(opts)
+	coord, err := sweepd.Open(opts)
+	if err != nil {
+		fatal(err)
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -73,17 +90,32 @@ func serveMain(args []string) {
 	fmt.Printf("listening on http://%s\n", ln.Addr())
 
 	srv := &http.Server{Handler: sweepd.Handler(coord)}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	go func() {
-		<-ctx.Done()
-		coord.Drain()
+
+	// Replay the journal while the listener already answers /v1/healthz;
+	// /v1/readyz flips to 200 (and leasing starts) when this returns.
+	if err := coord.Recover(); err != nil {
+		fatal(err)
+	}
+
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		// Graceful drain: refuse new leases, wait (bounded) for in-flight
+		// ones, journal the clean shutdown, then close the listener.
+		coord.Shutdown(*drainWait)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)
-	}()
-	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fatal(err)
+		<-serveErr
 	}
 }
 
@@ -120,8 +152,22 @@ func workMain(args []string) {
 			fmt.Fprintf(os.Stderr, "work %s: "+format+"\n", append([]any{*name}, a...)...)
 		}
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	// First SIGTERM/SIGINT: graceful drain — finish the current lease,
+	// then exit. Second: abort the lease mid-run (the worker cleanly fails
+	// it back so the coordinator requeues it immediately).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	drain := make(chan struct{})
+	opts.Drain = drain
+	go func() {
+		<-sigc
+		close(drain)
+		<-sigc
+		cancel()
+	}()
 	if err := sweepd.Work(ctx, opts); err != nil {
 		fatal(err)
 	}
@@ -140,6 +186,8 @@ func sweepMain(args []string) {
 		chartH     = fs.Int("chartheight", 20, "ASCII chart height")
 		poll       = fs.Duration("poll", 500*time.Millisecond, "status poll interval while waiting")
 		timeout    = fs.Duration("timeout", 0, "give up after this long (0 = wait forever)")
+		detach     = fs.Bool("detach", false, "submit, print the sweep id on stdout, and exit without waiting")
+		attach     = fs.String("attach", "", "wait on this already-submitted sweep id instead of submitting (experiment and model flags must match the original submission)")
 		model      = addModelFlags(fs)
 	)
 	parseFlags(fs, args)
@@ -167,18 +215,34 @@ func sweepMain(args []string) {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := runSweep(ctx, client, m, *partitions, *poll, *format, *chartW, *chartH); err != nil {
+	if err := runSweep(ctx, client, m, *partitions, *poll, *format, *chartW, *chartH, *attach, *detach); err != nil {
 		fatal(err)
 	}
 }
 
 // runSweep drives one sweep through the service and renders the result.
-func runSweep(ctx context.Context, client *sweepd.Client, m *shard.Manifest, partitions int, poll time.Duration, format string, chartW, chartH int) error {
-	id, err := client.Submit(sweepd.SubmitRequest{Manifest: m, Partitions: partitions})
-	if err != nil {
-		return err
+// A non-empty attach id skips submission and waits on an existing sweep
+// (rendering validates the stream against the locally built manifest, so
+// the attach must use the same experiment and model flags); detach
+// submits, prints the id, and returns without waiting.
+func runSweep(ctx context.Context, client *sweepd.Client, m *shard.Manifest, partitions int, poll time.Duration, format string, chartW, chartH int, attach string, detach bool) error {
+	id := attach
+	if id == "" {
+		var err error
+		id, err = client.Submit(sweepd.SubmitRequest{Manifest: m, Partitions: partitions})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sweep %s submitted: %s, %d scenarios\n", id, m.Experiment, m.Total)
+		if detach {
+			// The id on stdout is the handle a later -attach (possibly after
+			// a coordinator restart) picks the sweep back up with.
+			fmt.Println(id)
+			return nil
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "sweep %s: attached (%s, %d scenarios expected)\n", id, m.Experiment, m.Total)
 	}
-	fmt.Fprintf(os.Stderr, "sweep %s submitted: %s, %d scenarios\n", id, m.Experiment, m.Total)
 	ticker := time.NewTicker(poll)
 	defer ticker.Stop()
 	for {

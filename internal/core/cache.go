@@ -129,6 +129,9 @@ type CacheStats struct {
 	// Hits counts successful Gets served by this backend instance (for
 	// shared stores, hits are counted per process, not globally).
 	Hits uint64
+	// Evictions counts entries dropped by the backend's bounding policy
+	// (LRU eviction, epoch eviction); unbounded backends report 0.
+	Evictions uint64
 }
 
 // CacheBackend stores memoized estimator results. Implementations must be
@@ -160,10 +163,11 @@ const estimateCacheMax = 1 << 16
 // sweep services keep memoizing their recent grid instead of being pinned
 // to the first 64k points.
 type MemoryBackend struct {
-	mu   sync.Mutex
-	m    map[CacheKey]Estimate
-	hits uint64
-	max  int
+	mu     sync.Mutex
+	m      map[CacheKey]Estimate
+	hits   uint64
+	evicts uint64
+	max    int
 }
 
 // NewMemoryBackend returns an empty in-memory backend with the default
@@ -197,6 +201,7 @@ func (b *MemoryBackend) Put(key CacheKey, est Estimate) error {
 	}
 	if len(b.m) >= max {
 		// Epoch eviction: drop everything and let the workload repopulate.
+		b.evicts += uint64(len(b.m))
 		b.m = nil
 	}
 	if b.m == nil {
@@ -212,6 +217,7 @@ func (b *MemoryBackend) Reset() error {
 	defer b.mu.Unlock()
 	b.m = make(map[CacheKey]Estimate)
 	b.hits = 0
+	b.evicts = 0
 	return nil
 }
 
@@ -219,7 +225,7 @@ func (b *MemoryBackend) Reset() error {
 func (b *MemoryBackend) Stats() (CacheStats, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return CacheStats{Entries: len(b.m), Hits: b.hits}, nil
+	return CacheStats{Entries: len(b.m), Hits: b.hits, Evictions: b.evicts}, nil
 }
 
 // defaultCache is the process-wide backend Runners use unless

@@ -154,15 +154,17 @@ func (b *HTTPBackend) Stats() (CacheStats, error) {
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&remote); err != nil {
 		return CacheStats{}, fmt.Errorf("core: http cache stats: %w", err)
 	}
-	return CacheStats{Entries: remote.Entries, Hits: b.hits.Load()}, nil
+	return CacheStats{Entries: remote.Entries, Hits: b.hits.Load(), Evictions: remote.Evictions}, nil
 }
 
 // cacheStatsWire is the JSON shape of the /stats endpoint. Hits reports
 // the server-side backend's counter — useful for fleet observability even
-// though the client's own Stats() surfaces local hits.
+// though the client's own Stats() surfaces local hits. Evictions reports
+// the server-side bounding policy's drop count (0 for unbounded backends).
 type cacheStatsWire struct {
-	Entries int    `json:"entries"`
-	Hits    uint64 `json:"hits"`
+	Entries   int    `json:"entries"`
+	Hits      uint64 `json:"hits"`
+	Evictions uint64 `json:"evictions,omitempty"`
 }
 
 // CacheHandler serves any CacheBackend over HTTP as the remote-KV protocol
@@ -245,7 +247,7 @@ func CacheHandler(b CacheBackend) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		writeCacheJSON(w, cacheStatsWire{Entries: s.Entries, Hits: s.Hits})
+		writeCacheJSON(w, cacheStatsWire{Entries: s.Entries, Hits: s.Hits, Evictions: s.Evictions})
 	})
 	return mux
 }

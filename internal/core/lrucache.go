@@ -1,0 +1,99 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultLRUEntries is the entry bound an LRUBackend falls back to when
+// constructed with a non-positive capacity — the same order of magnitude as
+// the MemoryBackend's epoch bound, but evicted one entry at a time.
+const DefaultLRUEntries = 1 << 16
+
+// LRUBackend is a CacheBackend bounded by least-recently-used eviction:
+// when the entry count would exceed the capacity, the entry that has gone
+// longest without a Get or Put is dropped and counted in
+// CacheStats.Evictions. It is the backend for long-lived services — a sweep
+// coordinator hosting its result cache for weeks must not grow without
+// bound, and unlike the MemoryBackend's epoch eviction (drop everything,
+// repopulate), LRU keeps the working set of the sweeps currently in flight
+// warm while old grids age out.
+//
+// All methods are safe for concurrent use.
+type LRUBackend struct {
+	mu     sync.Mutex
+	max    int
+	ll     *list.List // front = most recently used
+	m      map[CacheKey]*list.Element
+	hits   uint64
+	evicts uint64
+}
+
+// lruEntry is one resident cache entry (the list element value).
+type lruEntry struct {
+	key CacheKey
+	est Estimate
+}
+
+// NewLRUBackend returns an empty LRU-bounded backend holding at most max
+// entries (non-positive: DefaultLRUEntries).
+func NewLRUBackend(max int) *LRUBackend {
+	if max <= 0 {
+		max = DefaultLRUEntries
+	}
+	return &LRUBackend{max: max, ll: list.New(), m: make(map[CacheKey]*list.Element)}
+}
+
+// Get implements CacheBackend; a hit refreshes the entry's recency.
+func (b *LRUBackend) Get(key CacheKey) (Estimate, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	el, ok := b.m[key]
+	if !ok {
+		return Estimate{}, false, nil
+	}
+	b.ll.MoveToFront(el)
+	b.hits++
+	return el.Value.(*lruEntry).est, true, nil
+}
+
+// Put implements CacheBackend, evicting the least recently used entry when
+// the backend is full.
+func (b *LRUBackend) Put(key CacheKey, est Estimate) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if el, ok := b.m[key]; ok {
+		el.Value.(*lruEntry).est = est
+		b.ll.MoveToFront(el)
+		return nil
+	}
+	for b.ll.Len() >= b.max {
+		oldest := b.ll.Back()
+		if oldest == nil {
+			break
+		}
+		b.ll.Remove(oldest)
+		delete(b.m, oldest.Value.(*lruEntry).key)
+		b.evicts++
+	}
+	b.m[key] = b.ll.PushFront(&lruEntry{key: key, est: est})
+	return nil
+}
+
+// Reset implements CacheBackend.
+func (b *LRUBackend) Reset() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ll = list.New()
+	b.m = make(map[CacheKey]*list.Element)
+	b.hits = 0
+	b.evicts = 0
+	return nil
+}
+
+// Stats implements CacheBackend.
+func (b *LRUBackend) Stats() (CacheStats, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return CacheStats{Entries: b.ll.Len(), Hits: b.hits, Evictions: b.evicts}, nil
+}

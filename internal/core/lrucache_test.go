@@ -1,0 +1,108 @@
+package core
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+// lruKey builds a distinct cache key per index.
+func lruKey(i int) CacheKey {
+	cfg := Config{Lambda: 1, Mu: 2, PDT: float64(i + 1)}
+	return CacheKey{Config: cfg, Method: "markov", Estimator: "test.Estimator"}
+}
+
+func TestLRUBackendEviction(t *testing.T) {
+	b := NewLRUBackend(3)
+	for i := 0; i < 3; i++ {
+		if err := b.Put(lruKey(i), Estimate{EnergyJ: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch key 0 so key 1 is the least recently used.
+	if _, ok, _ := b.Get(lruKey(0)); !ok {
+		t.Fatal("key 0 missing before eviction")
+	}
+	if err := b.Put(lruKey(3), Estimate{EnergyJ: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := b.Get(lruKey(1)); ok {
+		t.Fatal("least recently used key survived eviction")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if est, ok, _ := b.Get(lruKey(i)); !ok || est.EnergyJ != float64(i) {
+			t.Fatalf("key %d = (%+v, %v), want resident", i, est, ok)
+		}
+	}
+	s, err := b.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Entries != 3 || s.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 3 entries, 1 eviction", s)
+	}
+
+	// Updating a resident key evicts nothing and refreshes its recency.
+	if err := b.Put(lruKey(2), Estimate{EnergyJ: 22}); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := b.Stats(); s.Entries != 3 || s.Evictions != 1 {
+		t.Fatalf("update-in-place changed bounds: %+v", s)
+	}
+	if est, ok, _ := b.Get(lruKey(2)); !ok || est.EnergyJ != 22 {
+		t.Fatalf("update-in-place lost the new value: (%+v, %v)", est, ok)
+	}
+
+	if err := b.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := b.Stats(); s.Entries != 0 || s.Hits != 0 || s.Evictions != 0 {
+		t.Fatalf("reset left state behind: %+v", s)
+	}
+}
+
+func TestLRUBackendDefaultBound(t *testing.T) {
+	b := NewLRUBackend(0)
+	if b.max != DefaultLRUEntries {
+		t.Fatalf("default bound = %d, want %d", b.max, DefaultLRUEntries)
+	}
+}
+
+// TestLRUEvictionsOverHTTP: the eviction counter of a server-side bounded
+// backend is visible through the cache wire protocol's /stats.
+func TestLRUEvictionsOverHTTP(t *testing.T) {
+	backend := NewLRUBackend(2)
+	srv := httptest.NewServer(CacheHandler(backend))
+	defer srv.Close()
+	remote, err := NewHTTPBackend(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := remote.Put(lruKey(i), Estimate{EnergyJ: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := remote.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Entries != 2 || s.Evictions != 2 {
+		t.Fatalf("remote stats = %+v, want 2 entries, 2 evictions", s)
+	}
+	// The wire shape reports evictions explicitly.
+	resp, err := srv.Client().Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var wire struct {
+		Evictions uint64 `json:"evictions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Evictions != 2 {
+		t.Fatalf("wire evictions = %d, want 2", wire.Evictions)
+	}
+}

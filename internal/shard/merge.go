@@ -215,6 +215,21 @@ func Missing(m *Manifest, sets []*ResultSet) []int {
 	return missing
 }
 
+// MissingFrom returns the sorted global indices of the plan that the
+// covered set does not contain — the exact re-run set for a coordinator
+// that tracks coverage incrementally (or reconstructs it from a journal
+// after a restart) instead of holding worker result sets. Feed the result
+// to Replan to rebuild the work queue from recovered state.
+func (m *Manifest) MissingFrom(covered map[int]bool) []int {
+	missing := make([]int, 0, m.Total-len(covered))
+	for i := 0; i < m.Total; i++ {
+		if !covered[i] {
+			missing = append(missing, i)
+		}
+	}
+	return missing
+}
+
 // Replan partitions exactly the given missing scenario indices of a plan
 // into up to n fresh shards (indexed 0..n-1 within the returned slice) —
 // the crash-recovery step: a lease that expired or a merge that reported

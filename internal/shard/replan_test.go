@@ -263,6 +263,41 @@ func TestReplanCoversExactlyMissing(t *testing.T) {
 	}
 }
 
+// TestMissingFrom: the incremental-coverage complement agrees with the
+// set-based Missing and feeds Replan directly.
+func TestMissingFrom(t *testing.T) {
+	scenarios := grid(6)
+	spec := RunnerSpec{Base: core.PaperConfig(), Methods: []string{"markov"}}
+	m, err := NewManifest("", spec, scenarios, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[int]bool{0: true, 3: true, 4: true}
+	got := m.MissingFrom(covered)
+	want := []int{1, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("MissingFrom = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MissingFrom = %v, want %v (sorted)", got, want)
+		}
+	}
+	if shards, err := Replan(m, got, 2); err != nil || len(shards) == 0 {
+		t.Fatalf("Replan over MissingFrom = (%v, %v)", shards, err)
+	}
+	if got := m.MissingFrom(nil); len(got) != m.Total {
+		t.Fatalf("empty coverage misses %d of %d", len(got), m.Total)
+	}
+	full := make(map[int]bool, m.Total)
+	for i := 0; i < m.Total; i++ {
+		full[i] = true
+	}
+	if got := m.MissingFrom(full); len(got) != 0 {
+		t.Fatalf("full coverage still missing %v", got)
+	}
+}
+
 // TestRecoveredMergeByteIdentical is the crash-recovery contract end to
 // end, in process: run a plan but lose one shard's results, re-plan the
 // gap Merge reports, run the recovery shards with a fresh Runner, and

@@ -128,6 +128,19 @@ func (c *Client) Fail(leaseID, msg string) error {
 	return c.call(http.MethodPost, "/v1/lease/"+leaseID+"/fail", FailRequest{Version: ProtocolVersion, Error: msg}, nil)
 }
 
+// Ready reports whether the coordinator answers its readiness probe —
+// false while it replays its journal after a restart (and on transport
+// errors, which pollers treat the same way: not ready yet).
+func (c *Client) Ready() bool {
+	resp, err := c.http.Get(c.base + ReadyPath)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+	return resp.StatusCode == http.StatusOK
+}
+
 // Status fetches the whole-service status.
 func (c *Client) Status() (CoordinatorStatus, error) {
 	var st CoordinatorStatus

@@ -3,8 +3,10 @@ package sweepd
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -30,8 +32,20 @@ type Options struct {
 	// DefaultPartitions is the lease-partition count for sweeps that do
 	// not request their own.
 	DefaultPartitions int
+	// StateDir roots the coordinator's durable state (write-ahead journal,
+	// accepted result sets, and — unless Cache overrides it — a persistent
+	// file cache). Empty runs the coordinator purely in memory. Only Open
+	// honors it; NewCoordinator ignores the field.
+	StateDir string
+	// NoSpeculation disables shadow leases for predicted stragglers.
+	NoSpeculation bool
+	// CacheEntries bounds the default coordinator-hosted cache backend
+	// (0 = core.DefaultLRUEntries). Ignored when Cache or a StateDir file
+	// cache is in effect.
+	CacheEntries int
 	// Cache optionally backs the coordinator-hosted remote result cache;
-	// nil hosts a fresh in-memory backend.
+	// nil hosts an LRU-bounded in-memory backend (or, under Open with a
+	// StateDir, a persistent file backend).
 	Cache core.CacheBackend
 	// Clock overrides time.Now for tests.
 	Clock func() time.Time
@@ -53,6 +67,11 @@ type lease struct {
 	part     pending
 	started  time.Time
 	deadline time.Time
+	// speculative marks a shadow lease issued against a predicted
+	// straggler; rival links the two leases racing the same partition
+	// (each holds the other's id while both live).
+	speculative bool
+	rival       string
 }
 
 // sweep is the coordinator's state for one submitted sweep.
@@ -64,17 +83,28 @@ type sweep struct {
 	queue    []pending
 	active   int // leases currently out for this sweep
 	sets     []*shard.ResultSet
+	refs     []string // journal references of the accepted sets
 	covered  map[int]bool
 	merged   []core.Result // set when state == StateDone
+	counters sweepCounters
 }
 
 // Coordinator owns sweep state: it re-plans submitted manifests against
 // its cost model, leases partitions, reclaims expired leases, replans
 // merge gaps, and merges completed sweeps. All methods are safe for
 // concurrent use; Server exposes them over HTTP.
+//
+// With a journal attached (Open with a StateDir), every state transition
+// is appended to the write-ahead journal before the in-memory state
+// changes, and Recover rebuilds the coordinator from the journal after a
+// restart — byte-identically, because content-derived seeds make
+// re-planning the uncovered remainder produce exactly the results the
+// lost leases would have.
 type Coordinator struct {
-	opts  Options
-	cache core.CacheBackend
+	opts    Options
+	cache   core.CacheBackend
+	journal *Journal
+	ready   atomic.Bool
 
 	mu        sync.Mutex
 	sweeps    map[string]*sweep
@@ -83,14 +113,11 @@ type Coordinator struct {
 	costs     core.CostTable
 	nextSweep int
 	nextLease int
-	expired   int
-	requeues  int
-	replans   int
 	draining  bool
 }
 
-// NewCoordinator builds a coordinator; zero-value options take the
-// package defaults.
+// NewCoordinator builds a purely in-memory coordinator; zero-value
+// options take the package defaults. Use Open for a durable one.
 func NewCoordinator(opts Options) *Coordinator {
 	if opts.LeaseTTL <= 0 {
 		opts.LeaseTTL = DefaultLeaseTTL
@@ -106,23 +133,77 @@ func NewCoordinator(opts Options) *Coordinator {
 	}
 	cache := opts.Cache
 	if cache == nil {
-		cache = core.NewMemoryBackend()
+		cache = core.NewLRUBackend(opts.CacheEntries)
 	}
-	return &Coordinator{
+	c := &Coordinator{
 		opts:   opts,
 		cache:  cache,
 		sweeps: make(map[string]*sweep),
 		leases: make(map[string]*lease),
 		costs:  core.CostTable{},
 	}
+	c.ready.Store(true)
+	return c
+}
+
+// Open builds a coordinator whose state survives restarts: a write-ahead
+// journal and accepted result sets live under opts.StateDir, and (unless
+// opts.Cache overrides it) the hosted result cache persists there too.
+// The coordinator starts not ready — call Recover to replay the journal
+// before serving leases. An empty StateDir degrades to NewCoordinator.
+func Open(opts Options) (*Coordinator, error) {
+	if opts.StateDir == "" {
+		return NewCoordinator(opts), nil
+	}
+	j, err := OpenJournal(opts.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Cache == nil {
+		fb, err := core.NewFileBackend(filepath.Join(opts.StateDir, "cache"))
+		if err != nil {
+			j.Close()
+			return nil, err
+		}
+		opts.Cache = fb
+	}
+	c := NewCoordinator(opts)
+	c.journal = j
+	c.ready.Store(false)
+	return c, nil
 }
 
 // Cache returns the backend behind the coordinator's remote result cache.
 func (c *Coordinator) Cache() core.CacheBackend { return c.cache }
 
+// Ready reports whether the coordinator has finished journal replay (a
+// journal-less coordinator is ready immediately). The HTTP /v1/readyz
+// endpoint and the lease path consult it.
+func (c *Coordinator) Ready() bool { return c.ready.Load() }
+
 func (c *Coordinator) logf(format string, args ...any) {
 	if c.opts.Log != nil {
 		c.opts.Log(format, args...)
+	}
+}
+
+// appendLocked journals one record (nil without a journal); the caller
+// holds c.mu and must not apply the transition if this fails.
+func (c *Coordinator) appendLocked(rec record) error {
+	if c.journal == nil {
+		return nil
+	}
+	return c.journal.Append(rec)
+}
+
+// appendBestEffortLocked journals one record, degrading a journal error
+// to a log line — for transitions with no caller to bounce (lease
+// reaping, sweep completion). A lost record here costs recovery counter
+// precision, never result correctness: replay re-derives the queue from
+// coverage, not from these records.
+func (c *Coordinator) appendBestEffortLocked(rec record) {
+	if err := c.appendLocked(rec); err != nil {
+		c.logf("journal: dropping %s record: %v", rec.Kind, err)
 	}
 }
 
@@ -139,6 +220,9 @@ func (c *Coordinator) Submit(req SubmitRequest) (SubmitResponse, error) {
 	}
 	if err := req.Manifest.Validate(); err != nil {
 		return SubmitResponse{}, err
+	}
+	if !c.ready.Load() {
+		return SubmitResponse{}, errors.New("sweepd: coordinator is recovering; retry shortly")
 	}
 	parts := req.Partitions
 	if parts <= 0 {
@@ -161,9 +245,13 @@ func (c *Coordinator) Submit(req SubmitRequest) (SubmitResponse, error) {
 	}
 	m.Extra = req.Manifest.Extra
 
+	id := fmt.Sprintf("s%d", c.nextSweep+1)
+	if err := c.appendLocked(record{Kind: recSubmit, Sweep: id, Manifest: m}); err != nil {
+		return SubmitResponse{}, err
+	}
 	c.nextSweep++
 	sw := &sweep{
-		id:       fmt.Sprintf("s%d", c.nextSweep),
+		id:       id,
 		manifest: m,
 		state:    StateRunning,
 		covered:  make(map[int]bool, m.Total),
@@ -205,52 +293,153 @@ func (c *Coordinator) weightLocked(methods []string) shard.WeightFunc {
 	}
 }
 
-// Lease grants the next queued partition, preferring older sweeps.
+// grantLocked journals and issues one lease for a partition. spec marks a
+// shadow lease; rivalID links it to the lease it races.
+func (c *Coordinator) grantLocked(sw *sweep, part pending, worker string, now time.Time, spec bool, rivalID string) (*lease, error) {
+	id := fmt.Sprintf("l%d", c.nextLease+1)
+	if err := c.appendLocked(record{
+		Kind: recLease, Sweep: sw.id, Lease: id, Worker: worker,
+		ShardIndex: part.shard.Index, Speculative: spec,
+	}); err != nil {
+		return nil, err
+	}
+	c.nextLease++
+	l := &lease{
+		id:          id,
+		sweepID:     sw.id,
+		worker:      worker,
+		part:        part,
+		started:     now,
+		deadline:    now.Add(c.opts.LeaseTTL),
+		speculative: spec,
+		rival:       rivalID,
+	}
+	c.leases[id] = l
+	sw.active++
+	if spec {
+		sw.counters.SpecIssued++
+	}
+	return l, nil
+}
+
+// leaseResponseLocked renders a granted lease as the wire answer.
+func (c *Coordinator) leaseResponseLocked(sw *sweep, l *lease) LeaseResponse {
+	runner := sw.manifest.Runner
+	sh := l.part.shard
+	return LeaseResponse{
+		Version:    ProtocolVersion,
+		Status:     LeaseWork,
+		LeaseID:    l.id,
+		SweepID:    sw.id,
+		Runner:     &runner,
+		Shard:      &sh,
+		TTLSeconds: c.opts.LeaseTTL.Seconds(),
+		CachePath:  CachePath,
+	}
+}
+
+// Lease grants the next queued partition, preferring older sweeps. With
+// nothing queued it may instead issue a speculative shadow lease against
+// a predicted straggler (see speculateLocked). A draining coordinator
+// answers LeaseBye immediately — in-flight leases may still submit, but
+// no new work leaves the queue. A recovering coordinator answers
+// LeaseWait until replay finishes.
 func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
 	if req.Version != ProtocolVersion {
 		return LeaseResponse{}, fmt.Errorf("sweepd: lease version %d, want %d", req.Version, ProtocolVersion)
+	}
+	if !c.ready.Load() {
+		return LeaseResponse{Version: ProtocolVersion, Status: LeaseWait}, nil
 	}
 	now := c.opts.Clock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.reapLocked(now)
+	if c.draining {
+		return LeaseResponse{Version: ProtocolVersion, Status: LeaseBye}, nil
+	}
 	for _, id := range c.order {
 		sw := c.sweeps[id]
 		if sw.state != StateRunning || len(sw.queue) == 0 {
 			continue
 		}
 		part := sw.queue[0]
-		sw.queue = sw.queue[1:]
-		sw.active++
-		c.nextLease++
-		l := &lease{
-			id:       fmt.Sprintf("l%d", c.nextLease),
-			sweepID:  sw.id,
-			worker:   req.Worker,
-			part:     part,
-			started:  now,
-			deadline: now.Add(c.opts.LeaseTTL),
+		l, err := c.grantLocked(sw, part, req.Worker, now, false, "")
+		if err != nil {
+			return LeaseResponse{}, err
 		}
-		c.leases[l.id] = l
+		sw.queue = sw.queue[1:]
 		c.logf("lease %s: sweep %s shard %d (%d scenarios) -> worker %q",
 			l.id, sw.id, part.shard.Index, len(part.shard.Items), req.Worker)
-		runner := sw.manifest.Runner
-		sh := part.shard
-		return LeaseResponse{
-			Version:    ProtocolVersion,
-			Status:     LeaseWork,
-			LeaseID:    l.id,
-			SweepID:    sw.id,
-			Runner:     &runner,
-			Shard:      &sh,
-			TTLSeconds: c.opts.LeaseTTL.Seconds(),
-			CachePath:  CachePath,
-		}, nil
+		return c.leaseResponseLocked(sw, l), nil
 	}
-	if c.draining {
-		return LeaseResponse{Version: ProtocolVersion, Status: LeaseBye}, nil
+	if !c.opts.NoSpeculation {
+		if resp, ok, err := c.speculateLocked(req.Worker, now); err != nil {
+			return LeaseResponse{}, err
+		} else if ok {
+			return resp, nil
+		}
 	}
 	return LeaseResponse{Version: ProtocolVersion, Status: LeaseWait}, nil
+}
+
+// speculateLocked re-issues a straggling lease's partition to an idle
+// worker: when the cost model predicts the uncovered remainder of an
+// active lease needs more time than remains before its deadline, a
+// shadow lease races the original. Whichever submission lands first
+// wins; the other lease is discarded and its late submission bounces as
+// ErrLeaseGone, which the worker drops idempotently (content-derived
+// seeds make the duplicate results identical anyway). At most one shadow
+// per lease, never against the same worker's own lease, and only while
+// the cost table actually predicts (an unsampled table predicts zero and
+// never speculates).
+func (c *Coordinator) speculateLocked(worker string, now time.Time) (LeaseResponse, bool, error) {
+	ids := make([]string, 0, len(c.leases))
+	for id := range c.leases {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		l := c.leases[id]
+		if l.rival != "" || l.worker == worker {
+			continue
+		}
+		sw := c.sweeps[l.sweepID]
+		if sw == nil || sw.state != StateRunning {
+			continue
+		}
+		predicted := c.predictRemainingLocked(sw, l.part)
+		if predicted <= 0 || predicted <= l.deadline.Sub(now).Seconds() {
+			continue
+		}
+		shadow, err := c.grantLocked(sw, l.part, worker, now, true, l.id)
+		if err != nil {
+			return LeaseResponse{}, false, err
+		}
+		l.rival = shadow.id
+		c.logf("lease %s: speculating sweep %s shard %d against straggler %s (predicted %.1fs, %.1fs left) -> worker %q",
+			shadow.id, sw.id, l.part.shard.Index, l.id, predicted, l.deadline.Sub(now).Seconds(), worker)
+		return c.leaseResponseLocked(sw, shadow), true, nil
+	}
+	return LeaseResponse{}, false, nil
+}
+
+// predictRemainingLocked prices the uncovered scenarios of a leased
+// partition with the coordinator's cost table (seconds; 0 when the table
+// has no samples for the sweep's estimators).
+func (c *Coordinator) predictRemainingLocked(sw *sweep, part pending) float64 {
+	ids, err := core.EstimatorIDs(sw.manifest.Runner.Methods...)
+	if err != nil {
+		return 0
+	}
+	total := 0.0
+	for _, it := range part.shard.Items {
+		if sw.covered[it.Index] {
+			continue
+		}
+		total += c.costs.ScenarioSeconds(it.Scenario().Config, ids)
+	}
+	return total
 }
 
 // Heartbeat extends a lease's deadline by one TTL. An unknown (already
@@ -269,10 +458,13 @@ func (c *Coordinator) Heartbeat(leaseID string) error {
 	return nil
 }
 
-// Results accepts a worker's submission for a lease: results are folded
-// into the sweep, the worker's cost table is merged into the planning
-// model, and any scenarios of the partition the submission did not cover
-// are re-planned into a recovery partition.
+// Results accepts a worker's submission for a lease: the result set is
+// persisted and journaled by reference, folded into the sweep, the
+// worker's cost table merges into the planning model, and any scenarios
+// of the partition the submission did not cover are re-planned into a
+// recovery partition. If a rival (speculative) lease is racing the same
+// partition, the first submission wins and the rival is discarded — its
+// own submission will find its lease gone.
 func (c *Coordinator) Results(leaseID string, sub ResultSubmission) error {
 	if sub.Version != ProtocolVersion {
 		return fmt.Errorf("sweepd: results version %d, want %d", sub.Version, ProtocolVersion)
@@ -289,11 +481,35 @@ func (c *Coordinator) Results(leaseID string, sub ResultSubmission) error {
 		return fmt.Errorf("sweepd: lease %s not found (expired or completed)", leaseID)
 	}
 	sw := c.sweeps[l.sweepID]
+
+	// Durability first: persist the set, journal the release and the
+	// acceptance by reference, and only then mutate state. On journal
+	// failure the worker sees an error and retries; an orphaned result
+	// file is harmless.
+	var ref string
+	if c.journal != nil {
+		var err error
+		if ref, err = c.journal.WriteResults(sw.id, sub.Results); err != nil {
+			return err
+		}
+		if err := c.journal.Append(record{Kind: recRelease, Sweep: sw.id, Lease: leaseID, Reason: releaseResults}); err != nil {
+			return err
+		}
+		if err := c.journal.Append(record{Kind: recAccept, Sweep: sw.id, Lease: leaseID, Ref: ref}); err != nil {
+			return err
+		}
+	}
 	delete(c.leases, leaseID)
 	sw.active--
+	if l.rival != "" {
+		c.discardRivalLocked(sw, l.rival)
+	}
 
 	c.costs = c.costs.Merge(sub.Costs)
 	sw.sets = append(sw.sets, sub.Results)
+	if ref != "" {
+		sw.refs = append(sw.refs, ref)
+	}
 	for _, item := range sub.Results.Results {
 		if item.Index >= 0 && item.Index < sw.manifest.Total {
 			sw.covered[item.Index] = true
@@ -318,8 +534,39 @@ func (c *Coordinator) Results(leaseID string, sub ResultSubmission) error {
 	return nil
 }
 
+// discardRivalLocked settles a speculation race: the named rival lease
+// (the copy that lost) leaves the table without a requeue — the winning
+// submission already covered the partition.
+func (c *Coordinator) discardRivalLocked(sw *sweep, rivalID string) {
+	r, alive := c.leases[rivalID]
+	if !alive || r.sweepID != sw.id {
+		return
+	}
+	c.appendBestEffortLocked(record{Kind: recRelease, Sweep: sw.id, Lease: rivalID, Reason: releaseDiscarded})
+	delete(c.leases, rivalID)
+	sw.active--
+	sw.counters.SpecWins++
+	c.logf("lease %s: discarded (rival submission for sweep %s shard %d landed first)",
+		rivalID, sw.id, r.part.shard.Index)
+}
+
+// unlinkRivalLocked detaches a dying lease from its rival so the
+// survivor carries the partition alone (and may later be shadowed
+// again).
+func (c *Coordinator) unlinkRivalLocked(l *lease) *lease {
+	if l.rival == "" {
+		return nil
+	}
+	r, alive := c.leases[l.rival]
+	if alive {
+		r.rival = ""
+		return r
+	}
+	return nil
+}
+
 // Fail reports a lease the worker could not run; the partition requeues
-// (bounded by MaxAttempts).
+// (bounded by MaxAttempts) unless a rival lease is still racing it.
 func (c *Coordinator) Fail(leaseID string, req FailRequest) error {
 	now := c.opts.Clock()
 	c.mu.Lock()
@@ -330,45 +577,69 @@ func (c *Coordinator) Fail(leaseID string, req FailRequest) error {
 		return fmt.Errorf("sweepd: lease %s not found (expired or completed)", leaseID)
 	}
 	sw := c.sweeps[l.sweepID]
+	if err := c.appendLocked(record{Kind: recRelease, Sweep: sw.id, Lease: leaseID, Reason: releaseFail}); err != nil {
+		return err
+	}
 	delete(c.leases, leaseID)
 	sw.active--
 	c.logf("lease %s: worker %q failed sweep %s shard %d: %s",
 		leaseID, l.worker, sw.id, l.part.shard.Index, req.Error)
-	c.requeueLocked(sw, l.part, req.Error)
+	if rival := c.unlinkRivalLocked(l); rival != nil {
+		c.logf("lease %s: rival %s still racing the partition; no requeue", leaseID, rival.id)
+	} else {
+		c.requeueLocked(sw, l.part, requeueFailed, req.Error)
+	}
 	c.maybeFinishLocked(sw)
 	return nil
 }
 
 // reapLocked reclaims expired leases: each reclaimed partition re-enters
-// its sweep's queue with one more attempt on the clock.
+// its sweep's queue with one more attempt on the clock — unless a rival
+// lease is still racing it, in which case the rival is the retry.
 func (c *Coordinator) reapLocked(now time.Time) {
+	var ids []string
 	for id, l := range c.leases {
 		if now.After(l.deadline) {
-			sw := c.sweeps[l.sweepID]
-			delete(c.leases, id)
-			sw.active--
-			c.expired++
-			c.logf("lease %s: worker %q missed its deadline; requeueing sweep %s shard %d",
-				id, l.worker, sw.id, l.part.shard.Index)
-			c.requeueLocked(sw, l.part, "lease expired")
-			c.maybeFinishLocked(sw)
+			ids = append(ids, id)
 		}
 	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		l, ok := c.leases[id]
+		if !ok {
+			continue // already discarded as a rival this pass
+		}
+		sw := c.sweeps[l.sweepID]
+		c.appendBestEffortLocked(record{Kind: recRelease, Sweep: sw.id, Lease: id, Reason: releaseExpired})
+		delete(c.leases, id)
+		sw.active--
+		sw.counters.Expired++
+		c.logf("lease %s: worker %q missed its deadline; requeueing sweep %s shard %d",
+			id, l.worker, sw.id, l.part.shard.Index)
+		if rival := c.unlinkRivalLocked(l); rival != nil {
+			c.logf("lease %s: rival %s still racing the partition; no requeue", id, rival.id)
+		} else {
+			c.requeueLocked(sw, l.part, requeueExpired, "lease expired")
+		}
+		c.maybeFinishLocked(sw)
+	}
 }
+
+// Requeue reason codes, journaled for cumulative counter replay.
+const (
+	requeueExpired   = "expired"
+	requeueFailed    = "failed"
+	requeueGap       = "gap"
+	requeueMerge     = "merge"
+	requeueRecovered = "recovered"
+)
 
 // requeueLocked puts a partition back in the queue, failing the sweep if
 // the partition has exhausted its attempts. Scenarios already covered by
 // other submissions are dropped from the requeued partition so recovery
-// never re-runs completed work.
-func (c *Coordinator) requeueLocked(sw *sweep, part pending, reason string) {
-	part.attempts++
-	if part.attempts >= c.opts.MaxAttempts {
-		sw.state = StateFailed
-		sw.errMsg = fmt.Sprintf("partition %d failed %d times (last: %s)",
-			part.shard.Index, part.attempts, reason)
-		c.logf("sweep %s failed: %s", sw.id, sw.errMsg)
-		return
-	}
+// never re-runs completed work; a partition whose scenarios all landed
+// elsewhere dissolves without costing an attempt.
+func (c *Coordinator) requeueLocked(sw *sweep, part pending, code, detail string) {
 	var remaining []int
 	for _, it := range part.shard.Items {
 		if !sw.covered[it.Index] {
@@ -378,17 +649,34 @@ func (c *Coordinator) requeueLocked(sw *sweep, part pending, reason string) {
 	if len(remaining) == 0 {
 		return // everything landed elsewhere; nothing to redo
 	}
+	part.attempts++
+	if part.attempts >= c.opts.MaxAttempts {
+		c.failSweepLocked(sw, fmt.Sprintf("partition %d failed %d times (last: %s)",
+			part.shard.Index, part.attempts, detail))
+		return
+	}
 	if len(remaining) != len(part.shard.Items) {
 		shards, err := shard.Replan(sw.manifest, remaining, 1)
 		if err != nil {
-			sw.state = StateFailed
-			sw.errMsg = err.Error()
+			c.failSweepLocked(sw, err.Error())
 			return
 		}
 		part.shard.Items = shards[0].Items
 	}
-	c.requeues++
+	c.appendBestEffortLocked(record{Kind: recRequeue, Sweep: sw.id, Reason: code})
+	sw.counters.Requeues++
+	if code == requeueGap || code == requeueMerge {
+		sw.counters.Replans++
+	}
 	sw.queue = append(sw.queue, part)
+}
+
+// failSweepLocked journals and applies a sweep's terminal failure.
+func (c *Coordinator) failSweepLocked(sw *sweep, msg string) {
+	sw.state = StateFailed
+	sw.errMsg = msg
+	c.appendBestEffortLocked(record{Kind: recState, Sweep: sw.id, State: StateFailed, Error: msg})
+	c.logf("sweep %s failed: %s", sw.id, msg)
 }
 
 // requeueGapLocked turns a merge gap (missing global indices) into a
@@ -397,19 +685,18 @@ func (c *Coordinator) requeueLocked(sw *sweep, part pending, reason string) {
 func (c *Coordinator) requeueGapLocked(sw *sweep, from pending, missing []int) error {
 	shards, err := shard.Replan(sw.manifest, missing, 1)
 	if err != nil {
-		sw.state = StateFailed
-		sw.errMsg = err.Error()
+		c.failSweepLocked(sw, err.Error())
 		return err
 	}
-	c.replans++
 	from.shard.Items = shards[0].Items
-	c.requeueLocked(sw, from, "partial results")
+	c.requeueLocked(sw, from, requeueGap, "partial results")
 	return nil
 }
 
-// maybeFinishLocked merges the sweep once nothing is queued or leased.
-// A merge gap (defensive: incremental coverage should have caught it)
-// re-plans the missing indices instead of failing.
+// maybeFinishLocked merges the sweep once nothing is queued or leased,
+// then compacts the journal so it tracks the live sweep set instead of
+// growing with history. A merge gap (defensive: incremental coverage
+// should have caught it) re-plans the missing indices instead of failing.
 func (c *Coordinator) maybeFinishLocked(sw *sweep) {
 	if sw.state != StateRunning || len(sw.queue) > 0 || sw.active > 0 {
 		return
@@ -418,6 +705,8 @@ func (c *Coordinator) maybeFinishLocked(sw *sweep) {
 	if err == nil {
 		sw.merged = results
 		sw.state = StateDone
+		c.appendBestEffortLocked(record{Kind: recState, Sweep: sw.id, State: StateDone})
+		c.compactLocked()
 		c.logf("sweep %s complete: %d scenarios merged", sw.id, sw.manifest.Total)
 		return
 	}
@@ -425,14 +714,12 @@ func (c *Coordinator) maybeFinishLocked(sw *sweep) {
 	if errors.As(err, &inc) {
 		shards, rerr := shard.Replan(sw.manifest, inc.Missing, 1)
 		if rerr == nil {
-			c.replans++
-			c.requeueLocked(sw, pending{shard: shards[0]}, "merge gap")
+			c.requeueLocked(sw, pending{shard: shards[0]}, requeueMerge, "merge gap")
 			return
 		}
 		err = rerr
 	}
-	sw.state = StateFailed
-	sw.errMsg = err.Error()
+	c.failSweepLocked(sw, err.Error())
 	c.logf("sweep %s failed at merge: %v", sw.id, err)
 }
 
@@ -459,32 +746,45 @@ func (c *Coordinator) sweepStatusLocked(sw *sweep) SweepStatus {
 		Queued:     len(sw.queue),
 		Leased:     sw.active,
 		Error:      sw.errMsg,
+		Expired:    sw.counters.Expired,
+		Requeues:   sw.counters.Requeues,
+		Replans:    sw.counters.Replans,
+		SpecIssued: sw.counters.SpecIssued,
+		SpecWins:   sw.counters.SpecWins,
 	}
 }
 
-// Status reports the whole service.
+// Status reports the whole service. The fleet counters are sums of the
+// per-sweep counters, which the journal persists — so they are cumulative
+// across coordinator restarts, not per-process.
 func (c *Coordinator) Status() CoordinatorStatus {
 	now := c.opts.Clock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.reapLocked(now)
 	st := CoordinatorStatus{
-		Version:       ProtocolVersion,
-		ExpiredLeases: c.expired,
-		Requeues:      c.requeues,
-		Replans:       c.replans,
+		Version:  ProtocolVersion,
+		Ready:    c.ready.Load(),
+		Draining: c.draining,
 	}
 	for _, id := range c.order {
-		st.Sweeps = append(st.Sweeps, c.sweepStatusLocked(c.sweeps[id]))
+		sw := c.sweeps[id]
+		st.Sweeps = append(st.Sweeps, c.sweepStatusLocked(sw))
+		st.ExpiredLeases += sw.counters.Expired
+		st.Requeues += sw.counters.Requeues
+		st.Replans += sw.counters.Replans
+		st.SpecIssued += sw.counters.SpecIssued
+		st.SpecWins += sw.counters.SpecWins
 	}
 	for _, l := range c.leases {
 		st.Leases = append(st.Leases, LeaseInfo{
-			ID:        l.id,
-			SweepID:   l.sweepID,
-			Worker:    l.worker,
-			Scenarios: len(l.part.shard.Items),
-			StartedAt: l.started,
-			Deadline:  l.deadline,
+			ID:          l.id,
+			SweepID:     l.sweepID,
+			Worker:      l.worker,
+			Scenarios:   len(l.part.shard.Items),
+			StartedAt:   l.started,
+			Deadline:    l.deadline,
+			Speculative: l.speculative,
 		})
 	}
 	sort.Slice(st.Leases, func(i, j int) bool { return st.Leases[i].ID < st.Leases[j].ID })
@@ -560,10 +860,38 @@ func copyCosts(t core.CostTable) core.CostTable {
 	return out
 }
 
-// Drain stops admitting sweeps and tells idle workers to exit; running
-// leases finish normally.
+// Drain stops admitting sweeps and granting leases and tells polling
+// workers to exit; in-flight leases may still heartbeat and submit.
 func (c *Coordinator) Drain() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.draining = true
+}
+
+// Shutdown drains the coordinator, waits up to timeout (wall clock) for
+// in-flight leases to submit or fail, journals a clean-shutdown record,
+// and closes the journal. Leases still out when the wait expires are
+// abandoned to the journal: the next Recover expires them and re-plans
+// their uncovered scenarios.
+func (c *Coordinator) Shutdown(timeout time.Duration) {
+	c.Drain()
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		n := len(c.leases)
+		c.mu.Unlock()
+		if n == 0 || !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.appendBestEffortLocked(record{Kind: recShutdown})
+	if c.journal != nil {
+		if err := c.journal.Close(); err != nil {
+			c.logf("journal: close: %v", err)
+		}
+		c.journal = nil
+	}
 }

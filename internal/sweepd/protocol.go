@@ -31,6 +31,14 @@ const ProtocolVersion = 1
 // join it to the coordinator base URL.
 const CachePath = "/v1/cache"
 
+// HealthPath answers 200 whenever the process serves HTTP; ReadyPath
+// answers 200 only once journal replay has finished and the coordinator
+// is leasing work (503 while recovering).
+const (
+	HealthPath = "/v1/healthz"
+	ReadyPath  = "/v1/readyz"
+)
+
 // SubmitRequest asks the coordinator to run a sweep. The manifest's
 // partition (Shards) is advisory only: the coordinator flattens it back to
 // the scenario batch and re-plans against its own cost model and partition
@@ -66,6 +74,8 @@ type LeaseInfo struct {
 	Worker  string `json:"worker"`
 	// Scenarios is the partition's scenario count.
 	Scenarios int `json:"scenarios"`
+	// Speculative marks a shadow lease racing a predicted straggler.
+	Speculative bool `json:"speculative,omitempty"`
 	// StartedAt is when the lease was granted; Deadline is when it expires
 	// unless a heartbeat extends it.
 	StartedAt time.Time `json:"started_at"`
@@ -86,6 +96,15 @@ type SweepStatus struct {
 	Leased int `json:"leased"`
 	// Error is set when State is StateFailed.
 	Error string `json:"error,omitempty"`
+	// Recovery counters, cumulative across coordinator restarts (the
+	// journal persists them): leases expired, partitions requeued,
+	// recovery partitions re-planned from merge gaps, and speculative
+	// shadow leases issued/won for this sweep.
+	Expired    int `json:"expired,omitempty"`
+	Requeues   int `json:"requeues,omitempty"`
+	Replans    int `json:"replans,omitempty"`
+	SpecIssued int `json:"spec_issued,omitempty"`
+	SpecWins   int `json:"spec_wins,omitempty"`
 }
 
 // CoordinatorStatus is the service-wide view: every sweep plus the fleet
@@ -102,6 +121,15 @@ type CoordinatorStatus struct {
 	// Replans counts recovery partitions created from merge gaps (partial
 	// result sets), as opposed to whole partitions requeued on expiry.
 	Replans int `json:"replans"`
+	// SpecIssued and SpecWins count speculative shadow leases issued
+	// against predicted stragglers and races settled by discarding the
+	// rival lease.
+	SpecIssued int `json:"spec_issued,omitempty"`
+	SpecWins   int `json:"spec_wins,omitempty"`
+	// Ready is false while the coordinator replays its journal; Draining
+	// is true once a graceful shutdown has begun.
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining,omitempty"`
 }
 
 // LeaseRequest is a worker's poll for work.

@@ -25,6 +25,8 @@ const maxBodyBytes = 16 << 20
 //	POST /v1/lease/{id}/results  submit a lease's results (ResultSubmission)
 //	POST /v1/lease/{id}/fail     report a lease failure (FailRequest)
 //	GET  /v1/status              whole-service status
+//	GET  /v1/healthz             process liveness (always 200)
+//	GET  /v1/readyz              200 once journal replay finished, else 503
 //	*    /v1/cache/...           remote result cache (core.CacheHandler)
 func Handler(c *Coordinator) http.Handler {
 	mux := http.NewServeMux()
@@ -105,6 +107,18 @@ func Handler(c *Coordinator) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, c.Status())
+	})
+	mux.HandleFunc("GET "+HealthPath, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET "+ReadyPath, func(w http.ResponseWriter, r *http.Request) {
+		// Ready gates on journal replay: load balancers and the restart
+		// half of the fault-injection tests wait here before dispatching.
+		if !c.Ready() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
 	})
 	mux.Handle(CachePath+"/", http.StripPrefix(CachePath, core.CacheHandler(c.Cache())))
 	return mux

@@ -76,6 +76,11 @@ type WorkerOptions struct {
 	// CacheDir, when set, uses a local file-backed result cache instead of
 	// the coordinator's remote one (a fleet on one machine can share it).
 	CacheDir string
+	// Drain, when non-nil and closed, asks the worker to exit gracefully:
+	// the current lease runs to completion (or clean failure) and no new
+	// lease is polled for. Cancelling ctx instead aborts the current lease
+	// mid-run (it is cleanly failed back to the coordinator).
+	Drain <-chan struct{}
 	// Log receives progress lines (nil discards them).
 	Log func(format string, args ...any)
 }
@@ -101,6 +106,14 @@ func Work(ctx context.Context, opts WorkerOptions) error {
 	for {
 		if err := sleepCtx(ctx, 0); err != nil {
 			return nil // context done between leases: a clean exit
+		}
+		if opts.Drain != nil {
+			select {
+			case <-opts.Drain:
+				logf("drain requested; exiting between leases")
+				return nil
+			default:
+			}
 		}
 		resp, err := client.Lease(opts.Name)
 		if err != nil {

@@ -87,6 +87,14 @@ func NewMemoryCacheBackend() CacheBackend { return core.NewMemoryBackend() }
 // `wsnenergy shard run -cache`.
 func NewFileCacheBackend(dir string) (CacheBackend, error) { return core.NewFileBackend(dir) }
 
+// NewLRUCacheBackend returns a result cache bounded to at most max
+// entries (non-positive: 65536) by least-recently-used eviction — the
+// backend for long-lived services that must keep the in-flight working
+// set warm while old sweeps age out, rather than dropping everything at
+// once like the memory backend's epoch eviction. Evicted entries are
+// counted in CacheStats.Evictions.
+func NewLRUCacheBackend(max int) CacheBackend { return core.NewLRUBackend(max) }
+
 // WithCacheBackend routes the Runner's result memoization through a
 // specific backend instead of the process-wide default — typically a
 // file-backed cache shared with other processes running shards of the

@@ -222,6 +222,154 @@ func TestSweepServiceFaultInjection(t *testing.T) {
 	}
 }
 
+// TestSweepServiceCoordinatorCrashRecovery is the durability acceptance
+// test: the coordinator itself is SIGKILLed mid-sweep and a replacement
+// process must recover the sweep from the write-ahead journal in
+// -state-dir:
+//
+//  1. a durable coordinator and one single-threaded worker start; a
+//     Table 4 sweep is submitted with -detach, which prints the sweep id
+//     used to re-attach after the crash;
+//  2. the worker is SIGSTOPped and, once the sweep is provably mid-flight
+//     (some partitions accepted, some still queued), SIGTERMed — the
+//     graceful-drain path: it finishes its current lease, submits, and
+//     exits, so the journal and the shared cache hold exactly the
+//     accepted scenarios;
+//  3. the coordinator is SIGKILLed — no clean-shutdown record, the
+//     journal tail is whatever fsync left behind;
+//  4. a replacement coordinator on the same -state-dir must replay to
+//     exactly the pre-crash progress, re-plan only the missing
+//     scenarios, and report ready;
+//  5. a relief worker joins, `sweep -attach` waits the recovered sweep
+//     out, and the rendered table must be byte-identical to the
+//     single-process run — with the cache hit counter still at zero,
+//     proving no completed scenario was ever looked up again, let alone
+//     re-executed.
+func TestSweepServiceCoordinatorCrashRecovery(t *testing.T) {
+	bin := buildWsnenergy(t)
+	golden := runBinary(t, bin, append([]string{"-experiment", "table4", "-format", "csv"}, reducedFlags...)...)
+
+	stateDir := filepath.Join(t.TempDir(), "state")
+	serveArgs := []string{"-state-dir", stateDir, "-lease", "2s", "-partitions", "6", "-speculate=false"}
+	coord, url := startCoordinator(t, bin, serveArgs...)
+	client, err := sweepd.NewClient(url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, client)
+
+	worker := startWorker(t, bin, url, "first-shift", "-parallel", "1")
+	submitArgs := append([]string{"sweep", "-join", url, "-experiment", "table4", "-detach"}, reducedFlags...)
+	id := strings.TrimSpace(runBinary(t, bin, submitArgs...))
+	if id == "" {
+		t.Fatal("detached submit printed no sweep id")
+	}
+
+	// Freeze the worker so progress cannot change under the status read,
+	// and ask for its graceful drain only when the sweep is provably
+	// mid-flight: completed partitions in the journal, untouched ones
+	// still queued. The SIGTERM is delivered on SIGCONT; the worker
+	// finishes its current lease, submits it, and exits, and the queued
+	// partitions guarantee the sweep stays unfinished.
+	pid := worker.Process.Pid
+	drained := false
+	for i := 0; i < 500 && !drained; i++ {
+		if err := syscall.Kill(pid, syscall.SIGSTOP); err != nil {
+			t.Fatalf("SIGSTOP: %v", err)
+		}
+		st, err := client.SweepStatus(id)
+		if err == nil && st.Completed > 0 && st.Queued > 0 {
+			if err := syscall.Kill(pid, syscall.SIGTERM); err != nil {
+				t.Fatalf("SIGTERM: %v", err)
+			}
+			drained = true
+		}
+		if err := syscall.Kill(pid, syscall.SIGCONT); err != nil {
+			t.Fatalf("SIGCONT: %v", err)
+		}
+		if !drained {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if !drained {
+		t.Fatal("never caught the sweep mid-flight")
+	}
+	_ = worker.Wait()
+
+	st, err := client.SweepStatus(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Leased != 0 || st.Completed == 0 || st.Completed >= st.Total {
+		t.Fatalf("unexpected pre-crash state after worker drain: %+v", st)
+	}
+	progress := st.Completed
+	t.Logf("crashing coordinator at %d/%d completed scenarios", progress, st.Total)
+	if err := coord.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL coordinator: %v", err)
+	}
+	_ = coord.Wait()
+
+	// The replacement coordinator replays the journal from the same
+	// state directory: exactly the pre-crash progress, only the missing
+	// scenarios re-planned (a requeue it must report), nothing leased.
+	_, url2 := startCoordinator(t, bin, serveArgs...)
+	client2, err := sweepd.NewClient(url2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitReady(t, client2)
+	st, err = client2.SweepStatus(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != sweepd.StateRunning {
+		t.Fatalf("recovered sweep state = %q, want %q: %+v", st.State, sweepd.StateRunning, st)
+	}
+	if st.Completed != progress {
+		t.Fatalf("replayed progress = %d scenarios, want exactly %d", st.Completed, progress)
+	}
+	if st.Queued == 0 {
+		t.Fatalf("recovery queued nothing for the missing scenarios: %+v", st)
+	}
+	fleet, err := client2.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Requeues < 1 {
+		t.Fatalf("recovery reported no requeue for the missing scenarios: %+v", fleet)
+	}
+	// The file-backed cache survived the crash holding exactly the
+	// accepted scenarios. The hit counter must stay at zero from here on:
+	// recovery re-plans only missing indices, so no completed scenario is
+	// ever looked up again — let alone re-executed.
+	if hits := cacheHits(t, url2); hits != 0 {
+		t.Fatalf("restarted coordinator cache already reports %d hits", hits)
+	}
+
+	startWorker(t, bin, url2, "relief", "-parallel", "2")
+	attachArgs := append([]string{"sweep", "-join", url2, "-experiment", "table4",
+		"-format", "csv", "-poll", "100ms", "-timeout", "5m", "-attach", id}, reducedFlags...)
+	if got := runBinary(t, bin, attachArgs...); got != golden {
+		t.Fatalf("recovered Table 4 differs from single-process run:\n--- single ---\n%s\n--- recovered ---\n%s", golden, got)
+	}
+	if hits := cacheHits(t, url2); hits != 0 {
+		t.Fatalf("completed scenarios were re-looked-up after recovery: %d cache hits", hits)
+	}
+}
+
+// waitReady polls /v1/readyz until the coordinator finishes journal replay.
+func waitReady(t *testing.T, client *sweepd.Client) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !client.Ready() {
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator never became ready")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // cacheHits reads the server-side hit counter of the coordinator-hosted
 // result cache (the raw /stats endpoint; the client-side backend's Stats
 // reports its own local hits instead).
