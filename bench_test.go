@@ -14,6 +14,7 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/energy"
 	"repro/internal/experiments"
 	"repro/internal/field"
 	"repro/internal/petri"
@@ -359,6 +360,33 @@ func BenchmarkFieldSimulate1000(b *testing.B) {
 		cfg.Seed = uint64(i + 1)
 		if _, err := field.Simulate(cfg); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFieldSimulateDeath measures the field simulator's depletion
+// path: the same 100-node 4-ary tree as BenchmarkFieldSimulate but on
+// batteries starved so nodes start dying mid-run — the run prices death
+// scheduling, session teardown at the crossing, subtree rerouting and the
+// orphaned-traffic bookkeeping on top of the healthy-field baseline.
+func BenchmarkFieldSimulateDeath(b *testing.B) {
+	nodes := field.TreeTopology(100, 4, 0.05, 10)
+	cfg := field.DefaultConfig(nodes)
+	cfg.Horizon = 50
+	cfg.Warmup = 5
+	// ~2 J at 3 V: the busiest nodes cross zero around the middle of the
+	// run, so a healthy prefix and a decaying suffix are both exercised.
+	cfg.Battery = energy.Battery{CapacitymAh: 0.19, Volts: 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res, err := field.Simulate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Deaths) == 0 {
+			b.Fatal("death benchmark ran without deaths")
 		}
 	}
 }

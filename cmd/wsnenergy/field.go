@@ -22,6 +22,7 @@ import (
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/energy"
 	"repro/internal/field"
 	"repro/internal/network"
 	"repro/internal/report"
@@ -38,6 +39,7 @@ func fieldMain(args []string) {
 		simTime  = fs.Float64("simtime", 200, "measured horizon (s)")
 		warmup   = fs.Float64("warmup", 20, "simulated warmup before measurement (s)")
 		seed     = fs.Uint64("seed", 20080901, "master random seed")
+		battery  = fs.Float64("battery", 2850, "per-node battery capacity in mAh at 3 V; starve it (fractions of a mAh) to watch nodes die and traffic reroute")
 		top      = fs.Int("top", 10, "per-node table rows (hottest nodes first)")
 		format   = fs.String("format", "text", "output format: text, csv or md")
 	)
@@ -46,16 +48,17 @@ func fieldMain(args []string) {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := fieldRun(ctx, *nodes, *topology, *fanout, *rate, *spacing, *simTime, *warmup, *seed, *top, *format); err != nil {
+	if err := fieldRun(ctx, *nodes, *topology, *fanout, *rate, *spacing, *simTime, *warmup, *seed, *battery, *top, *format); err != nil {
 		fatal(err)
 	}
 }
 
-func fieldRun(ctx context.Context, nodes int, topology string, fanout int, rate, spacing, simTime, warmup float64, seed uint64, top int, format string) error {
+func fieldRun(ctx context.Context, nodes int, topology string, fanout int, rate, spacing, simTime, warmup float64, seed uint64, battery float64, top int, format string) error {
 	est := field.DefaultEstimator(nodes)
 	est.Topology = topology
 	est.Fanout = fanout
 	est.Spacing = spacing
+	est.Battery = energy.Battery{CapacitymAh: battery, Volts: 3}
 
 	cfg := repro.PaperConfig()
 	cfg.Lambda = rate
@@ -163,6 +166,37 @@ func fieldRun(ctx context.Context, nodes int, topology string, fanout int, rate,
 	}
 	if err := emitTable(t, format); err != nil {
 		return err
+	}
+	// When batteries actually ran out mid-run, append the measured death
+	// timeline; a healthy field (the default AA pair) prints exactly the
+	// table above and nothing more.
+	if len(res.Deaths) > 0 {
+		if format == "text" {
+			fmt.Println()
+		}
+		dt := report.NewTable(
+			fmt.Sprintf("Death timeline: first death at %.3f s (node %d); %d dropped in dying nodes, %d unroutable",
+				res.FirstDeathSeconds, res.Bottleneck, res.DroppedInFlight, res.DroppedNoRoute),
+			"Death", "Node", "Time (s)", "Dropped with node", "Delivered before")
+		byID := map[int]*field.NodeResult{}
+		for i := range res.Nodes {
+			byID[res.Nodes[i].ID] = &res.Nodes[i]
+		}
+		for i, d := range res.Deaths {
+			var delivered uint64
+			if nr := byID[d.ID]; nr != nil {
+				delivered = nr.DeliveredBefore
+			}
+			dt.AddRow(
+				fmt.Sprintf("%d", i+1),
+				fmt.Sprintf("%d", d.ID),
+				report.F(d.Time, 3),
+				fmt.Sprintf("%d", d.Dropped),
+				fmt.Sprintf("%d", delivered))
+		}
+		if err := emitTable(dt, format); err != nil {
+			return err
+		}
 	}
 	if format == "text" {
 		fmt.Printf("\nRunner headline: bottleneck %.3f mW, network lifetime %.1f days, %.2f pkt/s at the sink",

@@ -10,7 +10,7 @@
 //	wsnenergy -experiment table4 -reps 30     # higher precision
 //
 // Experiments: table1 table2 table3 fig4 fig5 table4 table5
-// erlang policy workload ctmc lifetime fieldlife fieldbreakdown all
+// erlang policy workload ctmc lifetime fieldlife fieldbreakdown fielddeath all
 //
 // The sweep artifacts (fig4, fig5, table4, table5) can also be split
 // across worker processes with the `shard` subcommand — see shard.go:
@@ -140,7 +140,7 @@ func main() {
 	if *experiment == "all" {
 		names = []string{"table1", "table2", "table3", "fig4", "fig5", "table4", "table5",
 			"erlang", "policy", "workload", "ctmc", "lifetime", "convergence", "transient", "network",
-			"fieldlife", "fieldbreakdown"}
+			"fieldlife", "fieldbreakdown", "fielddeath"}
 	}
 	for i, name := range names {
 		if i > 0 {
@@ -240,6 +240,12 @@ func run(ctx context.Context, name string, opt experiments.Options, format strin
 		return emitTable(t, format)
 	case "fieldbreakdown":
 		t, err := experiments.FieldBreakdownCtx(ctx, opt, 0)
+		if err != nil {
+			return err
+		}
+		return emitTable(t, format)
+	case "fielddeath":
+		t, err := experiments.FieldDeathCtx(ctx, opt, 0)
 		if err != nil {
 			return err
 		}

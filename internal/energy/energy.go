@@ -158,6 +158,19 @@ type Battery struct {
 	Volts float64
 }
 
+// Validate checks that the battery is physically meaningful: capacity and
+// voltage must be positive and finite. The `!(x > 0)` form deliberately
+// catches NaN, which a plain `x <= 0` comparison lets through.
+func (b Battery) Validate() error {
+	if !(b.CapacitymAh > 0) || math.IsInf(b.CapacitymAh, 0) {
+		return fmt.Errorf("energy: Battery.CapacitymAh must be positive and finite, got %v", b.CapacitymAh)
+	}
+	if !(b.Volts > 0) || math.IsInf(b.Volts, 0) {
+		return fmt.Errorf("energy: Battery.Volts must be positive and finite, got %v", b.Volts)
+	}
+	return nil
+}
+
 // EnergyJoules returns the total stored energy.
 func (b Battery) EnergyJoules() float64 {
 	return b.CapacitymAh / 1000 * 3600 * b.Volts
@@ -175,3 +188,59 @@ func (b Battery) LifetimeSeconds(avgMilliwatts float64) float64 {
 // AA2850 is a pair of AA cells (2850 mAh at 3.0 V), the supply of a typical
 // Mica-class sensor node.
 var AA2850 = Battery{CapacitymAh: 2850, Volts: 3.0}
+
+// BatteryState is the live charge of one battery: the running energy budget
+// a simulator drains as a node spends power. It separates the two ways
+// energy leaves a sensor node — continuous draw (CPU state power, idle
+// listening), integrated over time, and instantaneous events (a packet
+// transmission or reception), deducted at the event — and predicts the
+// exact time a constant continuous draw will empty the budget, which is
+// what lets an event-driven simulator schedule a node's death at the
+// crossing time instead of discovering it a whole event too late.
+//
+// The state deliberately allows a small negative excursion: instantaneous
+// event costs at the instant of death are deducted in full (the node's
+// last transaction completes), after which Depleted reports true and the
+// owner is expected to kill the node and stop charging it.
+type BatteryState struct {
+	remainJ float64
+}
+
+// NewBatteryState returns a full battery.
+func NewBatteryState(b Battery) BatteryState {
+	return BatteryState{remainJ: b.EnergyJoules()}
+}
+
+// RemainingJ is the energy budget left, in joules (never negative).
+func (s *BatteryState) RemainingJ() float64 {
+	if s.remainJ < 0 {
+		return 0
+	}
+	return s.remainJ
+}
+
+// Depleted reports whether the budget is exhausted.
+func (s *BatteryState) Depleted() bool { return s.remainJ <= 0 }
+
+// DrainJ deducts an instantaneous event cost (a packet Tx/Rx, a sensor
+// read) from the budget.
+func (s *BatteryState) DrainJ(j float64) { s.remainJ -= j }
+
+// DrainContinuous integrates a constant draw of watts over seconds.
+func (s *BatteryState) DrainContinuous(watts, seconds float64) {
+	s.remainJ -= watts * seconds
+}
+
+// TimeToEmpty returns how many seconds a constant continuous draw of watts
+// sustains before the budget crosses zero: the death-crossing offset an
+// event scheduler turns into an absolute death time. It returns 0 when the
+// budget is already spent and +Inf for a non-positive draw.
+func (s *BatteryState) TimeToEmpty(watts float64) float64 {
+	if s.remainJ <= 0 {
+		return 0
+	}
+	if watts <= 0 {
+		return math.Inf(1)
+	}
+	return s.remainJ / watts
+}

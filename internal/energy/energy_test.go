@@ -109,6 +109,64 @@ func TestBatteryLifetime(t *testing.T) {
 	}
 }
 
+func TestBatteryValidate(t *testing.T) {
+	if err := AA2850.Validate(); err != nil {
+		t.Fatalf("stock AA pair rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		b    Battery
+	}{
+		{"zero capacity", Battery{CapacitymAh: 0, Volts: 3}},
+		{"negative capacity", Battery{CapacitymAh: -1, Volts: 3}},
+		{"NaN capacity", Battery{CapacitymAh: math.NaN(), Volts: 3}},
+		{"Inf capacity", Battery{CapacitymAh: math.Inf(1), Volts: 3}},
+		{"zero volts", Battery{CapacitymAh: 1000, Volts: 0}},
+		{"NaN volts", Battery{CapacitymAh: 1000, Volts: math.NaN()}},
+		{"-Inf volts", Battery{CapacitymAh: 1000, Volts: math.Inf(-1)}},
+	}
+	for _, tc := range cases {
+		if err := tc.b.Validate(); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
+func TestBatteryStateDrain(t *testing.T) {
+	b := Battery{CapacitymAh: 1, Volts: 3} // 10.8 J
+	s := NewBatteryState(b)
+	if got := s.RemainingJ(); math.Abs(got-10.8) > 1e-12 {
+		t.Fatalf("fresh battery %v J, want 10.8", got)
+	}
+	if s.Depleted() {
+		t.Fatal("fresh battery depleted")
+	}
+	s.DrainJ(0.8)
+	s.DrainContinuous(0.5, 10) // 5 J
+	if got := s.RemainingJ(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("after drains: %v J, want 5", got)
+	}
+	// 5 J at 0.5 W crosses zero in 10 s.
+	if got := s.TimeToEmpty(0.5); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("TimeToEmpty = %v, want 10", got)
+	}
+	if !math.IsInf(s.TimeToEmpty(0), 1) {
+		t.Fatal("zero draw must never empty the battery")
+	}
+	// A last-gasp event may push the budget negative; the reported
+	// remaining energy clamps at zero and the state reads depleted.
+	s.DrainJ(6)
+	if !s.Depleted() {
+		t.Fatal("overdrawn battery not depleted")
+	}
+	if got := s.RemainingJ(); got != 0 {
+		t.Fatalf("overdrawn battery reports %v J, want clamped 0", got)
+	}
+	if got := s.TimeToEmpty(1); got != 0 {
+		t.Fatalf("TimeToEmpty of a spent battery = %v, want 0", got)
+	}
+}
+
 func TestLifetimeInverseInPower(t *testing.T) {
 	f := func(p uint16) bool {
 		mw := 1 + float64(p%1000)

@@ -1,11 +1,14 @@
 package experiments
 
-// The field experiment family (X-10, X-11): network-scale questions the
-// static analytic model cannot answer, evaluated on the event-driven field
-// simulator. X-10 sweeps field size × sample rate through the core Runner
-// — field estimators are registered core.Estimators, so the sweeps share
-// the result cache, worker pool and cancellation with the paper sweeps —
-// and X-11 breaks down where the bottleneck node's energy goes.
+// The field experiment family (X-10, X-11, X-12): network-scale questions
+// the static analytic model cannot answer, evaluated on the event-driven
+// field simulator. X-10 sweeps field size × sample rate through the core
+// Runner — field estimators are registered core.Estimators, so the sweeps
+// share the result cache, worker pool and cancellation with the paper
+// sweeps — X-11 breaks down where the bottleneck node's energy goes, and
+// X-12 starves the batteries so nodes actually die mid-run: it tabulates
+// the measured death timeline, the traffic each death strands, and how far
+// the surviving field keeps delivering as the topology decays.
 
 import (
 	"context"
@@ -13,6 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/energy"
 	"repro/internal/field"
 	"repro/internal/report"
 )
@@ -79,6 +83,79 @@ func FieldLifetimeCtx(ctx context.Context, opt Options, sizes []int, rates []flo
 		}
 	}
 	return t, nil
+}
+
+// FieldDeath is FieldDeathCtx without cancellation.
+func FieldDeath(opt Options, n int) (*report.Table, error) {
+	return FieldDeathCtx(context.Background(), opt, n)
+}
+
+// FieldDeathCtx simulates one n-node tree field on batteries starved to a
+// small fraction of an AA pair — sized so the hottest nodes deplete around
+// the middle of the horizon — and reports the measured death timeline: for
+// each death, the exact battery-zero crossing (not event-quantized), the
+// packets that died queued inside the node, and what the sink had received
+// by then. The closing rows give the measured network lifetime (first
+// death) and the field-wide drop accounting.
+func FieldDeathCtx(ctx context.Context, opt Options, n int) (*report.Table, error) {
+	opt = opt.withDefaults()
+	if n <= 0 {
+		n = 25
+	}
+	est := field.DefaultEstimator(n)
+	nodes, err := est.Nodes(0.5)
+	if err != nil {
+		return nil, err
+	}
+	cfg := field.Config{
+		Nodes: nodes,
+		CPU:   opt.Base,
+		Radio: est.Radio,
+		// Size the budget so a node drawing roughly the PXA271 idle floor
+		// dies ~40% into the run: small enough that depletion reshapes the
+		// field, large enough that early trajectories are representative.
+		Battery: starvedBattery(opt.Base.Power.MW[energy.Idle], opt.Base.Warmup+opt.Base.SimTime),
+		Horizon: opt.Base.SimTime,
+		Warmup:  opt.Base.Warmup,
+		Seed:    opt.Base.Seed,
+	}
+	res, err := field.SimulateContext(ctx, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: field death: %w", err)
+	}
+	t := report.NewTable(
+		fmt.Sprintf("X-12: lifetime to first death, %d-node tree at 0.5 samples/s on %.2g mAh (measured lifetime %.1f s; %d of %d nodes died; %d pkt delivered, %d dropped in dying nodes, %d unroutable)",
+			n, cfg.Battery.CapacitymAh, res.FirstDeathSeconds, len(res.Deaths), n,
+			res.Delivered, res.DroppedInFlight, res.DroppedNoRoute),
+		"Death", "Node", "Time (s)", "Of horizon", "Dropped with node", "Delivered before")
+	byID := make(map[int]*field.NodeResult, len(res.Nodes))
+	for i := range res.Nodes {
+		byID[res.Nodes[i].ID] = &res.Nodes[i]
+	}
+	for i, d := range res.Deaths {
+		delivered := uint64(0)
+		if nr := byID[d.ID]; nr != nil {
+			delivered = nr.DeliveredBefore
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%d", d.ID),
+			report.F(d.Time, 3),
+			fmt.Sprintf("%.1f%%", d.Time/(cfg.Warmup+cfg.Horizon)*100),
+			fmt.Sprintf("%d", d.Dropped),
+			fmt.Sprintf("%d", delivered))
+	}
+	if len(res.Deaths) == 0 {
+		t.AddRow("-", "-", "no node died within the horizon", "-", "-", "-")
+	}
+	return t, nil
+}
+
+// starvedBattery sizes a battery (at 3 V) so a constant draw of floorMW
+// milliwatts empties it 40% of the way through totalSeconds of simulation.
+func starvedBattery(floorMW, totalSeconds float64) energy.Battery {
+	j := floorMW / 1000 * totalSeconds * 0.4
+	return energy.Battery{CapacitymAh: j / 3600 / 3 * 1000, Volts: 3}
 }
 
 // FieldBreakdown is FieldBreakdownCtx without cancellation.

@@ -1,0 +1,396 @@
+package field
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/energy"
+)
+
+// starvedConfig returns a small line field with a battery tiny enough that
+// every node depletes well inside the horizon under the paper's CPU model.
+func starvedConfig(n int, capacitymAh float64) Config {
+	cfg := Config{
+		Nodes:   LineTopology(n, 0.8, 12),
+		CPU:     testCPU(),
+		Radio:   energy.FirstOrderRadio(),
+		Battery: energy.Battery{CapacitymAh: capacitymAh, Volts: 3},
+		Horizon: 300,
+		Warmup:  30,
+		Seed:    42,
+	}
+	cfg.Radio.ListenMW = 0.05
+	return cfg
+}
+
+// TestFieldDeathExactCrossing pins the crossing-time guarantee analytically:
+// with an all-zero CPU power table and a listen-only radio, every node's
+// draw is a known constant, so its battery must cross zero at exactly
+// capacity/draw seconds — a time that is not any Petri-net event time. The
+// scheduler must report that exact crossing, not the next quantized event.
+func TestFieldDeathExactCrossing(t *testing.T) {
+	const listenMW = 0.4
+	cfg := Config{
+		Nodes: LineTopology(3, 0.8, 10),
+		CPU:   testCPU(),
+		Radio: energy.Radio{PacketBits: 2048, ListenMW: listenMW},
+		// 100 J at 0.4 mW -> empty at 10/1.296 h... scale to land mid-run:
+		// capacity J = mAh/1000*3600*V; pick mAh so death hits ~137.3 s.
+		Battery: energy.Battery{CapacitymAh: listenMW / 1000 * 137.3 / 3600 / 3 * 1000, Volts: 3},
+		Horizon: 300,
+		Warmup:  30,
+		Seed:    7,
+	}
+	cfg.CPU.Power = energy.PowerModel{Name: "zero"}
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Battery.EnergyJoules() / (listenMW / 1000)
+	// The battery integrates piecewise at event boundaries, so the crossing
+	// matches the closed form to accumulated rounding, not the last bit.
+	const tol = 1e-9
+	if len(res.Deaths) != 3 {
+		t.Fatalf("want all 3 nodes dead, got deaths %+v", res.Deaths)
+	}
+	for i, d := range res.Deaths {
+		if math.Abs(d.Time-want) > tol*want {
+			t.Fatalf("death %d at %v, want crossing %v (diff %v)", i, d.Time, want, d.Time-want)
+		}
+	}
+	if res.FirstDeathSeconds != res.Deaths[0].Time || res.LifetimeSeconds != res.FirstDeathSeconds {
+		t.Fatalf("FirstDeathSeconds=%v LifetimeSeconds=%v, want first death %v",
+			res.FirstDeathSeconds, res.LifetimeSeconds, res.Deaths[0].Time)
+	}
+	if res.Bottleneck != res.Deaths[0].ID {
+		t.Fatalf("bottleneck %d, want first dead node %d", res.Bottleneck, res.Deaths[0].ID)
+	}
+	for _, nr := range res.Nodes {
+		if !nr.Died || math.Abs(nr.DeathTime-want) > tol*want {
+			t.Fatalf("node %d: Died=%v DeathTime=%v, want death at %v", nr.ID, nr.Died, nr.DeathTime, want)
+		}
+		if nr.RemainingJ != 0 {
+			t.Fatalf("node %d: dead node reports RemainingJ=%v", nr.ID, nr.RemainingJ)
+		}
+		if nr.LifetimeSeconds != nr.DeathTime {
+			t.Fatalf("node %d: LifetimeSeconds=%v, want measured %v", nr.ID, nr.LifetimeSeconds, nr.DeathTime)
+		}
+		// Listen energy accrues over exactly the alive measured window.
+		if wantListen := listenMW * (nr.DeathTime - cfg.Warmup) / 1000; nr.ListenEnergyJ != wantListen {
+			t.Fatalf("node %d: ListenEnergyJ=%v, want alive-window %v", nr.ID, nr.ListenEnergyJ, wantListen)
+		}
+	}
+}
+
+// TestFieldDeathReroute starves a line field so the middle relay dies first
+// (it carries the leaf's traffic on top of its own) and checks that the
+// orphaned leaf is rerouted past the corpse to the sink, keeps delivering,
+// and that the relay's queued packets were dropped and counted.
+func TestFieldDeathReroute(t *testing.T) {
+	cfg := starvedConfig(3, 2)
+	// The sink always does at least a relay's CPU work (it processes every
+	// packet the relay forwards), so bias the relay's draw through the
+	// d²-dependent transmit term: long hops and a high relay sample rate
+	// make its radio dominate and kill it first.
+	cfg.Nodes = LineTopology(3, 0.8, 400)
+	cfg.Nodes[1].SampleRate = 4
+
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Deaths) == 0 || res.Deaths[0].ID != 1 {
+		t.Fatalf("want relay 1 to die first, deaths: %+v", res.Deaths)
+	}
+	var relay, leaf *NodeResult
+	for i := range res.Nodes {
+		switch res.Nodes[i].ID {
+		case 1:
+			relay = &res.Nodes[i]
+		case 2:
+			leaf = &res.Nodes[i]
+		}
+	}
+	if !relay.Died {
+		t.Fatal("relay not marked dead")
+	}
+	if relay.DeathTime != res.Deaths[0].Time || relay.DeathTime != res.FirstDeathSeconds {
+		t.Fatalf("relay DeathTime=%v, timeline %v, FirstDeathSeconds=%v", relay.DeathTime, res.Deaths[0].Time, res.FirstDeathSeconds)
+	}
+	if res.LifetimeSeconds != res.FirstDeathSeconds || res.Bottleneck != 1 {
+		t.Fatalf("measured lifetime must be the first death: lifetime=%v first=%v bottleneck=%d",
+			res.LifetimeSeconds, res.FirstDeathSeconds, res.Bottleneck)
+	}
+	// The leaf must have been rerouted to the relay's parent — the sink —
+	// over the combined distance.
+	if leaf.Parent != 0 {
+		t.Fatalf("leaf parent %d after relay death, want sink 0", leaf.Parent)
+	}
+	if want := Distance(cfg.Nodes[2].Pos, cfg.Nodes[0].Pos); leaf.Distance != want {
+		t.Fatalf("leaf distance %v after reroute, want %v", leaf.Distance, want)
+	}
+	if relay.DeliveredBefore > res.Delivered {
+		t.Fatalf("DeliveredBefore %d exceeds final Delivered %d", relay.DeliveredBefore, res.Delivered)
+	}
+	if res.DroppedInFlight == 0 {
+		// A relay dying under 4 samples/s load essentially always holds
+		// queued work; its loss must be counted.
+		t.Fatalf("relay died with no dropped packets counted (deaths %+v)", res.Deaths)
+	}
+	if res.DroppedInFlight != sumDropped(res) {
+		t.Fatalf("DroppedInFlight %d != sum of per-node DroppedAtDeath %d", res.DroppedInFlight, sumDropped(res))
+	}
+	// Tx/Rx balance stays exact: transmission is atomic, drops happen in
+	// queues, so every measured transmitted packet was received by someone.
+	var tx, rx uint64
+	for _, nr := range res.Nodes {
+		tx += nr.TxPackets
+		rx += nr.RxPackets
+	}
+	if tx != rx {
+		t.Fatalf("field Tx %d != Rx %d", tx, rx)
+	}
+}
+
+func sumDropped(res *Result) uint64 {
+	var s uint64
+	for _, nr := range res.Nodes {
+		s += nr.DroppedAtDeath
+	}
+	return s
+}
+
+// TestFieldDeathEnergyConservation checks the battery ledger end to end:
+// with Warmup=0 the measured window is the node's whole life, so a dead
+// node's reported energy must equal its battery capacity up to the one
+// last-gasp instantaneous event the model deliberately lets complete at the
+// crossing instant.
+func TestFieldDeathEnergyConservation(t *testing.T) {
+	cfg := starvedConfig(3, 0.5)
+	cfg.Warmup = 0
+	cfg.Horizon = 300
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Deaths) != 3 {
+		t.Fatalf("want every node dead, deaths: %+v", res.Deaths)
+	}
+	capJ := cfg.Battery.EnergyJoules()
+	// The largest single instantaneous drain: one max-distance packet hop
+	// plus a sensing charge — the permitted overshoot at the crossing.
+	maxHop := cfg.Radio.PacketTxJ(2*12) + cfg.Radio.PacketRxJ() + cfg.Radio.AggregateJ(cfg.Radio.PacketBits)
+	slack := 64 * maxHop // several packets can land in one cascade instant
+	for _, nr := range res.Nodes {
+		if nr.EnergyJ < capJ-1e-9 {
+			t.Fatalf("node %d: spent %v J but died with capacity %v J unaccounted", nr.ID, nr.EnergyJ, capJ)
+		}
+		if nr.EnergyJ > capJ+slack {
+			t.Fatalf("node %d: spent %v J, overshoots capacity %v J by more than the last-gasp bound %v",
+				nr.ID, nr.EnergyJ, capJ, slack)
+		}
+	}
+}
+
+// TestFieldDeathDuringWarmup kills nodes before measurement begins: all
+// measured counters and energies must read zero, the death timeline must
+// still record the exact (pre-warmup) crossing, and the run must complete.
+func TestFieldDeathDuringWarmup(t *testing.T) {
+	cfg := starvedConfig(2, 0.01) // ~0.1 J: dies in under a second
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Deaths) != 2 {
+		t.Fatalf("want both nodes dead, deaths: %+v", res.Deaths)
+	}
+	for _, nr := range res.Nodes {
+		if !nr.Died || nr.DeathTime >= cfg.Warmup {
+			t.Fatalf("node %d: want death inside warmup, got Died=%v DeathTime=%v", nr.ID, nr.Died, nr.DeathTime)
+		}
+		if nr.Samples != 0 || nr.Processed != 0 || nr.TxPackets != 0 || nr.RxPackets != 0 {
+			t.Fatalf("node %d: measured counters nonzero for a warmup death: %+v", nr.ID, nr)
+		}
+		if nr.EnergyJ != 0 || nr.ListenEnergyJ != 0 || nr.CPUEnergyJ != 0 {
+			t.Fatalf("node %d: measured energy nonzero for a warmup death: %+v", nr.ID, nr)
+		}
+		if nr.CPUFractions != (energy.Fractions{}) {
+			t.Fatalf("node %d: fractions %v for a warmup death, want all zero", nr.ID, nr.CPUFractions)
+		}
+	}
+	if res.Delivered != 0 {
+		t.Fatalf("delivered %d packets from a field dead before measurement", res.Delivered)
+	}
+}
+
+// TestFieldDeathOrderIndependence re-runs a deadly field with the node
+// slice reversed: deaths, reroutes and every result field must be
+// identical — the death path must inherit the simulator's independence
+// from caller ordering.
+func TestFieldDeathOrderIndependence(t *testing.T) {
+	cfg := starvedConfig(5, 0.7)
+	a, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Deaths) == 0 {
+		t.Fatal("starved field produced no deaths; the test needs some")
+	}
+	rev := append([]Node(nil), cfg.Nodes...)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	cfg.Nodes = rev
+	b, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("death trajectories depend on node ordering:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestFieldDeadSinkDropsAtSender kills the sink (the only node, so the
+// leaf's whole ancestor chain dies) and checks that the orphan's later
+// packets are dropped at the sender — counted, no energy spent, and the
+// simulation still terminates cleanly.
+func TestFieldDeadSinkDropsAtSender(t *testing.T) {
+	cfg := starvedConfig(2, 0.7)
+	// The sink does all the relaying work in a 2-line and additionally
+	// processes the leaf's packets; bias it further so it dies long before
+	// the leaf.
+	cfg.Nodes[0].SampleRate = 4
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Deaths) == 0 || res.Deaths[0].ID != 0 {
+		t.Fatalf("want the sink to die first, deaths: %+v", res.Deaths)
+	}
+	var leaf *NodeResult
+	for i := range res.Nodes {
+		if res.Nodes[i].ID == 1 {
+			leaf = &res.Nodes[i]
+		}
+	}
+	// The leaf keeps its configured parent for reporting (there is nothing
+	// live to reroute to) and its post-death packets surface as no-route
+	// drops.
+	if leaf.Parent != 0 {
+		t.Fatalf("leaf parent %d, want configured parent 0", leaf.Parent)
+	}
+	if res.DroppedNoRoute == 0 {
+		t.Fatal("sink died first yet no packets were dropped for lack of a route")
+	}
+	// No-route drops are never transmitted: the leaf's Tx count must equal
+	// the sink's Rx count exactly.
+	var sink *NodeResult
+	for i := range res.Nodes {
+		if res.Nodes[i].ID == 0 {
+			sink = &res.Nodes[i]
+		}
+	}
+	if leaf.TxPackets != sink.RxPackets {
+		t.Fatalf("leaf Tx %d != sink Rx %d", leaf.TxPackets, sink.RxPackets)
+	}
+}
+
+// TestFieldNoDeathNewFields spot-checks the new result fields on a healthy
+// field: survivors report infinite DeathTime, a positive remaining budget,
+// and the field reports no deaths and an infinite FirstDeathSeconds while
+// LifetimeSeconds stays the extrapolated minimum.
+func TestFieldNoDeathNewFields(t *testing.T) {
+	cfg := Config{
+		Nodes:   TreeTopology(7, 2, 0.5, 10),
+		CPU:     testCPU(),
+		Radio:   energy.FirstOrderRadio(),
+		Battery: energy.AA2850,
+		Horizon: 200,
+		Warmup:  20,
+		Seed:    3,
+	}
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Deaths) != 0 || !math.IsInf(res.FirstDeathSeconds, 1) {
+		t.Fatalf("healthy field reports deaths: %+v first=%v", res.Deaths, res.FirstDeathSeconds)
+	}
+	if res.DroppedInFlight != 0 || res.DroppedNoRoute != 0 {
+		t.Fatalf("healthy field dropped packets: inflight=%d noroute=%d", res.DroppedInFlight, res.DroppedNoRoute)
+	}
+	capJ := cfg.Battery.EnergyJoules()
+	for _, nr := range res.Nodes {
+		if nr.Died || !math.IsInf(nr.DeathTime, 1) {
+			t.Fatalf("node %d: survivor marked dead (DeathTime=%v)", nr.ID, nr.DeathTime)
+		}
+		if nr.RemainingJ <= 0 || nr.RemainingJ >= capJ {
+			t.Fatalf("node %d: RemainingJ=%v, want inside (0, %v)", nr.ID, nr.RemainingJ, capJ)
+		}
+		if nr.DeliveredBefore != res.Delivered {
+			t.Fatalf("node %d: survivor DeliveredBefore=%d, want full %d", nr.ID, nr.DeliveredBefore, res.Delivered)
+		}
+		if nr.DroppedAtDeath != 0 {
+			t.Fatalf("node %d: survivor dropped %d packets", nr.ID, nr.DroppedAtDeath)
+		}
+	}
+}
+
+// TestFieldValidateNonFinite table-drives the NaN/Inf rejection sweep over
+// every numeric gate of Config.Validate — each mutation must be refused,
+// because a NaN that slips past `x <= 0` poisons every downstream lifetime.
+func TestFieldValidateNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	base := func() Config {
+		return Config{
+			Nodes:   LineTopology(3, 0.5, 10),
+			CPU:     testCPU(),
+			Radio:   energy.FirstOrderRadio(),
+			Battery: energy.AA2850,
+			Horizon: 100,
+			Warmup:  10,
+			Seed:    1,
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"battery capacity NaN", func(c *Config) { c.Battery.CapacitymAh = nan }},
+		{"battery capacity Inf", func(c *Config) { c.Battery.CapacitymAh = inf }},
+		{"battery capacity zero", func(c *Config) { c.Battery.CapacitymAh = 0 }},
+		{"battery volts NaN", func(c *Config) { c.Battery.Volts = nan }},
+		{"battery volts -Inf", func(c *Config) { c.Battery.Volts = math.Inf(-1) }},
+		{"horizon NaN", func(c *Config) { c.Horizon = nan }},
+		{"horizon Inf", func(c *Config) { c.Horizon = inf }},
+		{"warmup NaN", func(c *Config) { c.Warmup = nan }},
+		{"warmup Inf", func(c *Config) { c.Warmup = inf }},
+		{"mu NaN", func(c *Config) { c.CPU.Mu = nan }},
+		{"mu Inf", func(c *Config) { c.CPU.Mu = inf }},
+		{"pdt NaN", func(c *Config) { c.CPU.PDT = nan }},
+		{"pud Inf", func(c *Config) { c.CPU.PUD = inf }},
+		{"power NaN", func(c *Config) { c.CPU.Power.MW[energy.Active] = nan }},
+		{"power Inf", func(c *Config) { c.CPU.Power.MW[energy.Idle] = inf }},
+		{"rate NaN", func(c *Config) { c.Nodes[1].SampleRate = nan }},
+		{"rate Inf", func(c *Config) { c.Nodes[1].SampleRate = inf }},
+		{"radio elec NaN", func(c *Config) { c.Radio.ElecJPerBit = nan }},
+		{"radio listen Inf", func(c *Config) { c.Radio.ListenMW = inf }},
+		{"radio packet bits NaN", func(c *Config) { c.Radio.PacketBits = nan }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("base config invalid: %v", err)
+			}
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatalf("Validate accepted the mutation")
+			}
+			if _, err := Simulate(cfg); err == nil {
+				t.Fatalf("Simulate accepted the mutation")
+			}
+		})
+	}
+}

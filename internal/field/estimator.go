@@ -72,7 +72,11 @@ func (e Estimator) Estimate(cfg core.Config) (*core.Estimate, error) {
 
 // EstimateContext simulates the field for the scenario and reports the
 // bottleneck node's state shares and power draw, the field-wide energy,
-// the sink's delivered throughput and the network lifetime.
+// the sink's delivered throughput and the network lifetime — measured at
+// the first battery-zero crossing when a node actually died within the
+// horizon, extrapolated from steady-state draw otherwise (the bottleneck
+// is then the first node to die rather than the highest extrapolated
+// drain).
 func (e Estimator) EstimateContext(ctx context.Context, cfg core.Config) (*core.Estimate, error) {
 	nodes, err := e.Nodes(cfg.Lambda)
 	if err != nil {

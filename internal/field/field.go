@@ -99,17 +99,20 @@ func (c Config) Validate() error {
 	if len(c.Nodes) == 0 {
 		return fmt.Errorf("field: no nodes")
 	}
-	if !(c.Horizon > 0) {
-		return fmt.Errorf("field: Horizon must be positive, got %v", c.Horizon)
+	// The `!(x > 0)` / `!(x >= 0)` forms deliberately catch NaN, which a
+	// plain `x <= 0` or `x < 0` comparison lets through — a NaN that slips
+	// past validation here poisons every lifetime downstream.
+	if !(c.Horizon > 0) || math.IsInf(c.Horizon, 0) {
+		return fmt.Errorf("field: Horizon must be positive and finite, got %v", c.Horizon)
 	}
-	if c.Warmup < 0 || math.IsNaN(c.Warmup) {
-		return fmt.Errorf("field: Warmup must be non-negative, got %v", c.Warmup)
+	if !(c.Warmup >= 0) || math.IsInf(c.Warmup, 0) {
+		return fmt.Errorf("field: Warmup must be non-negative and finite, got %v", c.Warmup)
 	}
-	if c.CPU.Mu <= 0 {
-		return fmt.Errorf("field: CPU.Mu must be positive, got %v", c.CPU.Mu)
+	if !(c.CPU.Mu > 0) || math.IsInf(c.CPU.Mu, 0) {
+		return fmt.Errorf("field: CPU.Mu must be positive and finite, got %v", c.CPU.Mu)
 	}
-	if c.CPU.PDT < 0 || c.CPU.PUD < 0 {
-		return fmt.Errorf("field: CPU delays must be non-negative, got PDT=%v PUD=%v", c.CPU.PDT, c.CPU.PUD)
+	if !(c.CPU.PDT >= 0) || math.IsInf(c.CPU.PDT, 0) || !(c.CPU.PUD >= 0) || math.IsInf(c.CPU.PUD, 0) {
+		return fmt.Errorf("field: CPU delays must be non-negative and finite, got PDT=%v PUD=%v", c.CPU.PDT, c.CPU.PUD)
 	}
 	for _, mw := range c.CPU.Power.MW {
 		if mw < 0 || math.IsNaN(mw) || math.IsInf(mw, 0) {
@@ -119,8 +122,8 @@ func (c Config) Validate() error {
 	if err := c.Radio.Validate(); err != nil {
 		return err
 	}
-	if c.Battery.CapacitymAh <= 0 || c.Battery.Volts <= 0 {
-		return fmt.Errorf("field: invalid battery %+v", c.Battery)
+	if err := c.Battery.Validate(); err != nil {
+		return fmt.Errorf("field: %w", err)
 	}
 	byID := make(map[int]int, len(c.Nodes))
 	sink := -1

@@ -32,15 +32,50 @@ type NodeResult struct {
 	CPUEnergyJ, TxEnergyJ, RxEnergyJ, AggEnergyJ, SenseEnergyJ, ListenEnergyJ float64
 	// RadioEnergyJ is the radio subtotal, EnergyJ the node total.
 	RadioEnergyJ, EnergyJ float64
-	// AvgPowerMW is the node's average draw; LifetimeSeconds the battery
-	// lifetime extrapolated from it (first-order, same definition as the
-	// analytic network.Analyze, so the two are directly comparable).
+	// AvgPowerMW is the node's average draw while alive in the measured
+	// window. LifetimeSeconds is the node's battery lifetime: for a node
+	// that died mid-run it is the measured DeathTime; for a survivor it is
+	// extrapolated from the average draw (first-order, same definition as
+	// the analytic network.Analyze, so the two are directly comparable).
 	AvgPowerMW      float64
 	LifetimeSeconds float64
+	// Died reports that the node's battery hit zero mid-run; DeathTime is
+	// the exact crossing time in absolute simulation seconds (warmup
+	// included), +Inf for survivors. For a dead node the energy fields
+	// above cover the measured window up to DeathTime only, and
+	// CPUFractions are the state shares of its alive measured time (all
+	// zero when it died during warmup).
+	Died      bool
+	DeathTime float64
+	// DeliveredBefore counts the packets the sink had absorbed when this
+	// node died — the traffic impact marker of each death. Survivors
+	// report the run's full Delivered count.
+	DeliveredBefore uint64
+	// DroppedAtDeath counts the packets that died with the node: queued
+	// and in-service jobs (own samples and relayed traffic alike) plus
+	// finished packets still waiting in its outbox.
+	DroppedAtDeath uint64
+	// RemainingJ is the battery budget left at the end of the run, zero
+	// for dead nodes. Unlike the measured energy fields it accounts the
+	// whole run including warmup — batteries drain physically from t=0.
+	RemainingJ float64
 }
 
 // LifetimeDays converts the node lifetime to days.
 func (r *NodeResult) LifetimeDays() float64 { return r.LifetimeSeconds / 86400 }
+
+// DeathEvent is one entry of a field's death timeline.
+type DeathEvent struct {
+	// ID names the node that died; Time is the exact battery-zero
+	// crossing in absolute simulation seconds — the scheduler kills the
+	// node at the predicted crossing of its piecewise-constant draw, not
+	// at the next quantized event.
+	ID   int
+	Time float64
+	// Dropped counts the packets lost with the node (see
+	// NodeResult.DroppedAtDeath).
+	Dropped uint64
+}
 
 // Result is the outcome of a field simulation.
 type Result struct {
@@ -54,10 +89,25 @@ type Result struct {
 	// period; it equals the sum of the per-node EnergyJ values.
 	TotalEnergyJ float64
 	// LifetimeSeconds is the network lifetime under the first-node-death
-	// definition: the minimum node lifetime. Bottleneck is the ID of that
-	// node (lowest ID on ties).
+	// definition. When a node actually depleted its battery within the
+	// horizon it is the measured FirstDeathSeconds; otherwise it is the
+	// minimum extrapolated node lifetime, as before depletion existed.
+	// Bottleneck is the ID of the first node to die (lowest ID on ties of
+	// the extrapolated path).
 	LifetimeSeconds float64
 	Bottleneck      int
+	// FirstDeathSeconds is the measured network lifetime: the exact
+	// battery crossing time of the first death, +Inf when every node
+	// survives the horizon (lifetime then remains an extrapolation).
+	FirstDeathSeconds float64
+	// Deaths is the chronological death timeline.
+	Deaths []DeathEvent
+	// DroppedInFlight counts packets lost inside dying nodes (queued,
+	// in service, or in the outbox at the crossing time); DroppedNoRoute
+	// counts packets dropped at live senders whose whole ancestor chain —
+	// sink included — was dead, leaving no live route.
+	DroppedInFlight uint64
+	DroppedNoRoute  uint64
 }
 
 // LifetimeDays converts the network lifetime to days.
@@ -70,6 +120,9 @@ type nodeIDs struct {
 	p6, buffer, outbox             petri.PlaceID
 	standby, powerup, idle, active petri.PlaceID
 	ar, sr                         petri.TransitionID
+	// states indexes the four processor-state places by energy.State, the
+	// order the live power-draw scan walks them in.
+	states [energy.NumStates]petri.PlaceID
 }
 
 type compiledNode struct {
@@ -77,16 +130,49 @@ type compiledNode struct {
 	ids  nodeIDs
 }
 
+// Sentinel parent indexes of a nodeState. A live interior node points at
+// its current routing parent's index; reroutes keep the invariant that the
+// pointed-at node is alive.
+const (
+	parentSink = -1 // the node is the sink: it absorbs its own packets
+	parentNone = -2 // every ancestor up to and including the sink is dead
+)
+
 // nodeState is one node's live simulation state.
 type nodeState struct {
 	node   Node
-	parent int // index into the state slice, -1 for the sink
+	parent int // index into the state slice, or a sentinel above
 	dist   float64
 	sess   *petri.Session
 	ids    nodeIDs
 
 	txPackets, rxPackets uint64
 	txJ, rxJ, aggJ       float64
+
+	// Live battery accounting. The node's marking — and therefore its
+	// continuous draw — is piecewise constant between the scheduler's
+	// touches of the node (the global heap guarantees no internal event
+	// fires between them), so drain integrates exactly: touch() accrues
+	// drawW over [lastT, t] and refresh() re-derives drawW and the
+	// predicted battery-zero crossing deathAt from the current marking.
+	batt     energy.BatteryState
+	alive    bool
+	measured bool // the session crossed the warmup boundary (firing counters were re-based)
+	lastT    float64
+	drawW    float64 // continuous draw in watts: state power + listen
+	deathAt  float64 // predicted crossing time, +Inf when none
+	stateTok [energy.NumStates]int
+	// resInt integrates measured-window state residency in the field
+	// layer, so a node that dies early still reports exact fractions and
+	// CPU energy without finishing its session at the horizon.
+	resInt     [energy.NumStates]float64
+	senseFired uint64 // AR firings already charged as sensing energy
+
+	deathTime        float64
+	deliveredBefore  uint64
+	samplesAtDeath   uint64
+	processedAtDeath uint64
+	droppedAtDeath   uint64
 }
 
 // Simulate runs the field to its horizon and returns per-node and
@@ -114,13 +200,17 @@ func SimulateContext(ctx context.Context, cfg Config) (*Result, error) {
 }
 
 type fieldSim struct {
-	cfg    Config
-	nodes  []nodeState
-	heap   eventHeap
-	warmup float64
-	hz     float64
+	cfg      Config
+	nodes    []nodeState
+	heap     eventHeap
+	warmup   float64
+	hz       float64
+	sensePkJ float64 // sensing energy of one sample, charged per AR firing
 
-	delivered uint64
+	delivered       uint64
+	deaths          []DeathEvent
+	droppedInFlight uint64
+	droppedNoRoute  uint64
 }
 
 // open compiles the distinct per-rate nets, opens one engine session per
@@ -172,9 +262,14 @@ func open(ctx context.Context, cfg Config) (*fieldSim, error) {
 		}
 		f.nodes[i] = nodeState{node: n, parent: parent, dist: dist, sess: sess, ids: cn.ids}
 	}
+	f.sensePkJ = cfg.Radio.SenseJ(cfg.Radio.PacketBits)
 	f.heap.init(len(f.nodes))
 	for i := range f.nodes {
-		f.heap.update(i, f.nodes[i].sess.NextEventTime())
+		n := &f.nodes[i]
+		n.alive = true
+		n.batt = energy.NewBatteryState(cfg.Battery)
+		n.measured = cfg.Warmup == 0
+		f.refresh(i) // derives the initial draw, death prediction and heap key
 	}
 	return f, nil
 }
@@ -194,7 +289,7 @@ func resolveIDs(n *petri.Net) nodeIDs {
 		}
 		return id
 	}
-	return nodeIDs{
+	ids := nodeIDs{
 		p6:      place(core.PlaceP6),
 		buffer:  place(core.PlaceCPUBuffer),
 		outbox:  place(PlaceOutbox),
@@ -205,6 +300,11 @@ func resolveIDs(n *petri.Net) nodeIDs {
 		ar:      trans(core.TransAR),
 		sr:      trans(core.TransSR),
 	}
+	ids.states[energy.Standby] = ids.standby
+	ids.states[energy.PowerUp] = ids.powerup
+	ids.states[energy.Idle] = ids.idle
+	ids.states[energy.Active] = ids.active
+	return ids
 }
 
 // close abandons every still-open session (error paths; finish closes
@@ -218,8 +318,11 @@ func (f *fieldSim) close() {
 }
 
 // run is the global event loop: repeatedly advance the globally earliest
-// node to its next event time and forward whatever packets that event (and
-// any cascade it triggers upstream) produced.
+// node to its next event time — its next internal Petri-net event or its
+// predicted battery-zero crossing, whichever comes first — and forward
+// whatever packets that event (and any cascade it triggers upstream)
+// produced. A popped crossing kills the node at the exact crossing time:
+// the internal event that would have fired at or after it never does.
 func (f *fieldSim) run(ctx context.Context) error {
 	poll := 0
 	for {
@@ -233,14 +336,121 @@ func (f *fieldSim) run(ctx context.Context) error {
 			}
 		}
 		n := &f.nodes[i]
+		if n.deathAt <= te {
+			f.kill(i)
+			continue
+		}
 		if err := n.sess.StepTo(te); err != nil {
 			return err
 		}
+		f.touch(i, te)
 		if err := f.deliver(i, te); err != nil {
 			return err
 		}
-		f.heap.update(i, n.sess.NextEventTime())
 	}
+}
+
+// touch accrues node i's continuous battery drain — CPU state power plus
+// listen draw, constant since its last touch — up to time t, and folds the
+// measured-window slice of the interval into the residency integrals.
+func (f *fieldSim) touch(i int, t float64) {
+	n := &f.nodes[i]
+	dt := t - n.lastT
+	if dt <= 0 {
+		return
+	}
+	n.batt.DrainContinuous(n.drawW, dt)
+	m0, m1 := n.lastT, t
+	if m0 < f.warmup {
+		m0 = f.warmup
+	}
+	if m1 > f.hz {
+		m1 = f.hz
+	}
+	if m1 > m0 {
+		for s, tok := range n.stateTok {
+			if tok != 0 {
+				n.resInt[s] += float64(tok) * (m1 - m0)
+			}
+		}
+	}
+	n.lastT = t
+}
+
+// refresh re-derives node i's live quantities after its marking or battery
+// changed at n.lastT: charges sensing energy for new samples, recomputes
+// the continuous draw from the current state marking, predicts the
+// battery-zero crossing, and re-keys the node in the event heap with
+// min(next internal event, predicted crossing).
+func (f *fieldSim) refresh(i int) {
+	n := &f.nodes[i]
+	if !n.measured && n.lastT >= f.warmup {
+		// The engine re-based its firing counters to zero at the warmup
+		// boundary; re-base the sensing-charge baseline with it.
+		n.measured = true
+		n.senseFired = 0
+	}
+	if ar := n.sess.Firings(n.ids.ar); ar > n.senseFired {
+		n.batt.DrainJ(float64(ar-n.senseFired) * f.sensePkJ)
+		n.senseFired = ar
+	}
+	mw := f.cfg.Radio.ListenMW
+	for s, p := range n.ids.states {
+		tok := n.sess.Tokens(p)
+		n.stateTok[s] = tok
+		mw += float64(tok) * f.cfg.CPU.Power.MW[s]
+	}
+	n.drawW = mw / 1000
+	n.deathAt = n.lastT + n.batt.TimeToEmpty(n.drawW)
+	next := n.sess.NextEventTime()
+	if n.deathAt < next {
+		next = n.deathAt
+	}
+	f.heap.update(i, next)
+}
+
+// kill processes node i's death at its predicted crossing time: accrue its
+// last alive interval, freeze its measured counters, count the packets
+// that die with it, close its session, remove it from the scheduler, and
+// reroute its orphaned children to the nearest live ancestor — its own
+// current parent, live by induction (every earlier death rerouted this
+// node's subtree the same way). Children of a dead sink are left with no
+// route; their future packets are dropped at the sender.
+func (f *fieldSim) kill(i int) {
+	n := &f.nodes[i]
+	td := n.deathAt
+	f.touch(i, td)
+	n.alive = false
+	n.deathTime = td
+	n.deliveredBefore = f.delivered
+	if n.measured {
+		n.samplesAtDeath = n.sess.Firings(n.ids.ar)
+		n.processedAtDeath = n.sess.Firings(n.ids.sr)
+	}
+	dropped := n.sess.Tokens(n.ids.outbox) + n.sess.Tokens(n.ids.buffer) + n.sess.Tokens(n.ids.active)
+	n.droppedAtDeath = uint64(dropped)
+	f.droppedInFlight += uint64(dropped)
+	n.sess.Close()
+	n.sess = nil
+	f.heap.remove(i)
+
+	newParent := n.parent
+	if newParent == parentSink {
+		newParent = parentNone
+	}
+	for j := range f.nodes {
+		c := &f.nodes[j]
+		if !c.alive || c.parent != i {
+			continue
+		}
+		c.parent = newParent
+		if newParent >= 0 {
+			c.dist = Distance(c.node.Pos, f.nodes[newParent].node.Pos)
+		} else {
+			c.dist = 0
+		}
+	}
+	f.deaths = append(f.deaths, DeathEvent{ID: n.node.ID, Time: td, Dropped: uint64(dropped)})
 }
 
 // deliver drains node i's outbox and pushes the packets up the routing
@@ -249,7 +459,11 @@ func (f *fieldSim) run(ctx context.Context) error {
 // the packets as workload into the receiver's CPU net. The receiver is
 // first stepped to the current time, so a relayed packet can trigger
 // further completions that continue the cascade toward the sink within the
-// same instant.
+// same instant. Radio costs drain the batteries of both endpoints in all
+// simulated time; the per-node energy counters cover the measured window
+// only. Each node's live quantities are refreshed once its role in the
+// cascade ends, so battery-zero crossings caused by this instant's radio
+// events are scheduled before the next event pops.
 func (f *fieldSim) deliver(i int, te float64) error {
 	measured := te >= f.warmup
 	radio := &f.cfg.Radio
@@ -257,20 +471,35 @@ func (f *fieldSim) deliver(i int, te float64) error {
 		n := &f.nodes[i]
 		k := n.sess.Tokens(n.ids.outbox)
 		if k == 0 {
+			f.refresh(i)
 			return nil
 		}
 		if err := n.sess.Inject(petri.Injection{Place: n.ids.outbox, Tokens: -k}); err != nil {
 			return err
 		}
-		if n.parent < 0 {
+		if n.parent == parentSink {
 			// The sink absorbs its completed packets (uplink to the base
 			// station is outside the field's energy budget).
 			if measured {
 				f.delivered += uint64(k)
 			}
+			f.refresh(i)
+			return nil
+		}
+		if n.parent == parentNone {
+			// The whole ancestor chain, sink included, is dead: there is
+			// no live route, so the sender drops the packets without
+			// transmitting (no energy spent).
+			f.droppedNoRoute += uint64(k)
+			f.refresh(i)
 			return nil
 		}
 		p := &f.nodes[n.parent]
+		bits := float64(k) * radio.PacketBits
+		txJ := radio.TxJ(bits, n.dist)
+		n.batt.DrainJ(txJ)
+		f.touch(n.parent, te)
+		p.batt.DrainJ(radio.RxJ(bits) + radio.AggregateJ(bits))
 		if err := p.sess.StepTo(te); err != nil {
 			return err
 		}
@@ -281,62 +510,107 @@ func (f *fieldSim) deliver(i int, te float64) error {
 			return err
 		}
 		if measured {
-			bits := float64(k) * radio.PacketBits
 			n.txPackets += uint64(k)
-			n.txJ += radio.TxJ(bits, n.dist)
+			n.txJ += txJ
 			p.rxPackets += uint64(k)
 			p.rxJ += radio.RxJ(bits)
 			p.aggJ += radio.AggregateJ(bits)
 		}
-		f.heap.update(n.parent, p.sess.NextEventTime())
+		f.refresh(i)
 		i = n.parent
 	}
 }
 
-// finish closes every session at the horizon and assembles the result:
-// CPU energy from the time-averaged state fractions and the power table,
-// radio energy from the per-packet accounting, lifetime by extrapolating
-// the battery at the node's average draw.
+// finish closes every surviving session at the horizon and assembles the
+// result: CPU energy from the time-averaged state fractions and the power
+// table, radio energy from the per-packet accounting, lifetime measured at
+// the first battery-zero crossing when one happened and extrapolated from
+// average draw otherwise. Dead nodes are assembled from the field layer's
+// own incremental accounting — their sessions were closed at the crossing
+// time, so nothing after death is counted.
 func (f *fieldSim) finish() (*Result, error) {
 	cfg := f.cfg
 	out := &Result{
-		Time:            cfg.Horizon,
-		Nodes:           make([]NodeResult, len(f.nodes)),
-		Delivered:       f.delivered,
-		LifetimeSeconds: math.Inf(1),
-		Bottleneck:      -1,
+		Time:              cfg.Horizon,
+		Nodes:             make([]NodeResult, len(f.nodes)),
+		Delivered:         f.delivered,
+		LifetimeSeconds:   math.Inf(1),
+		Bottleneck:        -1,
+		FirstDeathSeconds: math.Inf(1),
+		Deaths:            f.deaths,
+		DroppedInFlight:   f.droppedInFlight,
+		DroppedNoRoute:    f.droppedNoRoute,
 	}
 	for i := range f.nodes {
 		n := &f.nodes[i]
-		res, err := n.sess.Finish()
-		n.sess = nil
-		if err != nil {
-			return nil, fmt.Errorf("field: node %d: %w", n.node.ID, err)
-		}
 		nr := NodeResult{
-			ID:         n.node.ID,
-			Parent:     n.node.Parent,
-			Distance:   n.dist,
-			SampleRate: n.node.SampleRate,
-			Samples:    res.Firings[n.ids.ar],
-			Processed:  res.Firings[n.ids.sr],
-			TxPackets:  n.txPackets,
-			RxPackets:  n.rxPackets,
-			TxEnergyJ:  n.txJ,
-			RxEnergyJ:  n.rxJ,
-			AggEnergyJ: n.aggJ,
+			ID:              n.node.ID,
+			Parent:          f.parentID(n),
+			Distance:        n.dist,
+			SampleRate:      n.node.SampleRate,
+			TxPackets:       n.txPackets,
+			RxPackets:       n.rxPackets,
+			TxEnergyJ:       n.txJ,
+			RxEnergyJ:       n.rxJ,
+			AggEnergyJ:      n.aggJ,
+			DeathTime:       math.Inf(1),
+			DeliveredBefore: f.delivered,
 		}
-		nr.CPUFractions[energy.Standby] = res.PlaceAvg[n.ids.standby]
-		nr.CPUFractions[energy.PowerUp] = res.PlaceAvg[n.ids.powerup]
-		nr.CPUFractions[energy.Idle] = res.PlaceAvg[n.ids.idle]
-		nr.CPUFractions[energy.Active] = res.PlaceAvg[n.ids.active]
-		nr.CPUEnergyJ = cfg.CPU.Power.EnergyJoules(nr.CPUFractions, cfg.Horizon)
-		nr.SenseEnergyJ = cfg.Radio.SenseJ(float64(nr.Samples) * cfg.Radio.PacketBits)
-		nr.ListenEnergyJ = cfg.Radio.ListenMW * cfg.Horizon / 1000
+		if n.alive {
+			// Settle the tail interval so RemainingJ reflects continuous
+			// draw up to the horizon (no crossing can hide in the tail:
+			// it would have been scheduled and killed the node).
+			f.touch(i, f.hz)
+			res, err := n.sess.Finish()
+			n.sess = nil
+			if err != nil {
+				return nil, fmt.Errorf("field: node %d: %w", n.node.ID, err)
+			}
+			nr.Samples = res.Firings[n.ids.ar]
+			nr.Processed = res.Firings[n.ids.sr]
+			nr.CPUFractions[energy.Standby] = res.PlaceAvg[n.ids.standby]
+			nr.CPUFractions[energy.PowerUp] = res.PlaceAvg[n.ids.powerup]
+			nr.CPUFractions[energy.Idle] = res.PlaceAvg[n.ids.idle]
+			nr.CPUFractions[energy.Active] = res.PlaceAvg[n.ids.active]
+			nr.CPUEnergyJ = cfg.CPU.Power.EnergyJoules(nr.CPUFractions, cfg.Horizon)
+			nr.SenseEnergyJ = cfg.Radio.SenseJ(float64(nr.Samples) * cfg.Radio.PacketBits)
+			nr.ListenEnergyJ = cfg.Radio.ListenMW * cfg.Horizon / 1000
+			nr.RemainingJ = n.batt.RemainingJ()
+		} else {
+			aliveMeasured := 0.0
+			if n.deathTime > f.warmup {
+				aliveMeasured = math.Min(n.deathTime, f.hz) - f.warmup
+			}
+			nr.Samples = n.samplesAtDeath
+			nr.Processed = n.processedAtDeath
+			var cpuMWs float64
+			for s, integral := range n.resInt {
+				if aliveMeasured > 0 {
+					nr.CPUFractions[s] = integral / aliveMeasured
+				}
+				cpuMWs += integral * cfg.CPU.Power.MW[s]
+			}
+			nr.CPUEnergyJ = cpuMWs / 1000
+			nr.SenseEnergyJ = cfg.Radio.SenseJ(float64(nr.Samples) * cfg.Radio.PacketBits)
+			// Listen draw accrues only while the node is alive — a dead
+			// relay no longer listens.
+			nr.ListenEnergyJ = cfg.Radio.ListenMW * aliveMeasured / 1000
+			nr.Died = true
+			nr.DeathTime = n.deathTime
+			nr.DeliveredBefore = n.deliveredBefore
+			nr.DroppedAtDeath = n.droppedAtDeath
+		}
 		nr.RadioEnergyJ = nr.TxEnergyJ + nr.RxEnergyJ + nr.AggEnergyJ + nr.SenseEnergyJ + nr.ListenEnergyJ
 		nr.EnergyJ = nr.CPUEnergyJ + nr.RadioEnergyJ
-		nr.AvgPowerMW = nr.EnergyJ / cfg.Horizon * 1000
-		nr.LifetimeSeconds = cfg.Battery.LifetimeSeconds(nr.AvgPowerMW)
+		if n.alive {
+			nr.AvgPowerMW = nr.EnergyJ / cfg.Horizon * 1000
+			nr.LifetimeSeconds = cfg.Battery.LifetimeSeconds(nr.AvgPowerMW)
+		} else {
+			if alive := nr.DeathTime - f.warmup; alive > 0 {
+				nr.AvgPowerMW = nr.EnergyJ / math.Min(alive, cfg.Horizon) * 1000
+			}
+			nr.LifetimeSeconds = nr.DeathTime
+		}
 		if math.IsNaN(nr.LifetimeSeconds) || nr.EnergyJ < 0 {
 			return nil, fmt.Errorf("field: node %d: invalid energy accounting (%v J, lifetime %v s)",
 				nr.ID, nr.EnergyJ, nr.LifetimeSeconds)
@@ -348,11 +622,40 @@ func (f *fieldSim) finish() (*Result, error) {
 		}
 		out.Nodes[i] = nr
 	}
+	if len(f.deaths) > 0 {
+		// Measured beats extrapolated: the network lifetime is the exact
+		// first crossing and the bottleneck is the node that died first.
+		out.FirstDeathSeconds = f.deaths[0].Time
+		out.LifetimeSeconds = f.deaths[0].Time
+		out.Bottleneck = f.deaths[0].ID
+	}
 	if out.Bottleneck < 0 {
-		// All lifetimes infinite (zero draw): call the sink the bottleneck.
-		out.Bottleneck = out.Nodes[0].ID
+		// All lifetimes infinite (zero draw): call the sink the
+		// bottleneck — resolved by its Parent == ID marker, not by slice
+		// position (node 0 need not be the sink).
+		for i := range out.Nodes {
+			if out.Nodes[i].Parent == out.Nodes[i].ID {
+				out.Bottleneck = out.Nodes[i].ID
+				break
+			}
+		}
 	}
 	return out, nil
+}
+
+// parentID maps a nodeState's live parent index back to a node ID for
+// reporting: the current routing parent (reroutes included), the node's own
+// ID for the sink, and the original configured parent for a node left with
+// no live route.
+func (f *fieldSim) parentID(n *nodeState) int {
+	switch {
+	case n.parent >= 0:
+		return f.nodes[n.parent].node.ID
+	case n.parent == parentSink:
+		return n.node.ID
+	default:
+		return n.node.Parent
+	}
 }
 
 // ---------------------------------------------------------------------------
